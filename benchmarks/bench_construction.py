@@ -1,0 +1,62 @@
+"""Sketch-construction microbenchmarks (the one-pass, bounded-memory claim).
+
+Section 3.4: sketches are built with a single pass while maintaining the
+``n`` minimum-hash tuples in a tree-like structure. These benchmarks
+quantify the construction path:
+
+* throughput in rows/second as a function of sketch size (should be
+  nearly flat — per-row cost is one hash plus an O(log n) bounded-
+  structure offer, independent of table size);
+* the streaming-CSV path versus load-then-sketch at equal output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.core.sketch import CorrelationSketch
+from repro.table.streaming import stream_sketch_csv
+
+N_ROWS = 200_000
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rng = np.random.default_rng(0)
+    keys = [f"key-{i}" for i in range(N_ROWS)]
+    values = rng.standard_normal(N_ROWS)
+    return keys, values
+
+
+@pytest.mark.parametrize("sketch_size", [64, 1024, 16_384])
+def test_construction_throughput(benchmark, rows, sketch_size):
+    keys, values = rows
+
+    def build():
+        return CorrelationSketch.from_columns(keys, values, sketch_size)
+
+    sketch = benchmark(build)
+    assert len(sketch) == sketch_size
+    rate = N_ROWS / benchmark.stats["mean"]
+    write_result(
+        f"construction_n{sketch_size}.txt",
+        f"sketch size {sketch_size}: {rate:,.0f} rows/s "
+        f"(mean {benchmark.stats['mean'] * 1000:.1f} ms for {N_ROWS:,} rows)",
+    )
+
+
+def test_streaming_csv_construction(benchmark, tmp_path_factory, rows):
+    keys, values = rows
+    path = tmp_path_factory.mktemp("bench") / "big.csv"
+    lines = ["k,v"] + [f"{k},{v:.5f}" for k, v in zip(keys, values)]
+    path.write_text("\n".join(lines) + "\n")
+
+    sketches = benchmark.pedantic(
+        lambda: stream_sketch_csv(path, 1024), rounds=1, iterations=1
+    )
+    assert len(sketches) == 1
+    (sketch,) = sketches.values()
+    assert len(sketch) == 1024
+    assert sketch.rows_seen == N_ROWS

@@ -1,0 +1,75 @@
+"""Extension — the KMV statistics a correlation sketch keeps for free.
+
+Section 3.3: the sketch "retains all information contained in a KMV
+sketch", so besides correlations it estimates distinct counts per key
+column, the containment of one key set in another, and the size of the
+joined table. This benchmark validates those estimates against exact
+values across the NYC-like corpus — the numbers a data-discovery system
+would surface next to each ranked result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import write_result
+from repro.core.estimation import estimate
+from repro.data.workloads import sample_combinations
+from repro.evalharness.ranking_eval import build_catalog
+from repro.table.join import jaccard_containment, join_tables
+
+N_COMBOS = 120
+
+
+def _run(nyc_refs) -> dict:
+    catalog, _by_id = build_catalog(nyc_refs, sketch_size=256)
+    combos = sample_combinations(nyc_refs, N_COMBOS, seed=21)
+
+    card_errors, join_errors, containment_errors = [], [], []
+    for left_ref, right_ref in combos:
+        left = catalog.get(left_ref.pair_id)
+        right = catalog.get(right_ref.pair_id)
+
+        true_left_keys = {
+            k
+            for k in left_ref.table.categorical(left_ref.pair.key).values
+            if k is not None
+        }
+        card_est = left.distinct_keys()
+        card_errors.append(abs(card_est - len(true_left_keys)) / max(1, len(true_left_keys)))
+
+        result = estimate(left, right)
+        join = join_tables(left_ref.table, left_ref.pair, right_ref.table, right_ref.pair)
+        true_join = join.size
+        if true_join > 0:
+            join_errors.append(abs(result.join_size_est - true_join) / true_join)
+
+        true_containment = jaccard_containment(
+            list(left_ref.table.categorical(left_ref.pair.key).values),
+            list(right_ref.table.categorical(right_ref.pair.key).values),
+        )
+        containment_errors.append(abs(result.containment_est - true_containment))
+
+    return {
+        "pairs": len(combos),
+        "cardinality_mean_rel_err": float(np.mean(card_errors)),
+        "join_size_mean_rel_err": float(np.mean(join_errors)),
+        "join_size_p90_rel_err": float(np.percentile(join_errors, 90)),
+        "containment_mean_abs_err": float(np.mean(containment_errors)),
+        "containment_p90_abs_err": float(np.percentile(containment_errors, 90)),
+    }
+
+
+def test_extension_joinability_statistics(benchmark, nyc_refs):
+    stats = benchmark.pedantic(lambda: _run(nyc_refs), rounds=1, iterations=1)
+    lines = [f"{k:<28}: {v:.4f}" if isinstance(v, float) else f"{k:<28}: {v}"
+             for k, v in stats.items()]
+    write_result("extension_joinability.txt", "\n".join(lines))
+
+    assert stats["pairs"] >= 60
+    # Cardinality: KMV unbiased estimator, k = 256 -> ~6% std error.
+    assert stats["cardinality_mean_rel_err"] < 0.15
+    # Join size (Eq. 1 applied to the sketch pair).
+    assert stats["join_size_mean_rel_err"] < 0.35
+    # Containment: the jc-hat the ranking baselines use.
+    assert stats["containment_mean_abs_err"] < 0.15

@@ -1,0 +1,61 @@
+"""Figure 5 — distribution of per-query metric scores, jc vs rp·cih.
+
+The paper's histograms show, for each evaluation metric, how many queries
+fall into each 0.1-wide slice of the metric range: the containment
+baseline (jc) piles up on the left (bad scores) and the Hoeffding-based
+scorer (rp·cih) shifts the mass to the right (good scores).
+
+Regenerated from the same per-query records as Table 1.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.evalharness.ranking_eval import score_histogram
+
+METRICS = ("map75", "map50", "ndcg5", "ndcg10")
+
+
+def _histogram_text(scorer: str, per_query: dict[str, list[float]]) -> str:
+    lines = [f"scorer: {scorer}"]
+    for metric in METRICS:
+        values = per_query[metric]
+        hist = score_histogram(values, bins=10)
+        bar = " ".join(f"{count:>3d}" for _lo, _hi, count in hist)
+        lines.append(f"  {metric:<7} [{bar}]  (n={len(values)})")
+    lines.append("  slices:  [0,.1) [.1,.2) ... [.9,1.0]")
+    return "\n".join(lines)
+
+
+def _mass_center(values: list[float]) -> float:
+    clean = [v for v in values if v == v]
+    return sum(clean) / len(clean) if clean else 0.0
+
+
+def test_figure5_score_distributions(benchmark, ranking_report):
+    def run():
+        return (
+            ranking_report.per_query["jc"],
+            ranking_report.per_query["rp_cih"],
+        )
+
+    jc, rp_cih = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = _histogram_text("jc", jc) + "\n\n" + _histogram_text("rp*cih", rp_cih)
+    write_result("figure5_histograms.txt", text)
+
+    # Shape: for every metric the rp*cih mass must sit to the right of jc.
+    for metric in METRICS:
+        assert _mass_center(rp_cih[metric]) > _mass_center(jc[metric]), metric
+
+
+def test_figure5_top_slice_gains(benchmark, ranking_report):
+    """The paper highlights nDCG: most rp·cih queries land near optimal."""
+
+    def run():
+        values = ranking_report.per_query["rp_cih"]["ndcg10"]
+        top = sum(1 for v in values if v >= 0.7)
+        return top, len(values)
+
+    top, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert total > 0
+    assert top / total > 0.5

@@ -1,0 +1,86 @@
+"""Table 1 — ranking quality of the scoring functions (MAP and nDCG).
+
+Regenerates the four panels of Table 1 on the NYC-like collection:
+
+* (a) MAP with relevance threshold |r| > 0.75
+* (b) MAP with relevance threshold |r| > 0.50
+* (c) nDCG@5
+* (d) nDCG@10
+
+for the seven rankers: ``rp·cih``, ``rb·cib``, ``rp``, ``rp·sez`` (the
+paper's scoring functions) and ``jc``, ``ĵc``, ``random`` (baselines).
+The "%" column is the relative improvement over the exact-containment
+baseline ``jc``, as in the paper.
+
+Expected shape: every correlation-based ranker far above the containment
+baselines; ``jc`` ≈ ``ĵc`` ≈ random; the risk-penalized rankers at or
+near the top for the strict MAP(r > .75) panel.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import write_result
+
+PAPER_LABELS = {
+    "rp_cih": "rp*cih",
+    "rb_cib": "rb*cib",
+    "rp": "rp",
+    "rp_sez": "rp*sez",
+    "jc": "jc",
+    "jc_est": "jc_est",
+    "random": "random",
+}
+
+
+def _panel_text(title: str, table: dict[str, float]) -> str:
+    base = table.get("jc", math.nan)
+    rows = sorted(table.items(), key=lambda kv: -(kv[1] if kv[1] == kv[1] else -1))
+    lines = [title, f"{'ranker':<10}{'score':>8}{'%':>10}"]
+    for name, score in rows:
+        if math.isnan(score):
+            continue
+        pct = (score - base) / base * 100.0 if base and not math.isnan(base) else math.nan
+        lines.append(f"{PAPER_LABELS.get(name, name):<10}{score:>8.3f}{pct:>9.1f}%")
+    return "\n".join(lines)
+
+
+def _correlation_rankers_beat_baselines(table: dict[str, float]) -> None:
+    correlation = [table["rp"], table["rp_sez"], table["rb_cib"], table["rp_cih"]]
+    baselines = [table["jc"], table["jc_est"], table["random"]]
+    assert min(correlation) > max(baselines), (
+        f"expected all correlation rankers above all baselines: "
+        f"{correlation} vs {baselines}"
+    )
+
+
+def test_table1a_map75(benchmark, ranking_report):
+    table = benchmark.pedantic(lambda: ranking_report.map_75, rounds=1, iterations=1)
+    write_result("table1a_map75.txt", _panel_text("Table 1a: MAP (r > .75)", table))
+    _correlation_rankers_beat_baselines(table)
+
+
+def test_table1b_map50(benchmark, ranking_report):
+    table = benchmark.pedantic(lambda: ranking_report.map_50, rounds=1, iterations=1)
+    write_result("table1b_map50.txt", _panel_text("Table 1b: MAP (r > .50)", table))
+    _correlation_rankers_beat_baselines(table)
+
+
+def test_table1c_ndcg5(benchmark, ranking_report):
+    table = benchmark.pedantic(lambda: ranking_report.ndcg_5, rounds=1, iterations=1)
+    write_result("table1c_ndcg5.txt", _panel_text("Table 1c: nDCG@5", table))
+    _correlation_rankers_beat_baselines(table)
+
+
+def test_table1d_ndcg10(benchmark, ranking_report):
+    table = benchmark.pedantic(lambda: ranking_report.ndcg_10, rounds=1, iterations=1)
+    write_result("table1d_ndcg10.txt", _panel_text("Table 1d: nDCG@10", table))
+    _correlation_rankers_beat_baselines(table)
+
+
+def test_table1_queries_evaluated(benchmark, ranking_report):
+    count = benchmark.pedantic(
+        lambda: ranking_report.queries_evaluated, rounds=1, iterations=1
+    )
+    assert count >= 10, "too few informative queries for a stable Table 1"

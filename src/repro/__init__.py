@@ -1,0 +1,96 @@
+"""repro — Correlation Sketches for approximate join-correlation queries.
+
+A full reproduction of "Correlation Sketches for Approximate
+Join-Correlation Queries" (Santos, Bessa, Chirigati, Musco, Freire —
+SIGMOD 2021). The package answers the question: *given a query column and
+its join key, which tables in a large collection join with mine AND
+contain a column correlated with mine after the join?* — without ever
+computing the joins.
+
+Quickstart::
+
+    from repro import CorrelationSketch, estimate
+
+    left = CorrelationSketch.from_columns(dates, fatalities, n=256)
+    right = CorrelationSketch.from_columns(other_dates, precipitation, n=256)
+    result = estimate(left, right)           # no join of the full tables
+    print(result.correlation, result.hoeffding)
+
+Subpackages
+-----------
+``repro.core``
+    Correlation Sketches, sketch joins, the estimation pipeline.
+``repro.hashing``
+    MurmurHash3 + Fibonacci hashing (the ``h`` / ``h_u`` of the paper).
+``repro.kmv``
+    KMV synopses, DV estimation, set-operation estimates.
+``repro.correlation``
+    Pearson / Spearman / RIN / Qn / PM1-bootstrap estimators, Fisher z.
+``repro.bounds``
+    Distribution-free Hoeffding confidence intervals (Section 4.3).
+``repro.ranking``
+    Risk-averse scoring functions and IR metrics (Section 4.4 / 5.4).
+``repro.table``
+    Typed tables, CSV with type detection, ground-truth joins.
+``repro.index``
+    Inverted index, sketch catalog, the top-k query engine.
+``repro.data``
+    Synthetic data generators (SBN, NYC-like, WBF-like).
+``repro.evalharness``
+    Experiment runners behind the benchmark suite.
+"""
+
+from repro.bounds import ConfidenceInterval, hfd_interval, hoeffding_interval
+from repro.core import (
+    CorrelationSketch,
+    EstimateResult,
+    JoinedSample,
+    MultiColumnSketch,
+    estimate,
+    join_sketches,
+)
+from repro.correlation import (
+    ESTIMATORS,
+    fisher_interval,
+    pearson,
+    pm1_bootstrap,
+    qn_correlation,
+    rin,
+    spearman,
+)
+from repro.index import InvertedIndex, JoinCorrelationEngine, QueryResult, SketchCatalog
+from repro.kmv import KMVSynopsis
+from repro.ranking import SCORER_NAMES, rank_candidates
+from repro.table import Table, read_csv, read_csv_text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfidenceInterval",
+    "CorrelationSketch",
+    "ESTIMATORS",
+    "EstimateResult",
+    "InvertedIndex",
+    "JoinCorrelationEngine",
+    "JoinedSample",
+    "KMVSynopsis",
+    "MultiColumnSketch",
+    "QueryResult",
+    "SCORER_NAMES",
+    "SketchCatalog",
+    "Table",
+    "estimate",
+    "fisher_interval",
+    "hfd_interval",
+    "hoeffding_interval",
+    "join_sketches",
+    "pearson",
+    "pm1_bootstrap",
+    "qn_correlation",
+    "rank_candidates",
+    "read_csv",
+    "read_csv_text",
+    "rin",
+    "spearman",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Common confidence-interval value type used across bound methods."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceInterval:
+    """A two-sided interval for a population correlation ρ.
+
+    Attributes:
+        low, high: endpoints, clipped by construction to ``[-1, 1]`` for
+            probabilistic bounds (the HFD variant may exceed this range —
+            it is a heuristic dispersion measure, not a true bound).
+        alpha: nominal miscoverage level (e.g. 0.05), NaN for heuristics.
+        method: short identifier (``"hoeffding"``, ``"hfd"``, ``"fisher"``,
+            ``"pm1"``).
+    """
+
+    low: float
+    high: float
+    alpha: float
+    method: str
+
+    @property
+    def length(self) -> float:
+        """Interval length; the risk measure Section 4.4 penalizes by."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval (inclusive)."""
+        if math.isnan(value) or math.isnan(self.low) or math.isnan(self.high):
+            return False
+        return self.low <= value <= self.high
+
+    def clipped(self) -> "ConfidenceInterval":
+        """Return a copy with endpoints clipped to ``[-1, 1]``."""
+        return ConfidenceInterval(
+            low=max(-1.0, self.low),
+            high=min(1.0, self.high),
+            alpha=self.alpha,
+            method=self.method,
+        )

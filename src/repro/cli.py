@@ -1,0 +1,221 @@
+"""Command-line interface: ``repro-sketch``.
+
+The three operations of a join-correlation deployment, as subcommands:
+
+* ``index``    — sketch every ⟨categorical, numeric⟩ column pair of every
+  CSV file in a directory and persist the catalog to JSON (offline).
+* ``query``    — run a top-k join-correlation query against a saved
+  catalog, using one column pair of a query CSV (online).
+* ``estimate`` — one-off: estimate the after-join correlation between two
+  CSV column pairs directly from freshly built sketches.
+* ``info``     — catalog statistics.
+
+Examples::
+
+    repro-sketch index data/portal/ -o catalog.json --sketch-size 256
+    repro-sketch query catalog.json taxi.csv --key date --value pickups -k 10
+    repro-sketch estimate left.csv right.csv --left-key date --right-key day
+    repro-sketch info catalog.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.estimation import estimate as estimate_pair
+from repro.core.sketch import CorrelationSketch
+from repro.index.catalog import SketchCatalog
+from repro.index.engine import JoinCorrelationEngine
+from repro.ranking.scoring import SCORER_NAMES
+from repro.table.csv_io import read_csv
+from repro.table.table import ColumnPair, Table
+
+
+def _resolve_pair(table: Table, key: str | None, value: str | None) -> ColumnPair:
+    """Pick a ⟨key, value⟩ pair from a table, defaulting to the first."""
+    pairs = table.column_pairs()
+    if not pairs:
+        raise SystemExit(
+            f"error: {table.name!r} has no categorical/numeric column pair "
+            f"(categorical: {table.categorical_names()}, "
+            f"numeric: {table.numeric_names()})"
+        )
+    if key is None and value is None:
+        return pairs[0]
+    for pair in pairs:
+        if (key is None or pair.key == key) and (value is None or pair.value == value):
+            return pair
+    raise SystemExit(
+        f"error: no pair key={key!r} value={value!r} in {table.name!r}; "
+        f"available: {[p.pair_id for p in pairs]}"
+    )
+
+
+def _build_query_sketch(
+    table: Table, pair: ColumnPair, catalog: SketchCatalog
+) -> CorrelationSketch:
+    sketch = CorrelationSketch(
+        catalog.sketch_size,
+        aggregate=catalog.aggregate,
+        hasher=catalog.hasher,
+        name=pair.pair_id,
+    )
+    sketch.update_all(table.pair_rows(pair))
+    return sketch
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    directory = Path(args.directory)
+    csv_files = sorted(directory.glob("*.csv"))
+    if not csv_files:
+        print(f"error: no CSV files under {directory}", file=sys.stderr)
+        return 1
+    catalog = SketchCatalog(sketch_size=args.sketch_size, aggregate=args.aggregate)
+    t0 = time.perf_counter()
+    n_pairs = 0
+    for path in csv_files:
+        try:
+            table = read_csv(path)
+        except ValueError as exc:
+            print(f"skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        ids = catalog.add_table(table)
+        n_pairs += len(ids)
+        if args.verbose:
+            print(f"  {path.name}: {len(ids)} column pair(s)")
+    catalog.save(args.output)
+    elapsed = time.perf_counter() - t0
+    print(
+        f"indexed {n_pairs} column pairs from {len(csv_files)} files "
+        f"in {elapsed:.2f}s -> {args.output}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    catalog = SketchCatalog.load(args.catalog)
+    table = read_csv(args.query_csv)
+    pair = _resolve_pair(table, args.key, args.value)
+    sketch = _build_query_sketch(table, pair, catalog)
+
+    engine = JoinCorrelationEngine(catalog, retrieval_depth=args.depth)
+    result = engine.query(sketch, k=args.k, scorer=args.scorer, exclude_id=pair.pair_id)
+
+    print(f"query pair : {pair.pair_id}")
+    print(f"scorer     : {args.scorer}")
+    print(
+        f"candidates : {result.candidates_considered} joinable "
+        f"({result.total_seconds * 1000:.1f} ms)\n"
+    )
+    if not result.ranked:
+        print("no joinable candidates found")
+        return 0
+    header = f"{'rank':<5}{'column pair':<55}{'score':>8}{'est r':>8}{'n':>6}"
+    print(header)
+    print("-" * len(header))
+    for rank, entry in enumerate(result.ranked, start=1):
+        print(
+            f"{rank:<5}{entry.candidate_id:<55}{entry.score:>8.3f}"
+            f"{entry.stats.r_pearson:>8.3f}{entry.stats.sample_size:>6}"
+        )
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    left_table = read_csv(args.left_csv)
+    right_table = read_csv(args.right_csv)
+    left_pair = _resolve_pair(left_table, args.left_key, args.left_value)
+    right_pair = _resolve_pair(right_table, args.right_key, args.right_value)
+
+    left = CorrelationSketch(args.sketch_size, aggregate=args.aggregate, name=left_pair.pair_id)
+    left.update_all(left_table.pair_rows(left_pair))
+    right = CorrelationSketch(
+        args.sketch_size, aggregate=args.aggregate, hasher=left.hasher,
+        name=right_pair.pair_id,
+    )
+    right.update_all(right_table.pair_rows(right_pair))
+
+    result = estimate_pair(left, right, estimator=args.estimator)
+    print(f"left pair            : {left_pair.pair_id}")
+    print(f"right pair           : {right_pair.pair_id}")
+    print(f"sketch-join sample   : {result.sample_size}")
+    print(f"estimated correlation: {result.correlation:+.4f} ({args.estimator})")
+    print(f"Fisher z SE          : {result.fisher_se:.4f}")
+    print(f"HFD interval         : [{result.hfd.low:+.3f}, {result.hfd.high:+.3f}]")
+    print(f"est. join size       : {result.join_size_est:,.0f}")
+    print(f"est. containment     : {result.containment_est:.3f}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    catalog = SketchCatalog.load(args.catalog)
+    sizes = [len(catalog.get(sid)) for sid in catalog]
+    print(f"catalog      : {args.catalog}")
+    print(f"sketches     : {len(catalog)}")
+    print(f"sketch size  : {catalog.sketch_size} (aggregate: {catalog.aggregate})")
+    print(f"hash scheme  : bits={catalog.hasher.bits} seed={catalog.hasher.seed}")
+    if sizes:
+        print(f"entries      : min={min(sizes)} max={max(sizes)} total={sum(sizes)}")
+    print(f"posting keys : {catalog.index.vocabulary_size}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sketch",
+        description="Correlation Sketches: index CSV collections and run "
+        "approximate join-correlation queries.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_index = sub.add_parser("index", help="sketch every CSV in a directory")
+    p_index.add_argument("directory", help="directory containing CSV files")
+    p_index.add_argument("-o", "--output", required=True, help="catalog JSON path")
+    p_index.add_argument("--sketch-size", type=int, default=256)
+    p_index.add_argument("--aggregate", default="mean")
+    p_index.add_argument("-v", "--verbose", action="store_true")
+    p_index.set_defaults(func=cmd_index)
+
+    p_query = sub.add_parser("query", help="top-k join-correlation query")
+    p_query.add_argument("catalog", help="catalog JSON from `index`")
+    p_query.add_argument("query_csv", help="CSV holding the query column pair")
+    p_query.add_argument("--key", help="join-key column (default: first categorical)")
+    p_query.add_argument("--value", help="numeric column (default: first numeric)")
+    p_query.add_argument("-k", type=int, default=10, help="result-list size")
+    p_query.add_argument("--scorer", default="rp_cih", choices=SCORER_NAMES)
+    p_query.add_argument("--depth", type=int, default=100, help="overlap retrieval depth")
+    p_query.set_defaults(func=cmd_query)
+
+    p_est = sub.add_parser("estimate", help="estimate one after-join correlation")
+    p_est.add_argument("left_csv")
+    p_est.add_argument("right_csv")
+    p_est.add_argument("--left-key")
+    p_est.add_argument("--left-value")
+    p_est.add_argument("--right-key")
+    p_est.add_argument("--right-value")
+    p_est.add_argument("--sketch-size", type=int, default=256)
+    p_est.add_argument("--aggregate", default="mean")
+    p_est.add_argument(
+        "--estimator",
+        default="pearson",
+        choices=("pearson", "spearman", "rin", "qn", "pm1"),
+    )
+    p_est.set_defaults(func=cmd_estimate)
+
+    p_info = sub.add_parser("info", help="catalog statistics")
+    p_info.add_argument("catalog")
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

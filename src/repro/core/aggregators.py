@@ -1,0 +1,202 @@
+"""Streaming aggregate functions for repeated join keys.
+
+Real-world key columns contain repeated values (Section 3.1, "Handling
+Repeated Keys"). Correlation is defined over *paired* values, so the
+numeric values sharing one key must be collapsed to a single number with a
+user-chosen aggregate function ``f`` before correlating. The paper requires
+``f`` to be computable in a streaming fashion — ``x_k^t = f(x_k, x_k^{t-1})``
+— so the sketch is still built in one pass.
+
+Each aggregator here is a tiny state machine with O(1) state:
+
+=========  ======================================================
+name       semantics of the aggregated value for a key
+=========  ======================================================
+``mean``   arithmetic mean of all values seen for the key
+``sum``    sum of all values
+``max``    largest value
+``min``    smallest value
+``first``  first value encountered (stream order)
+``last``   most recent value encountered
+``count``  number of occurrences of the key (ignores the values)
+=========  ======================================================
+
+Use :func:`make_aggregator` (or :data:`AGGREGATORS`) to obtain instances by
+name; sketches store one aggregator state per retained key.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+
+class Aggregator:
+    """Base class for O(1)-state streaming aggregators.
+
+    Subclasses implement :meth:`update` and :meth:`value`. NaN inputs are
+    skipped (treated as missing data, matching how the ground-truth join in
+    :mod:`repro.table.join` handles missing cells); an aggregator that
+    never saw a non-NaN value reports NaN.
+    """
+
+    name: str = "abstract"
+
+    __slots__ = ()
+
+    def update(self, x: float) -> None:
+        raise NotImplementedError
+
+    def value(self) -> float:
+        raise NotImplementedError
+
+    def observe(self, x: float) -> None:
+        """Update with NaN filtering; the entry point sketches use."""
+        if x != x:  # NaN check without importing math in the hot path
+            return
+        self.update(x)
+
+
+class MeanAggregator(Aggregator):
+    """Running arithmetic mean (Welford-style count/total)."""
+
+    name = "mean"
+    __slots__ = ("_count", "_total")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._total = 0.0
+
+    def update(self, x: float) -> None:
+        self._count += 1
+        self._total += x
+
+    def value(self) -> float:
+        if self._count == 0:
+            return math.nan
+        return self._total / self._count
+
+
+class SumAggregator(Aggregator):
+    name = "sum"
+    __slots__ = ("_total", "_seen")
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._seen = False
+
+    def update(self, x: float) -> None:
+        self._total += x
+        self._seen = True
+
+    def value(self) -> float:
+        return self._total if self._seen else math.nan
+
+
+class MaxAggregator(Aggregator):
+    name = "max"
+    __slots__ = ("_best",)
+
+    def __init__(self) -> None:
+        self._best = math.nan
+
+    def update(self, x: float) -> None:
+        if self._best != self._best or x > self._best:
+            self._best = x
+
+    def value(self) -> float:
+        return self._best
+
+
+class MinAggregator(Aggregator):
+    name = "min"
+    __slots__ = ("_best",)
+
+    def __init__(self) -> None:
+        self._best = math.nan
+
+    def update(self, x: float) -> None:
+        if self._best != self._best or x < self._best:
+            self._best = x
+
+    def value(self) -> float:
+        return self._best
+
+
+class FirstAggregator(Aggregator):
+    name = "first"
+    __slots__ = ("_value", "_seen")
+
+    def __init__(self) -> None:
+        self._value = math.nan
+        self._seen = False
+
+    def update(self, x: float) -> None:
+        if not self._seen:
+            self._value = x
+            self._seen = True
+
+    def value(self) -> float:
+        return self._value
+
+
+class LastAggregator(Aggregator):
+    name = "last"
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = math.nan
+
+    def update(self, x: float) -> None:
+        self._value = x
+
+    def value(self) -> float:
+        return self._value
+
+
+class CountAggregator(Aggregator):
+    """Counts key occurrences; turns the sketch into a frequency sketch."""
+
+    name = "count"
+    __slots__ = ("_count",)
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def update(self, x: float) -> None:
+        self._count += 1
+
+    def observe(self, x: float) -> None:
+        # Count NaN occurrences too: the key occurred even if its numeric
+        # cell was missing.
+        self._count += 1
+
+    def value(self) -> float:
+        return float(self._count)
+
+
+AGGREGATORS: dict[str, Callable[[], Aggregator]] = {
+    "mean": MeanAggregator,
+    "sum": SumAggregator,
+    "max": MaxAggregator,
+    "min": MinAggregator,
+    "first": FirstAggregator,
+    "last": LastAggregator,
+    "count": CountAggregator,
+}
+
+
+def make_aggregator(name: str) -> Aggregator:
+    """Instantiate a fresh aggregator by name.
+
+    Raises:
+        ValueError: if ``name`` is not one of :data:`AGGREGATORS`.
+    """
+    try:
+        factory = AGGREGATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregate function {name!r}; expected one of "
+            f"{sorted(AGGREGATORS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,208 @@
+"""High-level estimation façade over a pair of correlation sketches.
+
+:func:`estimate` runs the full Section 3.2 pipeline — join the sketches,
+reconstruct the uniform sample, apply a correlation estimator — and
+attaches everything the ranking layer needs: sample size, Fisher z
+standard error, Hoeffding/HFD intervals, and the KMV-derived joinability
+statistics (cardinalities, containment, join size) that Section 3.3 notes
+come for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bounds.hoeffding import hfd_interval, hoeffding_interval
+from repro.bounds.intervals import ConfidenceInterval
+from repro.core.joined_sample import JoinedSample, join_sketches
+from repro.core.sketch import CorrelationSketch
+from repro.correlation.estimators import get_estimator
+from repro.correlation.fisher import clamped_fisher_se
+from repro.kmv.estimators import unbiased_dv_estimate
+
+#: Aggregates whose output always lies within the input value range, making
+#: the single-pass column min/max valid Hoeffding bounds (Section 4.3).
+RANGE_PRESERVING_AGGREGATES = frozenset({"mean", "max", "min", "first", "last"})
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """Everything estimable from one pair of sketches.
+
+    Attributes:
+        correlation: the correlation estimate (NaN if undefined).
+        estimator: name of the estimator used.
+        sample: the reconstructed joined sample (after NaN filtering).
+        sample_size: rows in the sketch join (the paper's ``n``).
+        fisher_se: clamped Fisher z standard error ``1/sqrt(max(4,n)−3)``.
+        hoeffding: true distribution-free interval (Eqs. 6–7).
+        hfd: small-sample HFD interval (drives the ``cih`` ranking factor).
+        key_overlap: number of common key hashes between the two sketches.
+        containment_est: estimated Jaccard containment of the left key set
+            in the right one (the ``ĵc`` baseline).
+        join_size_est: estimated number of rows in the full joined table.
+        range_bounds_valid: False when a non-range-preserving aggregate
+            (``sum``/``count``) makes the stored column min/max invalid as
+            Hoeffding bounds — intervals then use the observed sample range
+            and are best-effort rather than certified.
+    """
+
+    correlation: float
+    estimator: str
+    sample: JoinedSample
+    sample_size: int
+    fisher_se: float
+    hoeffding: ConfidenceInterval
+    hfd: ConfidenceInterval
+    key_overlap: int
+    containment_est: float
+    join_size_est: float
+    range_bounds_valid: bool
+
+
+@dataclass(frozen=True)
+class StatisticsResult:
+    """Sample statistics beyond correlation (the Section 3.3 claim).
+
+    All values are plug-in estimates computed from the uniform joined
+    sample the sketches reconstruct; NaN when the sample is too small.
+
+    Attributes:
+        sample_size: rows in the NaN-filtered sketch join.
+        mutual_information: plug-in MI in nats (captures *any* dependence,
+            including non-monotone ones Pearson misses).
+        entropy_x, entropy_y: plug-in marginal entropies in nats.
+        distance_correlation: sample distance correlation (Székely et al.).
+        pearson: Pearson's r on the same sample, for comparison.
+    """
+
+    sample_size: int
+    mutual_information: float
+    entropy_x: float
+    entropy_y: float
+    distance_correlation: float
+    pearson: float
+
+
+def estimate_statistics(
+    left: CorrelationSketch,
+    right: CorrelationSketch,
+    *,
+    bins: int | None = None,
+) -> StatisticsResult:
+    """Estimate information-theoretic statistics from a sketch join.
+
+    Theorem 1 makes the sketch join a uniform random sample of the joined
+    table, so any statistic with a consistent sample estimator applies —
+    the paper names entropy and mutual information explicitly. This is
+    the companion to :func:`estimate` for non-correlation statistics.
+
+    Args:
+        left, right: the two column-pair sketches.
+        bins: histogram bin count for the entropy / MI plug-in estimators
+            (Freedman-Diaconis per column when None). Fix it explicitly
+            when comparing entropies across columns — plug-in entropy is
+            only comparable at a common bin count.
+    """
+    from repro.core.statistics import (
+        distance_correlation,
+        sample_entropy,
+        sample_mutual_information,
+    )
+    from repro.correlation.pearson import pearson as pearson_fn
+
+    sample = join_sketches(left, right).drop_nan()
+    return StatisticsResult(
+        sample_size=sample.size,
+        mutual_information=sample_mutual_information(sample.x, sample.y, bins=bins),
+        entropy_x=sample_entropy(sample.x, bins=bins),
+        entropy_y=sample_entropy(sample.y, bins=bins),
+        distance_correlation=distance_correlation(sample.x, sample.y),
+        pearson=pearson_fn(sample.x, sample.y),
+    )
+
+
+def _sample_range(sample: JoinedSample) -> tuple[float, float]:
+    """Observed combined min/max of the joined sample values."""
+    if sample.size == 0:
+        return (math.nan, math.nan)
+    lo = min(float(sample.x.min()), float(sample.y.min()))
+    hi = max(float(sample.x.max()), float(sample.y.max()))
+    return (lo, hi)
+
+
+def estimate(
+    left: CorrelationSketch,
+    right: CorrelationSketch,
+    estimator: str = "pearson",
+    alpha: float = 0.05,
+) -> EstimateResult:
+    """Estimate the after-join correlation between two sketched columns.
+
+    Args:
+        left: sketch of the query column pair ``⟨K_X, X⟩``.
+        right: sketch of a candidate column pair ``⟨K_Y, Y⟩``.
+        estimator: one of :data:`repro.correlation.ESTIMATORS`.
+        alpha: miscoverage for the Hoeffding intervals.
+
+    Raises:
+        ValueError: if the sketches use different hashing schemes or the
+            estimator name is unknown.
+    """
+    fn = get_estimator(estimator)
+    raw = join_sketches(left, right)
+    sample = raw.drop_nan()
+
+    r = fn(sample.x, sample.y)
+    n = sample.size
+
+    range_ok = (
+        left.aggregate in RANGE_PRESERVING_AGGREGATES
+        and right.aggregate in RANGE_PRESERVING_AGGREGATES
+    )
+    if range_ok:
+        c_low, c_high = sample.combined_range()
+    else:
+        c_low, c_high = _sample_range(sample)
+
+    hoeff = hoeffding_interval(sample.x, sample.y, c_low, c_high, alpha)
+    hfd = hfd_interval(sample.x, sample.y, c_low, c_high, alpha)
+
+    overlap = raw.size  # overlap counts keys even when values are missing
+    d_left = left.distinct_keys()
+    containment = 0.0
+    join_size = 0.0
+    if overlap > 0:
+        combined_k = min(len(left), len(right))
+        if left.saw_all_keys and right.saw_all_keys:
+            inter = float(overlap)
+        else:
+            # Eq. 1 applied to the sketch pair: (K∩ / k) * D̂_union.
+            left_hashes = left.key_hashes()
+            right_hashes = right.key_hashes()
+            ordered = sorted(
+                left_hashes | right_hashes, key=left.hasher.unit_hash_of_key_hash
+            )
+            ordered = ordered[:combined_k]
+            kth = left.hasher.unit_hash_of_key_hash(ordered[-1])
+            k_inter = sum(1 for kh in ordered if kh in left_hashes and kh in right_hashes)
+            d_union = unbiased_dv_estimate(len(ordered), kth)
+            inter = (k_inter / len(ordered)) * d_union
+        join_size = inter
+        if d_left > 0:
+            containment = max(0.0, min(1.0, inter / d_left))
+
+    return EstimateResult(
+        correlation=r,
+        estimator=estimator,
+        sample=sample,
+        sample_size=n,
+        fisher_se=clamped_fisher_se(n),
+        hoeffding=hoeff,
+        hfd=hfd,
+        key_overlap=overlap,
+        containment_est=containment,
+        join_size_est=join_size,
+        range_bounds_valid=range_ok,
+    )

@@ -1,0 +1,232 @@
+"""The Correlation Sketch (Section 3.1 of the paper).
+
+A :class:`CorrelationSketch` summarizes a column pair ``⟨K_X, X⟩`` —
+categorical join-key column plus numeric column — as the set of tuples
+``⟨h(k), x_k⟩`` for the ``n`` keys with minimum ``h_u(h(k))``, where
+``x_k`` is the (streaming-)aggregated numeric value for key ``k``.
+
+Two sketches built with the same hashing scheme can be *joined* on their
+stored key hashes; by Theorem 1 the resulting paired values form a uniform
+random sample of the values in the full joined table, so any sample
+statistic (correlation, mutual information, …) can be estimated from it.
+
+The sketch also retains everything a plain KMV synopsis holds, so
+cardinality / Jaccard / containment / join-size estimation come for free
+(Section 3.3) — see the ``to_kmv``/estimation helpers.
+
+Beyond the sketch itself we track two scalars per column that cost nothing
+extra during the single construction pass and that Section 4.3's Hoeffding
+confidence intervals require: the global minimum and maximum of the numeric
+column (``C_low``/``C_high`` bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.aggregators import Aggregator, make_aggregator
+from repro.hashing import KeyHasher, default_hasher
+from repro.kmv.bottomk import BottomK
+from repro.kmv.estimators import basic_dv_estimate, unbiased_dv_estimate
+
+
+class CorrelationSketch:
+    """Bottom-``n`` sketch of a ``⟨key, value⟩`` column pair.
+
+    Args:
+        n: sketch size (number of minimum-hash tuples retained). The
+            paper's experiments use 256 (accuracy study) and 1024 (query
+            evaluation).
+        aggregate: name of the streaming aggregate function applied to
+            values of repeated keys (default ``"mean"``, as in Figures 1-2
+            of the paper). See :mod:`repro.core.aggregators`.
+        hasher: hashing scheme shared across the collection.
+        name: optional identifier (e.g. ``"taxi_trips.csv:pickups"``) used
+            in query results.
+
+    The sketch is built in a single pass with :meth:`update` /
+    :meth:`update_all`; it never buffers the input.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        aggregate: str = "mean",
+        hasher: KeyHasher | None = None,
+        name: str | None = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"sketch size n must be positive, got {n}")
+        self.n = n
+        self.aggregate = aggregate
+        # Validate the aggregate name eagerly so misconfiguration fails at
+        # sketch creation, not at first update.
+        make_aggregator(aggregate)
+        self.hasher = hasher if hasher is not None else default_hasher()
+        self.name = name
+        self._bottom = BottomK(n)
+        self._overflowed = False
+        self.value_min = math.inf
+        self.value_max = -math.inf
+        self.rows_seen = 0
+
+    # -- construction ------------------------------------------------------
+
+    def update(self, key: object, value: float) -> None:
+        """Offer one ``(key, value)`` row to the sketch.
+
+        ``value`` may be NaN (missing cell); the key still counts toward
+        joinability but contributes no numeric value (except under the
+        ``count`` aggregate, which counts occurrences).
+        """
+        self.rows_seen += 1
+        value = float(value)
+        if value == value:  # not NaN: maintain global range for CI bounds
+            if value < self.value_min:
+                self.value_min = value
+            if value > self.value_max:
+                self.value_max = value
+
+        pair = self.hasher.hash(key)
+        if pair.key_hash in self._bottom:
+            agg: Aggregator = self._bottom.get(pair.key_hash)
+            agg.observe(value)
+            return
+
+        was_full = len(self._bottom) >= self.n
+        agg = make_aggregator(self.aggregate)
+        agg.observe(value)
+        admitted = self._bottom.offer(pair.unit_hash, pair.key_hash, agg)
+        if not admitted or was_full:
+            self._overflowed = True
+
+    def update_all(self, rows: Iterable[tuple[object, float]]) -> None:
+        """Offer every ``(key, value)`` pair in ``rows``."""
+        for key, value in rows:
+            self.update(key, value)
+
+    @classmethod
+    def from_columns(
+        cls,
+        keys: Sequence[object],
+        values: Sequence[float],
+        n: int,
+        aggregate: str = "mean",
+        hasher: KeyHasher | None = None,
+        name: str | None = None,
+    ) -> "CorrelationSketch":
+        """Build a sketch from parallel key/value sequences.
+
+        Raises:
+            ValueError: if the sequences have different lengths.
+        """
+        if len(keys) != len(values):
+            raise ValueError(
+                f"key column has {len(keys)} rows but value column has "
+                f"{len(values)}"
+            )
+        sketch = cls(n, aggregate=aggregate, hasher=hasher, name=name)
+        sketch.update_all(zip(keys, values))
+        return sketch
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of retained tuples (≤ n)."""
+        return len(self._bottom)
+
+    @property
+    def saw_all_keys(self) -> bool:
+        """True when every distinct key offered is still retained."""
+        return not self._overflowed
+
+    @property
+    def value_range(self) -> float:
+        """``C_high - C_low`` for this column alone (0 when empty)."""
+        if self.value_min > self.value_max:
+            return 0.0
+        return self.value_max - self.value_min
+
+    def key_hashes(self) -> set[int]:
+        """Retained tuple identifiers ``h(k)``."""
+        return set(self._bottom.keys())
+
+    def items(self) -> Iterator[tuple[int, float, float]]:
+        """Yield ``(key_hash, unit_hash, aggregated_value)`` ascending by rank."""
+        for rank, key_hash, agg in self._bottom.sorted_items():
+            yield key_hash, rank, agg.value()
+
+    def entries(self) -> dict[int, float]:
+        """Return ``{key_hash: aggregated_value}`` for all retained keys."""
+        return {kh: agg.value() for _r, kh, agg in self._bottom.items()}
+
+    def kth_unit_value(self) -> float:
+        """``U(k)`` — the largest retained unit-interval hash value."""
+        return self._bottom.kth_rank()
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return (
+            f"CorrelationSketch(n={self.n}, size={len(self)}, "
+            f"aggregate={self.aggregate!r}{label})"
+        )
+
+    # -- KMV statistics (Section 3.3: everything KMV supports still works) --
+
+    def distinct_keys(self, *, estimator: str = "unbiased") -> float:
+        """Estimate the number of distinct keys in the key column."""
+        size = len(self._bottom)
+        if size == 0:
+            return 0.0
+        saw_all = self.saw_all_keys
+        ukth = self._bottom.kth_rank() if not saw_all else 1.0
+        if estimator == "unbiased":
+            return unbiased_dv_estimate(size, ukth, saw_all=saw_all)
+        if estimator == "basic":
+            return basic_dv_estimate(size, ukth, saw_all=saw_all)
+        raise ValueError(f"unknown estimator {estimator!r}")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dict (JSON-compatible) for catalog storage.
+
+        Aggregator *state* is not preserved — a deserialized sketch is
+        frozen for estimation purposes, which is exactly how an index uses
+        it. The aggregated values are materialized.
+        """
+        return {
+            "n": self.n,
+            "aggregate": self.aggregate,
+            "name": self.name,
+            "scheme": list(self.hasher.scheme_id),
+            "rows_seen": self.rows_seen,
+            "overflowed": self._overflowed,
+            "value_min": None if math.isinf(self.value_min) else self.value_min,
+            "value_max": None if math.isinf(self.value_max) else self.value_max,
+            "entries": [[kh, value] for kh, _u, value in self.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CorrelationSketch":
+        """Reconstruct a (frozen) sketch serialized by :meth:`to_dict`."""
+        bits, seed = payload["scheme"]
+        sketch = cls(
+            payload["n"],
+            aggregate=payload["aggregate"],
+            hasher=KeyHasher(bits=bits, seed=seed),
+            name=payload.get("name"),
+        )
+        sketch.rows_seen = payload.get("rows_seen", 0)
+        sketch._overflowed = payload.get("overflowed", False)
+        if payload.get("value_min") is not None:
+            sketch.value_min = payload["value_min"]
+        if payload.get("value_max") is not None:
+            sketch.value_max = payload["value_max"]
+        for kh, value in payload["entries"]:
+            agg = make_aggregator("last")
+            agg.observe(value)
+            rank = sketch.hasher.unit_hash_of_key_hash(kh)
+            sketch._bottom.offer(rank, kh, agg)
+        return sketch

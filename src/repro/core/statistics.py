@@ -1,0 +1,114 @@
+"""Other sample statistics estimable from a sketch join (Section 3.3).
+
+Theorem 1 guarantees the sketch join is a uniform random sample of the
+joined table, so *any* statistic with a consistent sample estimator can be
+plugged in — the paper names entropy and mutual information explicitly.
+This module provides histogram-based plug-in estimators for those two,
+plus distance correlation (Székely et al. 2007), to demonstrate the
+flexibility claim. All operate on the aligned arrays of a
+:class:`~repro.core.joined_sample.JoinedSample`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def _freedman_diaconis_bins(values: np.ndarray, max_bins: int = 64) -> int:
+    """Histogram bin count via the Freedman–Diaconis rule, clamped."""
+    n = values.shape[0]
+    if n < 2:
+        return 1
+    q75, q25 = np.percentile(values, [75, 25])
+    iqr = q75 - q25
+    if iqr <= 0:
+        return min(max_bins, max(1, int(math.sqrt(n))))
+    width = 2.0 * iqr / (n ** (1.0 / 3.0))
+    span = float(values.max() - values.min())
+    if width <= 0 or span <= 0:
+        return 1
+    return max(1, min(max_bins, int(math.ceil(span / width))))
+
+
+def sample_entropy(values: np.ndarray, bins: int | None = None) -> float:
+    """Plug-in (maximum-likelihood) entropy estimate in nats.
+
+    The continuous column is discretized into ``bins`` equal-width bins
+    (Freedman–Diaconis by default) and the empirical distribution's Shannon
+    entropy is returned. NaN for empty input.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if values.shape[0] == 0:
+        return math.nan
+    if bins is None:
+        bins = _freedman_diaconis_bins(values)
+    counts, _edges = np.histogram(values, bins=bins)
+    probs = counts[counts > 0] / values.shape[0]
+    return float(-(probs * np.log(probs)).sum())
+
+
+def sample_mutual_information(
+    x: np.ndarray, y: np.ndarray, bins: int | None = None
+) -> float:
+    """Plug-in mutual information estimate (nats) from paired samples.
+
+    Both columns are discretized on a shared 2-D equal-width grid; the MI
+    of the empirical joint distribution is returned. Non-negative by
+    construction; NaN for fewer than 2 pairs.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    mask = ~(np.isnan(x) | np.isnan(y))
+    x, y = x[mask], y[mask]
+    n = x.shape[0]
+    if n < 2:
+        return math.nan
+    if bins is None:
+        bins = max(_freedman_diaconis_bins(x), _freedman_diaconis_bins(y))
+    joint, _xe, _ye = np.histogram2d(x, y, bins=bins)
+    joint = joint / n
+    px = joint.sum(axis=1)
+    py = joint.sum(axis=0)
+    mi = 0.0
+    nz = np.nonzero(joint)
+    for i, j in zip(*nz):
+        p = joint[i, j]
+        mi += p * math.log(p / (px[i] * py[j]))
+    return max(0.0, float(mi))
+
+
+def distance_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Sample distance correlation (Székely, Rizzo & Bakirov 2007).
+
+    Zero iff (in the population) the variables are independent; captures
+    arbitrary — not just monotone — dependence. O(n²) memory; intended for
+    sketch-sized samples.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    mask = ~(np.isnan(x) | np.isnan(y))
+    x, y = x[mask], y[mask]
+    n = x.shape[0]
+    if n < 2:
+        return math.nan
+
+    def _centered(values: np.ndarray) -> np.ndarray:
+        d = np.abs(values[:, None] - values[None, :])
+        return d - d.mean(axis=0, keepdims=True) - d.mean(axis=1, keepdims=True) + d.mean()
+
+    ax = _centered(x)
+    by = _centered(y)
+    dcov2 = float((ax * by).mean())
+    dvar_x = float((ax * ax).mean())
+    dvar_y = float((by * by).mean())
+    denom = math.sqrt(dvar_x * dvar_y)
+    if denom <= 0:
+        return math.nan
+    return math.sqrt(max(0.0, dcov2)) / math.sqrt(denom)

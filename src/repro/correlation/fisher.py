@@ -1,0 +1,101 @@
+"""Fisher's z transformation: standard error and confidence intervals.
+
+Section 4.2 uses the standard error of Fisher's z-transformed correlation,
+``SE_z = 1 / sqrt(n − 3)``, as the cheapest available dispersion measure:
+it only needs the sketch-join sample size ``n``. It assumes bivariate
+normality, but is asymptotically of the same ``1/√n`` order as the
+distribution-free Hoeffding analysis, so it "works increasingly well as
+the sample size increases for any data distribution".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def fisher_z(r: float) -> float:
+    """Fisher's variance-stabilizing transform ``z = atanh(r)``.
+
+    Correlations at ±1 map to ±inf (the transform's true limit).
+    """
+    if math.isnan(r):
+        return math.nan
+    if r >= 1.0:
+        return math.inf
+    if r <= -1.0:
+        return -math.inf
+    return math.atanh(r)
+
+
+def inverse_fisher_z(z: float) -> float:
+    """Inverse transform ``r = tanh(z)``."""
+    if math.isnan(z):
+        return math.nan
+    return math.tanh(z)
+
+
+def fisher_se(n: int) -> float:
+    """Standard error of z: ``1 / sqrt(n − 3)`` (inf when n ≤ 3)."""
+    if n <= 3:
+        return math.inf
+    return 1.0 / math.sqrt(n - 3)
+
+
+def clamped_fisher_se(n: int) -> float:
+    """The paper's ranking variant: ``1 / sqrt(max(4, n) − 3)``.
+
+    Section 4.4's ``sez`` factor clamps ``n`` at 4 so tiny samples receive
+    the maximum (finite) penalty of 1 rather than an infinite one.
+    """
+    return 1.0 / math.sqrt(max(4, n) - 3)
+
+
+@dataclass(frozen=True, slots=True)
+class FisherInterval:
+    """A confidence interval for ρ from Fisher's z.
+
+    Attributes:
+        low, high: interval endpoints in correlation space.
+        z_low, z_high: endpoints in z space.
+    """
+
+    low: float
+    high: float
+    z_low: float
+    z_high: float
+
+    @property
+    def length(self) -> float:
+        return self.high - self.low
+
+
+#: Two-sided standard-normal quantiles for common confidence levels.
+_Z_QUANTILES = {0.10: 1.6449, 0.05: 1.9600, 0.01: 2.5758}
+
+
+def _z_quantile(alpha: float) -> float:
+    if alpha in _Z_QUANTILES:
+        return _Z_QUANTILES[alpha]
+    from scipy.special import ndtri
+
+    return float(ndtri(1.0 - alpha / 2.0))
+
+
+def fisher_interval(r: float, n: int, alpha: float = 0.05) -> FisherInterval:
+    """Two-sided ``1 − alpha`` CI for ρ via Fisher's z.
+
+    Returns the degenerate interval ``[-1, 1]`` when ``n ≤ 3`` (the SE is
+    infinite) or when ``r`` is NaN.
+    """
+    if math.isnan(r) or n <= 3:
+        return FisherInterval(-1.0, 1.0, -math.inf, math.inf)
+    z = fisher_z(r)
+    half = _z_quantile(alpha) * fisher_se(n)
+    z_low, z_high = z - half, z + half
+    return FisherInterval(
+        low=inverse_fisher_z(z_low),
+        high=inverse_fisher_z(z_high),
+        z_low=z_low,
+        z_high=z_high,
+    )

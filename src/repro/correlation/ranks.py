@@ -1,0 +1,58 @@
+"""Rank transforms shared by Spearman and RIN correlations.
+
+The paper's Section 5.3 defines Spearman's coefficient as "transform each
+column with the rank function ``r(x)``, then compute Pearson over the
+transformed values", and the RIN coefficient as the same recipe with the
+*rankit* function ``h(x) = Φ⁻¹((r(x) − 1/2) / n)``. Both therefore share
+one primitive: average-tie ranking, implemented here without scipy so the
+exact tie policy is pinned down and property-testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def average_ranks(values: np.ndarray) -> np.ndarray:
+    """Return 1-based ranks with ties sharing their average rank.
+
+    This matches the "fractional" method of ``scipy.stats.rankdata``:
+    ``average_ranks([10, 20, 20, 30]) == [1.0, 2.5, 2.5, 4.0]``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+
+    order = np.argsort(values, kind="mergesort")
+    sorted_vals = values[order]
+
+    ranks = np.empty(n, dtype=np.float64)
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        # Positions i..j (0-based) hold tied values; their 1-based ranks
+        # are i+1..j+1 and each receives the average (i + j) / 2 + 1.
+        avg = (i + j) / 2.0 + 1.0
+        ranks[order[i : j + 1]] = avg
+        i = j + 1
+    return ranks
+
+
+def rankit(values: np.ndarray) -> np.ndarray:
+    """Apply the rankit Rank-based Inverse Normal transform (Bliss 1967).
+
+    ``h(x) = Φ⁻¹((r(x) − 1/2) / n)`` where ``r`` is the average-tie rank
+    and ``Φ⁻¹`` the standard normal quantile function. The ``−1/2`` offset
+    keeps arguments strictly inside ``(0, 1)``.
+    """
+    from scipy.special import ndtri
+
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    ranks = average_ranks(values)
+    return ndtri((ranks - 0.5) / n)

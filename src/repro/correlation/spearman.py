@@ -1,0 +1,28 @@
+"""Spearman's rank correlation coefficient (Section 5.3, estimator 2).
+
+Defined as Pearson's correlation applied to the average-tie ranks of each
+column. Captures monotone (not just linear) relationships, which is why
+the paper evaluates it alongside Pearson on heavy-tailed open data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.correlation.pearson import pearson
+from repro.correlation.ranks import average_ranks
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Return Spearman's rank correlation between ``x`` and ``y``.
+
+    Returns NaN for samples of fewer than 2 pairs or when either column is
+    constant (all ranks tied).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.shape[0] < 2:
+        return float("nan")
+    return pearson(average_ranks(x), average_ranks(y))

@@ -1,0 +1,55 @@
+"""Synthetic datasets and experiment workloads (Section 5.1).
+
+* :mod:`repro.data.sbn` — the Synthetic Bivariate Normal table pairs.
+* :mod:`repro.data.opendata` — NYC-Open-Data- and World-Bank-Finances-
+  shaped collections (the offline substitution for the paper's snapshots).
+* :mod:`repro.data.workloads` — column-pair extraction, combination
+  sampling, corpus/query splits.
+* :mod:`repro.data.keygen` — join-key universes and multiplicity models.
+"""
+
+from repro.data.keygen import (
+    date_keys,
+    entity_keys,
+    random_string_keys,
+    subsample_keys,
+    zipcode_keys,
+    zipf_multiplicities,
+)
+from repro.data.opendata import (
+    KeyDomain,
+    OpenDataCollection,
+    make_collection,
+    make_nyc_like_collection,
+    make_wbf_like_collection,
+)
+from repro.data.sbn import SBNPair, generate_sbn_collection, generate_sbn_pair
+from repro.data.workloads import (
+    PairRef,
+    QueryWorkload,
+    collection_column_pairs,
+    sample_combinations,
+    split_query_workload,
+)
+
+__all__ = [
+    "KeyDomain",
+    "OpenDataCollection",
+    "PairRef",
+    "QueryWorkload",
+    "SBNPair",
+    "collection_column_pairs",
+    "date_keys",
+    "entity_keys",
+    "generate_sbn_collection",
+    "generate_sbn_pair",
+    "make_collection",
+    "make_nyc_like_collection",
+    "make_wbf_like_collection",
+    "random_string_keys",
+    "sample_combinations",
+    "split_query_workload",
+    "subsample_keys",
+    "zipcode_keys",
+    "zipf_multiplicities",
+]

@@ -1,0 +1,114 @@
+"""Join-key universe generators for synthetic datasets.
+
+Open-data join keys come in a few recognizable shapes — dates, zip codes,
+borough/agency names, opaque identifiers — and their *distributions*
+matter for the experiments: repeated keys exercise aggregation, skewed
+multiplicities exercise the sketch's eviction behaviour, and partially
+overlapping universes control join sizes. All generators take an explicit
+``numpy.random.Generator`` so every dataset in the evaluation is exactly
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def random_string_keys(count: int, rng: np.random.Generator, length: int = 12) -> list[str]:
+    """``count`` distinct random identifier strings (the SBN key shape)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    keys: set[str] = set()
+    chars = np.array(list(_ALPHABET))
+    while len(keys) < count:
+        needed = count - len(keys)
+        draws = rng.integers(0, len(chars), size=(needed, length))
+        for row in draws:
+            keys.add("".join(chars[row]))
+    return sorted(keys)[:count]
+
+
+def date_keys(count: int, start_year: int = 2015) -> list[str]:
+    """``count`` consecutive ISO dates starting Jan 1 of ``start_year``.
+
+    Dates are the most common join key in the paper's motivating examples
+    (daily fatalities, hourly pickups). A simple proleptic calendar with
+    fixed month lengths is sufficient — keys only need to be distinct and
+    shared across tables, not calendar-accurate.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    days_in_month = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+    out: list[str] = []
+    year, month, day = start_year, 1, 1
+    for _ in range(count):
+        out.append(f"{year:04d}-{month:02d}-{day:02d}")
+        day += 1
+        if day > days_in_month[month - 1]:
+            day = 1
+            month += 1
+            if month > 12:
+                month = 1
+                year += 1
+    return out
+
+
+def zipcode_keys(count: int, rng: np.random.Generator) -> list[str]:
+    """``count`` distinct NYC-flavoured 5-digit zip code strings."""
+    if count > 2000:
+        raise ValueError(f"at most 2000 zip keys available, requested {count}")
+    codes = rng.choice(np.arange(10000, 12000), size=count, replace=False)
+    return [f"{c:05d}" for c in sorted(codes)]
+
+
+def entity_keys(count: int, rng: np.random.Generator) -> list[str]:
+    """``count`` agency/organization-style names (WBF key shape)."""
+    prefixes = [
+        "dept", "office", "bureau", "agency", "board", "council",
+        "commission", "authority", "fund", "program",
+    ]
+    suffixes = [
+        "finance", "health", "transport", "education", "parks", "housing",
+        "water", "energy", "sanitation", "planning", "safety", "records",
+    ]
+    combos = [f"{p}-{s}" for p in prefixes for s in suffixes]
+    extra = 0
+    while len(combos) < count:
+        extra += 1
+        combos.extend(f"{c}-{extra}" for c in combos[: count - len(combos)])
+    idx = rng.choice(len(combos), size=count, replace=False)
+    return [combos[i] for i in sorted(idx)]
+
+
+def zipf_multiplicities(
+    count: int, rng: np.random.Generator, *, exponent: float = 1.5, max_repeat: int = 50
+) -> np.ndarray:
+    """Per-key occurrence counts with a Zipf-like tail.
+
+    Real categorical columns repeat a few keys very often; a truncated
+    Zipf(``exponent``) reproduces that skew while keeping table sizes
+    bounded.
+    """
+    if exponent <= 1.0:
+        raise ValueError(f"zipf exponent must exceed 1, got {exponent}")
+    draws = rng.zipf(exponent, size=count)
+    return np.minimum(draws, max_repeat).astype(np.int64)
+
+
+def subsample_keys(
+    keys: list[str], fraction: float, rng: np.random.Generator
+) -> list[str]:
+    """Uniform random subset of ``keys`` with the given inclusion fraction.
+
+    Used to control join probability between two tables sharing a key
+    universe (the SBN generator's ``c`` parameter).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    n = int(round(len(keys) * fraction))
+    if n == 0:
+        return []
+    idx = rng.choice(len(keys), size=n, replace=False)
+    return [keys[i] for i in sorted(idx)]

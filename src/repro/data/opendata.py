@@ -1,0 +1,286 @@
+"""Synthetic open-data collections emulating NYC Open Data and WBF.
+
+The paper evaluates on snapshots of NYC Open Data (1,505 tables) and the
+World Bank Finances portal (64 tables). Those snapshots are not shippable,
+so this module generates collections with the *distributional shape* the
+experiments depend on (see DESIGN.md, substitutions):
+
+* a handful of shared key domains (dates, zip codes, entity names) so
+  tables are joinable in clusters, with partially overlapping key subsets
+  controlling join sizes;
+* a **latent-factor value model**: every key carries a vector of latent
+  factors ``z_k``; a numeric column loads on one factor with strength
+  ``loading`` plus independent noise, so two columns loading on the same
+  factor are correlated after a join (≈ loading₁·loading₂) while columns
+  on different factors are near-independent. This reproduces the paper's
+  "needle in a haystack": most pairs weakly correlated, a planted few
+  strongly correlated;
+* heavy-tailed value transforms (exponentiation → lognormal-like
+  monetary columns for WBF), skewed key multiplicities (repeated keys),
+  and missing-cell injection.
+
+Ground truth is *not* taken from the generator — the evaluation harness
+always computes actual after-join correlations with the full-data join,
+exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.keygen import (
+    date_keys,
+    entity_keys,
+    random_string_keys,
+    subsample_keys,
+    zipcode_keys,
+    zipf_multiplicities,
+)
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.table import Table
+
+
+@dataclass
+class KeyDomain:
+    """A shared key universe plus its latent factor matrix.
+
+    Attributes:
+        name: domain label (``"dates"``, ``"zips"``, ...).
+        keys: the full key universe.
+        factors: ``(len(keys), n_factors)`` latent values, standard normal.
+    """
+
+    name: str
+    keys: list[str]
+    factors: np.ndarray
+
+    @property
+    def n_factors(self) -> int:
+        return int(self.factors.shape[1])
+
+
+@dataclass
+class OpenDataCollection:
+    """A generated table collection plus generation metadata.
+
+    Attributes:
+        name: collection label (``"nyc-like"`` / ``"wbf-like"``).
+        tables: the generated tables.
+        domains: the key domains used (exposed for diagnostics/tests).
+    """
+
+    name: str
+    tables: list[Table]
+    domains: list[KeyDomain] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+
+def _make_domain(
+    name: str, kind: str, size: int, n_factors: int, rng: np.random.Generator
+) -> KeyDomain:
+    if kind == "dates":
+        keys = date_keys(size)
+    elif kind == "zips":
+        keys = zipcode_keys(size, rng)
+    elif kind == "entities":
+        keys = entity_keys(size, rng)
+    else:
+        keys = random_string_keys(size, rng)
+    factors = rng.standard_normal((len(keys), n_factors))
+    return KeyDomain(name=name, keys=keys, factors=factors)
+
+
+def _column_values(
+    domain: KeyDomain,
+    key_indices: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    loading: float,
+    factor: int,
+    heavy_tail: bool,
+    missing_rate: float,
+) -> np.ndarray:
+    """Generate one numeric column under the latent-factor model."""
+    latent = domain.factors[key_indices, factor]
+    noise = rng.standard_normal(len(key_indices))
+    values = loading * latent + np.sqrt(max(0.0, 1.0 - loading**2)) * noise
+    if heavy_tail:
+        # Lognormal-style monetary values: heavy right tail, all positive.
+        values = np.exp(1.5 * values) * 1e4
+    if missing_rate > 0:
+        mask = rng.uniform(size=len(values)) < missing_rate
+        values = values.copy()
+        values[mask] = np.nan
+    return values
+
+
+def _make_table(
+    table_id: int,
+    domain: KeyDomain,
+    rng: np.random.Generator,
+    *,
+    prefix: str,
+    key_fraction_range: tuple[float, float],
+    numeric_columns_range: tuple[int, int],
+    loading_choices: np.ndarray,
+    heavy_tail_prob: float,
+    missing_rate_max: float,
+    repeat_keys_prob: float,
+) -> Table:
+    lo, hi = key_fraction_range
+    fraction = float(rng.uniform(lo, hi))
+    keys = subsample_keys(domain.keys, fraction, rng)
+    if len(keys) < 4:
+        keys = domain.keys[:4]
+    key_to_idx = {k: i for i, k in enumerate(domain.keys)}
+
+    # Optionally repeat keys with skewed multiplicities (exercises the
+    # aggregate-on-insert path of sketch construction).
+    if rng.uniform() < repeat_keys_prob:
+        mult = zipf_multiplicities(len(keys), rng)
+        expanded: list[str] = []
+        for k, m in zip(keys, mult):
+            expanded.extend([k] * int(m))
+        row_keys = expanded
+    else:
+        row_keys = list(keys)
+    rng.shuffle(row_keys)
+    key_indices = np.array([key_to_idx[k] for k in row_keys], dtype=np.int64)
+
+    n_cols = int(rng.integers(numeric_columns_range[0], numeric_columns_range[1] + 1))
+    columns: list[NumericColumn | CategoricalColumn] = [
+        CategoricalColumn(f"{domain.name}_key", row_keys)
+    ]
+    for c in range(n_cols):
+        loading = float(rng.choice(loading_choices))
+        factor = int(rng.integers(0, domain.n_factors))
+        heavy = bool(rng.uniform() < heavy_tail_prob)
+        missing = float(rng.uniform(0.0, missing_rate_max))
+        values = _column_values(
+            domain,
+            key_indices,
+            rng,
+            loading=loading,
+            factor=factor,
+            heavy_tail=heavy,
+            missing_rate=missing,
+        )
+        columns.append(NumericColumn(f"num_{c}", values))
+    return Table(f"{prefix}_{table_id:04d}", columns)
+
+
+def make_collection(
+    *,
+    name: str,
+    n_tables: int,
+    seed: int,
+    domain_specs: list[tuple[str, str, int, int]],
+    key_fraction_range: tuple[float, float] = (0.2, 1.0),
+    numeric_columns_range: tuple[int, int] = (1, 3),
+    loading_choices: tuple[float, ...] = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.98),
+    heavy_tail_prob: float = 0.15,
+    missing_rate_max: float = 0.1,
+    repeat_keys_prob: float = 0.3,
+) -> OpenDataCollection:
+    """Generate a synthetic open-data collection.
+
+    Args:
+        name: collection label.
+        n_tables: number of tables to generate.
+        seed: master seed; the collection is fully reproducible from it.
+        domain_specs: ``(name, kind, universe_size, n_factors)`` per key
+            domain; tables are assigned to domains round-robin-with-jitter
+            so every domain hosts a joinable cluster.
+        key_fraction_range: per-table range of the key-subset fraction.
+        numeric_columns_range: inclusive range of numeric columns per table.
+        loading_choices: factor loadings sampled per column — the planted
+            correlation spectrum (many weak, few strong).
+        heavy_tail_prob: probability a column gets the lognormal transform.
+        missing_rate_max: per-column missing-cell rate upper bound.
+        repeat_keys_prob: probability a table repeats keys (Zipf counts).
+    """
+    if n_tables <= 0:
+        raise ValueError(f"n_tables must be positive, got {n_tables}")
+    rng = np.random.default_rng(seed)
+    domains = [
+        _make_domain(dname, kind, size, nf, rng)
+        for dname, kind, size, nf in domain_specs
+    ]
+    tables = []
+    for i in range(n_tables):
+        domain = domains[int(rng.integers(0, len(domains)))]
+        tables.append(
+            _make_table(
+                i,
+                domain,
+                rng,
+                prefix=name.replace("-", "_"),
+                key_fraction_range=key_fraction_range,
+                numeric_columns_range=numeric_columns_range,
+                loading_choices=np.asarray(loading_choices),
+                heavy_tail_prob=heavy_tail_prob,
+                missing_rate_max=missing_rate_max,
+                repeat_keys_prob=repeat_keys_prob,
+            )
+        )
+    return OpenDataCollection(name=name, tables=tables, domains=domains)
+
+
+def make_nyc_like_collection(
+    n_tables: int = 120,
+    seed: int = 42,
+    key_universe: int = 600,
+    key_fraction_range: tuple[float, float] = (0.2, 1.0),
+) -> OpenDataCollection:
+    """NYC-Open-Data-shaped collection: many tables, date/zip keys.
+
+    The real snapshot has 1,505 tables; the default here is laptop-sized
+    but keeps the shape (several joinable clusters, mostly-weak planted
+    correlations, repeated keys, some missing data). Scale ``n_tables`` up
+    for larger runs; widen ``key_fraction_range`` downward (e.g. ``(0.02,
+    0.8)``) to produce many small-join pairs, the regime where Figure 3's
+    false positives live.
+    """
+    return make_collection(
+        name="nyc-like",
+        n_tables=n_tables,
+        seed=seed,
+        domain_specs=[
+            ("dates", "dates", key_universe, 6),
+            ("zips", "zips", min(2000, key_universe), 6),
+            ("entities", "entities", max(60, key_universe // 4), 4),
+        ],
+        key_fraction_range=key_fraction_range,
+        heavy_tail_prob=0.15,
+        missing_rate_max=0.08,
+    )
+
+
+def make_wbf_like_collection(
+    n_tables: int = 64,
+    seed: int = 7,
+    key_universe: int = 400,
+    key_fraction_range: tuple[float, float] = (0.2, 1.0),
+) -> OpenDataCollection:
+    """World-Bank-Finances-shaped collection: fewer tables, monetary tails.
+
+    Matches the paper's description: 64 tables, missing data in several
+    columns, columns with large monetary values (heavy right tails).
+    """
+    return make_collection(
+        name="wbf-like",
+        n_tables=n_tables,
+        seed=seed,
+        domain_specs=[
+            ("entities", "entities", key_universe, 5),
+            ("dates", "dates", key_universe, 5),
+        ],
+        key_fraction_range=key_fraction_range,
+        heavy_tail_prob=0.45,
+        missing_rate_max=0.2,
+        repeat_keys_prob=0.4,
+    )

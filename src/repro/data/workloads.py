@@ -1,0 +1,139 @@
+"""Experiment workload construction (Section 5.1's pairing protocol).
+
+The paper extracts all ``⟨K, X⟩`` column pairs from each collection and
+evaluates on 2-combinations of those pairs (≈10M combinations for NYC).
+At laptop scale we sample combinations instead of enumerating all of
+them; sampling is seeded and joinability-aware (a uniform sample of all
+combinations would be dominated by non-joinable pairs that contribute
+nothing but zeros).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.opendata import OpenDataCollection
+from repro.table.table import ColumnPair, Table
+
+
+@dataclass(frozen=True)
+class PairRef:
+    """A column pair together with its owning table object."""
+
+    table: Table
+    pair: ColumnPair
+
+    @property
+    def pair_id(self) -> str:
+        return self.pair.pair_id
+
+
+def collection_column_pairs(collection: OpenDataCollection) -> list[PairRef]:
+    """All ``⟨categorical, numeric⟩`` column pairs in a collection."""
+    refs = []
+    for table in collection.tables:
+        for pair in table.column_pairs():
+            refs.append(PairRef(table, pair))
+    return refs
+
+
+def _key_set(ref: PairRef) -> frozenset[str]:
+    return frozenset(
+        k for k in ref.table.categorical(ref.pair.key).values if k is not None
+    )
+
+
+def sample_combinations(
+    refs: list[PairRef],
+    count: int,
+    seed: int = 0,
+    *,
+    min_key_overlap: int = 1,
+    max_attempts_factor: int = 50,
+) -> list[tuple[PairRef, PairRef]]:
+    """Sample distinct 2-combinations of column pairs with joinable keys.
+
+    Args:
+        refs: the column-pair pool.
+        count: combinations to return (fewer if the pool is exhausted).
+        seed: sampling seed.
+        min_key_overlap: required exact key overlap for a combination to
+            count (the paper's all-pairs enumeration implicitly includes
+            non-joinable pairs, but they produce empty joins and undefined
+            correlations; accuracy experiments filter them the same way).
+        max_attempts_factor: rejection-sampling budget multiplier.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if len(refs) < 2:
+        return []
+    rng = np.random.default_rng(seed)
+    key_sets = [_key_set(r) for r in refs]
+
+    seen: set[tuple[int, int]] = set()
+    out: list[tuple[PairRef, PairRef]] = []
+    attempts = 0
+    budget = count * max_attempts_factor
+    while len(out) < count and attempts < budget:
+        attempts += 1
+        i = int(rng.integers(0, len(refs)))
+        j = int(rng.integers(0, len(refs)))
+        if i == j:
+            continue
+        if i > j:
+            i, j = j, i
+        if (i, j) in seen:
+            continue
+        seen.add((i, j))
+        # Cheap joinability screen on exact key sets.
+        small, large = (
+            (key_sets[i], key_sets[j])
+            if len(key_sets[i]) <= len(key_sets[j])
+            else (key_sets[j], key_sets[i])
+        )
+        overlap = sum(1 for k in small if k in large)
+        if overlap < min_key_overlap:
+            continue
+        out.append((refs[i], refs[j]))
+    return out
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A corpus/query split for ranking experiments (Section 5.4-5.5).
+
+    Attributes:
+        corpus: column pairs to be indexed.
+        queries: column pairs used as queries against the corpus.
+    """
+
+    corpus: list[PairRef]
+    queries: list[PairRef]
+
+
+def split_query_workload(
+    refs: list[PairRef],
+    *,
+    query_fraction: float = 0.3,
+    max_queries: int | None = None,
+    seed: int = 0,
+) -> QueryWorkload:
+    """Randomly split column pairs into corpus and query sets.
+
+    Mirrors Section 5.5: "extracted all column pairs ... and randomly
+    split them into two distinct sets, which we denote as query set and
+    corpus set".
+    """
+    if not 0.0 < query_fraction < 1.0:
+        raise ValueError(f"query_fraction must be in (0, 1), got {query_fraction}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(refs))
+    n_query = max(1, int(round(len(refs) * query_fraction)))
+    if max_queries is not None:
+        n_query = min(n_query, max_queries)
+    query_idx = set(order[:n_query].tolist())
+    queries = [refs[i] for i in sorted(query_idx)]
+    corpus = [refs[i] for i in range(len(refs)) if i not in query_idx]
+    return QueryWorkload(corpus=corpus, queries=queries)

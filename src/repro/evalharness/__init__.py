@@ -1,0 +1,57 @@
+"""Experiment harness shared by the benchmark suite.
+
+One module per experiment family:
+
+* :mod:`repro.evalharness.accuracy` — estimate-vs-truth sweeps (Figure 3);
+* :mod:`repro.evalharness.rmse` — RMSE by sketch-intersection size
+  (Figure 4);
+* :mod:`repro.evalharness.ranking_eval` — MAP/nDCG ranking comparison
+  (Table 1, Figure 5);
+* :mod:`repro.evalharness.timing` — running-time percentiles (Table 2)
+  and query-latency distributions (Section 5.5).
+"""
+
+from repro.evalharness.accuracy import (
+    AccuracyRecord,
+    AccuracySummary,
+    evaluate_pair_refs,
+    evaluate_sbn_pairs,
+)
+from repro.evalharness.ranking_eval import (
+    QueryEvaluation,
+    RankingEvalReport,
+    build_catalog,
+    evaluate_query,
+    evaluate_ranking,
+    score_histogram,
+)
+from repro.evalharness.rmse import (
+    DEFAULT_BUCKETS,
+    RMSEBucket,
+    format_rmse_table,
+    overall_rmse,
+    rmse_by_sample_size,
+)
+from repro.evalharness.timing import LatencyReport, TimingSample, TimingTable, timed
+
+__all__ = [
+    "AccuracyRecord",
+    "AccuracySummary",
+    "DEFAULT_BUCKETS",
+    "LatencyReport",
+    "QueryEvaluation",
+    "RMSEBucket",
+    "RankingEvalReport",
+    "TimingSample",
+    "TimingTable",
+    "build_catalog",
+    "evaluate_pair_refs",
+    "evaluate_query",
+    "evaluate_ranking",
+    "evaluate_sbn_pairs",
+    "format_rmse_table",
+    "overall_rmse",
+    "rmse_by_sample_size",
+    "score_histogram",
+    "timed",
+]

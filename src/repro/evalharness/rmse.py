@@ -1,0 +1,98 @@
+"""RMSE-by-intersection-size aggregation (Figure 4).
+
+Figure 4 plots, per correlation estimator and per maximum sketch size, the
+RMSE of the estimates as a function of the sketch-intersection (sample)
+size. This module groups :class:`AccuracyRecord` streams into log-spaced
+sample-size buckets and reports per-bucket RMSE, reproducing the figure's
+series as printable rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.evalharness.accuracy import AccuracyRecord
+
+#: Default sample-size bucket edges (log-ish spacing like the figure's axis).
+DEFAULT_BUCKETS = (3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 1024)
+
+
+@dataclass(frozen=True)
+class RMSEBucket:
+    """RMSE of estimates whose sample size fell in [low, high)."""
+
+    low: int
+    high: int
+    count: int
+    rmse: float
+
+    @property
+    def label(self) -> str:
+        return f"[{self.low},{self.high})"
+
+
+def rmse_by_sample_size(
+    records: list[AccuracyRecord],
+    buckets: tuple[int, ...] = DEFAULT_BUCKETS,
+) -> list[RMSEBucket]:
+    """Group records into sample-size buckets and compute per-bucket RMSE.
+
+    Empty buckets are omitted (they carry no signal and would plot as
+    gaps, exactly as in the paper's figure).
+    """
+    edges = list(buckets) + [max(buckets[-1] + 1, max((r.sample_size for r in records), default=0) + 1)]
+    out: list[RMSEBucket] = []
+    for low, high in zip(edges, edges[1:]):
+        errs = [
+            r.error
+            for r in records
+            if low <= r.sample_size < high and r.is_valid()
+        ]
+        if not errs:
+            continue
+        rmse = math.sqrt(sum(e * e for e in errs) / len(errs))
+        out.append(RMSEBucket(low=low, high=high, count=len(errs), rmse=rmse))
+    return out
+
+
+def overall_rmse(records: list[AccuracyRecord]) -> float:
+    """RMSE over all valid records (NaN when empty)."""
+    errs = [r.error for r in records if r.is_valid()]
+    if not errs:
+        return math.nan
+    return math.sqrt(sum(e * e for e in errs) / len(errs))
+
+
+def format_rmse_table(
+    series: dict[str, list[RMSEBucket]], *, title: str = ""
+) -> str:
+    """Render named RMSE series as an aligned text table.
+
+    Rows are bucket labels, columns are series (estimators); the format
+    matches what the benchmark harness prints for Figure 4.
+    """
+    labels: list[str] = []
+    for buckets in series.values():
+        for b in buckets:
+            if b.label not in labels:
+                labels.append(b.label)
+    labels.sort(key=lambda s: int(s[1:].split(",")[0]))
+
+    names = list(series)
+    col_w = max(12, max((len(n) for n in names), default=12) + 2)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "sample_size".ljust(14) + "".join(n.rjust(col_w) for n in names)
+    lines.append(header)
+    by_label = {
+        name: {b.label: b for b in buckets} for name, buckets in series.items()
+    }
+    for label in labels:
+        row = label.ljust(14)
+        for name in names:
+            bucket = by_label[name].get(label)
+            row += (f"{bucket.rmse:.4f}" if bucket else "-").rjust(col_w)
+        lines.append(row)
+    return "\n".join(lines)

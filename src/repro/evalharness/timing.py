@@ -1,0 +1,141 @@
+"""Running-time measurement harness (Table 2 and Section 5.5).
+
+Table 2 compares, over many table pairs, the wall time of
+
+* full-data join + Pearson + Spearman computation, against
+* sketch join + the same estimators on the reconstructed sample,
+
+reporting mean, standard deviation and tail percentiles. The point is the
+*shape*: sketch times are orders of magnitude smaller and nearly constant
+(fixed sketch size), while full-data times have heavy tails driven by
+table sizes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TimingSample:
+    """Wall times (seconds) for one table-pair measurement."""
+
+    full_join: float
+    full_pearson: float
+    full_spearman: float
+    sketch_join: float
+    sketch_pearson: float
+    sketch_spearman: float
+
+
+@dataclass
+class TimingTable:
+    """Percentile summary of a timing sweep — the rows of Table 2."""
+
+    samples: list[TimingSample] = field(default_factory=list)
+
+    #: The percentile rows the paper reports.
+    PERCENTILES = (75.0, 90.0, 99.0, 99.9)
+
+    def add(self, sample: TimingSample) -> None:
+        self.samples.append(sample)
+
+    def column(self, name: str) -> np.ndarray:
+        return np.asarray([getattr(s, name) for s in self.samples])
+
+    def summarize(self) -> dict[str, dict[str, float]]:
+        """Return ``{row: {column: milliseconds}}`` for the paper's rows."""
+        columns = (
+            "full_join",
+            "full_spearman",
+            "full_pearson",
+            "sketch_join",
+            "sketch_pearson",
+            "sketch_spearman",
+        )
+        out: dict[str, dict[str, float]] = {}
+        if not self.samples:
+            return out
+        data = {c: self.column(c) * 1000.0 for c in columns}  # to ms
+        out["mean"] = {c: float(v.mean()) for c, v in data.items()}
+        out["std. dev."] = {
+            c: float(v.std(ddof=1)) if len(v) > 1 else math.nan
+            for c, v in data.items()
+        }
+        for p in self.PERCENTILES:
+            out[f"{p:g}%"] = {
+                c: float(np.percentile(v, p)) for c, v in data.items()
+            }
+        return out
+
+    def format(self) -> str:
+        """Render the summary in the layout of the paper's Table 2."""
+        summary = self.summarize()
+        if not summary:
+            return "(no samples)"
+        headers = (
+            ("full_join", "join"),
+            ("full_spearman", "r_s"),
+            ("full_pearson", "r_p"),
+            ("sketch_join", "join"),
+            ("sketch_pearson", "r_p"),
+            ("sketch_spearman", "r_s"),
+        )
+        lines = [
+            "            |           Full data            |             Sketch",
+            "percentile  " + "".join(h[1].rjust(11) for h in headers),
+        ]
+        for row, values in summary.items():
+            line = row.ljust(12)
+            for key, _label in headers:
+                line += f"{values[key]:.3f}".rjust(11)
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def timed(fn: Callable[[], object]) -> float:
+    """Wall-time one call of ``fn`` in seconds."""
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+@dataclass
+class LatencyReport:
+    """Query-latency distribution (Section 5.5's interactive-use claim)."""
+
+    latencies_seconds: list[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        self.latencies_seconds.append(seconds)
+
+    def fraction_under(self, threshold_ms: float) -> float:
+        """Fraction of queries completing under ``threshold_ms``."""
+        if not self.latencies_seconds:
+            return math.nan
+        hits = sum(
+            1 for s in self.latencies_seconds if s * 1000.0 < threshold_ms
+        )
+        return hits / len(self.latencies_seconds)
+
+    def percentile_ms(self, p: float) -> float:
+        if not self.latencies_seconds:
+            return math.nan
+        return float(
+            np.percentile(np.asarray(self.latencies_seconds) * 1000.0, p)
+        )
+
+    def format(self, thresholds_ms: Sequence[float] = (100.0, 200.0)) -> str:
+        lines = [f"queries: {len(self.latencies_seconds)}"]
+        for t in thresholds_ms:
+            lines.append(
+                f"under {t:g} ms: {self.fraction_under(t) * 100.0:.1f}%"
+            )
+        for p in (50.0, 90.0, 99.0):
+            lines.append(f"p{p:g}: {self.percentile_ms(p):.2f} ms")
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Hashing substrate used by all sketches.
+
+The paper (Section 3.4) uses two hash functions:
+
+* ``h`` — a collision-free hash mapping key values to distinct integers.
+  The reference implementation uses the 32-bit MurmurHash3 function, which
+  has been shown to behave like a truly random hash function on realistic
+  data (Dahlgaard et al., NeurIPS 2017). We provide a bit-exact pure-Python
+  port in :mod:`repro.hashing.murmur3` plus a 64-bit variant (from
+  MurmurHash3's 128-bit finalizer) for collections where 32-bit collisions
+  would be a concern.
+
+* ``h_u`` — a multiplicative *Fibonacci* (golden-ratio) hash mapping those
+  integers uniformly into the unit interval ``[0, 1)``. See
+  :mod:`repro.hashing.fibonacci`.
+
+The composition ``g(k) = h_u(h(k))`` drives the bottom-``n`` selection of
+keys into a sketch; because ``g`` is deterministic, two independently built
+sketches agree on *which* keys are the "smallest", which is what makes the
+sketch intersection large (Section 3.1).
+"""
+
+from repro.hashing.fibonacci import (
+    FIB_MULTIPLIER_32,
+    FIB_MULTIPLIER_64,
+    fibonacci_hash_32,
+    fibonacci_hash_64,
+    to_unit_interval_32,
+    to_unit_interval_64,
+)
+from repro.hashing.hash_functions import (
+    HashPair,
+    KeyHasher,
+    TupleHash,
+    default_hasher,
+)
+from repro.hashing.murmur3 import murmur3_32, murmur3_x64_64
+
+__all__ = [
+    "FIB_MULTIPLIER_32",
+    "FIB_MULTIPLIER_64",
+    "HashPair",
+    "KeyHasher",
+    "TupleHash",
+    "default_hasher",
+    "fibonacci_hash_32",
+    "fibonacci_hash_64",
+    "murmur3_32",
+    "murmur3_x64_64",
+    "to_unit_interval_32",
+    "to_unit_interval_64",
+]

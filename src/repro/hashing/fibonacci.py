@@ -1,0 +1,47 @@
+"""Fibonacci (golden-ratio multiplicative) hashing.
+
+The paper implements ``h_u`` — the map from tuple-identifier integers to
+uniform reals in ``[0, 1)`` — with *Fibonacci hashing* (Knuth, TAoCP vol. 3
+§6.4): multiply by ``floor(2**w / φ)`` modulo ``2**w`` and divide by
+``2**w``. The multiplier is chosen so consecutive integers scatter
+far apart; for hash-distributed input it behaves like a uniform map while
+costing a single multiply.
+
+A useful structural property (exploited in Figure 2 of the paper): the
+unit-interval value never needs to be *stored* in a sketch because it can
+always be recomputed from the stored key hash ``h(k)``.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: ``floor(2**32 / φ)``, forced odd (Knuth's recommendation) — 2654435769.
+FIB_MULTIPLIER_32 = 2654435769
+
+#: ``floor(2**64 / φ)``, forced odd — 11400714819323198485.
+FIB_MULTIPLIER_64 = 11400714819323198485
+
+
+def fibonacci_hash_32(value: int) -> int:
+    """Scramble a 32-bit integer with the golden-ratio multiplier."""
+    return (value * FIB_MULTIPLIER_32) & _MASK32
+
+
+def fibonacci_hash_64(value: int) -> int:
+    """Scramble a 64-bit integer with the golden-ratio multiplier."""
+    return (value * FIB_MULTIPLIER_64) & _MASK64
+
+
+def to_unit_interval_32(value: int) -> float:
+    """Map a 32-bit integer to ``[0, 1)`` via Fibonacci hashing.
+
+    This is the paper's ``h_u`` for 32-bit tuple identifiers.
+    """
+    return fibonacci_hash_32(value) / 4294967296.0  # 2**32
+
+
+def to_unit_interval_64(value: int) -> float:
+    """Map a 64-bit integer to ``[0, 1)`` via Fibonacci hashing."""
+    return fibonacci_hash_64(value) / 18446744073709551616.0  # 2**64

@@ -1,0 +1,193 @@
+"""Pure-Python MurmurHash3 implementations.
+
+MurmurHash3 (Austin Appleby, 2011, public domain) is the hash the paper
+uses for ``h`` (Section 3.4). We port two variants:
+
+* :func:`murmur3_32` — the x86 32-bit variant, bit-exact with the reference
+  C++ implementation (validated against published test vectors in the test
+  suite).
+* :func:`murmur3_x64_64` — the first 64 bits of the x64 128-bit variant,
+  useful when indexing collections large enough that 32-bit hash collisions
+  would perturb distinct-value estimates.
+
+Both accept ``bytes``/``bytearray`` directly, and any other object is first
+converted through :func:`_to_bytes` (strings are UTF-8 encoded, integers
+use their minimal two's-complement little-endian encoding). Keeping the
+conversion in one place guarantees that a key hashes identically no matter
+which table it came from — the property Theorem 1 relies on.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _to_bytes(key: object) -> bytes:
+    """Normalize ``key`` to a canonical byte string.
+
+    Strings encode as UTF-8. Integers use a minimal-width little-endian
+    signed encoding so that, e.g., ``1`` and ``"1"`` hash differently but
+    ``1`` hashes identically regardless of the Python object's origin.
+    Floats use their IEEE-754 big-endian representation via ``struct``.
+    """
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, bytearray):
+        return bytes(key)
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, bool):
+        # bool is a subclass of int; tag it so True/False do not collide
+        # with the integers 1/0 (keys in one column are homogeneous, so a
+        # rare cross-type collision with the int 0x01fdfe/0x00fdfe is
+        # acceptable).
+        return b"\xfe\xfd\x01" if key else b"\xfe\xfd\x00"
+    if isinstance(key, int):
+        length = max(1, (key.bit_length() + 8) // 8)
+        return key.to_bytes(length, "little", signed=True)
+    if isinstance(key, float):
+        import struct
+
+        return struct.pack(">d", key)
+    return repr(key).encode("utf-8")
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def _rotl64(x: int, r: int) -> int:
+    return ((x << r) | (x >> (64 - r))) & _MASK64
+
+
+def _fmix32(h: int) -> int:
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def _fmix64(k: int) -> int:
+    k ^= k >> 33
+    k = (k * 0xFF51AFD7ED558CCD) & _MASK64
+    k ^= k >> 33
+    k = (k * 0xC4CEB9FE1A85EC53) & _MASK64
+    k ^= k >> 33
+    return k
+
+
+def murmur3_32(key: object, seed: int = 0) -> int:
+    """Return the 32-bit MurmurHash3 (x86 variant) of ``key``.
+
+    Bit-exact with the reference ``MurmurHash3_x86_32``. The result is an
+    unsigned integer in ``[0, 2**32)``.
+    """
+    data = _to_bytes(key)
+    nbytes = len(data)
+    h1 = seed & _MASK32
+
+    c1 = 0xCC9E2D51
+    c2 = 0x1B873593
+
+    nblocks = nbytes // 4
+    for i in range(nblocks):
+        k1 = int.from_bytes(data[4 * i : 4 * i + 4], "little")
+        k1 = (k1 * c1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * c2) & _MASK32
+
+        h1 ^= k1
+        h1 = _rotl32(h1, 13)
+        h1 = (h1 * 5 + 0xE6546B64) & _MASK32
+
+    # Tail.
+    tail = data[nblocks * 4 :]
+    k1 = 0
+    if len(tail) >= 3:
+        k1 ^= tail[2] << 16
+    if len(tail) >= 2:
+        k1 ^= tail[1] << 8
+    if len(tail) >= 1:
+        k1 ^= tail[0]
+        k1 = (k1 * c1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * c2) & _MASK32
+        h1 ^= k1
+
+    h1 ^= nbytes
+    return _fmix32(h1)
+
+
+def murmur3_x64_128(key: object, seed: int = 0) -> tuple[int, int]:
+    """Return the 128-bit MurmurHash3 (x64 variant) as two 64-bit halves."""
+    data = _to_bytes(key)
+    nbytes = len(data)
+    h1 = seed & _MASK64
+    h2 = seed & _MASK64
+
+    c1 = 0x87C37B91114253D5
+    c2 = 0x4CF5AD432745937F
+
+    nblocks = nbytes // 16
+    for i in range(nblocks):
+        k1 = int.from_bytes(data[16 * i : 16 * i + 8], "little")
+        k2 = int.from_bytes(data[16 * i + 8 : 16 * i + 16], "little")
+
+        k1 = (k1 * c1) & _MASK64
+        k1 = _rotl64(k1, 31)
+        k1 = (k1 * c2) & _MASK64
+        h1 ^= k1
+
+        h1 = _rotl64(h1, 27)
+        h1 = (h1 + h2) & _MASK64
+        h1 = (h1 * 5 + 0x52DCE729) & _MASK64
+
+        k2 = (k2 * c2) & _MASK64
+        k2 = _rotl64(k2, 33)
+        k2 = (k2 * c1) & _MASK64
+        h2 ^= k2
+
+        h2 = _rotl64(h2, 31)
+        h2 = (h2 + h1) & _MASK64
+        h2 = (h2 * 5 + 0x38495AB5) & _MASK64
+
+    tail = data[nblocks * 16 :]
+    k1 = 0
+    k2 = 0
+    tlen = len(tail)
+    # The reference implementation's fall-through switch, unrolled.
+    if tlen >= 9:
+        for j in range(min(tlen, 16) - 1, 7, -1):
+            k2 ^= tail[j] << (8 * (j - 8))
+        k2 = (k2 * c2) & _MASK64
+        k2 = _rotl64(k2, 33)
+        k2 = (k2 * c1) & _MASK64
+        h2 ^= k2
+    if tlen >= 1:
+        for j in range(min(tlen, 8) - 1, -1, -1):
+            k1 ^= tail[j] << (8 * j)
+        k1 = (k1 * c1) & _MASK64
+        k1 = _rotl64(k1, 31)
+        k1 = (k1 * c2) & _MASK64
+        h1 ^= k1
+
+    h1 ^= nbytes
+    h2 ^= nbytes
+
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+
+    h1 = _fmix64(h1)
+    h2 = _fmix64(h2)
+
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    return h1, h2
+
+
+def murmur3_x64_64(key: object, seed: int = 0) -> int:
+    """Return the first 64 bits of the 128-bit x64 MurmurHash3 of ``key``."""
+    return murmur3_x64_128(key, seed)[0]

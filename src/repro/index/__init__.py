@@ -1,0 +1,23 @@
+"""Indexing and query evaluation for join-correlation search.
+
+The inverted index (:mod:`repro.index.inverted`) provides set-overlap
+candidate retrieval over sketch key hashes; the catalog
+(:mod:`repro.index.catalog`) stores sketches per column pair; the engine
+(:mod:`repro.index.engine`) composes them into the two-phase top-k
+query plan of Section 5.5 (retrieve top-100 by overlap, re-rank by
+estimated correlation under a risk-averse scoring function).
+"""
+
+from repro.index.catalog import SketchCatalog
+from repro.index.engine import JoinCorrelationEngine, QueryResult
+from repro.index.inverted import InvertedIndex
+from repro.index.lsh import LshIndex, MinHashSignature
+
+__all__ = [
+    "InvertedIndex",
+    "JoinCorrelationEngine",
+    "LshIndex",
+    "MinHashSignature",
+    "QueryResult",
+    "SketchCatalog",
+]

@@ -1,0 +1,164 @@
+"""Sketch catalog: the persistent store behind the query engine.
+
+A :class:`SketchCatalog` maps column-pair identifiers to their correlation
+sketches and maintains the inverted index over key hashes. It is the
+"index for a large number of tables" the paper's introduction promises:
+sketches are built offline per column pair (one pass each), added here,
+and queried at interactive latency without touching the original data.
+
+Serialization round-trips the whole catalog through JSON so examples can
+demonstrate the offline-build / online-query split.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.sketch import CorrelationSketch
+from repro.hashing import KeyHasher
+from repro.index.inverted import InvertedIndex
+from repro.table.table import ColumnPair, Table
+
+
+class SketchCatalog:
+    """Keyed store of correlation sketches plus the overlap index.
+
+    Args:
+        sketch_size: bottom-``n`` size for sketches built by this catalog.
+        aggregate: aggregate function for repeated keys.
+        hasher: hashing scheme shared by every sketch in the catalog
+            (sketches from different schemes cannot be joined).
+    """
+
+    def __init__(
+        self,
+        sketch_size: int = 256,
+        aggregate: str = "mean",
+        hasher: KeyHasher | None = None,
+    ) -> None:
+        self.sketch_size = sketch_size
+        self.aggregate = aggregate
+        self.hasher = hasher if hasher is not None else KeyHasher()
+        self._sketches: dict[str, CorrelationSketch] = {}
+        self._index = InvertedIndex()
+
+    # -- population ---------------------------------------------------------
+
+    def add_sketch(self, sketch_id: str, sketch: CorrelationSketch) -> None:
+        """Register an externally built sketch under ``sketch_id``.
+
+        Raises:
+            ValueError: on duplicate ids or hashing-scheme mismatch.
+        """
+        if sketch_id in self._sketches:
+            raise ValueError(f"sketch id {sketch_id!r} already in catalog")
+        if sketch.hasher.scheme_id != self.hasher.scheme_id:
+            raise ValueError(
+                "sketch hashing scheme "
+                f"{sketch.hasher!r} differs from catalog scheme {self.hasher!r}"
+            )
+        self._sketches[sketch_id] = sketch
+        self._index.add(sketch_id, sketch.key_hashes())
+
+    def add_column_pair(
+        self, table: Table, pair: ColumnPair, *, sketch_id: str | None = None
+    ) -> str:
+        """Build and register the sketch for one ``⟨K, X⟩`` column pair."""
+        sid = sketch_id if sketch_id is not None else pair.pair_id
+        sketch = CorrelationSketch(
+            self.sketch_size,
+            aggregate=self.aggregate,
+            hasher=self.hasher,
+            name=sid,
+        )
+        sketch.update_all(table.pair_rows(pair))
+        self.add_sketch(sid, sketch)
+        return sid
+
+    def add_table(self, table: Table) -> list[str]:
+        """Sketch and register every column pair of ``table``."""
+        return [self.add_column_pair(table, pair) for pair in table.column_pairs()]
+
+    def add_tables(self, tables: Iterable[Table]) -> list[str]:
+        """Sketch and register every column pair of every table."""
+        ids: list[str] = []
+        for table in tables:
+            ids.extend(self.add_table(table))
+        return ids
+
+    def add_csv_streaming(self, path: str | Path, **kwargs) -> list[str]:
+        """Sketch a CSV file in one streaming pass and register the result.
+
+        Unlike ``read_csv`` + :meth:`add_table`, the file is never
+        materialized in memory — only a type-inference prefix plus the
+        sketches themselves are held (see
+        :func:`repro.table.streaming.stream_sketch_csv`, which receives
+        ``kwargs``).
+        """
+        from repro.table.streaming import stream_sketch_csv
+
+        sketches = stream_sketch_csv(
+            path,
+            self.sketch_size,
+            aggregate=self.aggregate,
+            hasher=self.hasher,
+            **kwargs,
+        )
+        for sid, sketch in sketches.items():
+            self.add_sketch(sid, sketch)
+        return list(sketches)
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sketches)
+
+    def __contains__(self, sketch_id: str) -> bool:
+        return sketch_id in self._sketches
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._sketches)
+
+    def get(self, sketch_id: str) -> CorrelationSketch:
+        """Fetch a sketch by id (KeyError with context if absent)."""
+        try:
+            return self._sketches[sketch_id]
+        except KeyError:
+            raise KeyError(
+                f"no sketch {sketch_id!r} in catalog ({len(self)} sketches)"
+            ) from None
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The inverted index over key hashes (read-only use)."""
+        return self._index
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialize the catalog (sketches only; the index is rebuilt)."""
+        payload = {
+            "sketch_size": self.sketch_size,
+            "aggregate": self.aggregate,
+            "scheme": list(self.hasher.scheme_id),
+            "sketches": {
+                sid: sketch.to_dict() for sid, sketch in self._sketches.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SketchCatalog":
+        """Load a catalog written by :meth:`save`, rebuilding the index."""
+        payload = json.loads(Path(path).read_text())
+        bits, seed = payload["scheme"]
+        catalog = cls(
+            sketch_size=payload["sketch_size"],
+            aggregate=payload["aggregate"],
+            hasher=KeyHasher(bits=bits, seed=seed),
+        )
+        for sid, sketch_payload in payload["sketches"].items():
+            catalog.add_sketch(sid, CorrelationSketch.from_dict(sketch_payload))
+        return catalog

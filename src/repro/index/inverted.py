@@ -1,0 +1,100 @@
+"""Inverted index over sketch key hashes (the Lucene stand-in).
+
+Section 4 notes that because a sketch stores discrete key hashes ``h(k)``,
+off-the-shelf inverted indexes support the candidate-retrieval step of
+query evaluation: find the corpus sketches sharing the most key hashes
+with the query sketch. This module implements exactly that primitive:
+
+* posting lists: ``key_hash → [sketch ids containing it]``;
+* :meth:`InvertedIndex.top_overlap` — scan the query's posting lists,
+  accumulate per-candidate overlap counts, return the top-``k`` by count
+  (a textbook ScanCount set-overlap search; JOSIE/ppjoin+ are optimized
+  variants of the same computation).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+
+class InvertedIndex:
+    """Posting-list index from key hashes to sketch identifiers."""
+
+    def __init__(self) -> None:
+        self._postings: dict[int, list[str]] = defaultdict(list)
+        self._doc_keys: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        """Number of indexed sketches."""
+        return len(self._doc_keys)
+
+    def __contains__(self, sketch_id: str) -> bool:
+        return sketch_id in self._doc_keys
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct key hashes with postings."""
+        return len(self._postings)
+
+    def add(self, sketch_id: str, key_hashes: Iterable[int]) -> None:
+        """Index a sketch's key hashes under ``sketch_id``.
+
+        Raises:
+            ValueError: if ``sketch_id`` is already indexed (re-indexing
+                would duplicate postings; remove support is intentionally
+                omitted — rebuild the index for catalog churn, as batch
+                dataset-search systems do).
+        """
+        if sketch_id in self._doc_keys:
+            raise ValueError(f"sketch id {sketch_id!r} is already indexed")
+        count = 0
+        for kh in key_hashes:
+            self._postings[kh].append(sketch_id)
+            count += 1
+        self._doc_keys[sketch_id] = count
+
+    def overlap_counts(
+        self, key_hashes: Iterable[int], *, exclude: str | None = None
+    ) -> dict[str, int]:
+        """Count shared key hashes per indexed sketch (ScanCount)."""
+        counts: dict[str, int] = defaultdict(int)
+        for kh in key_hashes:
+            postings = self._postings.get(kh)
+            if not postings:
+                continue
+            for sid in postings:
+                counts[sid] += 1
+        if exclude is not None:
+            counts.pop(exclude, None)
+        return dict(counts)
+
+    def top_overlap(
+        self,
+        key_hashes: Iterable[int],
+        k: int,
+        *,
+        exclude: str | None = None,
+        min_overlap: int = 1,
+    ) -> list[tuple[str, int]]:
+        """Top-``k`` indexed sketches by key-hash overlap with the query.
+
+        Args:
+            key_hashes: the query sketch's key hashes.
+            k: number of candidates to return.
+            exclude: optional sketch id to omit (typically the query
+                itself when it is part of the corpus).
+            min_overlap: drop candidates sharing fewer hashes than this.
+
+        Returns:
+            ``(sketch_id, overlap)`` pairs, descending by overlap with id
+            as the deterministic tie-break.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        counts = self.overlap_counts(key_hashes, exclude=exclude)
+        candidates = [
+            (sid, c) for sid, c in counts.items() if c >= min_overlap
+        ]
+        candidates.sort(key=lambda t: (-t[1], t[0]))
+        return candidates[:k]

@@ -1,0 +1,154 @@
+"""MinHash-LSH candidate retrieval over correlation sketches.
+
+Section 4 of the paper notes that the candidate-retrieval step — find
+sketches whose key sets overlap the query's — can be served by any set
+similarity search method (inverted indexes, JOSIE, ppjoin+, Lazo/LSH
+Ensemble). :mod:`repro.index.inverted` is the exact ScanCount baseline;
+this module adds the sub-linear *approximate* alternative: banded
+one-permutation MinHash LSH.
+
+Two facts make this work directly on the sketches:
+
+* a sketch's retained keys are a **coordinated uniform sample** of its
+  key set (the bottom-``n`` by ``h_u``), so two sketches of overlapping
+  tables retain the *same* shared keys — Jaccard over retained keys
+  tracks Jaccard over the full key sets;
+* the retained **key hashes** ``h(k)`` spread uniformly over the hash
+  space (``h_u`` ordering and ``h`` values decorrelate under the
+  golden-ratio scramble), so bucketing the hash space into ``b·r`` slots
+  and keeping the minimum hash per slot yields a standard
+  one-permutation MinHash signature without touching the original data.
+
+Signatures are split into ``b`` bands of ``r`` rows; two sketches become
+candidates when any band matches exactly. Key sets with Jaccard
+similarity ``s`` collide with probability ``≈ 1 − (1 − s^r)^b``.
+
+Trade-off vs the exact inverted index: probing costs O(b) dictionary
+lookups independent of posting-list lengths, at the price of missing
+low-overlap candidates — quantified in
+``benchmarks/bench_ablation_retrieval.py``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+#: Sentinel slot value for an empty bucket (no retained hash fell in it).
+_EMPTY = -1
+
+
+class MinHashSignature:
+    """One-permutation MinHash signature over retained key hashes."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self, slots: tuple[int, ...]) -> None:
+        self.slots = slots
+
+    @classmethod
+    def from_key_hashes(
+        cls, key_hashes: Iterable[int], n_slots: int, bits: int = 32
+    ) -> "MinHashSignature":
+        """Bucket the ``2**bits`` hash space into ``n_slots`` ranges and
+        keep the minimum hash per range (``_EMPTY`` when none fell in)."""
+        if n_slots <= 0:
+            raise ValueError(f"n_slots must be positive, got {n_slots}")
+        span = 1 << bits
+        slots = [_EMPTY] * n_slots
+        for kh in key_hashes:
+            idx = min(n_slots - 1, kh * n_slots // span)
+            if slots[idx] == _EMPTY or kh < slots[idx]:
+                slots[idx] = kh
+        return cls(tuple(slots))
+
+    def similarity(self, other: "MinHashSignature") -> float:
+        """Estimated Jaccard similarity: fraction of agreeing informative
+        slots (slots empty on both sides carry no information)."""
+        agree = 0
+        informative = 0
+        for a, b in zip(self.slots, other.slots):
+            if a == _EMPTY and b == _EMPTY:
+                continue
+            informative += 1
+            if a == b:
+                agree += 1
+        return agree / informative if informative else 0.0
+
+
+class LshIndex:
+    """Banded MinHash-LSH index over sketch key sets.
+
+    Args:
+        bands: number of bands ``b``.
+        rows: rows per band ``r``. The signature has ``b·r`` slots.
+        bits: width of the key-hash space (the catalog hasher's ``bits``).
+    """
+
+    def __init__(self, bands: int = 16, rows: int = 4, bits: int = 32) -> None:
+        if bands <= 0 or rows <= 0:
+            raise ValueError(f"bands and rows must be positive, got {bands}x{rows}")
+        self.bands = bands
+        self.rows = rows
+        self.bits = bits
+        self._buckets: list[dict[tuple[int, ...], list[str]]] = [
+            defaultdict(list) for _ in range(bands)
+        ]
+        self._signatures: dict[str, MinHashSignature] = {}
+
+    @property
+    def n_slots(self) -> int:
+        return self.bands * self.rows
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, sketch_id: str) -> bool:
+        return sketch_id in self._signatures
+
+    def signature_of(self, key_hashes: Iterable[int]) -> MinHashSignature:
+        return MinHashSignature.from_key_hashes(key_hashes, self.n_slots, self.bits)
+
+    def _band_keys(self, signature: MinHashSignature):
+        for band in range(self.bands):
+            start = band * self.rows
+            yield band, signature.slots[start : start + self.rows]
+
+    def add(self, sketch_id: str, key_hashes: Iterable[int]) -> None:
+        """Index a sketch by its retained key hashes.
+
+        Raises:
+            ValueError: if ``sketch_id`` is already indexed.
+        """
+        if sketch_id in self._signatures:
+            raise ValueError(f"sketch id {sketch_id!r} is already indexed")
+        signature = self.signature_of(key_hashes)
+        self._signatures[sketch_id] = signature
+        for band, key in self._band_keys(signature):
+            self._buckets[band][key].append(sketch_id)
+
+    def candidates(
+        self, key_hashes: Iterable[int], *, exclude: str | None = None
+    ) -> dict[str, float]:
+        """Return colliding sketch ids with estimated Jaccard similarity."""
+        signature = self.signature_of(key_hashes)
+        hits: set[str] = set()
+        for band, key in self._band_keys(signature):
+            hits.update(self._buckets[band].get(key, ()))
+        if exclude is not None:
+            hits.discard(exclude)
+        return {sid: signature.similarity(self._signatures[sid]) for sid in hits}
+
+    def top_candidates(
+        self,
+        key_hashes: Iterable[int],
+        k: int,
+        *,
+        exclude: str | None = None,
+    ) -> list[tuple[str, float]]:
+        """Top-``k`` colliding sketches by estimated Jaccard similarity."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        scored = self.candidates(key_hashes, exclude=exclude)
+        ranked = sorted(scored.items(), key=lambda t: (-t[1], t[0]))
+        return ranked[:k]

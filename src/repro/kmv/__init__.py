@@ -1,0 +1,47 @@
+"""K-Minimum-Values (bottom-k) synopses and distinct-value estimation.
+
+This subpackage implements the cardinality-estimation substrate the paper
+builds on (Section 2.1):
+
+* :class:`~repro.kmv.synopsis.KMVSynopsis` — the classic bottom-``k``
+  synopsis of Bar-Yossef et al. (2002) maintained with a single pass and a
+  bounded-size ordered structure (:mod:`repro.kmv.bottomk`).
+* Distinct-value estimators (:mod:`repro.kmv.estimators`): the basic
+  estimator ``k / U(k)`` and the unbiased estimator ``(k-1) / U(k)`` of
+  Beyer et al. (2007).
+* Multiset-operation estimators (:mod:`repro.kmv.setops`): union,
+  intersection (Eq. 1 in the paper), Jaccard similarity, containment and
+  join-size estimation from two independently built synopses.
+"""
+
+from repro.kmv.bottomk import BottomK
+from repro.kmv.hll import HyperLogLog
+from repro.kmv.estimators import (
+    basic_dv_estimate,
+    unbiased_dv_estimate,
+    unbiased_dv_variance,
+)
+from repro.kmv.setops import (
+    estimate_containment,
+    estimate_intersection,
+    estimate_jaccard,
+    estimate_join_size,
+    estimate_union,
+    merge_synopses,
+)
+from repro.kmv.synopsis import KMVSynopsis
+
+__all__ = [
+    "BottomK",
+    "HyperLogLog",
+    "KMVSynopsis",
+    "basic_dv_estimate",
+    "estimate_containment",
+    "estimate_intersection",
+    "estimate_jaccard",
+    "estimate_join_size",
+    "estimate_union",
+    "merge_synopses",
+    "unbiased_dv_estimate",
+    "unbiased_dv_variance",
+]

@@ -1,0 +1,131 @@
+"""HyperLogLog — the cardinality-only comparison point (Section 6).
+
+The paper's related-work discussion contrasts the KMV family with
+"count leading 0s" sketches such as HyperLogLog (Flajolet et al. 2007):
+HLL achieves better cardinality accuracy per bit, but **cannot** support
+join-correlation estimation because it retains no sample identifiers —
+there is nothing to align numeric values on. We implement HLL from
+scratch so the ablation benchmark can quantify both sides of that
+trade-off on the same data (see ``benchmarks/bench_ablation_hll.py``).
+
+Implementation: the standard HLL with ``m = 2**p`` registers, the
+``alpha_m`` bias constant, linear counting for the small range, and the
+large-range correction for 32-bit hash saturation. Registers hold the
+maximum leading-zero rank of the hashed values routed to them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.hashing import KeyHasher, default_hasher
+
+
+def _alpha(m: int) -> float:
+    """The bias-correction constant α_m from Flajolet et al. (2007)."""
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+class HyperLogLog:
+    """HLL cardinality sketch with ``2**precision`` 1-byte registers.
+
+    Args:
+        precision: register-index bit width ``p`` (4 ≤ p ≤ 16). Standard
+            error is ``1.04 / sqrt(2**p)``.
+        hasher: hashing scheme (shared with the KMV sketches so the
+            ablation compares like for like).
+    """
+
+    HASH_BITS = 32
+
+    def __init__(self, precision: int = 12, hasher: KeyHasher | None = None) -> None:
+        if not 4 <= precision <= 16:
+            raise ValueError(f"precision must be in [4, 16], got {precision}")
+        self.precision = precision
+        self.m = 1 << precision
+        self.hasher = hasher if hasher is not None else default_hasher()
+        self._registers = bytearray(self.m)
+
+    def update(self, key: object) -> None:
+        """Offer one key occurrence."""
+        h = self.hasher.key_hash(key) & 0xFFFFFFFF
+        index = h >> (self.HASH_BITS - self.precision)
+        remaining = h & ((1 << (self.HASH_BITS - self.precision)) - 1)
+        # Rank = position of the leftmost 1-bit in the remaining bits,
+        # counting from 1; all-zero remainder gets the maximum rank.
+        width = self.HASH_BITS - self.precision
+        if remaining == 0:
+            rank = width + 1
+        else:
+            rank = width - remaining.bit_length() + 1
+        if rank > self._registers[index]:
+            self._registers[index] = rank
+
+    def update_all(self, keys: Iterable[object]) -> None:
+        for key in keys:
+            self.update(key)
+
+    @classmethod
+    def from_keys(
+        cls, keys: Iterable[object], precision: int = 12, hasher: KeyHasher | None = None
+    ) -> "HyperLogLog":
+        hll = cls(precision, hasher)
+        hll.update_all(keys)
+        return hll
+
+    def cardinality(self) -> float:
+        """Estimate the number of distinct keys offered so far."""
+        m = self.m
+        inv_sum = 0.0
+        zeros = 0
+        for r in self._registers:
+            inv_sum += 2.0 ** (-r)
+            if r == 0:
+                zeros += 1
+        raw = _alpha(m) * m * m / inv_sum
+
+        if raw <= 2.5 * m and zeros > 0:
+            # Small-range correction: linear counting.
+            return m * math.log(m / zeros)
+        two32 = 2.0**self.HASH_BITS
+        if raw > two32 / 30.0:
+            # Large-range correction for 32-bit hash saturation.
+            return -two32 * math.log(1.0 - raw / two32)
+        return raw
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Union of two HLLs (register-wise maximum).
+
+        Raises:
+            ValueError: on precision or hashing-scheme mismatch.
+        """
+        if self.precision != other.precision:
+            raise ValueError(
+                f"precision mismatch: {self.precision} vs {other.precision}"
+            )
+        if self.hasher.scheme_id != other.hasher.scheme_id:
+            raise ValueError("cannot merge HLLs built with different hashers")
+        merged = HyperLogLog(self.precision, self.hasher)
+        merged._registers = bytearray(
+            max(a, b) for a, b in zip(self._registers, other._registers)
+        )
+        return merged
+
+    def storage_bytes(self) -> int:
+        """Register storage (1 byte per register)."""
+        return self.m
+
+    @property
+    def standard_error(self) -> float:
+        """Theoretical relative standard error ``1.04 / sqrt(m)``."""
+        return 1.04 / math.sqrt(self.m)
+
+    def __repr__(self) -> str:
+        return f"HyperLogLog(precision={self.precision}, m={self.m})"

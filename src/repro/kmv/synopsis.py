@@ -1,0 +1,122 @@
+"""The KMV (k-minimum-values / bottom-k) synopsis.
+
+A :class:`KMVSynopsis` of a key set ``K`` retains the ``k`` keys with the
+smallest values of ``g(k) = h_u(h(k))`` together with those hash values.
+It supports distinct-value estimation (Section 2.1) and, paired with a
+second synopsis built with the same hashing scheme, estimation of union,
+intersection, Jaccard and containment (see :mod:`repro.kmv.setops`).
+
+The correlation sketch (:mod:`repro.core.sketch`) is a strict superset of
+this structure — it additionally carries an aggregated numeric value per
+key — so everything estimable from a KMV synopsis remains estimable from a
+correlation sketch (Section 3.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.hashing import KeyHasher, default_hasher
+from repro.kmv.bottomk import BottomK
+from repro.kmv.estimators import basic_dv_estimate, unbiased_dv_estimate
+
+
+class KMVSynopsis:
+    """Bottom-``k`` synopsis of a stream of (possibly repeated) keys.
+
+    Args:
+        k: synopsis capacity.
+        hasher: hashing scheme; defaults to the paper's 32-bit MurmurHash3
+            + Fibonacci composition.
+    """
+
+    def __init__(self, k: int, hasher: KeyHasher | None = None) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.hasher = hasher if hasher is not None else default_hasher()
+        self._bottom = BottomK(k)
+        self._overflowed = False
+
+    # -- construction ------------------------------------------------------
+
+    def update(self, key: object) -> None:
+        """Offer one key occurrence to the synopsis."""
+        pair = self.hasher.hash(key)
+        if pair.key_hash in self._bottom:
+            return
+        was_full = len(self._bottom) >= self.k
+        admitted = self._bottom.offer(pair.unit_hash, pair.key_hash)
+        if not admitted or was_full:
+            # Either this key was rejected, or it displaced another: in
+            # both cases at least one distinct key is no longer retained.
+            self._overflowed = True
+
+    def update_all(self, keys: Iterable[object]) -> None:
+        """Offer every key in ``keys``."""
+        for key in keys:
+            self.update(key)
+
+    @classmethod
+    def from_keys(
+        cls, keys: Iterable[object], k: int, hasher: KeyHasher | None = None
+    ) -> "KMVSynopsis":
+        """Build a synopsis from an iterable of keys in one pass."""
+        synopsis = cls(k, hasher)
+        synopsis.update_all(keys)
+        return synopsis
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of retained (hash, rank) pairs, at most ``k``."""
+        return len(self._bottom)
+
+    @property
+    def saw_all_keys(self) -> bool:
+        """True when no key was ever rejected — retained keys are exact.
+
+        Note displacement cannot occur before rejection for deterministic
+        ranks: an entry is displaced only when the structure is full and a
+        smaller rank arrives, which also means future offers of the
+        displaced key would be rejected. We track rejection/displacement
+        together via ``_overflowed``.
+        """
+        return not self._overflowed
+
+    def key_hashes(self) -> set[int]:
+        """Set of retained tuple identifiers ``h(k)``."""
+        return set(self._bottom.keys())
+
+    def unit_values(self) -> list[float]:
+        """Retained unit-interval hash values, ascending."""
+        return [rank for rank, _key, _payload in self._bottom.sorted_items()]
+
+    def kth_unit_value(self) -> float:
+        """``U(k)``: the largest retained unit-interval value."""
+        return self._bottom.kth_rank()
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        """Yield retained ``(key_hash, unit_value)`` by ascending rank."""
+        for rank, key, _payload in self._bottom.sorted_items():
+            yield key, rank
+
+    # -- estimation --------------------------------------------------------
+
+    def distinct_values(self, *, estimator: str = "unbiased") -> float:
+        """Estimate the number of distinct keys offered so far.
+
+        Args:
+            estimator: ``"unbiased"`` for ``(k-1)/U(k)`` (default, Beyer et
+                al. 2007) or ``"basic"`` for ``k/U(k)``.
+        """
+        size = len(self._bottom)
+        if size == 0:
+            return 0.0
+        saw_all = self.saw_all_keys
+        ukth = self._bottom.kth_rank() if not saw_all else 1.0
+        if estimator == "unbiased":
+            return unbiased_dv_estimate(size, ukth, saw_all=saw_all)
+        if estimator == "basic":
+            return basic_dv_estimate(size, ukth, saw_all=saw_all)
+        raise ValueError(f"unknown estimator {estimator!r}")

@@ -1,0 +1,50 @@
+"""Ranking correlated columns under estimation uncertainty (Section 4).
+
+Implements the risk-averse scoring framework (Eq. 5), the paper's four
+scoring functions and three baselines, deterministic ranked-list
+construction, and the MAP / nDCG evaluation metrics of Section 5.4.
+"""
+
+from repro.ranking.metrics import (
+    average_precision,
+    dcg_at,
+    mean_average_precision,
+    mean_ndcg_at,
+    ndcg_at,
+    precision_at,
+)
+from repro.ranking.ranker import (
+    RankedCandidate,
+    rank_candidates,
+    relevance_flags,
+    relevance_gains,
+)
+from repro.ranking.scoring import (
+    SCORER_NAMES,
+    CandidateScores,
+    candidate_scores,
+    cib_factor,
+    cih_factors,
+    score_candidates,
+    sez_factor,
+)
+
+__all__ = [
+    "CandidateScores",
+    "RankedCandidate",
+    "SCORER_NAMES",
+    "average_precision",
+    "candidate_scores",
+    "cib_factor",
+    "cih_factors",
+    "dcg_at",
+    "mean_average_precision",
+    "mean_ndcg_at",
+    "ndcg_at",
+    "precision_at",
+    "rank_candidates",
+    "relevance_flags",
+    "relevance_gains",
+    "score_candidates",
+    "sez_factor",
+]

@@ -1,0 +1,101 @@
+"""IR evaluation metrics: average precision and nDCG (Section 5.4).
+
+* **MAP** — binary relevance derived from the *true* after-join correlation
+  via a threshold (the paper uses ``|r| > 0.5`` and ``|r| > 0.75``);
+  average precision is computed over the whole ranked list and averaged
+  across queries.
+* **nDCG@k** — graded relevance (the absolute true correlation), gains
+  discounted by ``log2(rank + 1)``, normalized by the ideal ordering. The
+  paper reports k = 5 and k = 10.
+
+Both metrics take *already ranked* relevance lists, keeping them decoupled
+from how the ranking was produced.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def precision_at(relevant_flags: Sequence[bool], k: int) -> float:
+    """Fraction of the top-``k`` entries that are relevant."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    top = relevant_flags[:k]
+    if not top:
+        return 0.0
+    return sum(top) / len(top)
+
+
+def average_precision(relevant_flags: Sequence[bool]) -> float:
+    """Average precision of one ranked list (binary relevance).
+
+    AP = mean over relevant positions i of precision@i. Returns 0.0 when
+    the list contains no relevant items (the convention the paper's MAP
+    figures imply — queries with no relevant candidates drag the mean
+    down rather than being skipped; see :func:`mean_average_precision`
+    for the skip-empty variant).
+    """
+    hits = 0
+    total = 0.0
+    for i, flag in enumerate(relevant_flags, start=1):
+        if flag:
+            hits += 1
+            total += hits / i
+    if hits == 0:
+        return 0.0
+    return total / hits
+
+
+def mean_average_precision(
+    queries: Sequence[Sequence[bool]], *, skip_empty: bool = True
+) -> float:
+    """MAP over a workload of ranked binary-relevance lists.
+
+    Args:
+        queries: one ranked relevance list per query.
+        skip_empty: ignore queries with no relevant candidate (they carry
+            no ranking signal; this matches standard IR practice).
+    """
+    aps = []
+    for flags in queries:
+        if skip_empty and not any(flags):
+            continue
+        aps.append(average_precision(flags))
+    if not aps:
+        return 0.0
+    return sum(aps) / len(aps)
+
+
+def dcg_at(gains: Sequence[float], k: int) -> float:
+    """Discounted cumulative gain of the top-``k`` graded gains."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return sum(g / math.log2(i + 1) for i, g in enumerate(gains[:k], start=1))
+
+
+def ndcg_at(gains: Sequence[float], k: int) -> float:
+    """Normalized DCG@k: DCG of the list over DCG of the ideal ordering.
+
+    Returns 0.0 when the ideal DCG is zero (no positive gains anywhere).
+    """
+    ideal = sorted(gains, reverse=True)
+    denom = dcg_at(ideal, k)
+    if denom <= 0:
+        return 0.0
+    return dcg_at(gains, k) / denom
+
+
+def mean_ndcg_at(
+    queries: Sequence[Sequence[float]], k: int, *, skip_empty: bool = True
+) -> float:
+    """Mean nDCG@k over a workload of ranked graded-gain lists."""
+    vals = []
+    for gains in queries:
+        if skip_empty and not any(g > 0 for g in gains):
+            continue
+        vals.append(ndcg_at(gains, k))
+    if not vals:
+        return 0.0
+    return sum(vals) / len(vals)

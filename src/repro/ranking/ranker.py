@@ -1,0 +1,87 @@
+"""Turning scored candidates into ranked result lists.
+
+Connects the scoring functions (:mod:`repro.ranking.scoring`) to concrete
+candidate lists: rank by descending score with a deterministic tie-break
+(candidate id), carry the per-candidate ground truth through for the
+evaluation metrics, and produce the relevance sequences
+:mod:`repro.ranking.metrics` consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ranking.scoring import CandidateScores, score_candidates
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One entry of a ranked result list.
+
+    Attributes:
+        candidate_id: stable identifier of the candidate column pair.
+        score: value assigned by the scoring function.
+        stats: the per-candidate scoring statistics.
+        true_correlation: after-join correlation on the complete data
+            (NaN when unknown — e.g. in production use).
+    """
+
+    candidate_id: str
+    score: float
+    stats: CandidateScores
+    true_correlation: float
+
+
+def rank_candidates(
+    candidate_ids: list[str],
+    stats: list[CandidateScores],
+    scorer: str,
+    *,
+    true_correlations: list[float] | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[RankedCandidate]:
+    """Score and sort a candidate list with one scoring function.
+
+    Ties break on candidate id so rankings are reproducible across runs
+    (important when a scorer collapses many candidates to score 0).
+    """
+    if len(candidate_ids) != len(stats):
+        raise ValueError(
+            f"{len(candidate_ids)} ids but {len(stats)} stat records"
+        )
+    if true_correlations is None:
+        true_correlations = [math.nan] * len(candidate_ids)
+    if len(true_correlations) != len(candidate_ids):
+        raise ValueError(
+            f"{len(candidate_ids)} ids but {len(true_correlations)} truths"
+        )
+
+    scores = score_candidates(stats, scorer, rng=rng)
+    entries = [
+        RankedCandidate(cid, s, st, tc)
+        for cid, s, st, tc in zip(candidate_ids, scores, stats, true_correlations)
+    ]
+    entries.sort(key=lambda e: (-e.score, e.candidate_id))
+    return entries
+
+
+def relevance_flags(
+    ranked: list[RankedCandidate], threshold: float
+) -> list[bool]:
+    """Binary relevance: ``|true r| > threshold`` (NaN → irrelevant)."""
+    return [
+        (not math.isnan(e.true_correlation))
+        and abs(e.true_correlation) > threshold
+        for e in ranked
+    ]
+
+
+def relevance_gains(ranked: list[RankedCandidate]) -> list[float]:
+    """Graded relevance for nDCG: ``|true r|`` (NaN → 0)."""
+    return [
+        0.0 if math.isnan(e.true_correlation) else abs(e.true_correlation)
+        for e in ranked
+    ]

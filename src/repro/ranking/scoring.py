@@ -1,0 +1,192 @@
+"""Risk-averse scoring functions for ranked correlation discovery (§4.4).
+
+The framework (Eq. 5) scores a candidate by ``|r̂| · (1 − risk)`` where
+``risk ∈ [0, 1]`` measures the dispersion of the estimate. Three
+penalization factors instantiate it:
+
+* ``sez = 1 − 1/sqrt(max(4, n) − 3)`` — Fisher z standard error (§4.2);
+* ``cib = 1 − (ρ^high_PM1 − ρ^low_PM1)/2`` — PM1 bootstrap CI length;
+* ``cih = 1 − (ci_len − ci_min)/(ci_max − ci_min)`` — HFD Hoeffding CI
+  length, min-max normalized *within the ranked list* (so it is computed
+  by the ranker, not per candidate).
+
+yielding the paper's four scoring functions
+
+    s1 = r_p            s2 = r_p · sez
+    s3 = r_b · cib      s4 = r_p · cih
+
+with ``r_p`` the absolute Pearson estimate and ``r_b`` the absolute PM1
+bootstrap estimate. NaN estimates score 0 (a candidate whose correlation
+cannot even be estimated is ranked last, tied with zero-correlation ones).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bounds.hoeffding import hfd_interval
+from repro.correlation.bootstrap import pm1_interval
+from repro.correlation.fisher import clamped_fisher_se
+from repro.correlation.pearson import pearson
+from repro.core.joined_sample import JoinedSample
+
+SCORER_NAMES = ("rp", "rp_sez", "rb_cib", "rp_cih", "jc", "jc_est", "random")
+
+
+@dataclass(frozen=True)
+class CandidateScores:
+    """Per-candidate statistics every scoring function draws from.
+
+    Attributes:
+        r_pearson: Pearson estimate from the sketch join (NaN-safe).
+        r_bootstrap: PM1 bootstrap estimate (mean of replicates).
+        sample_size: sketch-join sample size ``n``.
+        sez_factor: the ``sez`` penalization factor.
+        cib_factor: the ``cib`` penalization factor.
+        hfd_ci_length: HFD interval length (input to ``cih``, which needs
+            list-level normalization).
+        containment_est: sketch-estimated containment (the ``ĵc`` score).
+        containment_true: exact containment if known (the ``jc`` score),
+            NaN otherwise.
+    """
+
+    r_pearson: float
+    r_bootstrap: float
+    sample_size: int
+    sez_factor: float
+    cib_factor: float
+    hfd_ci_length: float
+    containment_est: float
+    containment_true: float
+
+
+def _abs_or_zero(r: float) -> float:
+    return 0.0 if math.isnan(r) else abs(r)
+
+
+def sez_factor(sample_size: int) -> float:
+    """``1 − 1/sqrt(max(4, n) − 3)`` — in [0, 1), 0 at n ≤ 4."""
+    return 1.0 - clamped_fisher_se(sample_size)
+
+
+def cib_factor(ci_low: float, ci_high: float) -> float:
+    """``1 − (ρ^high − ρ^low)/2`` from the PM1 interval, floored at 0."""
+    if math.isnan(ci_low) or math.isnan(ci_high):
+        return 0.0
+    return max(0.0, 1.0 - (ci_high - ci_low) / 2.0)
+
+
+def cih_factors(ci_lengths: list[float]) -> list[float]:
+    """Min-max normalize HFD CI lengths over a ranked list (the ``cih``).
+
+    Candidates with NaN lengths receive factor 0 (maximum risk). When all
+    finite lengths are equal the normalization is degenerate; every finite
+    candidate then gets factor 1 (no discrimination, no penalty).
+    """
+    finite = [c for c in ci_lengths if not math.isnan(c)]
+    if not finite:
+        return [0.0 for _ in ci_lengths]
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for c in ci_lengths:
+        if math.isnan(c):
+            out.append(0.0)
+        elif span <= 0:
+            out.append(1.0)
+        else:
+            out.append(1.0 - (c - lo) / span)
+    return out
+
+
+def candidate_scores(
+    sample: JoinedSample,
+    *,
+    containment_est: float = 0.0,
+    containment_true: float = math.nan,
+    alpha: float = 0.05,
+    rng: np.random.Generator | None = None,
+    with_bootstrap: bool = True,
+) -> CandidateScores:
+    """Compute all per-candidate scoring statistics from a sketch join.
+
+    Args:
+        sample: NaN-filtered joined sample from ``join_sketches(...)``.
+        containment_est: sketch-based containment estimate (``ĵc``).
+        containment_true: exact containment when available (``jc``).
+        alpha: miscoverage level for the HFD interval.
+        rng: generator for the PM1 bootstrap (seeded per-sample if None).
+        with_bootstrap: the PM1 bootstrap is by far the most expensive
+            statistic (hundreds of resamples); pass False when the scoring
+            function in use does not need ``r_b``/``cib`` — this is what
+            keeps query latency interactive (Section 5.5, and the paper's
+            point that Hoeffding CIs deliver bootstrap-quality rankings at
+            a fraction of the cost).
+    """
+    r_p = pearson(sample.x, sample.y)
+    n = sample.size
+
+    if rng is None:
+        rng = np.random.default_rng(n * 2_654_435_761 % (2**32) + 17)
+
+    if with_bootstrap and n >= 2 and not math.isnan(r_p):
+        boot = pm1_interval(sample.x, sample.y, rng=rng)
+        r_b = boot.estimate
+        cib = cib_factor(boot.low, boot.high)
+    else:
+        r_b = math.nan
+        cib = 0.0
+
+    c_low, c_high = sample.combined_range()
+    hfd = hfd_interval(sample.x, sample.y, c_low, c_high, alpha)
+    hfd_len = hfd.length if not math.isnan(hfd.length) else math.nan
+
+    return CandidateScores(
+        r_pearson=r_p,
+        r_bootstrap=r_b,
+        sample_size=n,
+        sez_factor=sez_factor(n),
+        cib_factor=cib,
+        hfd_ci_length=hfd_len,
+        containment_est=containment_est,
+        containment_true=containment_true,
+    )
+
+
+def score_candidates(
+    scores: list[CandidateScores],
+    scorer: str,
+    rng: np.random.Generator | None = None,
+) -> list[float]:
+    """Apply one named scoring function to a whole candidate list.
+
+    ``cih`` needs the full list for normalization and ``random`` needs a
+    generator, so scoring is list-at-a-time.
+
+    Raises:
+        ValueError: for unknown scorer names (see :data:`SCORER_NAMES`).
+    """
+    if scorer == "rp":
+        return [_abs_or_zero(s.r_pearson) for s in scores]
+    if scorer == "rp_sez":
+        return [_abs_or_zero(s.r_pearson) * s.sez_factor for s in scores]
+    if scorer == "rb_cib":
+        return [_abs_or_zero(s.r_bootstrap) * s.cib_factor for s in scores]
+    if scorer == "rp_cih":
+        cih = cih_factors([s.hfd_ci_length for s in scores])
+        return [_abs_or_zero(s.r_pearson) * f for s, f in zip(scores, cih)]
+    if scorer == "jc":
+        return [
+            0.0 if math.isnan(s.containment_true) else s.containment_true
+            for s in scores
+        ]
+    if scorer == "jc_est":
+        return [s.containment_est for s in scores]
+    if scorer == "random":
+        if rng is None:
+            rng = np.random.default_rng()
+        return list(rng.uniform(0.0, 1.0, size=len(scores)))
+    raise ValueError(f"unknown scorer {scorer!r}; expected one of {SCORER_NAMES}")

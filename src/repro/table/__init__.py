@@ -1,0 +1,49 @@
+"""In-memory table substrate: typed columns, CSV IO, ground-truth joins.
+
+Plays the role Tablesaw + ad-hoc join code play in the paper's evaluation
+pipeline: parse CSV datasets, detect column types, extract the
+``⟨categorical, numeric⟩`` column pairs that sketches summarize, and
+compute exact joins/correlations as ground truth.
+"""
+
+from repro.table.column import CategoricalColumn, Column, NumericColumn
+from repro.table.csv_io import read_csv, read_csv_text, write_csv
+from repro.table.join import (
+    JoinResult,
+    aggregate_pairs,
+    jaccard_containment,
+    join_columns,
+    join_tables,
+    true_correlation,
+)
+from repro.table.table import ColumnPair, Table, table_from_arrays
+from repro.table.types import (
+    MISSING_TOKENS,
+    ColumnType,
+    infer_column_type,
+    is_missing,
+    try_parse_float,
+)
+
+__all__ = [
+    "CategoricalColumn",
+    "Column",
+    "ColumnPair",
+    "ColumnType",
+    "JoinResult",
+    "MISSING_TOKENS",
+    "NumericColumn",
+    "Table",
+    "aggregate_pairs",
+    "infer_column_type",
+    "is_missing",
+    "jaccard_containment",
+    "join_columns",
+    "join_tables",
+    "read_csv",
+    "read_csv_text",
+    "table_from_arrays",
+    "true_correlation",
+    "try_parse_float",
+    "write_csv",
+]

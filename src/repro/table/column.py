@@ -1,0 +1,75 @@
+"""Typed column containers for the in-memory table substrate."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.table.types import ColumnType
+
+
+class NumericColumn:
+    """A numeric column stored as a float64 array (NaN = missing)."""
+
+    type = ColumnType.NUMERIC
+
+    def __init__(self, name: str, values: Sequence[float] | np.ndarray) -> None:
+        self.name = name
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.values.ndim != 1:
+            raise ValueError(f"column {name!r} must be 1-D, got {self.values.ndim}-D")
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    def missing_count(self) -> int:
+        """Number of NaN cells."""
+        return int(np.isnan(self.values).sum())
+
+    def min(self) -> float:
+        """Minimum over non-missing cells (NaN if all missing)."""
+        finite = self.values[~np.isnan(self.values)]
+        return float(finite.min()) if finite.size else math.nan
+
+    def max(self) -> float:
+        """Maximum over non-missing cells (NaN if all missing)."""
+        finite = self.values[~np.isnan(self.values)]
+        return float(finite.max()) if finite.size else math.nan
+
+    def __repr__(self) -> str:
+        return f"NumericColumn({self.name!r}, rows={len(self)})"
+
+
+class CategoricalColumn:
+    """A categorical (string-keyed) column; None = missing."""
+
+    type = ColumnType.CATEGORICAL
+
+    def __init__(self, name: str, values: Sequence[str | None]) -> None:
+        self.name = name
+        self.values: list[str | None] = list(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[str | None]:
+        return iter(self.values)
+
+    def missing_count(self) -> int:
+        """Number of missing (None) cells."""
+        return sum(1 for v in self.values if v is None)
+
+    def distinct_count(self) -> int:
+        """Exact number of distinct non-missing values."""
+        return len({v for v in self.values if v is not None})
+
+    def __repr__(self) -> str:
+        return f"CategoricalColumn({self.name!r}, rows={len(self)})"
+
+
+Column = NumericColumn | CategoricalColumn

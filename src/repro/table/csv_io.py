@@ -1,0 +1,137 @@
+"""CSV reading with automatic column-type detection.
+
+Stand-in for the Tablesaw parsing step of Section 5.1: datasets arrive as
+"plain CSV text files" and column types are detected automatically. Uses
+the stdlib ``csv`` module for parsing and :mod:`repro.table.types` for
+type sniffing, producing a :class:`~repro.table.table.Table`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.table.column import CategoricalColumn, Column, NumericColumn
+from repro.table.table import Table
+from repro.table.types import ColumnType, infer_column_type, is_missing, try_parse_float
+
+
+def _build_column(name: str, cells: Sequence[str], ctype: ColumnType) -> Column | None:
+    if ctype is ColumnType.UNSUPPORTED:
+        return None
+    if ctype is ColumnType.NUMERIC:
+        values = np.empty(len(cells), dtype=np.float64)
+        for i, cell in enumerate(cells):
+            if is_missing(cell):
+                values[i] = math.nan
+            else:
+                parsed = try_parse_float(cell)
+                values[i] = math.nan if parsed is None else parsed
+        return NumericColumn(name, values)
+    return CategoricalColumn(
+        name, [None if is_missing(c) else c.strip() for c in cells]
+    )
+
+
+def read_csv_text(
+    text: str,
+    name: str,
+    *,
+    delimiter: str = ",",
+    categorical_threshold: float = 0.0,
+) -> Table:
+    """Parse CSV text into a typed :class:`Table`.
+
+    Args:
+        text: full CSV content including the header row.
+        name: name for the resulting table.
+        delimiter: field separator.
+        categorical_threshold: forwarded to type inference — numeric-looking
+            columns with at most this distinct ratio become categorical
+            (id-code heuristic; 0 disables).
+
+    Raises:
+        ValueError: on empty input or rows with inconsistent width.
+    """
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = list(reader)
+    if not rows:
+        raise ValueError(f"CSV {name!r} is empty")
+    header = [h.strip() for h in rows[0]]
+    if len(set(header)) != len(header):
+        # Disambiguate duplicate headers the way spreadsheet tools do.
+        seen: dict[str, int] = {}
+        unique = []
+        for h in header:
+            count = seen.get(h, 0)
+            unique.append(h if count == 0 else f"{h}.{count}")
+            seen[h] = count + 1
+        header = unique
+
+    body = rows[1:]
+    width = len(header)
+    columns_cells: list[list[str]] = [[] for _ in range(width)]
+    for line_no, row in enumerate(body, start=2):
+        if not row:
+            continue  # blank line — common in hand-edited CSV files
+        if len(row) != width:
+            raise ValueError(
+                f"CSV {name!r} line {line_no}: expected {width} fields, "
+                f"got {len(row)}"
+            )
+        for i, cell in enumerate(row):
+            columns_cells[i].append(cell)
+
+    columns: list[Column] = []
+    for col_name, cells in zip(header, columns_cells):
+        ctype = infer_column_type(
+            cells, categorical_threshold=categorical_threshold
+        )
+        built = _build_column(col_name, cells, ctype)
+        if built is not None:
+            columns.append(built)
+    return Table(name, columns)
+
+
+def read_csv(
+    path: str | Path,
+    *,
+    delimiter: str = ",",
+    categorical_threshold: float = 0.0,
+    encoding: str = "utf-8",
+) -> Table:
+    """Read a CSV file from disk into a typed :class:`Table`."""
+    path = Path(path)
+    with open(path, encoding=encoding, newline="") as f:
+        text = f.read()
+    return read_csv_text(
+        text,
+        path.name,
+        delimiter=delimiter,
+        categorical_threshold=categorical_threshold,
+    )
+
+
+def write_csv(table: Table, path: str | Path, *, delimiter: str = ",") -> None:
+    """Write a :class:`Table` to disk (NaN / None serialize as empty)."""
+    path = Path(path)
+    names = table.column_names
+    cols = [table.column(n) for n in names]
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        writer.writerow(names)
+        for i in range(len(table)):
+            row = []
+            for col in cols:
+                if isinstance(col, NumericColumn):
+                    v = col.values[i]
+                    row.append("" if math.isnan(v) else repr(float(v)))
+                else:
+                    v = col.values[i]
+                    row.append("" if v is None else v)
+            writer.writerow(row)

@@ -1,0 +1,129 @@
+"""Tests for the repro-sketch command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def portal(tmp_path):
+    """A small CSV portal: query table + correlated + noise candidates."""
+    rng = np.random.default_rng(0)
+    n = 400
+    dates = [f"2021-{1 + i // 28:02d}-{1 + i % 28:02d}" for i in range(n)]
+    signal = rng.standard_normal(n)
+
+    def write(name, column, values):
+        lines = [f"date,{column}"]
+        lines += [f"{d},{v:.5f}" for d, v in zip(dates, values)]
+        (tmp_path / name).write_text("\n".join(lines) + "\n")
+
+    write("query.csv", "target", signal)
+    write("good.csv", "feature", 0.9 * signal + 0.4 * rng.standard_normal(n))
+    write("noise.csv", "junk", rng.standard_normal(n))
+    return tmp_path
+
+
+def _index(portal, tmp_path, extra=()):
+    catalog = tmp_path / "catalog.json"
+    rc = main(["index", str(portal), "-o", str(catalog), *extra])
+    assert rc == 0
+    return catalog
+
+
+def test_index_creates_catalog(portal, tmp_path, capsys):
+    catalog = _index(portal, tmp_path)
+    assert catalog.exists()
+    out = capsys.readouterr().out
+    assert "indexed 3 column pairs" in out
+
+
+def test_index_verbose_lists_files(portal, tmp_path, capsys):
+    _index(portal, tmp_path, extra=["-v"])
+    out = capsys.readouterr().out
+    assert "good.csv" in out
+
+
+def test_index_empty_directory_fails(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    rc = main(["index", str(empty), "-o", str(tmp_path / "c.json")])
+    assert rc == 1
+    assert "no CSV files" in capsys.readouterr().err
+
+
+def test_query_ranks_correlated_first(portal, tmp_path, capsys):
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    rc = main(
+        [
+            "query",
+            str(catalog),
+            str(portal / "query.csv"),
+            "--scorer",
+            "rp",
+            "-k",
+            "3",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+    assert lines[0].split()[1].startswith("good.csv")
+
+
+def test_query_explicit_pair_selection(portal, tmp_path, capsys):
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    rc = main(
+        [
+            "query", str(catalog), str(portal / "query.csv"),
+            "--key", "date", "--value", "target", "--scorer", "rp",
+        ]
+    )
+    assert rc == 0
+    assert "query pair : query.csv::date->target" in capsys.readouterr().out
+
+
+def test_query_unknown_pair_errors(portal, tmp_path):
+    catalog = _index(portal, tmp_path)
+    with pytest.raises(SystemExit, match="no pair"):
+        main(["query", str(catalog), str(portal / "query.csv"), "--key", "zip"])
+
+
+def test_estimate_between_two_csvs(portal, capsys):
+    rc = main(
+        ["estimate", str(portal / "query.csv"), str(portal / "good.csv")]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "estimated correlation: +0.9" in out or "estimated correlation: +0.8" in out
+    assert "sketch-join sample" in out
+
+
+def test_estimate_with_spearman(portal, capsys):
+    rc = main(
+        [
+            "estimate", str(portal / "query.csv"), str(portal / "good.csv"),
+            "--estimator", "spearman",
+        ]
+    )
+    assert rc == 0
+    assert "(spearman)" in capsys.readouterr().out
+
+
+def test_info_reports_statistics(portal, tmp_path, capsys):
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    rc = main(["info", str(catalog)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sketches     : 3" in out
+    assert "sketch size  : 256" in out
+
+
+def test_unknown_scorer_rejected(portal, tmp_path):
+    catalog = _index(portal, tmp_path)
+    with pytest.raises(SystemExit):
+        main(["query", str(catalog), str(portal / "query.csv"), "--scorer", "magic"])

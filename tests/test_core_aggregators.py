@@ -1,0 +1,85 @@
+"""Unit tests for streaming aggregate functions."""
+
+import math
+
+import pytest
+
+from repro.core.aggregators import AGGREGATORS, make_aggregator
+
+
+def test_unknown_aggregate_rejected():
+    with pytest.raises(ValueError, match="unknown aggregate"):
+        make_aggregator("median")
+
+
+@pytest.mark.parametrize("name", sorted(AGGREGATORS))
+def test_fresh_instances_are_independent(name):
+    a = make_aggregator(name)
+    b = make_aggregator(name)
+    a.observe(5.0)
+    if name == "count":
+        assert b.value() == 0.0
+    else:
+        assert math.isnan(b.value())
+
+
+@pytest.mark.parametrize(
+    "name,values,expected",
+    [
+        ("mean", [2.0, 4.0, 6.0], 4.0),
+        ("sum", [1.0, 2.0, 3.5], 6.5),
+        ("max", [3.0, -1.0, 7.0, 2.0], 7.0),
+        ("min", [3.0, -1.0, 7.0, 2.0], -1.0),
+        ("first", [9.0, 1.0, 5.0], 9.0),
+        ("last", [9.0, 1.0, 5.0], 5.0),
+        ("count", [9.0, 1.0, 5.0], 3.0),
+    ],
+)
+def test_aggregate_semantics(name, values, expected):
+    agg = make_aggregator(name)
+    for v in values:
+        agg.observe(v)
+    assert agg.value() == expected
+
+
+@pytest.mark.parametrize("name", ["mean", "sum", "max", "min", "first", "last"])
+def test_nan_inputs_skipped(name):
+    agg = make_aggregator(name)
+    agg.observe(math.nan)
+    assert math.isnan(agg.value())
+    agg.observe(4.0)
+    agg.observe(math.nan)
+    assert agg.value() == 4.0
+
+
+def test_count_counts_nan_occurrences():
+    """A key occurrence with a missing numeric cell still counts."""
+    agg = make_aggregator("count")
+    agg.observe(math.nan)
+    agg.observe(1.0)
+    assert agg.value() == 2.0
+
+
+def test_single_value_all_value_aggregates_agree():
+    for name in ("mean", "sum", "max", "min", "first", "last"):
+        agg = make_aggregator(name)
+        agg.observe(3.25)
+        assert agg.value() == 3.25
+
+
+def test_mean_matches_paper_figure1_example():
+    """Figure 1: key 2021-01 values {5.5, 4.5} aggregate to 5.0."""
+    agg = make_aggregator("mean")
+    agg.observe(5.5)
+    agg.observe(4.5)
+    assert agg.value() == 5.0
+
+
+def test_min_max_with_negatives_only():
+    mx = make_aggregator("max")
+    mn = make_aggregator("min")
+    for v in (-5.0, -2.0, -9.0):
+        mx.observe(v)
+        mn.observe(v)
+    assert mx.value() == -2.0
+    assert mn.value() == -9.0

@@ -1,0 +1,82 @@
+"""Tests for the estimate_statistics façade (Section 3.3 flexibility)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import estimate_statistics
+from repro.core.sketch import CorrelationSketch
+
+
+def _sketch_pair(x, y, n=512):
+    keys = [f"k{i}" for i in range(len(x))]
+    left = CorrelationSketch.from_columns(keys, x, n)
+    right = CorrelationSketch.from_columns(keys, y, n)
+    return left, right
+
+
+def test_linear_relation_all_statistics_agree():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(20_000)
+    y = 0.9 * x + math.sqrt(1 - 0.81) * rng.standard_normal(20_000)
+    stats = estimate_statistics(*_sketch_pair(x, y))
+    assert stats.sample_size == 512
+    assert stats.pearson == pytest.approx(0.9, abs=0.1)
+    assert stats.mutual_information > 0.3
+    assert stats.distance_correlation > 0.7
+
+
+def test_quadratic_relation_only_information_statistics_see_it():
+    """y = x²: Pearson ~0 but MI and distance correlation detect it —
+    the reason Section 3.3's flexibility matters for discovery."""
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(20_000)
+    y = x * x + 0.1 * rng.standard_normal(20_000)
+    stats = estimate_statistics(*_sketch_pair(x, y, n=1024))
+    assert abs(stats.pearson) < 0.25
+    assert stats.mutual_information > 0.3
+    assert stats.distance_correlation > 0.3
+
+
+def test_independent_columns_near_zero():
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(20_000)
+    y = rng.standard_normal(20_000)
+    stats = estimate_statistics(*_sketch_pair(x, y, n=1024))
+    assert stats.mutual_information < 0.25
+    assert stats.distance_correlation < 0.25
+
+
+def test_entropy_tracks_marginals():
+    # Fixed bin count: plug-in entropies are only comparable at a common
+    # bin count (each column otherwise gets its own Freedman-Diaconis
+    # width over its own range).
+    rng = np.random.default_rng(3)
+    x = rng.uniform(0, 1, 20_000)          # maximal entropy per bin count
+    y = rng.beta(30, 30, 20_000)            # concentrated bell
+    stats = estimate_statistics(*_sketch_pair(x, y, n=1024), bins=16)
+    assert stats.entropy_x > stats.entropy_y
+
+
+def test_empty_join_gives_nan():
+    a = CorrelationSketch.from_columns([f"a{i}" for i in range(50)], np.ones(50), 16)
+    b = CorrelationSketch.from_columns([f"b{i}" for i in range(50)], np.ones(50), 16)
+    stats = estimate_statistics(a, b)
+    assert stats.sample_size == 0
+    assert math.isnan(stats.mutual_information)
+    assert math.isnan(stats.pearson)
+
+
+def test_statistics_track_full_data_values():
+    """Sketch-sample MI approximates full-data MI (same bin policy)."""
+    from repro.core.statistics import sample_mutual_information
+
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal(30_000)
+    y = 0.8 * x + 0.6 * rng.standard_normal(30_000)
+    full_mi = sample_mutual_information(x, y, bins=8)
+    stats = estimate_statistics(*_sketch_pair(x, y, n=1024))
+    # Plug-in MI is biased upward at smaller samples; allow a wide band
+    # but require the same order of magnitude.
+    assert 0.3 * full_mi < stats.mutual_information < 3.0 * full_mi

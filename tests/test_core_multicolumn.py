@@ -1,0 +1,95 @@
+"""Unit tests for MultiColumnSketch."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.joined_sample import join_sketches
+from repro.core.multicolumn import MultiColumnSketch
+from repro.core.sketch import CorrelationSketch
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="positive"):
+        MultiColumnSketch(0, ["a"])
+    with pytest.raises(ValueError, match="at least one"):
+        MultiColumnSketch(4, [])
+    with pytest.raises(ValueError, match="duplicate"):
+        MultiColumnSketch(4, ["a", "a"])
+    with pytest.raises(ValueError, match="unknown aggregate"):
+        MultiColumnSketch(4, ["a"], aggregate="nope")
+
+
+def test_row_width_checked():
+    sketch = MultiColumnSketch(4, ["x", "z"])
+    with pytest.raises(ValueError, match="expected 2 values"):
+        sketch.update("k", [1.0])
+
+
+def test_column_view_matches_direct_sketch():
+    """A column view must be indistinguishable from a directly built
+    sketch of that ⟨key, column⟩ pair."""
+    rng = np.random.default_rng(3)
+    n_rows = 2000
+    keys = [f"k{i}" for i in range(n_rows)]
+    x = rng.standard_normal(n_rows)
+    z = rng.standard_normal(n_rows)
+
+    multi = MultiColumnSketch(64, ["x", "z"], name="t")
+    multi.update_all(zip(keys, zip(x, z)))
+
+    direct_x = CorrelationSketch.from_columns(keys, x, 64)
+    view_x = multi.column("x")
+    assert view_x.key_hashes() == direct_x.key_hashes()
+    assert view_x.entries() == direct_x.entries()
+    assert view_x.value_min == direct_x.value_min
+    assert view_x.value_max == direct_x.value_max
+    assert view_x.saw_all_keys == direct_x.saw_all_keys
+
+
+def test_shared_selection_across_columns():
+    multi = MultiColumnSketch(16, ["x", "z"])
+    for i in range(500):
+        multi.update(f"k{i}", [float(i), float(-i)])
+    assert multi.column("x").key_hashes() == multi.column("z").key_hashes()
+
+
+def test_unknown_column_view():
+    multi = MultiColumnSketch(4, ["x"])
+    with pytest.raises(KeyError, match="no column"):
+        multi.column("y")
+
+
+def test_repeated_keys_aggregate_per_column():
+    multi = MultiColumnSketch(8, ["x", "z"], aggregate="mean")
+    multi.update("a", [1.0, 10.0])
+    multi.update("a", [3.0, 30.0])
+    h = multi.hasher.key_hash("a")
+    assert multi.column("x").entries()[h] == 2.0
+    assert multi.column("z").entries()[h] == 20.0
+
+
+def test_nan_handling_per_column():
+    multi = MultiColumnSketch(8, ["x", "z"])
+    multi.update("a", [math.nan, 5.0])
+    h = multi.hasher.key_hash("a")
+    assert math.isnan(multi.column("x").entries()[h])
+    assert multi.column("z").entries()[h] == 5.0
+
+
+def test_views_joinable_with_regular_sketches():
+    keys = [f"k{i}" for i in range(300)]
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(300)
+    multi = MultiColumnSketch(32, ["x"], name="m")
+    multi.update_all(zip(keys, zip(x)))
+    other = CorrelationSketch.from_columns(keys, x * 2, 32)
+    sample = join_sketches(multi.column("x"), other)
+    assert sample.size > 0
+    assert np.allclose(sample.y, 2 * sample.x)
+
+
+def test_view_name_includes_parent():
+    multi = MultiColumnSketch(4, ["x"], name="table1")
+    assert multi.column("x").name == "table1:x"

@@ -1,0 +1,105 @@
+"""Unit tests for the Section 3.3 extension statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.statistics import (
+    distance_correlation,
+    sample_entropy,
+    sample_mutual_information,
+)
+
+
+class TestSampleEntropy:
+    def test_empty_is_nan(self):
+        assert math.isnan(sample_entropy(np.array([])))
+
+    def test_all_nan_is_nan(self):
+        assert math.isnan(sample_entropy(np.array([math.nan, math.nan])))
+
+    def test_constant_has_zero_entropy(self):
+        assert sample_entropy(np.full(100, 3.0)) == 0.0
+
+    def test_uniform_close_to_log_bins(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1, size=50_000)
+        h = sample_entropy(values, bins=16)
+        assert abs(h - math.log(16)) < 0.05
+
+    def test_uniform_beats_concentrated(self):
+        """At a fixed bin count, the uniform maximizes plug-in entropy."""
+        rng = np.random.default_rng(1)
+        uniform = rng.uniform(0, 1, size=5000)
+        concentrated = rng.beta(20, 20, size=5000)  # same support, peaked
+        assert sample_entropy(uniform, bins=32) > sample_entropy(concentrated, bins=32)
+
+
+class TestMutualInformation:
+    def test_too_small_is_nan(self):
+        assert math.isnan(sample_mutual_information(np.array([1.0]), np.array([2.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sample_mutual_information(np.ones(3), np.ones(4))
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(20_000)
+        y = rng.standard_normal(20_000)
+        assert sample_mutual_information(x, y, bins=8) < 0.05
+
+    def test_deterministic_relation_high(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(20_000)
+        y = x.copy()
+        mi = sample_mutual_information(x, y, bins=8)
+        assert mi > 1.0
+
+    def test_captures_nonmonotone_dependence(self):
+        """y = x² is invisible to Pearson but not to MI."""
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(20_000)
+        y = x * x
+        mi = sample_mutual_information(x, y, bins=8)
+        assert mi > 0.3
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            x = rng.standard_normal(200)
+            y = rng.standard_normal(200)
+            assert sample_mutual_information(x, y) >= 0.0
+
+
+class TestDistanceCorrelation:
+    def test_too_small_is_nan(self):
+        assert math.isnan(distance_correlation(np.array([1.0]), np.array([2.0])))
+
+    def test_perfect_linear_is_one(self):
+        x = np.linspace(0, 1, 100)
+        assert distance_correlation(x, 3 * x + 1) == pytest.approx(1.0, abs=1e-9)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(500)
+        y = rng.standard_normal(500)
+        assert distance_correlation(x, y) < 0.15
+
+    def test_nonmonotone_dependence_detected(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-1, 1, 800)
+        y = x * x
+        assert distance_correlation(x, y) > 0.3
+
+    def test_range(self):
+        rng = np.random.default_rng(8)
+        for _ in range(5):
+            x = rng.standard_normal(100)
+            y = 0.5 * x + rng.standard_normal(100)
+            d = distance_correlation(x, y)
+            assert 0.0 <= d <= 1.0
+
+    def test_constant_column_nan(self):
+        assert math.isnan(distance_correlation(np.ones(50), np.arange(50.0)))

@@ -1,0 +1,102 @@
+"""Unit tests for the PM1 bootstrap estimator and interval."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.correlation.bootstrap import (
+    PM1_REPLICATES,
+    pm1_bootstrap,
+    pm1_interval,
+    _resample_correlations,
+)
+from repro.correlation.pearson import pearson
+
+
+def _sample(n=100, rho=0.7, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    y = rho * x + math.sqrt(1 - rho**2) * rng.standard_normal(n)
+    return x, y
+
+
+def test_estimate_close_to_pearson():
+    x, y = _sample(n=200)
+    est = pm1_bootstrap(x, y, rng=np.random.default_rng(1))
+    assert est == pytest.approx(pearson(x, y), abs=0.05)
+
+
+def test_estimate_reproducible_with_seeded_rng():
+    x, y = _sample()
+    a = pm1_bootstrap(x, y, rng=np.random.default_rng(42))
+    b = pm1_bootstrap(x, y, rng=np.random.default_rng(42))
+    assert a == b
+
+
+def test_undefined_inputs_nan():
+    assert math.isnan(pm1_bootstrap(np.array([1.0]), np.array([2.0])))
+    assert math.isnan(pm1_bootstrap(np.ones(10), np.arange(10.0)))
+
+
+def test_shape_mismatch():
+    with pytest.raises(ValueError):
+        pm1_bootstrap(np.ones(3), np.ones(4))
+
+
+def test_adaptive_stopping_bounded():
+    """The stopping rule must terminate well below max for stable data."""
+    x, y = _sample(n=500, rho=0.9)
+    est = pm1_bootstrap(
+        x, y, rng=np.random.default_rng(2), max_replicates=20_000
+    )
+    assert not math.isnan(est)
+
+
+def test_interval_contains_estimate_and_truth_often():
+    """Coverage check: the 95% PM1 interval should contain the population
+    correlation in a clear majority of repetitions."""
+    rho = 0.6
+    hits = 0
+    trials = 30
+    for seed in range(trials):
+        x, y = _sample(n=150, rho=rho, seed=seed)
+        res = pm1_interval(x, y, rng=np.random.default_rng(seed))
+        if res.low <= rho <= res.high:
+            hits += 1
+    assert hits / trials >= 0.8
+
+
+def test_interval_ordering_and_replicates():
+    x, y = _sample()
+    res = pm1_interval(x, y, rng=np.random.default_rng(3))
+    assert res.low <= res.estimate <= res.high
+    assert res.replicates <= PM1_REPLICATES
+
+
+def test_interval_nan_for_degenerate():
+    res = pm1_interval(np.ones(10), np.arange(10.0))
+    assert math.isnan(res.estimate)
+    assert res.replicates == 0
+
+
+def test_interval_narrows_with_sample_size():
+    x_small, y_small = _sample(n=20, seed=5)
+    x_big, y_big = _sample(n=2000, seed=5)
+    small = pm1_interval(x_small, y_small, rng=np.random.default_rng(0))
+    big = pm1_interval(x_big, y_big, rng=np.random.default_rng(0))
+    assert (big.high - big.low) < (small.high - small.low)
+
+
+def test_resampler_vectorized_matches_scalar_semantics():
+    """Each replicate must equal Pearson on the corresponding resample."""
+    x, y = _sample(n=50)
+    rng = np.random.default_rng(9)
+    reps = _resample_correlations(x, y, 20, rng)
+    assert ((reps >= -1.0) & (reps <= 1.0)).all()
+    # Same RNG state reproduces identical indices, hence identical reps.
+    rng2 = np.random.default_rng(9)
+    idx = rng2.integers(0, 50, size=(20, 50))
+    expected = np.array([pearson(x[i], y[i]) for i in idx])
+    expected = expected[~np.isnan(expected)]
+    assert np.allclose(reps, expected, atol=1e-12)

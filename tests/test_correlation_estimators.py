@@ -1,0 +1,56 @@
+"""Unit tests for the estimator registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.correlation.estimators import (
+    ESTIMATORS,
+    get_estimator,
+    population_reference,
+)
+from repro.correlation.pearson import pearson
+from repro.correlation.rin import rin
+from repro.correlation.spearman import spearman
+
+
+def test_registry_contains_paper_estimators():
+    assert set(ESTIMATORS) == {"pearson", "spearman", "rin", "qn", "pm1"}
+
+
+def test_get_estimator_unknown():
+    with pytest.raises(ValueError, match="unknown correlation estimator"):
+        get_estimator("kendall")
+
+
+@pytest.mark.parametrize("name", sorted(ESTIMATORS))
+def test_all_estimators_run_and_agree_on_strong_signal(name):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(400)
+    y = 0.95 * x + math.sqrt(1 - 0.95**2) * rng.standard_normal(400)
+    r = get_estimator(name)(x, y)
+    assert 0.8 < r <= 1.0
+
+
+@pytest.mark.parametrize("name", sorted(ESTIMATORS))
+def test_all_estimators_nan_on_degenerate(name):
+    assert math.isnan(get_estimator(name)(np.ones(10), np.arange(10.0)))
+
+
+def test_pm1_registry_entry_is_deterministic():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(100)
+    y = 0.5 * x + rng.standard_normal(100)
+    fn = get_estimator("pm1")
+    assert fn(x, y) == fn(x, y)
+
+
+def test_population_reference_mapping():
+    assert population_reference("pearson") is pearson
+    assert population_reference("qn") is pearson
+    assert population_reference("pm1") is pearson
+    assert population_reference("spearman") is spearman
+    assert population_reference("rin") is rin
+    with pytest.raises(ValueError):
+        population_reference("nope")

@@ -1,0 +1,101 @@
+"""Unit tests for Fisher z machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.correlation.fisher import (
+    clamped_fisher_se,
+    fisher_interval,
+    fisher_se,
+    fisher_z,
+    inverse_fisher_z,
+)
+
+
+class TestTransform:
+    def test_zero_maps_to_zero(self):
+        assert fisher_z(0.0) == 0.0
+
+    def test_round_trip(self):
+        for r in (-0.99, -0.5, 0.0, 0.3, 0.95):
+            assert inverse_fisher_z(fisher_z(r)) == pytest.approx(r, abs=1e-12)
+
+    def test_extremes(self):
+        assert fisher_z(1.0) == math.inf
+        assert fisher_z(-1.0) == -math.inf
+        assert inverse_fisher_z(math.inf) == 1.0
+
+    def test_nan_propagates(self):
+        assert math.isnan(fisher_z(math.nan))
+        assert math.isnan(inverse_fisher_z(math.nan))
+
+    def test_odd_function(self):
+        assert fisher_z(-0.4) == pytest.approx(-fisher_z(0.4))
+
+
+class TestStandardError:
+    def test_formula(self):
+        assert fisher_se(103) == pytest.approx(0.1)
+
+    def test_small_n_infinite(self):
+        assert fisher_se(3) == math.inf
+        assert fisher_se(1) == math.inf
+
+    def test_clamped_variant(self):
+        # max(4, n) - 3 keeps the SE finite (=1) at tiny n.
+        assert clamped_fisher_se(0) == 1.0
+        assert clamped_fisher_se(4) == 1.0
+        assert clamped_fisher_se(103) == pytest.approx(0.1)
+
+    def test_decreasing_in_n(self):
+        values = [clamped_fisher_se(n) for n in (4, 10, 100, 1000)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestInterval:
+    def test_degenerate_small_n(self):
+        ci = fisher_interval(0.5, 3)
+        assert (ci.low, ci.high) == (-1.0, 1.0)
+
+    def test_nan_r(self):
+        ci = fisher_interval(math.nan, 100)
+        assert (ci.low, ci.high) == (-1.0, 1.0)
+
+    def test_contains_point_estimate(self):
+        ci = fisher_interval(0.6, 50)
+        assert ci.low < 0.6 < ci.high
+
+    def test_narrows_with_n(self):
+        wide = fisher_interval(0.6, 10)
+        narrow = fisher_interval(0.6, 1000)
+        assert narrow.length < wide.length
+
+    def test_stays_in_correlation_space(self):
+        ci = fisher_interval(0.99, 10)
+        assert -1.0 <= ci.low <= ci.high <= 1.0
+
+    def test_alpha_ordering(self):
+        ci_90 = fisher_interval(0.5, 30, alpha=0.10)
+        ci_99 = fisher_interval(0.5, 30, alpha=0.01)
+        assert ci_90.length < ci_99.length
+
+    def test_nonstandard_alpha_uses_scipy(self):
+        ci = fisher_interval(0.5, 30, alpha=0.2)
+        assert ci.low < 0.5 < ci.high
+
+    def test_empirical_coverage_bivariate_normal(self):
+        """Under normality the 95% Fisher CI must cover ρ ≈ 95%."""
+        rho = 0.5
+        rng = np.random.default_rng(0)
+        cov = [[1, rho], [rho, 1]]
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            xy = rng.multivariate_normal([0, 0], cov, size=60)
+            r = float(np.corrcoef(xy[:, 0], xy[:, 1])[0, 1])
+            ci = fisher_interval(r, 60)
+            if ci.low <= rho <= ci.high:
+                hits += 1
+        assert hits / trials > 0.88

@@ -1,0 +1,95 @@
+"""Unit tests for the Qn scale estimator and Qn robust correlation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.correlation.qn import qn_correlation, qn_scale
+
+
+class TestQnScale:
+    def test_too_small_nan(self):
+        assert math.isnan(qn_scale(np.array([1.0])))
+        assert math.isnan(qn_scale(np.array([])))
+
+    def test_constant_is_zero(self):
+        assert qn_scale(np.full(20, 5.0)) == 0.0
+
+    def test_scale_equivariance(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(100)
+        assert qn_scale(3.0 * x) == pytest.approx(3.0 * qn_scale(x), rel=1e-9)
+
+    def test_shift_invariance(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(100)
+        assert qn_scale(x + 100.0) == pytest.approx(qn_scale(x), rel=1e-9)
+
+    def test_gaussian_consistency(self):
+        """For large normal samples Qn estimates the standard deviation."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 2.0, size=2000)
+        assert qn_scale(x) == pytest.approx(2.0, rel=0.1)
+
+    def test_robust_to_outliers(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(200)
+        contaminated = x.copy()
+        contaminated[:20] = 1000.0  # 10% gross outliers
+        assert qn_scale(contaminated) < 3.0 * qn_scale(x)
+
+    def test_small_sample_factors_used(self):
+        # n <= 9 uses the tabulated correction; just check it is finite
+        # and positive for each small n.
+        rng = np.random.default_rng(4)
+        for n in range(2, 10):
+            s = qn_scale(rng.standard_normal(n))
+            assert s >= 0.0 and not math.isnan(s)
+
+
+class TestQnCorrelation:
+    def test_strong_positive(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(500)
+        y = 0.9 * x + math.sqrt(1 - 0.81) * rng.standard_normal(500)
+        assert qn_correlation(x, y) == pytest.approx(0.9, abs=0.12)
+
+    def test_strong_negative(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(500)
+        y = -0.9 * x + math.sqrt(1 - 0.81) * rng.standard_normal(500)
+        assert qn_correlation(x, y) == pytest.approx(-0.9, abs=0.12)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(800)
+        y = rng.standard_normal(800)
+        assert abs(qn_correlation(x, y)) < 0.15
+
+    def test_range_clipped(self):
+        x = np.arange(50.0)
+        r = qn_correlation(x, 2 * x)
+        assert -1.0 <= r <= 1.0
+        assert r == pytest.approx(1.0, abs=0.05)
+
+    def test_constant_nan(self):
+        assert math.isnan(qn_correlation(np.ones(20), np.arange(20.0)))
+
+    def test_too_small_nan(self):
+        assert math.isnan(qn_correlation(np.array([1.0]), np.array([2.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            qn_correlation(np.ones(2), np.ones(3))
+
+    def test_robust_to_outliers_where_pearson_breaks(self):
+        from repro.correlation.pearson import pearson
+
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal(300)
+        y = 0.9 * x + 0.3 * rng.standard_normal(300)
+        x_out, y_out = x.copy(), y.copy()
+        x_out[:5], y_out[:5] = 50.0, -50.0  # adversarial contamination
+        assert abs(pearson(x_out, y_out) - 0.9) > 0.5
+        assert abs(qn_correlation(x_out, y_out) - 0.9) < 0.2

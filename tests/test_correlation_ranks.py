@@ -1,0 +1,70 @@
+"""Unit tests for the rank transforms (average ranks, rankit)."""
+
+import numpy as np
+import pytest
+
+from repro.correlation.ranks import average_ranks, rankit
+
+
+class TestAverageRanks:
+    def test_no_ties(self):
+        assert average_ranks(np.array([30.0, 10.0, 20.0])).tolist() == [3.0, 1.0, 2.0]
+
+    def test_ties_share_average(self):
+        assert average_ranks(np.array([10.0, 20.0, 20.0, 30.0])).tolist() == [
+            1.0,
+            2.5,
+            2.5,
+            4.0,
+        ]
+
+    def test_all_tied(self):
+        ranks = average_ranks(np.full(5, 7.0))
+        assert (ranks == 3.0).all()
+
+    def test_empty(self):
+        assert average_ranks(np.array([])).shape == (0,)
+
+    def test_matches_scipy(self):
+        from scipy.stats import rankdata
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            values = rng.integers(0, 20, size=50).astype(float)
+            assert np.allclose(average_ranks(values), rankdata(values))
+
+    def test_rank_sum_invariant(self):
+        rng = np.random.default_rng(1)
+        values = rng.standard_normal(100)
+        n = len(values)
+        assert average_ranks(values).sum() == pytest.approx(n * (n + 1) / 2)
+
+
+class TestRankit:
+    def test_empty(self):
+        assert rankit(np.array([])).shape == (0,)
+
+    def test_symmetric_around_zero(self):
+        values = np.arange(1.0, 12.0)  # odd count, no ties
+        transformed = rankit(values)
+        assert transformed.sum() == pytest.approx(0.0, abs=1e-9)
+        assert transformed[5] == pytest.approx(0.0, abs=1e-12)  # median
+
+    def test_monotone(self):
+        values = np.array([5.0, 1.0, 9.0, 3.0])
+        transformed = rankit(values)
+        assert (np.argsort(transformed) == np.argsort(values)).all()
+
+    def test_output_is_approximately_normal(self):
+        rng = np.random.default_rng(2)
+        values = rng.exponential(size=10_000)  # heavily skewed input
+        transformed = rankit(values)
+        assert abs(float(np.mean(transformed))) < 0.01
+        assert float(np.std(transformed)) == pytest.approx(1.0, abs=0.05)
+        # Skewness must be destroyed by the transform.
+        skew = float(np.mean(((transformed - transformed.mean()) / transformed.std()) ** 3))
+        assert abs(skew) < 0.05
+
+    def test_finite_for_extremes(self):
+        transformed = rankit(np.array([1.0, 2.0]))
+        assert np.isfinite(transformed).all()

@@ -1,0 +1,98 @@
+"""Unit tests for Spearman and RIN correlation estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.correlation.rin import rin
+from repro.correlation.spearman import spearman
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = np.linspace(0.1, 5, 50)
+        assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_decreasing_monotone_is_minus_one(self):
+        x = np.linspace(0.1, 5, 50)
+        assert spearman(x, 1 / x) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.standard_normal(80)
+            y = 0.5 * x + rng.standard_normal(80)
+            expected = spearmanr(x, y).statistic
+            assert spearman(x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_matches_scipy_with_ties(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 5, 60).astype(float)
+        y = rng.integers(0, 5, 60).astype(float)
+        assert spearman(x, y) == pytest.approx(spearmanr(x, y).statistic, abs=1e-12)
+
+    def test_too_small_nan(self):
+        assert math.isnan(spearman(np.array([1.0]), np.array([1.0])))
+
+    def test_constant_nan(self):
+        assert math.isnan(spearman(np.ones(10), np.arange(10.0)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman(np.ones(2), np.ones(3))
+
+    def test_robust_to_single_outlier(self):
+        """One wild point barely moves Spearman (unlike Pearson)."""
+        from repro.correlation.pearson import pearson
+
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(100)
+        y = 0.9 * x + 0.3 * rng.standard_normal(100)
+        x_out = x.copy()
+        y_out = y.copy()
+        x_out[0], y_out[0] = 100.0, -100.0
+        assert abs(spearman(x_out, y_out) - spearman(x, y)) < 0.1
+        assert abs(pearson(x_out, y_out) - pearson(x, y)) > 0.5
+
+
+class TestRIN:
+    def test_linear_relation_high(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(500)
+        y = 0.9 * x + math.sqrt(1 - 0.81) * rng.standard_normal(500)
+        assert rin(x, y) > 0.8
+
+    def test_too_small_nan(self):
+        assert math.isnan(rin(np.array([1.0]), np.array([2.0])))
+
+    def test_constant_nan(self):
+        assert math.isnan(rin(np.full(20, 3.0), np.arange(20.0)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rin(np.ones(2), np.ones(3))
+
+    def test_invariant_to_monotone_transform(self):
+        """RIN depends on values only through ranks."""
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0.1, 10, 200)
+        y = rng.uniform(0.1, 10, 200)
+        assert rin(np.log(x), y) == pytest.approx(rin(x, y), abs=1e-12)
+        assert rin(x, y**3) == pytest.approx(rin(x, y), abs=1e-12)
+
+    def test_stabilizes_heavy_tails(self):
+        """On lognormal data with an underlying linear latent relation,
+        RIN should recover a stronger signal than raw Pearson."""
+        from repro.correlation.pearson import pearson
+
+        rng = np.random.default_rng(5)
+        latent = rng.standard_normal(2000)
+        x = np.exp(2.0 * latent + 0.3 * rng.standard_normal(2000))
+        y = np.exp(2.0 * latent + 0.3 * rng.standard_normal(2000))
+        assert rin(x, y) > pearson(x, y)
+        assert rin(x, y) > 0.85

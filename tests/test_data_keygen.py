@@ -1,0 +1,110 @@
+"""Unit tests for join-key universe generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.keygen import (
+    date_keys,
+    entity_keys,
+    random_string_keys,
+    subsample_keys,
+    zipcode_keys,
+    zipf_multiplicities,
+)
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+class TestRandomStringKeys:
+    def test_count_and_distinct(self):
+        keys = random_string_keys(1000, _rng())
+        assert len(keys) == 1000
+        assert len(set(keys)) == 1000
+
+    def test_reproducible(self):
+        assert random_string_keys(50, _rng()) == random_string_keys(50, _rng())
+
+    def test_zero(self):
+        assert random_string_keys(0, _rng()) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_string_keys(-1, _rng())
+
+
+class TestDateKeys:
+    def test_format_and_distinct(self):
+        keys = date_keys(400)
+        assert len(set(keys)) == 400
+        assert keys[0] == "2015-01-01"
+        assert all(len(k) == 10 and k[4] == "-" for k in keys)
+
+    def test_rollover(self):
+        keys = date_keys(32)
+        assert keys[30] == "2015-01-31"
+        assert keys[31] == "2015-02-01"
+
+    def test_year_rollover(self):
+        keys = date_keys(366)
+        assert keys[-1].startswith("2016-")
+
+    def test_custom_start_year(self):
+        assert date_keys(1, start_year=2020) == ["2020-01-01"]
+
+
+class TestZipcodeKeys:
+    def test_format(self):
+        keys = zipcode_keys(100, _rng())
+        assert len(set(keys)) == 100
+        assert all(len(k) == 5 and k.isdigit() for k in keys)
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            zipcode_keys(2001, _rng())
+
+
+class TestEntityKeys:
+    def test_distinct(self):
+        keys = entity_keys(100, _rng())
+        assert len(set(keys)) == 100
+
+    def test_large_count_extends(self):
+        keys = entity_keys(150, _rng())
+        assert len(set(keys)) == 150
+
+
+class TestZipfMultiplicities:
+    def test_shape_and_bounds(self):
+        mult = zipf_multiplicities(1000, _rng(), max_repeat=50)
+        assert mult.shape == (1000,)
+        assert mult.min() >= 1
+        assert mult.max() <= 50
+
+    def test_skewed(self):
+        mult = zipf_multiplicities(10_000, _rng())
+        # Zipf(1.5): P(X=1) = 1/zeta(1.5) ~ 0.38; heavy upper tail.
+        assert (mult == 1).mean() > 0.3
+        assert mult.max() > 5
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_multiplicities(10, _rng(), exponent=1.0)
+
+
+class TestSubsampleKeys:
+    def test_fraction(self):
+        keys = [f"k{i}" for i in range(1000)]
+        sub = subsample_keys(keys, 0.3, _rng())
+        assert len(sub) == 300
+        assert set(sub) <= set(keys)
+
+    def test_extremes(self):
+        keys = ["a", "b"]
+        assert subsample_keys(keys, 0.0, _rng()) == []
+        assert sorted(subsample_keys(keys, 1.0, _rng())) == keys
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            subsample_keys(["a"], 1.5, _rng())

@@ -1,0 +1,114 @@
+"""Unit tests for the synthetic open-data collection generators."""
+
+import numpy as np
+import pytest
+
+from repro.correlation.pearson import pearson
+from repro.data.opendata import (
+    make_collection,
+    make_nyc_like_collection,
+    make_wbf_like_collection,
+)
+from repro.data.workloads import collection_column_pairs
+from repro.table.join import join_tables, true_correlation
+
+
+def test_nyc_like_defaults():
+    collection = make_nyc_like_collection(n_tables=30, seed=1)
+    assert collection.name == "nyc-like"
+    assert len(collection) == 30
+    assert {d.name for d in collection.domains} == {"dates", "zips", "entities"}
+
+
+def test_wbf_like_defaults():
+    collection = make_wbf_like_collection(n_tables=16, seed=2)
+    assert len(collection) == 16
+    assert {d.name for d in collection.domains} == {"entities", "dates"}
+
+
+def test_reproducible_from_seed():
+    a = make_nyc_like_collection(n_tables=10, seed=5)
+    b = make_nyc_like_collection(n_tables=10, seed=5)
+    for ta, tb in zip(a.tables, b.tables):
+        assert ta.name == tb.name
+        assert ta.column_names == tb.column_names
+        assert len(ta) == len(tb)
+
+
+def test_every_table_has_one_key_and_numeric_columns():
+    collection = make_nyc_like_collection(n_tables=20, seed=3)
+    for table in collection.tables:
+        assert len(table.categorical_names()) == 1
+        assert 1 <= len(table.numeric_names()) <= 3
+
+
+def test_tables_in_same_domain_are_joinable():
+    collection = make_nyc_like_collection(n_tables=40, seed=4)
+    by_domain: dict[str, list] = {}
+    for table in collection.tables:
+        by_domain.setdefault(table.categorical_names()[0], []).append(table)
+    # At least one domain hosts >= 2 tables with overlapping keys.
+    found = False
+    for tables in by_domain.values():
+        if len(tables) < 2:
+            continue
+        k1 = {v for v in tables[0].categorical(tables[0].categorical_names()[0]).values if v}
+        k2 = {v for v in tables[1].categorical(tables[1].categorical_names()[0]).values if v}
+        if k1 & k2:
+            found = True
+    assert found
+
+
+def test_planted_strong_correlations_exist():
+    """Some after-join pairs must be strongly correlated (the needles)."""
+    collection = make_nyc_like_collection(n_tables=40, seed=6)
+    refs = collection_column_pairs(collection)
+    strongest = 0.0
+    checked = 0
+    for i in range(len(refs)):
+        for j in range(i + 1, len(refs)):
+            a, b = refs[i], refs[j]
+            if a.table.name == b.table.name:
+                continue
+            if a.pair.key.split("_")[0] != b.pair.key.split("_")[0]:
+                continue
+            join = join_tables(a.table, a.pair, b.table, b.pair)
+            if join.drop_nan().size < 30:
+                continue
+            r = true_correlation(join, pearson)
+            if not np.isnan(r):
+                strongest = max(strongest, abs(r))
+                checked += 1
+            if checked > 300:
+                break
+        if checked > 300 or strongest > 0.8:
+            break
+    assert strongest > 0.8
+
+
+def test_heavy_tail_columns_present_in_wbf():
+    collection = make_wbf_like_collection(n_tables=30, seed=7)
+    max_abs = 0.0
+    for table in collection.tables:
+        for name in table.numeric_names():
+            col = table.numeric(name)
+            if not np.isnan(col.max()):
+                max_abs = max(max_abs, abs(col.max()))
+    assert max_abs > 1e4  # monetary-scale values exist
+
+
+def test_missing_data_injected():
+    collection = make_wbf_like_collection(n_tables=30, seed=8)
+    total_missing = sum(
+        table.numeric(name).missing_count()
+        for table in collection.tables
+        for name in table.numeric_names()
+    )
+    assert total_missing > 0
+
+
+def test_invalid_table_count():
+    with pytest.raises(ValueError):
+        make_collection(
+            name="x", n_tables=0, seed=0, domain_specs=[("d", "dates", 10, 2)]
+        )

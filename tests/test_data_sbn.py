@@ -1,0 +1,81 @@
+"""Unit tests for the SBN dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.correlation.pearson import pearson
+from repro.data.sbn import generate_sbn_collection, generate_sbn_pair
+from repro.table.join import join_tables, true_correlation
+
+
+def test_parameter_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError, match="rows"):
+        generate_sbn_pair(rng, rows=1, correlation=0.5, join_fraction=0.5)
+    with pytest.raises(ValueError, match="correlation"):
+        generate_sbn_pair(rng, rows=10, correlation=1.5, join_fraction=0.5)
+    with pytest.raises(ValueError, match="join_fraction"):
+        generate_sbn_pair(rng, rows=10, correlation=0.5, join_fraction=-0.1)
+
+
+def test_pair_shapes():
+    rng = np.random.default_rng(1)
+    pair = generate_sbn_pair(rng, rows=100, correlation=0.5, join_fraction=0.4)
+    assert len(pair.table_x) == 100
+    assert len(pair.table_y) == 40
+    assert pair.table_x.categorical_names() == ["k"]
+    assert pair.table_x.numeric_names() == ["x"]
+
+
+def test_y_keys_subset_of_x_keys():
+    rng = np.random.default_rng(2)
+    pair = generate_sbn_pair(rng, rows=200, correlation=0.0, join_fraction=0.5)
+    x_keys = set(pair.table_x.categorical("k").values)
+    y_keys = set(pair.table_y.categorical("k").values)
+    assert y_keys <= x_keys
+    assert len(y_keys) == 100
+
+
+def test_join_recovers_target_correlation():
+    rng = np.random.default_rng(3)
+    pair = generate_sbn_pair(rng, rows=20_000, correlation=0.7, join_fraction=0.8)
+    join = join_tables(
+        pair.table_x, pair.table_x.column_pairs()[0],
+        pair.table_y, pair.table_y.column_pairs()[0],
+    )
+    r = true_correlation(join, pearson)
+    assert r == pytest.approx(0.7, abs=0.05)
+
+
+def test_negative_correlation():
+    rng = np.random.default_rng(4)
+    pair = generate_sbn_pair(rng, rows=20_000, correlation=-0.8, join_fraction=1.0)
+    join = join_tables(
+        pair.table_x, pair.table_x.column_pairs()[0],
+        pair.table_y, pair.table_y.column_pairs()[0],
+    )
+    assert true_correlation(join, pearson) == pytest.approx(-0.8, abs=0.05)
+
+
+def test_collection_is_lazy_and_seeded():
+    gen = generate_sbn_collection(pairs=5, max_rows=100, seed=7)
+    pairs_a = list(gen)
+    pairs_b = list(generate_sbn_collection(pairs=5, max_rows=100, seed=7))
+    assert len(pairs_a) == 5
+    for a, b in zip(pairs_a, pairs_b):
+        assert a.target_correlation == b.target_correlation
+        assert len(a.table_x) == len(b.table_x)
+
+
+def test_collection_parameter_ranges():
+    for pair in generate_sbn_collection(pairs=20, max_rows=200, seed=8):
+        assert -1.0 <= pair.target_correlation <= 1.0
+        assert 0.0 <= pair.join_fraction <= 1.0
+        assert 8 <= len(pair.table_x) <= 200
+
+
+def test_collection_validation():
+    with pytest.raises(ValueError):
+        list(generate_sbn_collection(pairs=0, max_rows=10))
+    with pytest.raises(ValueError):
+        list(generate_sbn_collection(pairs=1, max_rows=2, min_rows=10))

@@ -1,0 +1,77 @@
+"""Unit tests for workload construction."""
+
+import pytest
+
+from repro.data.opendata import make_nyc_like_collection
+from repro.data.workloads import (
+    collection_column_pairs,
+    sample_combinations,
+    split_query_workload,
+)
+
+
+def _refs():
+    return collection_column_pairs(make_nyc_like_collection(n_tables=20, seed=0))
+
+
+def test_column_pairs_cover_all_tables():
+    collection = make_nyc_like_collection(n_tables=15, seed=1)
+    refs = collection_column_pairs(collection)
+    tables_seen = {r.table.name for r in refs}
+    assert tables_seen == {t.name for t in collection.tables}
+    # One ref per (key, numeric) pair.
+    expected = sum(
+        len(t.categorical_names()) * len(t.numeric_names())
+        for t in collection.tables
+    )
+    assert len(refs) == expected
+
+
+def test_sample_combinations_joinable_and_distinct():
+    refs = _refs()
+    combos = sample_combinations(refs, 30, seed=2)
+    assert 0 < len(combos) <= 30
+    seen = set()
+    for a, b in combos:
+        assert (a.pair_id, b.pair_id) not in seen
+        seen.add((a.pair_id, b.pair_id))
+        ka = {v for v in a.table.categorical(a.pair.key).values if v}
+        kb = {v for v in b.table.categorical(b.pair.key).values if v}
+        assert ka & kb  # joinable by construction
+
+
+def test_sample_combinations_seeded():
+    refs = _refs()
+    a = sample_combinations(refs, 10, seed=3)
+    b = sample_combinations(refs, 10, seed=3)
+    assert [(x.pair_id, y.pair_id) for x, y in a] == [
+        (x.pair_id, y.pair_id) for x, y in b
+    ]
+
+
+def test_sample_combinations_validation():
+    refs = _refs()
+    with pytest.raises(ValueError):
+        sample_combinations(refs, 0)
+    assert sample_combinations(refs[:1], 5) == []
+
+
+def test_split_query_workload_partition():
+    refs = _refs()
+    workload = split_query_workload(refs, query_fraction=0.25, seed=4)
+    q_ids = {r.pair_id for r in workload.queries}
+    c_ids = {r.pair_id for r in workload.corpus}
+    assert not (q_ids & c_ids)
+    assert len(q_ids) + len(c_ids) == len(refs)
+    assert len(workload.queries) == max(1, round(len(refs) * 0.25))
+
+
+def test_split_max_queries_cap():
+    refs = _refs()
+    workload = split_query_workload(refs, query_fraction=0.5, max_queries=3, seed=5)
+    assert len(workload.queries) == 3
+
+
+def test_split_validation():
+    with pytest.raises(ValueError):
+        split_query_workload(_refs(), query_fraction=0.0)

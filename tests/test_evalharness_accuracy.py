@@ -1,0 +1,90 @@
+"""Unit tests for the accuracy harness (Figure 3 protocol)."""
+
+import math
+
+import pytest
+
+from repro.data.opendata import make_nyc_like_collection
+from repro.data.sbn import generate_sbn_collection
+from repro.data.workloads import collection_column_pairs, sample_combinations
+from repro.evalharness.accuracy import (
+    AccuracyRecord,
+    AccuracySummary,
+    evaluate_pair_refs,
+    evaluate_sbn_pairs,
+)
+
+
+def test_sbn_records_are_accurate_on_normal_data():
+    pairs = generate_sbn_collection(pairs=15, max_rows=3000, seed=0, min_rows=500,
+                                    min_join_fraction=0.3)
+    records = list(evaluate_sbn_pairs(pairs, sketch_size=256))
+    assert len(records) >= 10
+    summary = AccuracySummary.from_records(records)
+    assert summary.rmse < 0.25
+    for r in records:
+        assert -1.0 <= r.estimate <= 1.0
+        assert -1.0 <= r.truth <= 1.0
+        assert r.sample_size >= 3
+
+
+def test_min_sample_filter():
+    pairs = generate_sbn_collection(pairs=10, max_rows=1000, seed=1, min_rows=100)
+    loose = list(evaluate_sbn_pairs(pairs, sketch_size=64, min_sample=3))
+    pairs = generate_sbn_collection(pairs=10, max_rows=1000, seed=1, min_rows=100)
+    strict = list(evaluate_sbn_pairs(pairs, sketch_size=64, min_sample=30))
+    assert len(strict) <= len(loose)
+    assert all(r.sample_size >= 30 for r in strict)
+
+
+def test_pair_refs_protocol_on_open_data():
+    collection = make_nyc_like_collection(n_tables=20, seed=2)
+    refs = collection_column_pairs(collection)
+    combos = sample_combinations(refs, 20, seed=3)
+    records = list(evaluate_pair_refs(combos, sketch_size=128))
+    assert records, "expected at least one valid record"
+    for r in records:
+        assert r.is_valid()
+        assert r.sample_size >= 3
+        assert r.join_size >= 0
+
+
+def test_estimator_forwarded():
+    pairs = generate_sbn_collection(pairs=5, max_rows=2000, seed=4, min_rows=1000,
+                                    min_join_fraction=0.5)
+    records = list(evaluate_sbn_pairs(pairs, sketch_size=128, estimator="spearman"))
+    assert records
+    summary = AccuracySummary.from_records(records)
+    assert summary.rmse < 0.4
+
+
+class TestAccuracySummary:
+    def test_empty(self):
+        s = AccuracySummary.from_records([])
+        assert s.count == 0
+        assert math.isnan(s.rmse)
+
+    def test_stats(self):
+        records = [
+            AccuracyRecord("a", estimate=0.5, truth=0.4, sample_size=10, join_size=10),
+            AccuracyRecord("b", estimate=0.1, truth=0.3, sample_size=10, join_size=10),
+        ]
+        s = AccuracySummary.from_records(records)
+        assert s.count == 2
+        assert s.rmse == pytest.approx(math.sqrt((0.01 + 0.04) / 2))
+        assert s.mean_abs_error == pytest.approx(0.15)
+        assert s.max_abs_error == pytest.approx(0.2)
+
+    def test_overestimates_at_zero_counted(self):
+        records = [
+            AccuracyRecord("a", estimate=0.9, truth=0.01, sample_size=3, join_size=5),
+            AccuracyRecord("b", estimate=0.2, truth=0.05, sample_size=3, join_size=5),
+        ]
+        s = AccuracySummary.from_records(records)
+        assert s.overestimates_at_zero == 1
+
+    def test_invalid_records_excluded(self):
+        records = [
+            AccuracyRecord("a", estimate=math.nan, truth=0.1, sample_size=3, join_size=5),
+        ]
+        assert AccuracySummary.from_records(records).count == 0

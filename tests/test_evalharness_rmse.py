@@ -1,0 +1,78 @@
+"""Unit tests for RMSE bucketing (Figure 4 aggregation)."""
+
+import math
+
+import pytest
+
+from repro.evalharness.accuracy import AccuracyRecord
+from repro.evalharness.rmse import (
+    format_rmse_table,
+    overall_rmse,
+    rmse_by_sample_size,
+)
+
+
+def _rec(estimate, truth, n):
+    return AccuracyRecord("x", estimate=estimate, truth=truth, sample_size=n, join_size=n)
+
+
+def test_bucketing_by_sample_size():
+    records = [
+        _rec(0.5, 0.4, 4),    # bucket [3, 5)
+        _rec(0.5, 0.3, 4),    # bucket [3, 5)
+        _rec(0.5, 0.45, 100), # bucket [89, 144)
+    ]
+    buckets = rmse_by_sample_size(records)
+    assert len(buckets) == 2
+    first = buckets[0]
+    assert (first.low, first.high) == (3, 5)
+    assert first.count == 2
+    assert first.rmse == pytest.approx(math.sqrt((0.01 + 0.04) / 2))
+
+
+def test_empty_buckets_omitted():
+    buckets = rmse_by_sample_size([_rec(0.1, 0.1, 3)])
+    assert len(buckets) == 1
+
+
+def test_records_beyond_last_edge_captured():
+    buckets = rmse_by_sample_size([_rec(0.2, 0.1, 5000)])
+    assert buckets and buckets[-1].count == 1
+
+
+def test_invalid_records_skipped():
+    buckets = rmse_by_sample_size([_rec(math.nan, 0.1, 10)])
+    assert buckets == []
+
+
+def test_overall_rmse():
+    assert math.isnan(overall_rmse([]))
+    assert overall_rmse([_rec(0.6, 0.4, 5)]) == pytest.approx(0.2)
+
+
+def test_rmse_decreases_with_more_samples_signal():
+    """Synthetic sanity: buckets built from noisy estimates whose error
+    shrinks with n must produce decreasing RMSE."""
+    records = []
+    for n, err in [(4, 0.5), (40, 0.2), (400, 0.05)]:
+        records.extend(_rec(0.5 + err, 0.5, n) for _ in range(10))
+    buckets = rmse_by_sample_size(records)
+    rmses = [b.rmse for b in buckets]
+    assert rmses == sorted(rmses, reverse=True)
+
+
+def test_format_table_renders_all_series():
+    records = [_rec(0.5, 0.4, 10), _rec(0.3, 0.2, 100)]
+    table = format_rmse_table(
+        {"pearson": rmse_by_sample_size(records)}, title="Figure 4"
+    )
+    assert "Figure 4" in table
+    assert "pearson" in table
+    assert "[8,13)" in table
+
+
+def test_format_table_missing_buckets_dashed():
+    a = rmse_by_sample_size([_rec(0.5, 0.4, 4)])
+    b = rmse_by_sample_size([_rec(0.5, 0.4, 100)])
+    table = format_rmse_table({"est_a": a, "est_b": b})
+    assert "-" in table

@@ -1,0 +1,96 @@
+"""Unit tests for the timing harness (Table 2 / Section 5.5)."""
+
+import math
+
+import pytest
+
+from repro.evalharness.timing import LatencyReport, TimingSample, TimingTable, timed
+
+
+def _sample(scale=1.0):
+    return TimingSample(
+        full_join=0.040 * scale,
+        full_pearson=0.0003 * scale,
+        full_spearman=0.008 * scale,
+        sketch_join=0.00003 * scale,
+        sketch_pearson=0.000001 * scale,
+        sketch_spearman=0.000005 * scale,
+    )
+
+
+class TestTimingTable:
+    def test_empty_summary(self):
+        assert TimingTable().summarize() == {}
+        assert TimingTable().format() == "(no samples)"
+
+    def test_summary_rows_and_units(self):
+        table = TimingTable()
+        for i in range(100):
+            table.add(_sample(scale=1.0 + i / 100))
+        summary = table.summarize()
+        assert set(summary) == {"mean", "std. dev.", "75%", "90%", "99%", "99.9%"}
+        # Milliseconds: 0.04 s mean join -> ~40-60 ms.
+        assert 35.0 < summary["mean"]["full_join"] < 85.0
+
+    def test_percentiles_monotone(self):
+        table = TimingTable()
+        for i in range(200):
+            table.add(_sample(scale=1.0 + i))
+        summary = table.summarize()
+        for col in ("full_join", "sketch_join"):
+            assert (
+                summary["75%"][col] <= summary["90%"][col] <= summary["99%"][col]
+            )
+
+    def test_single_sample_std_nan(self):
+        table = TimingTable()
+        table.add(_sample())
+        assert math.isnan(table.summarize()["std. dev."]["full_join"])
+
+    def test_format_contains_headers(self):
+        table = TimingTable()
+        table.add(_sample())
+        text = table.format()
+        assert "Full data" in text and "Sketch" in text
+        assert "99.9%" in text
+
+    def test_sketch_columns_smaller_than_full(self):
+        table = TimingTable()
+        for _ in range(10):
+            table.add(_sample())
+        summary = table.summarize()
+        assert summary["mean"]["sketch_join"] < summary["mean"]["full_join"]
+
+
+class TestLatencyReport:
+    def test_empty(self):
+        r = LatencyReport()
+        assert math.isnan(r.fraction_under(100))
+        assert math.isnan(r.percentile_ms(50))
+
+    def test_fraction_under(self):
+        r = LatencyReport()
+        for ms in (10, 50, 150, 300):
+            r.add(ms / 1000.0)
+        assert r.fraction_under(100.0) == 0.5
+        assert r.fraction_under(200.0) == 0.75
+
+    def test_percentile(self):
+        r = LatencyReport()
+        for ms in range(1, 101):
+            r.add(ms / 1000.0)
+        assert r.percentile_ms(50) == pytest.approx(50.5, abs=1.0)
+
+    def test_format(self):
+        r = LatencyReport()
+        r.add(0.05)
+        text = r.format()
+        assert "under 100 ms" in text
+        assert "p99" in text
+
+
+def test_timed_measures_wall_clock():
+    import time
+
+    elapsed = timed(lambda: time.sleep(0.01))
+    assert elapsed >= 0.009

@@ -1,0 +1,73 @@
+"""Unit tests for Fibonacci (golden-ratio multiplicative) hashing."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.fibonacci import (
+    FIB_MULTIPLIER_32,
+    FIB_MULTIPLIER_64,
+    fibonacci_hash_32,
+    fibonacci_hash_64,
+    to_unit_interval_32,
+    to_unit_interval_64,
+)
+
+
+def test_multipliers_are_golden_ratio_reciprocals():
+    # floor(2**w / phi) = floor(2**(w-1) * (sqrt(5) - 1)) computed in exact
+    # integer arithmetic (floats lose the low bits at w = 64).
+    import math
+
+    def exact_multiplier(width):
+        return math.isqrt(5 * (1 << (2 * (width - 1)))) - (1 << (width - 1))
+
+    assert FIB_MULTIPLIER_32 == exact_multiplier(32)
+    assert FIB_MULTIPLIER_64 == exact_multiplier(64)
+
+
+def test_multipliers_are_odd():
+    # Odd multipliers make the map a bijection on Z/2^w.
+    assert FIB_MULTIPLIER_32 % 2 == 1
+    assert FIB_MULTIPLIER_64 % 2 == 1
+
+
+@pytest.mark.parametrize("fn,width", [(fibonacci_hash_32, 32), (fibonacci_hash_64, 64)])
+def test_hash_stays_in_word_range(fn, width):
+    for v in (0, 1, 2**width - 1, 12345, 2 ** (width // 2)):
+        assert 0 <= fn(v) < 2**width
+
+
+def test_fibonacci_32_is_bijective_on_sample():
+    values = list(range(10_000))
+    hashes = {fibonacci_hash_32(v) for v in values}
+    assert len(hashes) == len(values)
+
+
+@pytest.mark.parametrize("fn", [to_unit_interval_32, to_unit_interval_64])
+def test_unit_interval_range(fn):
+    for v in (0, 1, 7, 123456, 2**31):
+        u = fn(v)
+        assert 0.0 <= u < 1.0
+
+
+def test_unit_interval_zero_maps_to_zero():
+    assert to_unit_interval_32(0) == 0.0
+    assert to_unit_interval_64(0) == 0.0
+
+
+def test_unit_values_approximately_uniform():
+    """Consecutive integers should spread uniformly over [0, 1)."""
+    values = np.array([to_unit_interval_32(v) for v in range(50_000)])
+    # Chi-square-ish check: all 20 equal-width cells within 20% of expected.
+    counts, _ = np.histogram(values, bins=20, range=(0.0, 1.0))
+    expected = len(values) / 20
+    assert (np.abs(counts - expected) < 0.2 * expected).all()
+
+
+def test_consecutive_inputs_scatter():
+    """Golden-ratio hashing sends neighbours far apart in [0, 1)."""
+    gaps = [
+        abs(to_unit_interval_32(i + 1) - to_unit_interval_32(i))
+        for i in range(100)
+    ]
+    assert min(gaps) > 0.2  # 1/phi - 1/2 ~ 0.118... actual gap ~0.382

@@ -1,0 +1,77 @@
+"""Unit tests for the KeyHasher façade and TupleHash."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import KeyHasher, TupleHash, default_hasher
+
+
+def test_default_hasher_is_32bit_seed0():
+    hasher = default_hasher()
+    assert hasher.scheme_id == (32, 0)
+
+
+def test_invalid_bits_rejected():
+    with pytest.raises(ValueError, match="bits"):
+        KeyHasher(bits=16)
+
+
+def test_hash_pair_consistency():
+    hasher = KeyHasher()
+    pair = hasher.hash("2021-01-05")
+    assert pair.key_hash == hasher.key_hash("2021-01-05")
+    assert pair.unit_hash == hasher.unit_hash_of_key_hash(pair.key_hash)
+
+
+def test_unit_hash_is_derivable_not_stored():
+    """The paper's Figure 2 note: h_u(k) recomputes from h(k)."""
+    hasher = KeyHasher(bits=64, seed=5)
+    for key in ("a", "b", "c"):
+        pair = hasher.hash(key)
+        assert hasher.unit_hash_of_key_hash(pair.key_hash) == pair.unit_hash
+
+
+def test_equality_and_hashability():
+    assert KeyHasher(32, 1) == KeyHasher(32, 1)
+    assert KeyHasher(32, 1) != KeyHasher(32, 2)
+    assert KeyHasher(32, 1) != KeyHasher(64, 1)
+    assert len({KeyHasher(32, 1), KeyHasher(32, 1), KeyHasher(64, 1)}) == 2
+
+
+def test_equality_against_other_types():
+    assert KeyHasher() != "not a hasher"
+
+
+def test_different_seeds_give_independent_orderings():
+    keys = [f"key-{i}" for i in range(500)]
+    h1 = KeyHasher(seed=1)
+    h2 = KeyHasher(seed=2)
+    order1 = sorted(keys, key=lambda k: h1.hash(k).unit_hash)
+    order2 = sorted(keys, key=lambda k: h2.hash(k).unit_hash)
+    assert order1 != order2
+
+
+def test_unit_hash_uniformity_over_random_keys():
+    hasher = KeyHasher()
+    units = np.array([hasher.hash(f"k{i}").unit_hash for i in range(20_000)])
+    counts, _ = np.histogram(units, bins=10, range=(0.0, 1.0))
+    expected = len(units) / 10
+    assert (np.abs(counts - expected) < 0.15 * expected).all()
+
+
+class TestTupleHash:
+    def test_composite_keys_do_not_concat_collide(self):
+        th = TupleHash(KeyHasher())
+        assert th.hash(("a", "bc")).key_hash != th.hash(("ab", "c")).key_hash
+
+    def test_deterministic(self):
+        th = TupleHash(KeyHasher())
+        assert th.hash(("x", 1)).key_hash == th.hash(("x", 1)).key_hash
+
+    def test_canonical_bytes_separator(self):
+        th = TupleHash(KeyHasher())
+        assert th.canonical_bytes(("a", "b")) == b"a\x1fb"
+
+    def test_mixed_types(self):
+        th = TupleHash(KeyHasher())
+        assert th.hash(("zip", 10001)).key_hash != th.hash(("zip", "10001")).key_hash

@@ -1,0 +1,113 @@
+"""Unit tests for the MurmurHash3 ports, including reference vectors."""
+
+import pytest
+
+from repro.hashing.murmur3 import (
+    _to_bytes,
+    murmur3_32,
+    murmur3_x64_64,
+    murmur3_x64_128,
+)
+
+# Published MurmurHash3 x86_32 test vectors (SMHasher / Wikipedia).
+REFERENCE_VECTORS_32 = [
+    (b"", 0x00000000, 0x00000000),
+    (b"", 0x00000001, 0x514E28B7),
+    (b"", 0xFFFFFFFF, 0x81F16F39),
+    (b"\x00", 0x00000000, 0x514E28B7),
+    (b"\x00\x00", 0x00000000, 0x30F4C306),
+    (b"\x00\x00\x00", 0x00000000, 0x85F0B427),
+    (b"\x00\x00\x00\x00", 0x00000000, 0x2362F9DE),
+    (b"\x21\x43\x65\x87", 0x00000000, 0xF55B516B),
+    (b"\x21\x43\x65\x87", 0x5082EDEE, 0x2362F9DE),
+    (b"\x21\x43\x65", 0x00000000, 0x7E4A8634),
+    (b"\x21\x43", 0x00000000, 0xA0F7B07A),
+    (b"\x21", 0x00000000, 0x72661CF4),
+    (b"\xff\xff\xff\xff", 0x00000000, 0x76293B50),
+    (b"test", 0x00000000, 0xBA6BD213),
+    (b"test", 0x9747B28C, 0x704B81DC),
+    (b"Hello, world!", 0x00000000, 0xC0363E43),
+    (b"Hello, world!", 0x9747B28C, 0x24884CBA),
+    (b"The quick brown fox jumps over the lazy dog", 0x9747B28C, 0x2FA826CD),
+]
+
+
+@pytest.mark.parametrize("data,seed,expected", REFERENCE_VECTORS_32)
+def test_murmur3_32_reference_vectors(data, seed, expected):
+    assert murmur3_32(data, seed) == expected
+
+
+def test_murmur3_32_range():
+    for key in ("a", "b", 123, 3.14, b"bytes"):
+        h = murmur3_32(key)
+        assert 0 <= h < 2**32
+
+
+def test_murmur3_32_deterministic():
+    assert murmur3_32("stable-key", 7) == murmur3_32("stable-key", 7)
+
+
+def test_murmur3_32_seed_changes_hash():
+    assert murmur3_32("key", 0) != murmur3_32("key", 1)
+
+
+def test_murmur3_32_str_matches_utf8_bytes():
+    assert murmur3_32("café") == murmur3_32("café".encode("utf-8"))
+
+
+def test_murmur3_x64_128_empty():
+    assert murmur3_x64_128(b"", 0) == (0, 0)
+
+
+def test_murmur3_x64_64_range_and_determinism():
+    h1 = murmur3_x64_64("some key")
+    h2 = murmur3_x64_64("some key")
+    assert h1 == h2
+    assert 0 <= h1 < 2**64
+
+
+def test_murmur3_x64_64_distinct_inputs_differ():
+    hashes = {murmur3_x64_64(f"key-{i}") for i in range(1000)}
+    assert len(hashes) == 1000
+
+
+def test_murmur3_x64_128_long_input_covers_blocks_and_tail():
+    # 37 bytes: two 16-byte blocks plus a 5-byte tail.
+    data = bytes(range(37))
+    h1, h2 = murmur3_x64_128(data, 3)
+    assert (h1, h2) == murmur3_x64_128(data, 3)
+    assert (h1, h2) != murmur3_x64_128(data, 4)
+
+
+class TestToBytes:
+    def test_bytes_passthrough(self):
+        assert _to_bytes(b"abc") == b"abc"
+
+    def test_bytearray(self):
+        assert _to_bytes(bytearray(b"abc")) == b"abc"
+
+    def test_string_utf8(self):
+        assert _to_bytes("héllo") == "héllo".encode("utf-8")
+
+    def test_int_and_string_differ(self):
+        assert _to_bytes(1) != _to_bytes("1")
+
+    def test_negative_int_roundtrip_distinct(self):
+        assert _to_bytes(-1) != _to_bytes(1)
+        assert _to_bytes(-1) != _to_bytes(255)
+
+    def test_large_int(self):
+        big = 2**200 + 12345
+        assert int.from_bytes(_to_bytes(big), "little", signed=True) == big
+
+    def test_bool_distinct_from_int(self):
+        assert _to_bytes(True) != _to_bytes(1)
+        assert _to_bytes(False) != _to_bytes(0)
+
+    def test_float_is_ieee754(self):
+        import struct
+
+        assert _to_bytes(2.5) == struct.pack(">d", 2.5)
+
+    def test_other_objects_use_repr(self):
+        assert _to_bytes(("a", 1)) == repr(("a", 1)).encode("utf-8")

@@ -1,0 +1,98 @@
+"""Unit tests for the sketch catalog."""
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import CorrelationSketch
+from repro.hashing import KeyHasher
+from repro.index.catalog import SketchCatalog
+from repro.table.table import table_from_arrays
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.table import Table
+
+
+def _catalog():
+    catalog = SketchCatalog(sketch_size=32)
+    t1 = table_from_arrays("t1", [f"k{i}" for i in range(100)], np.arange(100.0))
+    t2 = table_from_arrays("t2", [f"k{i}" for i in range(50, 150)], np.arange(100.0))
+    catalog.add_table(t1)
+    catalog.add_table(t2)
+    return catalog
+
+
+def test_add_table_registers_all_pairs():
+    catalog = _catalog()
+    assert len(catalog) == 2
+    assert "t1::key->value" in catalog
+    assert "t2::key->value" in catalog
+
+
+def test_multi_pair_table():
+    catalog = SketchCatalog(sketch_size=16)
+    t = Table(
+        "multi",
+        [
+            CategoricalColumn("k1", ["a", "b"]),
+            CategoricalColumn("k2", ["x", "y"]),
+            NumericColumn("v1", [1.0, 2.0]),
+            NumericColumn("v2", [3.0, 4.0]),
+        ],
+    )
+    ids = catalog.add_table(t)
+    assert len(ids) == 4
+
+
+def test_duplicate_id_rejected():
+    catalog = _catalog()
+    sketch = CorrelationSketch(32)
+    with pytest.raises(ValueError, match="already in catalog"):
+        catalog.add_sketch("t1::key->value", sketch)
+
+
+def test_scheme_mismatch_rejected():
+    catalog = SketchCatalog(sketch_size=8)
+    alien = CorrelationSketch(8, hasher=KeyHasher(seed=99))
+    with pytest.raises(ValueError, match="scheme"):
+        catalog.add_sketch("alien", alien)
+
+
+def test_get_unknown_id():
+    with pytest.raises(KeyError, match="no sketch"):
+        _catalog().get("missing")
+
+
+def test_index_retrieves_overlapping_sketch():
+    catalog = _catalog()
+    query = catalog.get("t1::key->value")
+    hits = catalog.index.top_overlap(
+        query.key_hashes(), 10, exclude="t1::key->value"
+    )
+    assert hits and hits[0][0] == "t2::key->value"
+
+
+def test_iteration():
+    assert set(_catalog()) == {"t1::key->value", "t2::key->value"}
+
+
+def test_save_load_round_trip(tmp_path):
+    catalog = _catalog()
+    path = tmp_path / "catalog.json"
+    catalog.save(path)
+    loaded = SketchCatalog.load(path)
+    assert len(loaded) == len(catalog)
+    for sid in catalog:
+        assert loaded.get(sid).entries() == catalog.get(sid).entries()
+    # Index is rebuilt and functional.
+    query = loaded.get("t1::key->value")
+    hits = loaded.index.top_overlap(query.key_hashes(), 5, exclude="t1::key->value")
+    assert hits[0][0] == "t2::key->value"
+
+
+def test_loaded_catalog_preserves_scheme(tmp_path):
+    catalog = SketchCatalog(sketch_size=8, hasher=KeyHasher(bits=64, seed=5))
+    t = table_from_arrays("t", ["a", "b"], [1.0, 2.0])
+    catalog.add_table(t)
+    path = tmp_path / "c.json"
+    catalog.save(path)
+    loaded = SketchCatalog.load(path)
+    assert loaded.hasher.scheme_id == (64, 5)

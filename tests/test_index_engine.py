@@ -1,0 +1,129 @@
+"""Unit tests for the top-k join-correlation query engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import CorrelationSketch
+from repro.index.catalog import SketchCatalog
+from repro.index.engine import JoinCorrelationEngine
+from repro.table.table import table_from_arrays
+
+
+def _build_world(seed=0, n_rows=3000, sketch_size=128):
+    """A corpus with one strongly correlated, one weak, one uncorrelated
+    and one non-joinable candidate, plus the query table."""
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i}" for i in range(n_rows)]
+    q = rng.standard_normal(n_rows)
+
+    strong = 0.9 * q + math.sqrt(1 - 0.81) * rng.standard_normal(n_rows)
+    weak = 0.4 * q + math.sqrt(1 - 0.16) * rng.standard_normal(n_rows)
+    noise = rng.standard_normal(n_rows)
+
+    catalog = SketchCatalog(sketch_size=sketch_size)
+    catalog.add_table(table_from_arrays("strong", keys, strong))
+    catalog.add_table(table_from_arrays("weak", keys, weak))
+    catalog.add_table(table_from_arrays("noise", keys, noise))
+    catalog.add_table(
+        table_from_arrays("alien", [f"z{i}" for i in range(n_rows)], noise)
+    )
+
+    query_sketch = CorrelationSketch.from_columns(keys, q, sketch_size, name="query")
+    return catalog, query_sketch
+
+
+def test_validation():
+    catalog, query = _build_world()
+    with pytest.raises(ValueError, match="retrieval_depth"):
+        JoinCorrelationEngine(catalog, retrieval_depth=0)
+    engine = JoinCorrelationEngine(catalog)
+    with pytest.raises(ValueError, match="k must be positive"):
+        engine.query(query, k=0)
+
+
+def test_non_joinable_candidates_excluded():
+    catalog, query = _build_world()
+    engine = JoinCorrelationEngine(catalog)
+    result = engine.query(query, k=10, scorer="rp")
+    ids = [e.candidate_id for e in result.ranked]
+    assert "alien::key->value" not in ids
+    assert result.candidates_considered == 3
+
+
+def test_strong_candidate_ranks_first():
+    catalog, query = _build_world()
+    engine = JoinCorrelationEngine(catalog)
+    for scorer in ("rp", "rp_sez", "rp_cih", "rb_cib"):
+        result = engine.query(query, k=3, scorer=scorer)
+        assert result.ranked[0].candidate_id == "strong::key->value", scorer
+
+
+def test_ranking_order_matches_correlation_strength():
+    catalog, query = _build_world()
+    engine = JoinCorrelationEngine(catalog)
+    result = engine.query(query, k=3, scorer="rp")
+    ids = [e.candidate_id for e in result.ranked]
+    assert ids == ["strong::key->value", "weak::key->value", "noise::key->value"]
+
+
+def test_k_truncation():
+    catalog, query = _build_world()
+    engine = JoinCorrelationEngine(catalog)
+    assert len(engine.query(query, k=2).ranked) == 2
+
+
+def test_exclude_id():
+    catalog, query = _build_world()
+    engine = JoinCorrelationEngine(catalog)
+    result = engine.query(query, k=10, exclude_id="strong::key->value")
+    ids = [e.candidate_id for e in result.ranked]
+    assert "strong::key->value" not in ids
+
+
+def test_true_correlations_carried():
+    catalog, query = _build_world()
+    engine = JoinCorrelationEngine(catalog)
+    truths = {"strong::key->value": 0.9}
+    result = engine.query(query, k=3, true_correlations=truths)
+    by_id = {e.candidate_id: e for e in result.ranked}
+    assert by_id["strong::key->value"].true_correlation == 0.9
+    assert math.isnan(by_id["weak::key->value"].true_correlation)
+
+
+def test_timings_recorded():
+    catalog, query = _build_world()
+    engine = JoinCorrelationEngine(catalog)
+    result = engine.query(query, k=3)
+    assert result.retrieval_seconds >= 0.0
+    assert result.rerank_seconds >= 0.0
+    assert result.total_seconds == pytest.approx(
+        result.retrieval_seconds + result.rerank_seconds
+    )
+
+
+def test_deterministic_default_rng():
+    catalog, query = _build_world()
+    engine = JoinCorrelationEngine(catalog)
+    a = engine.query(query, k=3, scorer="rp_cih")
+    b = engine.query(query, k=3, scorer="rp_cih")
+    assert [e.candidate_id for e in a.ranked] == [e.candidate_id for e in b.ranked]
+    assert [e.score for e in a.ranked] == [e.score for e in b.ranked]
+
+
+def test_estimated_correlations_close_to_population():
+    catalog, query = _build_world()
+    engine = JoinCorrelationEngine(catalog)
+    result = engine.query(query, k=3, scorer="rp")
+    by_id = {e.candidate_id: e for e in result.ranked}
+    assert by_id["strong::key->value"].stats.r_pearson == pytest.approx(0.9, abs=0.12)
+    assert abs(by_id["noise::key->value"].stats.r_pearson) < 0.25
+
+
+def test_min_overlap_prunes():
+    catalog, query = _build_world()
+    engine = JoinCorrelationEngine(catalog, min_overlap=10**9)
+    result = engine.query(query, k=5)
+    assert result.candidates_considered == 0
+    assert result.ranked == []

@@ -1,0 +1,84 @@
+"""Unit tests for the inverted index (set-overlap retrieval)."""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+
+
+def _index():
+    idx = InvertedIndex()
+    idx.add("s1", [1, 2, 3, 4])
+    idx.add("s2", [3, 4, 5])
+    idx.add("s3", [100, 101])
+    return idx
+
+
+def test_membership_and_len():
+    idx = _index()
+    assert len(idx) == 3
+    assert "s1" in idx
+    assert "nope" not in idx
+    assert idx.vocabulary_size == 7  # distinct hashes across all postings
+
+
+def test_duplicate_id_rejected():
+    idx = _index()
+    with pytest.raises(ValueError, match="already indexed"):
+        idx.add("s1", [7])
+
+
+def test_overlap_counts():
+    idx = _index()
+    counts = idx.overlap_counts([2, 3, 4, 5])
+    assert counts == {"s1": 3, "s2": 3}
+
+
+def test_overlap_counts_exclude():
+    idx = _index()
+    counts = idx.overlap_counts([3, 4], exclude="s1")
+    assert counts == {"s2": 2}
+
+
+def test_top_overlap_ordering():
+    idx = _index()
+    hits = idx.top_overlap([1, 2, 3, 4, 5], k=10)
+    assert hits == [("s1", 4), ("s2", 3)]
+
+
+def test_top_overlap_k_truncates():
+    idx = _index()
+    hits = idx.top_overlap([3, 4, 5], k=1)
+    assert len(hits) == 1
+    assert hits[0][0] in ("s1", "s2")
+
+
+def test_top_overlap_tie_break_deterministic():
+    idx = InvertedIndex()
+    idx.add("b", [1, 2])
+    idx.add("a", [1, 2])
+    assert idx.top_overlap([1, 2], k=2) == [("a", 2), ("b", 2)]
+
+
+def test_min_overlap_filter():
+    idx = _index()
+    hits = idx.top_overlap([4, 5, 6], k=10, min_overlap=2)
+    assert hits == [("s2", 2)]
+
+
+def test_no_hits():
+    idx = _index()
+    assert idx.top_overlap([999], k=5) == []
+
+
+def test_invalid_k():
+    with pytest.raises(ValueError):
+        _index().top_overlap([1], k=0)
+
+
+def test_scales_to_many_documents():
+    idx = InvertedIndex()
+    for d in range(500):
+        idx.add(f"doc{d:03d}", range(d, d + 10))
+    hits = idx.top_overlap(range(100, 110), k=3)
+    assert hits[0] == ("doc100", 10)
+    assert hits[1][1] == 9  # doc099 / doc101 overlap by 9

@@ -1,0 +1,136 @@
+"""Unit tests for the MinHash-LSH retrieval alternative."""
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import CorrelationSketch
+from repro.index.lsh import _EMPTY, LshIndex, MinHashSignature
+
+
+def _key_hashes(keys, n=256):
+    sketch = CorrelationSketch.from_columns(list(keys), np.zeros(len(keys)), n)
+    return sorted(sketch.key_hashes())
+
+
+def _keys(prefix, count):
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+class TestSignature:
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            MinHashSignature.from_key_hashes([5], 0)
+
+    def test_deterministic(self):
+        hashes = [10, 2**20, 2**31]
+        a = MinHashSignature.from_key_hashes(hashes, 16)
+        b = MinHashSignature.from_key_hashes(hashes, 16)
+        assert a.slots == b.slots
+
+    def test_identical_sets_identical_signatures(self):
+        hashes = _key_hashes(_keys("k", 2000))
+        a = MinHashSignature.from_key_hashes(hashes, 64)
+        b = MinHashSignature.from_key_hashes(list(hashes), 64)
+        assert a.slots == b.slots
+        assert a.similarity(b) == 1.0
+
+    def test_slot_count_and_empty_sentinel(self):
+        sig = MinHashSignature.from_key_hashes([0], 32)
+        assert len(sig.slots) == 32
+        assert sig.slots.count(_EMPTY) == 31
+
+    def test_similarity_ignores_mutually_empty(self):
+        a = MinHashSignature((1, _EMPTY, 5, _EMPTY))
+        b = MinHashSignature((1, _EMPTY, 7, _EMPTY))
+        assert a.similarity(b) == 0.5
+
+    def test_similarity_empty_vs_full_counts(self):
+        a = MinHashSignature((1, _EMPTY))
+        b = MinHashSignature((1, 9))
+        assert a.similarity(b) == 0.5
+
+    def test_hashes_spread_over_slots(self):
+        """Retained key hashes must spread uniformly over the hash space
+        (the property the one-permutation trick relies on)."""
+        hashes = _key_hashes(_keys("k", 20_000), n=1024)
+        sig = MinHashSignature.from_key_hashes(hashes, 64)
+        assert sig.slots.count(_EMPTY) == 0
+
+
+class TestLshIndex:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LshIndex(bands=0)
+        with pytest.raises(ValueError):
+            LshIndex(rows=0)
+        idx = LshIndex()
+        idx.add("a", [1])
+        with pytest.raises(ValueError, match="already indexed"):
+            idx.add("a", [2])
+        with pytest.raises(ValueError, match="k must be positive"):
+            idx.top_candidates([1], 0)
+
+    def test_identical_key_sets_always_collide(self):
+        hashes = _key_hashes(_keys("k", 3000))
+        idx = LshIndex(bands=16, rows=4)
+        idx.add("corpus", hashes)
+        hits = idx.candidates(hashes)
+        assert hits["corpus"] == pytest.approx(1.0)
+
+    def test_high_overlap_collides_with_high_similarity(self):
+        shared = _keys("s", 5000)
+        a_hashes = _key_hashes(shared + _keys("a", 500))
+        b_hashes = _key_hashes(shared + _keys("b", 500))
+        idx = LshIndex(bands=32, rows=2)
+        idx.add("b", b_hashes)
+        hits = idx.candidates(a_hashes)
+        assert "b" in hits
+        assert hits["b"] > 0.5
+
+    def test_disjoint_sets_low_similarity(self):
+        a_hashes = _key_hashes(_keys("a", 5000))
+        b_hashes = _key_hashes(_keys("b", 5000))
+        idx = LshIndex(bands=8, rows=8)
+        idx.add("b", b_hashes)
+        hits = idx.candidates(a_hashes)
+        if "b" in hits:  # banding may collide by chance; similarity must not
+            assert hits["b"] < 0.2
+
+    def test_exclude(self):
+        hashes = _key_hashes(_keys("k", 100))
+        idx = LshIndex()
+        idx.add("self", hashes)
+        assert "self" not in idx.candidates(hashes, exclude="self")
+
+    def test_top_candidates_ordering(self):
+        shared = _keys("s", 4000)
+        idx = LshIndex(bands=32, rows=2)
+        idx.add("near", _key_hashes(shared + _keys("n", 200)))
+        idx.add("far", _key_hashes(shared[:1000] + _keys("f", 4000)))
+        query_hashes = _key_hashes(shared)
+        ranked = idx.top_candidates(query_hashes, 2)
+        # "near" must be retrieved and ranked first; "far" (Jaccard ~0.14)
+        # may or may not collide — if it does, it must rank below "near".
+        assert ranked[0][0] == "near"
+        if len(ranked) == 2:
+            assert ranked[0][1] > ranked[1][1]
+
+    def test_similarity_tracks_jaccard(self):
+        """Estimated similarity must increase with true key-set Jaccard."""
+        base = _keys("s", 6000)
+        query_hashes = _key_hashes(base, n=512)
+        idx = LshIndex(bands=64, rows=1)  # collide everything; rank by sim
+        estimates = {}
+        for frac in (0.25, 0.5, 0.75, 1.0):
+            keep = base[: int(len(base) * frac)] + _keys(f"x{frac}", int(len(base) * (1 - frac)))
+            idx.add(f"c{frac}", _key_hashes(keep, n=512))
+        for sid, sim in idx.candidates(query_hashes).items():
+            estimates[sid] = sim
+        ordered = [estimates[f"c{f}"] for f in (0.25, 0.5, 0.75, 1.0)]
+        assert ordered == sorted(ordered)
+
+    def test_len_and_contains(self):
+        idx = LshIndex()
+        idx.add("x", [4])
+        assert len(idx) == 1
+        assert "x" in idx and "y" not in idx

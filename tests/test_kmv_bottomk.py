@@ -1,0 +1,119 @@
+"""Unit tests for the BottomK bounded ordered structure."""
+
+import random
+
+import pytest
+
+from repro.kmv.bottomk import BottomK
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError, match="positive"):
+        BottomK(0)
+
+
+def test_basic_insertion_below_capacity():
+    b = BottomK(5)
+    assert b.offer(0.3, 1)
+    assert b.offer(0.1, 2)
+    assert len(b) == 2
+    assert 1 in b and 2 in b
+
+
+def test_max_rank_infinite_until_full():
+    b = BottomK(2)
+    b.offer(0.5, 1)
+    assert b.max_rank == float("inf")
+    b.offer(0.6, 2)
+    assert b.max_rank == 0.6
+
+
+def test_eviction_keeps_smallest():
+    b = BottomK(3)
+    for rank, key in [(0.9, 1), (0.8, 2), (0.7, 3)]:
+        b.offer(rank, key)
+    assert b.offer(0.1, 4)  # evicts rank 0.9
+    assert 1 not in b
+    assert {k for _, k, _ in b.items()} == {2, 3, 4}
+
+
+def test_rejection_when_rank_too_large():
+    b = BottomK(2)
+    b.offer(0.1, 1)
+    b.offer(0.2, 2)
+    assert not b.offer(0.5, 3)
+    assert 3 not in b
+    assert len(b) == 2
+
+
+def test_existing_key_payload_replaced_by_default():
+    b = BottomK(2)
+    b.offer(0.1, 1, payload="first")
+    b.offer(0.1, 1, payload="second")
+    assert b.get(1) == "second"
+    assert len(b) == 1
+
+
+def test_existing_key_update_callback():
+    b = BottomK(2)
+    b.offer(0.1, 1, payload=10)
+    b.offer(0.1, 1, payload=5, update=lambda old, new: old + new)
+    assert b.get(1) == 15
+
+
+def test_kth_rank_empty_raises():
+    with pytest.raises(ValueError, match="empty"):
+        BottomK(3).kth_rank()
+
+
+def test_kth_rank_tracks_largest_retained():
+    b = BottomK(3)
+    b.offer(0.5, 1)
+    b.offer(0.2, 2)
+    assert b.kth_rank() == 0.5
+    b.offer(0.7, 3)
+    assert b.kth_rank() == 0.7
+    b.offer(0.1, 4)  # evicts 0.7
+    assert b.kth_rank() == 0.5
+
+
+def test_sorted_items_order():
+    b = BottomK(4)
+    for rank, key in [(0.4, 1), (0.1, 2), (0.3, 3), (0.2, 4)]:
+        b.offer(rank, key)
+    ranks = [r for r, _, _ in b.sorted_items()]
+    assert ranks == sorted(ranks)
+
+
+def test_get_missing_key_raises():
+    b = BottomK(2)
+    with pytest.raises(KeyError):
+        b.get(42)
+
+
+def test_matches_naive_bottom_k_on_random_stream():
+    """Differential test against a sort-everything reference."""
+    rnd = random.Random(1234)
+    items = [(rnd.random(), key) for key in range(2000)]
+    k = 50
+    b = BottomK(k)
+    for rank, key in items:
+        b.offer(rank, key)
+    expected = {key for _, key in sorted(items)[:k]}
+    assert {key for _, key, _ in b.items()} == expected
+    assert b.kth_rank() == sorted(items)[k - 1][0]
+
+
+def test_heavy_churn_lazy_deletion_consistency():
+    """Many evictions must not corrupt counts or the kth rank."""
+    rnd = random.Random(99)
+    b = BottomK(10)
+    live = {}
+    for key in range(5000):
+        rank = rnd.random()
+        b.offer(rank, key)
+        live[key] = rank
+    expected = sorted(live.items(), key=lambda kv: kv[1])[:10]
+    assert len(b) == 10
+    assert {k for k, _ in expected} == set(b.keys())
+    assert b.kth_rank() == expected[-1][1]

@@ -1,0 +1,92 @@
+"""Unit tests for the HyperLogLog comparison substrate."""
+
+import pytest
+
+from repro.hashing import KeyHasher
+from repro.kmv.hll import HyperLogLog, _alpha
+
+
+def test_precision_validation():
+    with pytest.raises(ValueError, match="precision"):
+        HyperLogLog(3)
+    with pytest.raises(ValueError, match="precision"):
+        HyperLogLog(17)
+
+
+def test_alpha_constants():
+    assert _alpha(16) == 0.673
+    assert _alpha(32) == 0.697
+    assert _alpha(64) == 0.709
+    assert _alpha(4096) == pytest.approx(0.7213 / (1 + 1.079 / 4096))
+
+
+def test_empty_cardinality_zero():
+    assert HyperLogLog(10).cardinality() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_duplicates_do_not_inflate():
+    hll = HyperLogLog(12)
+    for _ in range(100):
+        hll.update("same-key")
+    assert hll.cardinality() == pytest.approx(1.0, abs=0.5)
+
+
+def test_small_range_linear_counting():
+    hll = HyperLogLog.from_keys((f"k{i}" for i in range(50)), precision=12)
+    assert hll.cardinality() == pytest.approx(50, abs=5)
+
+
+def test_large_cardinality_within_theoretical_error():
+    true_d = 200_000
+    hll = HyperLogLog.from_keys((f"key-{i}" for i in range(true_d)), precision=12)
+    est = hll.cardinality()
+    # 1.04/sqrt(4096) ~ 1.6% standard error; allow 5 sigma.
+    assert abs(est - true_d) / true_d < 5 * hll.standard_error
+
+
+def test_precision_improves_accuracy():
+    true_d = 100_000
+    keys = [f"key-{i}" for i in range(true_d)]
+    coarse = HyperLogLog.from_keys(keys, precision=6)
+    fine = HyperLogLog.from_keys(keys, precision=14)
+    assert abs(fine.cardinality() - true_d) <= abs(coarse.cardinality() - true_d)
+
+
+def test_merge_equals_union():
+    a_keys = [f"a{i}" for i in range(30_000)]
+    b_keys = [f"b{i}" for i in range(30_000)]
+    shared = [f"s{i}" for i in range(10_000)]
+    a = HyperLogLog.from_keys(a_keys + shared, precision=12)
+    b = HyperLogLog.from_keys(b_keys + shared, precision=12)
+    merged = a.merge(b)
+    assert abs(merged.cardinality() - 70_000) / 70_000 < 0.1
+
+
+def test_merge_validation():
+    with pytest.raises(ValueError, match="precision"):
+        HyperLogLog(10).merge(HyperLogLog(11))
+    a = HyperLogLog(10, hasher=KeyHasher(seed=1))
+    b = HyperLogLog(10, hasher=KeyHasher(seed=2))
+    with pytest.raises(ValueError, match="hashers"):
+        a.merge(b)
+
+
+def test_storage_bytes():
+    assert HyperLogLog(12).storage_bytes() == 4096
+    assert HyperLogLog(4).storage_bytes() == 16
+
+
+def test_deterministic():
+    keys = [f"k{i}" for i in range(5000)]
+    assert HyperLogLog.from_keys(keys).cardinality() == HyperLogLog.from_keys(
+        keys
+    ).cardinality()
+
+
+def test_no_sample_identifiers_retained():
+    """The structural reason HLL cannot answer join-correlation queries:
+    its state is registers only — no key hashes to align values on."""
+    hll = HyperLogLog.from_keys((f"k{i}" for i in range(1000)), precision=8)
+    assert not hasattr(hll, "key_hashes")
+    assert not hasattr(hll, "entries")
+    assert len(hll._registers) == 256  # fixed, content-free of identities

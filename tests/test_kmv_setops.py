@@ -1,0 +1,106 @@
+"""Unit tests for KMV set-operation estimators (union, ∩, Jaccard, jc)."""
+
+import pytest
+
+from repro.hashing import KeyHasher
+from repro.kmv import (
+    KMVSynopsis,
+    estimate_containment,
+    estimate_intersection,
+    estimate_jaccard,
+    estimate_join_size,
+    estimate_union,
+    merge_synopses,
+)
+
+
+def _synopses(n_a, n_b, n_shared, k=256):
+    shared = [f"shared-{i}" for i in range(n_shared)]
+    only_a = [f"a-{i}" for i in range(n_a - n_shared)]
+    only_b = [f"b-{i}" for i in range(n_b - n_shared)]
+    a = KMVSynopsis.from_keys(shared + only_a, k=k)
+    b = KMVSynopsis.from_keys(shared + only_b, k=k)
+    return a, b
+
+
+def test_incompatible_hashers_rejected():
+    a = KMVSynopsis.from_keys(["x"], k=4, hasher=KeyHasher(seed=1))
+    b = KMVSynopsis.from_keys(["x"], k=4, hasher=KeyHasher(seed=2))
+    with pytest.raises(ValueError, match="hashing schemes"):
+        merge_synopses(a, b)
+
+
+def test_exact_when_small():
+    a = KMVSynopsis.from_keys(["a", "b", "c"], k=64)
+    b = KMVSynopsis.from_keys(["b", "c", "d", "e"], k=64)
+    assert estimate_union(a, b) == 5.0
+    assert estimate_intersection(a, b) == 2.0
+    assert estimate_jaccard(a, b) == pytest.approx(2.0 / 5.0)
+    assert estimate_containment(a, b) == pytest.approx(2.0 / 3.0)
+
+
+def test_union_estimate_large():
+    a, b = _synopses(20_000, 20_000, 10_000)
+    est = estimate_union(a, b)
+    true = 30_000
+    assert abs(est - true) / true < 0.15
+
+
+def test_intersection_estimate_large():
+    a, b = _synopses(20_000, 20_000, 10_000)
+    est = estimate_intersection(a, b)
+    assert abs(est - 10_000) / 10_000 < 0.3
+
+
+def test_jaccard_estimate_large():
+    a, b = _synopses(15_000, 15_000, 5_000)
+    true_j = 5_000 / 25_000
+    assert abs(estimate_jaccard(a, b) - true_j) < 0.1
+
+
+def test_containment_estimate_large():
+    a, b = _synopses(10_000, 40_000, 8_000)
+    true_c = 8_000 / 10_000
+    assert abs(estimate_containment(a, b) - true_c) < 0.2
+
+
+def test_containment_clipped_to_unit_interval():
+    a, b = _synopses(5_000, 5_000, 5_000)
+    assert 0.0 <= estimate_containment(a, b) <= 1.0
+
+
+def test_disjoint_sets():
+    a = KMVSynopsis.from_keys((f"a{i}" for i in range(5000)), k=128)
+    b = KMVSynopsis.from_keys((f"b{i}" for i in range(5000)), k=128)
+    assert estimate_intersection(a, b) == pytest.approx(0.0)
+    assert estimate_jaccard(a, b) == pytest.approx(0.0)
+
+
+def test_empty_synopses():
+    a = KMVSynopsis(16)
+    b = KMVSynopsis(16)
+    assert estimate_union(a, b) == 0.0
+    assert estimate_intersection(a, b) == 0.0
+    assert estimate_jaccard(a, b) == 0.0
+    assert estimate_containment(a, b) == 0.0
+
+
+def test_join_size_equals_intersection():
+    a, b = _synopses(8_000, 8_000, 4_000)
+    assert estimate_join_size(a, b) == estimate_intersection(a, b)
+
+
+def test_merge_uses_min_k():
+    a = KMVSynopsis.from_keys((f"k{i}" for i in range(10_000)), k=64)
+    b = KMVSynopsis.from_keys((f"k{i}" for i in range(10_000)), k=256)
+    combined = merge_synopses(a, b)
+    assert combined.k == 64
+
+
+def test_merge_intersection_count_identical_sets():
+    keys = [f"k{i}" for i in range(10_000)]
+    a = KMVSynopsis.from_keys(keys, k=128)
+    b = KMVSynopsis.from_keys(keys, k=128)
+    combined = merge_synopses(a, b)
+    # Identical key sets: every combined hash appears in both synopses.
+    assert combined.intersection_count == combined.k

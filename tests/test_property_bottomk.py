@@ -1,0 +1,88 @@
+"""Property-based tests for the BottomK structure under churn."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kmv.bottomk import BottomK
+
+offer_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=200),
+    ),
+    min_size=0,
+    max_size=300,
+)
+
+
+def _reference(offers, k):
+    """Sort-everything reference: first-seen rank wins per key (ranks are
+    deterministic per key in real use; the structure keeps the first)."""
+    first_rank = {}
+    for rank, key in offers:
+        if key not in first_rank:
+            first_rank[key] = rank
+    ordered = sorted(first_rank.items(), key=lambda kv: (kv[1], kv[0]))
+    return ordered[:k]
+
+
+@given(offers=offer_lists, k=st.integers(min_value=1, max_value=32))
+@settings(max_examples=100, deadline=None)
+def test_size_bounded(offers, k):
+    b = BottomK(k)
+    for rank, key in offers:
+        b.offer(rank, key)
+    assert len(b) <= k
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=200), min_size=0, max_size=300),
+    unique_ranks=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=201,
+        max_size=201,
+        unique=True,
+    ),
+    k=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=100, deadline=None)
+def test_matches_reference_with_deterministic_ranks(keys, unique_ranks, k):
+    """With one fixed, collision-free rank per key (the sketch setting —
+    ranks are hash-derived floats), the retained set equals the bottom-k
+    of the distinct keys."""
+    stream = [(unique_ranks[key], key) for key in keys]
+    b = BottomK(k)
+    for rank, key in stream:
+        b.offer(rank, key)
+    expected = sorted((rank, key) for key, rank in _reference(stream, k))
+    got = sorted((rank, key) for rank, key, _payload in b.items())
+    assert got == expected
+
+
+@given(offers=offer_lists, k=st.integers(min_value=1, max_value=32))
+@settings(max_examples=100, deadline=None)
+def test_kth_rank_is_max_retained(offers, k):
+    deterministic = {}
+    b = BottomK(k)
+    for rank, key in offers:
+        rank = deterministic.setdefault(key, rank)
+        b.offer(rank, key)
+    if len(b):
+        ranks = [r for r, _key, _p in b.items()]
+        assert b.kth_rank() == max(ranks)
+
+
+@given(offers=offer_lists, k=st.integers(min_value=1, max_value=32))
+@settings(max_examples=100, deadline=None)
+def test_aggregation_counts_offers_of_retained_keys(offers, k):
+    """Using the update callback as a counter: every retained key's count
+    equals the number of times it was offered while retained-or-new."""
+    deterministic = {}
+    b = BottomK(k)
+    expected_counts = {}
+    for rank, key in offers:
+        rank = deterministic.setdefault(key, rank)
+        retained = b.offer(rank, key, payload=1, update=lambda old, new: old + new)
+        if retained:
+            expected_counts[key] = expected_counts.get(key, 0) + 1
+    for _rank, key, payload in b.items():
+        assert payload == expected_counts[key]

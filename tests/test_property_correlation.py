@@ -1,0 +1,126 @@
+"""Property-based tests for correlation estimator invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.correlation.pearson import pearson
+from repro.correlation.qn import qn_correlation, qn_scale
+from repro.correlation.ranks import average_ranks
+from repro.correlation.rin import rin
+from repro.correlation.spearman import spearman
+
+finite = st.floats(min_value=-1e8, max_value=1e8, allow_nan=False)
+paired = st.integers(min_value=2, max_value=60).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=finite),
+        arrays(np.float64, n, elements=finite),
+    )
+)
+
+
+@given(xy=paired)
+@settings(max_examples=100, deadline=None)
+def test_pearson_bounded_or_nan(xy):
+    r = pearson(*xy)
+    assert math.isnan(r) or -1.0 <= r <= 1.0
+
+
+@given(xy=paired)
+@settings(max_examples=100, deadline=None)
+def test_pearson_symmetric(xy):
+    x, y = xy
+    a, b = pearson(x, y), pearson(y, x)
+    assert (math.isnan(a) and math.isnan(b)) or a == b
+
+
+moderate = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+paired_moderate = st.integers(min_value=2, max_value=60).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=moderate),
+        arrays(np.float64, n, elements=moderate),
+    )
+)
+
+
+@given(
+    xy=paired_moderate,
+    scale=st.floats(min_value=0.1, max_value=10),
+    shift=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_pearson_affine_invariance(xy, scale, shift):
+    x, y = xy
+    r1 = pearson(x, y)
+    assume(not math.isnan(r1))
+    r2 = pearson(scale * x + shift, y)
+    assume(not math.isnan(r2))  # the shift can absorb tiny variance in fp
+    assert r2 == r1 or abs(r2 - r1) < 1e-6
+
+
+@given(xy=paired)
+@settings(max_examples=100, deadline=None)
+def test_spearman_bounded_or_nan(xy):
+    r = spearman(*xy)
+    assert math.isnan(r) or -1.0 <= r <= 1.0
+
+
+@given(
+    # Bounded away from zero so cubing cannot underflow values into new
+    # ties (e.g. 7e-194**3 -> 0.0).
+    x=st.lists(
+        st.floats(min_value=0.01, max_value=100, allow_nan=False),
+        min_size=3,
+        max_size=40,
+        unique=True,
+    ),
+    y=st.lists(
+        st.floats(min_value=0.01, max_value=100, allow_nan=False),
+        min_size=3,
+        max_size=40,
+        unique=True,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_spearman_invariant_under_strictly_monotone_transform(x, y):
+    n = min(len(x), len(y))
+    x_arr = np.asarray(x[:n])
+    y_arr = np.asarray(y[:n])
+    r1 = spearman(x_arr, y_arr)
+    assume(not math.isnan(r1))
+    # x -> x^3 is strictly monotone on a modest range: ranks unchanged.
+    r2 = spearman(x_arr**3, y_arr)
+    assert abs(r1 - r2) < 1e-9
+
+
+@given(values=arrays(np.float64, st.integers(2, 60), elements=finite))
+@settings(max_examples=100, deadline=None)
+def test_average_ranks_are_permutation_of_expected_sum(values):
+    ranks = average_ranks(values)
+    n = len(values)
+    assert float(ranks.sum()) == float(n * (n + 1) / 2)
+    assert ranks.min() >= 1.0
+    assert ranks.max() <= n
+
+
+@given(values=arrays(np.float64, st.integers(2, 50), elements=finite))
+@settings(max_examples=60, deadline=None)
+def test_qn_scale_nonnegative(values):
+    s = qn_scale(values)
+    assert math.isnan(s) or s >= 0.0
+
+
+@given(xy=paired)
+@settings(max_examples=60, deadline=None)
+def test_qn_correlation_bounded_or_nan(xy):
+    r = qn_correlation(*xy)
+    assert math.isnan(r) or -1.0 <= r <= 1.0
+
+
+@given(xy=paired)
+@settings(max_examples=60, deadline=None)
+def test_rin_bounded_or_nan(xy):
+    r = rin(*xy)
+    assert math.isnan(r) or -1.0 <= r <= 1.0

@@ -1,0 +1,85 @@
+"""Property-based tests for KMV synopses and set-operation estimates."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kmv import (
+    KMVSynopsis,
+    estimate_containment,
+    estimate_intersection,
+    estimate_jaccard,
+    estimate_union,
+    merge_synopses,
+)
+
+key_lists = st.lists(
+    st.text(alphabet="abcdef012345", min_size=1, max_size=8),
+    min_size=0,
+    max_size=150,
+)
+
+
+@given(keys=key_lists, k=st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_size_bounded_and_duplicates_collapse(keys, k):
+    syn = KMVSynopsis.from_keys(keys, k=k)
+    assert len(syn) <= k
+    assert len(syn) <= len(set(keys))
+    again = KMVSynopsis.from_keys(keys + keys, k=k)
+    assert again.key_hashes() == syn.key_hashes()
+
+
+@given(keys=key_lists, k=st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_dv_estimate_exact_when_not_overflowed(keys, k):
+    syn = KMVSynopsis.from_keys(keys, k=k)
+    if syn.saw_all_keys:
+        assert syn.distinct_values() == len(set(keys))
+
+
+@given(keys=key_lists)
+@settings(max_examples=60, deadline=None)
+def test_dv_estimate_positive_when_nonempty(keys):
+    syn = KMVSynopsis.from_keys(keys, k=16)
+    est = syn.distinct_values()
+    if keys:
+        assert est > 0
+    else:
+        assert est == 0.0
+
+
+@given(a_keys=key_lists, b_keys=key_lists, k=st.integers(min_value=2, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_set_estimates_basic_sanity(a_keys, b_keys, k):
+    a = KMVSynopsis.from_keys(a_keys, k=k)
+    b = KMVSynopsis.from_keys(b_keys, k=k)
+    union = estimate_union(a, b)
+    inter = estimate_intersection(a, b)
+    jaccard = estimate_jaccard(a, b)
+    containment = estimate_containment(a, b)
+    assert union >= 0.0
+    assert inter >= 0.0
+    assert inter <= union + 1e-9
+    assert 0.0 <= jaccard <= 1.0
+    assert 0.0 <= containment <= 1.0
+
+
+@given(keys=key_lists, k=st.integers(min_value=2, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_self_similarity_is_maximal(keys, k):
+    syn_a = KMVSynopsis.from_keys(keys, k=k)
+    syn_b = KMVSynopsis.from_keys(keys, k=k)
+    if keys:
+        assert estimate_jaccard(syn_a, syn_b) == 1.0
+        assert estimate_containment(syn_a, syn_b) == 1.0
+
+
+@given(a_keys=key_lists, b_keys=key_lists, k=st.integers(min_value=2, max_value=32))
+@settings(max_examples=60, deadline=None)
+def test_merge_symmetry(a_keys, b_keys, k):
+    a = KMVSynopsis.from_keys(a_keys, k=k)
+    b = KMVSynopsis.from_keys(b_keys, k=k)
+    ab = merge_synopses(a, b)
+    ba = merge_synopses(b, a)
+    assert ab.k == ba.k
+    assert ab.kth_unit_value == ba.kth_unit_value
+    assert ab.intersection_count == ba.intersection_count

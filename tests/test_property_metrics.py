@@ -1,0 +1,83 @@
+"""Property-based tests for ranking-metric invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ranking.metrics import average_precision, dcg_at, ndcg_at, precision_at
+
+flag_lists = st.lists(st.booleans(), min_size=0, max_size=40)
+gain_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=0, max_size=40
+)
+
+
+@given(flags=flag_lists)
+@settings(max_examples=100, deadline=None)
+def test_average_precision_in_unit_interval(flags):
+    assert 0.0 <= average_precision(flags) <= 1.0
+
+
+@given(flags=flag_lists)
+@settings(max_examples=100, deadline=None)
+def test_sorted_relevant_first_is_optimal(flags):
+    ideal = sorted(flags, reverse=True)
+    assert average_precision(ideal) >= average_precision(flags) - 1e-12
+
+
+@given(flags=flag_lists)
+@settings(max_examples=100, deadline=None)
+def test_perfect_prefix_ap_is_one(flags):
+    if any(flags):
+        ideal = sorted(flags, reverse=True)
+        assert average_precision(ideal) == 1.0
+
+
+@given(flags=flag_lists, k=st.integers(min_value=1, max_value=50))
+@settings(max_examples=100, deadline=None)
+def test_precision_at_bounded(flags, k):
+    assert 0.0 <= precision_at(flags, k) <= 1.0
+
+
+@given(gains=gain_lists, k=st.integers(min_value=1, max_value=50))
+@settings(max_examples=100, deadline=None)
+def test_ndcg_in_unit_interval(gains, k):
+    assert 0.0 <= ndcg_at(gains, k) <= 1.0 + 1e-12
+
+
+@given(gains=gain_lists, k=st.integers(min_value=1, max_value=50))
+@settings(max_examples=100, deadline=None)
+def test_ideal_ordering_achieves_ndcg_one(gains, k):
+    if any(g > 0 for g in gains):
+        assert ndcg_at(sorted(gains, reverse=True), k) == 1.0
+
+
+@given(gains=gain_lists, k=st.integers(min_value=1, max_value=50))
+@settings(max_examples=100, deadline=None)
+def test_dcg_monotone_in_k(gains, k):
+    assert dcg_at(gains, k) <= dcg_at(gains, k + 1) + 1e-12
+
+
+@given(gains=gain_lists)
+@settings(max_examples=100, deadline=None)
+def test_dcg_nonnegative(gains):
+    assert dcg_at(gains, 10) >= 0.0
+
+
+@given(
+    gains=st.lists(
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        min_size=2,
+        max_size=20,
+    ),
+    k=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_swapping_toward_ideal_never_hurts_ndcg(gains, k):
+    """Bubble-sort step invariant: fixing one inversion cannot lower nDCG."""
+    worst = sorted(gains)
+    improved = worst[:]
+    # Fix the first inversion (move a larger gain earlier).
+    for i in range(len(improved) - 1):
+        if improved[i] < improved[i + 1]:
+            improved[i], improved[i + 1] = improved[i + 1], improved[i]
+            break
+    assert ndcg_at(improved, k) >= ndcg_at(worst, k) - 1e-12

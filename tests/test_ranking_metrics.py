@@ -1,0 +1,122 @@
+"""Unit tests for MAP and nDCG."""
+
+import math
+
+import pytest
+
+from repro.ranking.metrics import (
+    average_precision,
+    dcg_at,
+    mean_average_precision,
+    mean_ndcg_at,
+    ndcg_at,
+    precision_at,
+)
+
+
+class TestPrecisionAt:
+    def test_basic(self):
+        assert precision_at([True, False, True, False], 2) == 0.5
+        assert precision_at([True, True], 2) == 1.0
+
+    def test_k_beyond_list(self):
+        assert precision_at([True], 5) == 1.0
+
+    def test_empty_list(self):
+        assert precision_at([], 3) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at([True], 0)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([True, True, False, False]) == 1.0
+
+    def test_worst_ranking(self):
+        ap = average_precision([False, False, True])
+        assert ap == pytest.approx(1 / 3)
+
+    def test_textbook_example(self):
+        # Relevant at ranks 1, 3, 5: AP = (1/1 + 2/3 + 3/5) / 3.
+        flags = [True, False, True, False, True]
+        assert average_precision(flags) == pytest.approx((1 + 2 / 3 + 3 / 5) / 3)
+
+    def test_no_relevant(self):
+        assert average_precision([False, False]) == 0.0
+
+    def test_all_relevant(self):
+        assert average_precision([True] * 7) == 1.0
+
+    def test_order_sensitivity(self):
+        better = average_precision([True, False, False, True])
+        worse = average_precision([False, True, False, True])
+        assert better > worse
+
+
+class TestMAP:
+    def test_mean_over_queries(self):
+        q1 = [True, False]       # AP = 1.0
+        q2 = [False, True]       # AP = 0.5
+        assert mean_average_precision([q1, q2]) == 0.75
+
+    def test_skip_empty_default(self):
+        q1 = [True]
+        q_empty = [False, False]
+        assert mean_average_precision([q1, q_empty]) == 1.0
+
+    def test_include_empty(self):
+        q1 = [True]
+        q_empty = [False]
+        assert mean_average_precision([q1, q_empty], skip_empty=False) == 0.5
+
+    def test_no_queries(self):
+        assert mean_average_precision([]) == 0.0
+
+
+class TestDCG:
+    def test_single_item(self):
+        assert dcg_at([3.0], 1) == 3.0
+
+    def test_discounting(self):
+        # gains at ranks 1..3 discounted by log2(rank+1).
+        expected = 1.0 / math.log2(2) + 0.5 / math.log2(3) + 0.2 / math.log2(4)
+        assert dcg_at([1.0, 0.5, 0.2], 3) == pytest.approx(expected)
+
+    def test_truncation(self):
+        assert dcg_at([1.0, 1.0, 1.0], 1) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            dcg_at([1.0], 0)
+
+
+class TestNDCG:
+    def test_ideal_ordering_is_one(self):
+        assert ndcg_at([0.9, 0.7, 0.3], 3) == pytest.approx(1.0)
+
+    def test_reversed_ordering_below_one(self):
+        assert ndcg_at([0.3, 0.7, 0.9], 3) < 1.0
+
+    def test_all_zero_gains(self):
+        assert ndcg_at([0.0, 0.0], 5) == 0.0
+
+    def test_bounded_by_one(self):
+        assert 0.0 <= ndcg_at([0.1, 0.9, 0.5, 0.2], 2) <= 1.0
+
+    def test_ideal_reranks_beyond_k(self):
+        """Items below the cutoff still shape the ideal DCG."""
+        # At k=1, [0.5, 0.9]: DCG@1 = 0.5 but ideal@1 = 0.9.
+        assert ndcg_at([0.5, 0.9], 1) == pytest.approx(0.5 / 0.9)
+
+    def test_mean_ndcg(self):
+        queries = [[0.9, 0.1], [0.1, 0.9]]
+        value = mean_ndcg_at(queries, 2)
+        assert 0.0 < value < 1.0
+
+    def test_mean_ndcg_skips_empty(self):
+        assert mean_ndcg_at([[0.9], [0.0, 0.0]], 1) == 1.0
+
+    def test_mean_ndcg_empty_workload(self):
+        assert mean_ndcg_at([], 5) == 0.0

@@ -1,0 +1,163 @@
+"""Unit tests for the risk-averse scoring functions (Section 4.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.joined_sample import JoinedSample
+from repro.ranking.scoring import (
+    SCORER_NAMES,
+    CandidateScores,
+    candidate_scores,
+    cib_factor,
+    cih_factors,
+    score_candidates,
+    sez_factor,
+)
+
+
+def _sample(n=100, rho=0.8, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    y = rho * x + math.sqrt(1 - rho**2) * rng.standard_normal(n)
+    return JoinedSample(
+        key_hashes=np.arange(n, dtype=np.uint64),
+        x=x,
+        y=y,
+        x_range=(float(x.min()), float(x.max())),
+        y_range=(float(y.min()), float(y.max())),
+    )
+
+
+def _stats(r_p=0.8, r_b=0.78, n=100, sez=0.9, cib=0.8, hfd_len=1.5, jc_est=0.5, jc=0.6):
+    return CandidateScores(
+        r_pearson=r_p,
+        r_bootstrap=r_b,
+        sample_size=n,
+        sez_factor=sez,
+        cib_factor=cib,
+        hfd_ci_length=hfd_len,
+        containment_est=jc_est,
+        containment_true=jc,
+    )
+
+
+class TestFactors:
+    def test_sez_formula(self):
+        assert sez_factor(103) == pytest.approx(1 - 0.1)
+        assert sez_factor(4) == 0.0
+        assert sez_factor(0) == 0.0  # clamped at n=4
+
+    def test_sez_monotone_in_n(self):
+        values = [sez_factor(n) for n in (4, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_cib_formula(self):
+        assert cib_factor(0.2, 0.6) == pytest.approx(1 - 0.2)
+        assert cib_factor(-1.0, 1.0) == 0.0
+        assert cib_factor(math.nan, 0.5) == 0.0
+
+    def test_cib_floored_at_zero(self):
+        assert cib_factor(-2.0, 2.0) == 0.0
+
+    def test_cih_min_max_normalization(self):
+        factors = cih_factors([1.0, 2.0, 3.0])
+        assert factors == [1.0, 0.5, 0.0]
+
+    def test_cih_nan_gets_zero(self):
+        factors = cih_factors([1.0, math.nan, 3.0])
+        assert factors[1] == 0.0
+        assert factors[0] == 1.0
+
+    def test_cih_degenerate_all_equal(self):
+        assert cih_factors([2.0, 2.0]) == [1.0, 1.0]
+
+    def test_cih_all_nan(self):
+        assert cih_factors([math.nan, math.nan]) == [0.0, 0.0]
+
+
+class TestScoreCandidates:
+    def test_unknown_scorer(self):
+        with pytest.raises(ValueError, match="unknown scorer"):
+            score_candidates([_stats()], "tfidf")
+
+    def test_rp_is_absolute_correlation(self):
+        scores = score_candidates([_stats(r_p=-0.7), _stats(r_p=0.3)], "rp")
+        assert scores == [0.7, 0.3]
+
+    def test_nan_estimates_score_zero(self):
+        scores = score_candidates([_stats(r_p=math.nan)], "rp")
+        assert scores == [0.0]
+
+    def test_rp_sez_penalizes(self):
+        scores = score_candidates([_stats(r_p=0.8, sez=0.5)], "rp_sez")
+        assert scores == [pytest.approx(0.4)]
+
+    def test_rb_cib_uses_bootstrap_estimate(self):
+        scores = score_candidates([_stats(r_p=0.0, r_b=-0.9, cib=0.5)], "rb_cib")
+        assert scores == [pytest.approx(0.45)]
+
+    def test_rp_cih_list_normalization(self):
+        stats = [_stats(r_p=0.8, hfd_len=1.0), _stats(r_p=0.8, hfd_len=3.0)]
+        scores = score_candidates(stats, "rp_cih")
+        assert scores[0] == pytest.approx(0.8)  # min CI length: no penalty
+        assert scores[1] == pytest.approx(0.0)  # max CI length: full penalty
+
+    def test_jc_scorers(self):
+        stats = [_stats(jc=0.6, jc_est=0.4)]
+        assert score_candidates(stats, "jc") == [0.6]
+        assert score_candidates(stats, "jc_est") == [0.4]
+
+    def test_jc_nan_truth_scores_zero(self):
+        assert score_candidates([_stats(jc=math.nan)], "jc") == [0.0]
+
+    def test_random_scorer_range_and_determinism(self):
+        stats = [_stats() for _ in range(20)]
+        scores = score_candidates(stats, "random", rng=np.random.default_rng(5))
+        assert all(0.0 <= s <= 1.0 for s in scores)
+        again = score_candidates(stats, "random", rng=np.random.default_rng(5))
+        assert scores == again
+
+    def test_all_scorer_names_run(self):
+        stats = [_stats(), _stats(r_p=0.2)]
+        for name in SCORER_NAMES:
+            scores = score_candidates(stats, name, rng=np.random.default_rng(0))
+            assert len(scores) == 2
+
+
+class TestCandidateScores:
+    def test_from_real_sample(self):
+        sample = _sample(n=200, rho=0.9)
+        stats = candidate_scores(sample, containment_est=0.7)
+        assert abs(stats.r_pearson - 0.9) < 0.1
+        assert abs(stats.r_bootstrap - stats.r_pearson) < 0.1
+        assert stats.sample_size == 200
+        assert 0.0 < stats.sez_factor < 1.0
+        assert 0.0 <= stats.cib_factor <= 1.0
+        assert stats.hfd_ci_length > 0.0
+        assert stats.containment_est == 0.7
+
+    def test_empty_sample(self):
+        sample = JoinedSample(
+            key_hashes=np.array([], dtype=np.uint64),
+            x=np.array([]),
+            y=np.array([]),
+        )
+        stats = candidate_scores(sample)
+        assert math.isnan(stats.r_pearson)
+        assert math.isnan(stats.r_bootstrap)
+        assert stats.sez_factor == 0.0
+        assert stats.cib_factor == 0.0
+
+    def test_deterministic_without_rng(self):
+        sample = _sample(n=50)
+        a = candidate_scores(sample)
+        b = candidate_scores(sample)
+        assert a == b
+
+    def test_larger_sample_lower_risk(self):
+        small = candidate_scores(_sample(n=10, seed=1))
+        large = candidate_scores(_sample(n=500, seed=1))
+        assert large.sez_factor > small.sez_factor
+        assert large.hfd_ci_length < small.hfd_ci_length

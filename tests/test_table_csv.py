@@ -1,0 +1,100 @@
+"""Unit tests for CSV reading/writing with type detection."""
+
+import math
+
+import pytest
+
+from repro.table.csv_io import read_csv, read_csv_text, write_csv
+from repro.table.table import Table
+from repro.table.column import CategoricalColumn, NumericColumn
+
+CSV = """date,pickups,revenue,zone
+2021-01-01,120,"$1,200.50",manhattan
+2021-01-02,95,,brooklyn
+2021-01-03,NA,900,manhattan
+"""
+
+
+def test_basic_parse_and_types():
+    t = read_csv_text(CSV, "taxi.csv")
+    assert t.name == "taxi.csv"
+    assert len(t) == 3
+    assert t.categorical_names() == ["date", "zone"]
+    assert t.numeric_names() == ["pickups", "revenue"]
+
+
+def test_currency_parsing():
+    t = read_csv_text(CSV, "taxi.csv")
+    assert t.numeric("revenue").values[0] == 1200.5
+
+
+def test_missing_cells_become_nan_or_none():
+    t = read_csv_text(CSV, "taxi.csv")
+    assert math.isnan(t.numeric("revenue").values[1])
+    assert math.isnan(t.numeric("pickups").values[2])
+
+
+def test_empty_csv_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        read_csv_text("", "x.csv")
+
+
+def test_ragged_row_rejected():
+    with pytest.raises(ValueError, match="line 3"):
+        read_csv_text("a,b\n1,2\n3\n", "x.csv")
+
+
+def test_header_only():
+    t = read_csv_text("a,b\n", "x.csv")
+    assert len(t) == 0
+
+
+def test_duplicate_headers_disambiguated():
+    t = read_csv_text("a,a,b\n1,2,3\n", "x.csv")
+    assert t.column_names == ["a", "a.1", "b"]
+
+
+def test_all_missing_column_dropped():
+    t = read_csv_text("k,v\nx,\ny,\n", "x.csv")
+    assert "v" not in t
+    assert "k" in t
+
+
+def test_custom_delimiter():
+    t = read_csv_text("k;v\na;1\n", "x.csv", delimiter=";")
+    assert t.numeric("v").values.tolist() == [1.0]
+
+
+def test_categorical_threshold_forwarded():
+    text = "code,v\n" + "".join(f"{10000 + i % 3},{i}\n" for i in range(300))
+    default = read_csv_text(text, "x.csv")
+    assert "code" in default.numeric_names()
+    forced = read_csv_text(text, "x.csv", categorical_threshold=0.05)
+    assert "code" in forced.categorical_names()
+
+
+def test_round_trip_through_disk(tmp_path):
+    t = Table(
+        "roundtrip",
+        [
+            CategoricalColumn("k", ["a", None, "c"]),
+            NumericColumn("v", [1.5, math.nan, -2.0]),
+        ],
+    )
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    loaded = read_csv(path)
+    assert loaded.categorical("k").values == ["a", None, "c"]
+    values = loaded.numeric("v").values
+    assert values[0] == 1.5 and math.isnan(values[1]) and values[2] == -2.0
+
+
+def test_read_csv_uses_file_name(tmp_path):
+    path = tmp_path / "named.csv"
+    path.write_text("k,v\na,1\n")
+    assert read_csv(path).name == "named.csv"
+
+
+def test_quoted_fields_with_commas():
+    t = read_csv_text('k,v\n"hello, world",3\n', "x.csv")
+    assert t.categorical("k").values == ["hello, world"]

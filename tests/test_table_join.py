@@ -1,0 +1,104 @@
+"""Unit tests for ground-truth joins and exact containment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.correlation.pearson import pearson
+from repro.table.join import (
+    aggregate_pairs,
+    jaccard_containment,
+    join_columns,
+    join_tables,
+    true_correlation,
+)
+from repro.table.table import table_from_arrays
+
+
+def test_paper_figure1_example():
+    """Reproduces Figure 1 exactly: mean aggregation, 4 joint keys."""
+    tx_keys = ["2021-01", "2021-02", "2021-03", "2021-04", "2021-05", "2021-06", "2021-07"]
+    tx_vals = [6.0, 4.0, 2.0, 3.0, 0.5, 4.0, 2.0]
+    ty_keys = ["2021-01", "2021-01", "2021-02", "2021-02", "2021-03", "2021-03", "2021-04"]
+    ty_vals = [5.5, 4.5, 3.9, 2.0, 4.0, 1.0, 4.0]
+    join = join_columns(tx_keys, np.array(tx_vals), ty_keys, np.array(ty_vals))
+    assert join.keys == ["2021-01", "2021-02", "2021-03", "2021-04"]
+    assert join.x.tolist() == [6.0, 4.0, 2.0, 3.0]
+    assert join.y.tolist() == [5.0, 2.95, 2.5, 4.0]
+
+
+def test_aggregate_pairs_semantics():
+    rows = [("a", 1.0), ("a", 3.0), ("b", 10.0)]
+    assert aggregate_pairs(rows, "mean") == {"a": 2.0, "b": 10.0}
+    assert aggregate_pairs(rows, "sum") == {"a": 4.0, "b": 10.0}
+    assert aggregate_pairs(rows, "first") == {"a": 1.0, "b": 10.0}
+
+
+def test_join_disjoint_empty():
+    join = join_columns(["a"], np.array([1.0]), ["b"], np.array([2.0]))
+    assert join.size == 0
+
+
+def test_join_none_keys_skipped():
+    join = join_columns(
+        ["a", None], np.array([1.0, 2.0]), ["a", None], np.array([3.0, 4.0])
+    )
+    assert join.keys == ["a"]
+
+
+def test_join_deterministic_sorted_keys():
+    join = join_columns(
+        ["c", "a", "b"], np.array([3.0, 1.0, 2.0]),
+        ["b", "c", "a"], np.array([20.0, 30.0, 10.0]),
+    )
+    assert join.keys == ["a", "b", "c"]
+    assert join.x.tolist() == [1.0, 2.0, 3.0]
+    assert join.y.tolist() == [10.0, 20.0, 30.0]
+
+
+def test_drop_nan():
+    join = join_columns(
+        ["a", "b"], np.array([1.0, math.nan]), ["a", "b"], np.array([5.0, 6.0])
+    )
+    clean = join.drop_nan()
+    assert clean.keys == ["a"]
+    assert clean.size == 1
+
+
+def test_join_tables_wrapper():
+    tx = table_from_arrays("tx", ["a", "b"], [1.0, 2.0])
+    ty = table_from_arrays("ty", ["b", "c"], [20.0, 30.0])
+    join = join_tables(tx, tx.column_pairs()[0], ty, ty.column_pairs()[0])
+    assert join.keys == ["b"]
+    assert join.x.tolist() == [2.0]
+    assert join.y.tolist() == [20.0]
+
+
+def test_true_correlation_small_join_nan():
+    tx = table_from_arrays("tx", ["a"], [1.0])
+    ty = table_from_arrays("ty", ["a"], [2.0])
+    join = join_tables(tx, tx.column_pairs()[0], ty, ty.column_pairs()[0])
+    assert math.isnan(true_correlation(join, pearson))
+
+
+def test_true_correlation_value():
+    keys = [f"k{i}" for i in range(100)]
+    x = np.arange(100.0)
+    join = join_columns(keys, x, keys, 2 * x + 1)
+    assert true_correlation(join, pearson) == pytest.approx(1.0)
+
+
+class TestJaccardContainment:
+    def test_basic(self):
+        assert jaccard_containment(["a", "b", "c"], ["b", "c", "d"]) == pytest.approx(2 / 3)
+
+    def test_empty_left(self):
+        assert jaccard_containment([], ["a"]) == 0.0
+        assert jaccard_containment([None], ["a"]) == 0.0
+
+    def test_duplicates_ignored(self):
+        assert jaccard_containment(["a", "a", "b"], ["a"]) == 0.5
+
+    def test_full_containment(self):
+        assert jaccard_containment(["a"], ["a", "b", "c"]) == 1.0

@@ -1,0 +1,105 @@
+"""Tests for streaming sketch construction from CSV files."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import CorrelationSketch
+from repro.index.catalog import SketchCatalog
+from repro.table.csv_io import read_csv
+from repro.table.streaming import iter_csv_rows, stream_sketch_csv
+
+
+@pytest.fixture()
+def csv_file(tmp_path):
+    rng = np.random.default_rng(0)
+    n = 3000
+    lines = ["date,zone,pickups,fares"]
+    for i in range(n):
+        date = f"2021-{1 + i // 28 % 12:02d}-{1 + i % 28:02d}"
+        zone = f"z{i % 40}"
+        pickups = f"{rng.normal(100, 20):.3f}"
+        fares = f"{rng.normal(500, 90):.3f}" if i % 17 else ""
+        lines.append(f"{date},{zone},{pickups},{fares}")
+    path = tmp_path / "taxi.csv"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def test_streaming_matches_eager_path(csv_file):
+    """Streaming sketches must equal sketches built from the loaded table."""
+    streamed = stream_sketch_csv(csv_file, 64)
+    table = read_csv(csv_file)
+    for pair in table.column_pairs():
+        eager = CorrelationSketch(64, name=pair.pair_id)
+        eager.update_all(table.pair_rows(pair))
+        got = streamed[pair.pair_id]
+        assert got.key_hashes() == eager.key_hashes()
+        got_entries = got.entries()
+        for kh, v in eager.entries().items():
+            assert got_entries[kh] == v or (
+                math.isnan(got_entries[kh]) and math.isnan(v)
+            )
+        assert got.rows_seen == eager.rows_seen
+
+
+def test_all_pairs_present(csv_file):
+    streamed = stream_sketch_csv(csv_file, 32)
+    # 2 categorical (date, zone) x 2 numeric (pickups, fares).
+    assert len(streamed) == 4
+    assert "taxi.csv::date->pickups" in streamed
+    assert "taxi.csv::zone->fares" in streamed
+
+
+def test_small_prefix_buffer_still_correct(csv_file):
+    small = stream_sketch_csv(csv_file, 32, type_inference_rows=10)
+    full = stream_sketch_csv(csv_file, 32, type_inference_rows=10_000)
+    for pair_id, sketch in small.items():
+        assert sketch.key_hashes() == full[pair_id].key_hashes()
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        stream_sketch_csv(path, 16)
+
+
+def test_header_only_yields_empty_sketches(tmp_path):
+    path = tmp_path / "h.csv"
+    path.write_text("k,v\n")
+    # No rows -> no type information -> no sketchable pairs.
+    assert stream_sketch_csv(path, 16) == {}
+
+
+def test_ragged_row_in_prefix_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n3\n")
+    with pytest.raises(ValueError, match="expected 2 fields"):
+        stream_sketch_csv(path, 16)
+
+
+def test_ragged_row_after_prefix_rejected(tmp_path):
+    rows = ["k,v"] + [f"a{i},1" for i in range(50)] + ["broken"]
+    path = tmp_path / "bad2.csv"
+    path.write_text("\n".join(rows) + "\n")
+    with pytest.raises(ValueError, match="fields"):
+        stream_sketch_csv(path, 16, type_inference_rows=10)
+
+
+def test_catalog_streaming_integration(csv_file, tmp_path):
+    eager = SketchCatalog(sketch_size=64)
+    eager.add_table(read_csv(csv_file))
+
+    streaming = SketchCatalog(sketch_size=64)
+    ids = streaming.add_csv_streaming(csv_file)
+    assert sorted(ids) == sorted(eager)
+    for sid in eager:
+        assert streaming.get(sid).key_hashes() == eager.get(sid).key_hashes()
+
+
+def test_iter_csv_rows(csv_file):
+    rows = list(iter_csv_rows(csv_file))
+    assert len(rows) == 3000
+    assert len(rows[0]) == 4

@@ -1,0 +1,89 @@
+"""Unit tests for column type inference."""
+
+import pytest
+
+from repro.table.types import (
+    ColumnType,
+    infer_column_type,
+    is_missing,
+    try_parse_float,
+)
+
+
+class TestMissing:
+    @pytest.mark.parametrize("cell", ["", " ", "NA", "n/a", "NaN", "null", "None", "-", "--"])
+    def test_missing_tokens(self, cell):
+        assert is_missing(cell)
+
+    @pytest.mark.parametrize("cell", ["0", "x", "none y", "NA2"])
+    def test_not_missing(self, cell):
+        assert not is_missing(cell)
+
+
+class TestParseFloat:
+    def test_plain(self):
+        assert try_parse_float("3.14") == 3.14
+        assert try_parse_float("-2") == -2.0
+        assert try_parse_float("1e3") == 1000.0
+
+    def test_currency_and_thousands(self):
+        assert try_parse_float("$1,234.50") == 1234.5
+        assert try_parse_float("1,000,000") == 1_000_000.0
+
+    def test_whitespace(self):
+        assert try_parse_float("  7.5 ") == 7.5
+
+    def test_non_numeric(self):
+        assert try_parse_float("abc") is None
+        assert try_parse_float("12abc") is None
+        assert try_parse_float("") is None
+
+    def test_infinity_rejected(self):
+        assert try_parse_float("inf") is None
+        assert try_parse_float("-infinity") is None
+
+
+class TestInference:
+    def test_all_numeric(self):
+        assert infer_column_type(["1", "2.5", "-3"]) is ColumnType.NUMERIC
+
+    def test_mixed_is_categorical(self):
+        assert infer_column_type(["1", "two", "3"]) is ColumnType.CATEGORICAL
+
+    def test_dates_are_categorical(self):
+        assert (
+            infer_column_type(["2021-01-01", "2021-01-02"]) is ColumnType.CATEGORICAL
+        )
+
+    def test_all_missing_unsupported(self):
+        assert infer_column_type(["", "NA", "null"]) is ColumnType.UNSUPPORTED
+
+    def test_empty_unsupported(self):
+        assert infer_column_type([]) is ColumnType.UNSUPPORTED
+
+    def test_missing_cells_ignored(self):
+        assert infer_column_type(["1", "", "2", "NA"]) is ColumnType.NUMERIC
+
+    def test_sample_limit_respected(self):
+        # Non-numeric junk beyond the sample limit goes unseen.
+        cells = ["1"] * 1000 + ["junk"]
+        assert infer_column_type(cells, sample_limit=1000) is ColumnType.NUMERIC
+        assert (
+            infer_column_type(cells, sample_limit=1001) is ColumnType.CATEGORICAL
+        )
+
+    def test_id_code_heuristic(self):
+        # 3 distinct zip-like codes over 300 rows: categorical if enabled.
+        cells = ["10001", "10002", "10003"] * 100
+        assert infer_column_type(cells) is ColumnType.NUMERIC
+        assert (
+            infer_column_type(cells, categorical_threshold=0.05)
+            is ColumnType.CATEGORICAL
+        )
+
+    def test_id_code_heuristic_spares_diverse_numerics(self):
+        cells = [str(i * 1.5) for i in range(100)]
+        assert (
+            infer_column_type(cells, categorical_threshold=0.05)
+            is ColumnType.NUMERIC
+        )
