@@ -19,6 +19,22 @@ from repro.data.workloads import collection_column_pairs
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark workloads to a CI-sized smoke run "
+        "(skips absolute-performance assertions)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when the suite runs as a --quick smoke (CI) invocation."""
+    return request.config.getoption("--quick")
+
+
 def write_result(name: str, text: str) -> None:
     """Persist a regenerated table/figure and echo it to stdout."""
     RESULTS_DIR.mkdir(exist_ok=True)

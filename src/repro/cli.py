@@ -63,7 +63,8 @@ def _build_query_sketch(
         hasher=catalog.hasher,
         name=pair.pair_id,
     )
-    sketch.update_all(table.pair_rows(pair))
+    keys, values = table.pair_arrays(pair)
+    sketch.update_array(keys, values)
     return sketch
 
 
@@ -73,7 +74,11 @@ def cmd_index(args: argparse.Namespace) -> int:
     if not csv_files:
         print(f"error: no CSV files under {directory}", file=sys.stderr)
         return 1
-    catalog = SketchCatalog(sketch_size=args.sketch_size, aggregate=args.aggregate)
+    catalog = SketchCatalog(
+        sketch_size=args.sketch_size,
+        aggregate=args.aggregate,
+        vectorized=not args.no_vectorized,
+    )
     t0 = time.perf_counter()
     n_pairs = 0
     for path in csv_files:
@@ -131,12 +136,12 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     right_pair = _resolve_pair(right_table, args.right_key, args.right_value)
 
     left = CorrelationSketch(args.sketch_size, aggregate=args.aggregate, name=left_pair.pair_id)
-    left.update_all(left_table.pair_rows(left_pair))
+    left.update_array(*left_table.pair_arrays(left_pair))
     right = CorrelationSketch(
         args.sketch_size, aggregate=args.aggregate, hasher=left.hasher,
         name=right_pair.pair_id,
     )
-    right.update_all(right_table.pair_rows(right_pair))
+    right.update_array(*right_table.pair_arrays(right_pair))
 
     result = estimate_pair(left, right, estimator=args.estimator)
     print(f"left pair            : {left_pair.pair_id}")
@@ -176,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_index.add_argument("-o", "--output", required=True, help="catalog JSON path")
     p_index.add_argument("--sketch-size", type=int, default=256)
     p_index.add_argument("--aggregate", default="mean")
+    p_index.add_argument(
+        "--no-vectorized",
+        action="store_true",
+        help="build sketches row-at-a-time instead of the (identical but "
+        "much faster) columnar fast path",
+    )
     p_index.add_argument("-v", "--verbose", action="store_true")
     p_index.set_defaults(func=cmd_index)
 

@@ -30,6 +30,8 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+import numpy as np
+
 
 class Aggregator:
     """Base class for O(1)-state streaming aggregators.
@@ -200,3 +202,150 @@ def make_aggregator(name: str) -> Aggregator:
             f"{sorted(AGGREGATORS)}"
         ) from None
     return factory()
+
+
+class GroupedAggregates:
+    """Vectorized grouped reduction over one batch of ``(key, value)`` rows.
+
+    This is the aggregation kernel behind
+    :meth:`repro.core.sketch.CorrelationSketch.update_array`: rows are
+    grouped by key (``inv`` maps each row to its group, as produced by
+    ``np.unique(..., return_inverse=True)``) and every group is reduced
+    with the named aggregate in a handful of ``ufunc.at`` calls instead of
+    one Python-level state-machine step per row.
+
+    The kernel reproduces the streaming aggregators *bit for bit*:
+
+    * ``np.add.at`` accumulates unbuffered and in element order, so a
+      group's running sum is the same left-to-right float addition chain
+      the scalar ``MeanAggregator``/``SumAggregator`` would produce —
+      including for groups **seeded** from a live aggregator's state (keys
+      already retained in a sketch continue their existing chain);
+    * ``first``/``last`` pick values by position (``np.minimum.at`` /
+      ``np.maximum.at`` over row indices of non-NaN rows), matching stream
+      order exactly;
+    * NaN rows are skipped everywhere except under ``count``, which counts
+      key occurrences regardless of the cell value — the same missing-data
+      policy as :meth:`Aggregator.observe`.
+
+    Usage protocol: construct, :meth:`seed` groups that continue existing
+    aggregator state, :meth:`accumulate` the batch once, then
+    :meth:`apply` back onto seeded aggregators and/or :meth:`materialize`
+    fresh ones for new keys.
+    """
+
+    def __init__(self, name: str, n_groups: int) -> None:
+        if name not in AGGREGATORS:
+            raise ValueError(
+                f"unknown aggregate function {name!r}; expected one of "
+                f"{sorted(AGGREGATORS)}"
+            )
+        self.name = name
+        self.n_groups = n_groups
+        g = n_groups
+        if name in ("mean", "count"):
+            self._counts = np.zeros(g, dtype=np.int64)
+        if name in ("mean", "sum"):
+            self._totals = np.zeros(g, dtype=np.float64)
+        if name == "sum":
+            self._seen = np.zeros(g, dtype=bool)
+        if name in ("max", "min"):
+            self._best = np.full(
+                g, -math.inf if name == "max" else math.inf, dtype=np.float64
+            )
+            self._seen = np.zeros(g, dtype=bool)
+        if name in ("first", "last"):
+            # Sentinel row indices: "no non-NaN occurrence in this batch".
+            self._pos = np.full(g, -1, dtype=np.int64)
+        self._values: np.ndarray | None = None
+
+    # -- phase 1: continue existing aggregator state -----------------------
+
+    def seed(self, group: int, agg: Aggregator) -> None:
+        """Initialize ``group`` from a live aggregator's internal state."""
+        name = self.name
+        if name == "mean":
+            self._counts[group] = agg._count
+            self._totals[group] = agg._total
+        elif name == "sum":
+            self._totals[group] = agg._total
+            self._seen[group] = agg._seen
+        elif name in ("max", "min"):
+            if agg._best == agg._best:  # not NaN: a value was observed
+                self._best[group] = agg._best
+                self._seen[group] = True
+        elif name in ("first", "last"):
+            # `first` keeps an already-seen value (apply checks the live
+            # aggregator); `last` is overwritten by any batch occurrence.
+            pass
+        elif name == "count":
+            self._counts[group] = agg._count
+
+    # -- phase 2: one vectorized pass over the batch -----------------------
+
+    def accumulate(self, inv: np.ndarray, values: np.ndarray) -> None:
+        """Fold the whole batch in; ``values[i]`` belongs to group ``inv[i]``."""
+        name = self.name
+        self._values = values
+        if name == "count":
+            self._counts += np.bincount(inv, minlength=self.n_groups).astype(
+                np.int64
+            )
+            return
+        valid = ~np.isnan(values)
+        vi = inv[valid]
+        vv = values[valid]
+        if name == "mean":
+            np.add.at(self._totals, vi, vv)
+            np.add.at(self._counts, vi, 1)
+        elif name == "sum":
+            np.add.at(self._totals, vi, vv)
+            self._seen[vi] = True
+        elif name == "max":
+            np.maximum.at(self._best, vi, vv)
+            self._seen[vi] = True
+        elif name == "min":
+            np.minimum.at(self._best, vi, vv)
+            self._seen[vi] = True
+        elif name == "first":
+            pos = np.full(self.n_groups, np.iinfo(np.int64).max, dtype=np.int64)
+            np.minimum.at(pos, vi, np.nonzero(valid)[0])
+            hit = pos != np.iinfo(np.int64).max
+            self._pos[hit] = pos[hit]
+        elif name == "last":
+            np.maximum.at(self._pos, vi, np.nonzero(valid)[0])
+
+    # -- phase 3: write results back / build fresh aggregators -------------
+
+    def apply(self, group: int, agg: Aggregator) -> None:
+        """Write ``group``'s reduced state back into a seeded aggregator."""
+        name = self.name
+        if name == "mean":
+            agg._count = int(self._counts[group])
+            agg._total = float(self._totals[group])
+        elif name == "sum":
+            agg._total = float(self._totals[group])
+            agg._seen = bool(self._seen[group])
+        elif name in ("max", "min"):
+            if self._seen[group]:
+                agg._best = float(self._best[group])
+        elif name == "first":
+            if not agg._seen and self._pos[group] >= 0:
+                agg._value = float(self._values[self._pos[group]])
+                agg._seen = True
+        elif name == "last":
+            if self._pos[group] >= 0:
+                agg._value = float(self._values[self._pos[group]])
+        elif name == "count":
+            agg._count = int(self._counts[group])
+
+    def materialize(self, group: int) -> Aggregator:
+        """Build a fresh aggregator holding ``group``'s reduced state.
+
+        The returned object is indistinguishable from one fed the group's
+        rows through :meth:`Aggregator.observe` one at a time, and keeps
+        accepting streaming updates.
+        """
+        agg = make_aggregator(self.name)
+        self.apply(group, agg)
+        return agg

@@ -25,7 +25,9 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator, Sequence
 
-from repro.core.aggregators import Aggregator, make_aggregator
+import numpy as np
+
+from repro.core.aggregators import Aggregator, GroupedAggregates, make_aggregator
 from repro.hashing import KeyHasher, default_hasher
 from repro.kmv.bottomk import BottomK
 from repro.kmv.estimators import basic_dv_estimate, unbiased_dv_estimate
@@ -106,6 +108,106 @@ class CorrelationSketch:
         for key, value in rows:
             self.update(key, value)
 
+    def update_array(self, keys, values) -> None:
+        """Vectorized :meth:`update_all` over parallel key/value columns.
+
+        Produces a sketch **identical** to streaming the same rows through
+        :meth:`update` in order — same retained keys, same aggregator
+        state (bit-for-bit float accumulation), same ``value_min`` /
+        ``value_max`` / ``rows_seen`` / overflow flag — at columnar speed:
+
+        1. hash every key in one vectorized pass
+           (:meth:`repro.hashing.KeyHasher.hash_batch`);
+        2. group repeated keys with ``np.unique`` and reduce each group
+           with the chosen aggregate in a few ``ufunc.at`` calls
+           (:class:`repro.core.aggregators.GroupedAggregates`), seeding
+           groups whose key is already retained from the live aggregator
+           so multi-batch construction matches streaming exactly;
+        3. admit new keys bottom-``n`` first (``np.argpartition``) so at
+           most ``n`` Python aggregator objects are ever materialized,
+           then merge via :meth:`repro.kmv.bottomk.BottomK.update_batch`.
+
+        Equivalence holds because a key retained by the streaming path is
+        never evicted-then-readmitted (its rank is deterministic and the
+        admission threshold only decreases), so its aggregator always sees
+        every occurrence; keys that streaming would reject mid-stream are
+        exactly those outside the final bottom-``n``. (Rank ties —
+        impossible at 32 bits, theoretically possible at 64 bits through
+        float64 rounding — are resolved as described in
+        :meth:`repro.kmv.bottomk.BottomK.update_batch`.) The parity test
+        suite (``tests/test_core_sketch_batch.py``) asserts equality
+        against :meth:`update_all` on adversarial inputs.
+
+        Args:
+            keys: 1-D array or sequence of join keys. NumPy numeric/bool
+                arrays take a fully vectorized hash path; other sequences
+                are canonicalized per element.
+            values: numeric array-like, NaN = missing cell.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError(f"values must be 1-D, got {values.ndim}-D")
+        m = values.shape[0]
+        if len(keys) != m:
+            raise ValueError(
+                f"key column has {len(keys)} rows but value column has {m}"
+            )
+        self.rows_seen += m
+        if m == 0:
+            return
+
+        finite = values[~np.isnan(values)]
+        if finite.size:
+            lo = float(finite.min())
+            hi = float(finite.max())
+            if lo < self.value_min:
+                self.value_min = lo
+            if hi > self.value_max:
+                self.value_max = hi
+
+        key_hashes = self.hasher.hash_batch(keys)
+        uniq, inv = np.unique(key_hashes, return_inverse=True)
+        n_groups = uniq.shape[0]
+
+        grouped = GroupedAggregates(self.aggregate, n_groups)
+        if len(self._bottom):
+            retained = np.fromiter(
+                self._bottom.keys(), dtype=np.uint64, count=len(self._bottom)
+            )
+            existing = np.nonzero(np.isin(uniq.astype(np.uint64), retained))[0]
+        else:
+            existing = np.empty(0, dtype=np.intp)
+        existing_aggs: list[tuple[int, Aggregator]] = []
+        for gi in existing.tolist():
+            agg: Aggregator = self._bottom.get(int(uniq[gi]))
+            grouped.seed(gi, agg)
+            existing_aggs.append((gi, agg))
+
+        grouped.accumulate(inv, values)
+
+        for gi, agg in existing_aggs:
+            grouped.apply(gi, agg)
+
+        new_mask = np.ones(n_groups, dtype=bool)
+        new_mask[existing] = False
+        new_groups = np.nonzero(new_mask)[0]
+        if len(self._bottom) + new_groups.size > self.n:
+            self._overflowed = True
+        if new_groups.size == 0:
+            return
+
+        new_keys = uniq[new_groups]
+        new_ranks = self.hasher.unit_hash_batch(new_keys)
+        if new_groups.size > self.n:
+            # Only the n smallest-rank newcomers can possibly be admitted;
+            # don't build aggregator objects for the rest.
+            sel = np.argpartition(new_ranks, self.n - 1)[: self.n]
+            new_groups = new_groups[sel]
+            new_keys = new_keys[sel]
+            new_ranks = new_ranks[sel]
+        payloads = [grouped.materialize(gi) for gi in new_groups.tolist()]
+        self._bottom.update_batch(new_ranks, new_keys, payloads)
+
     @classmethod
     def from_columns(
         cls,
@@ -115,8 +217,16 @@ class CorrelationSketch:
         aggregate: str = "mean",
         hasher: KeyHasher | None = None,
         name: str | None = None,
+        *,
+        vectorized: bool = True,
     ) -> "CorrelationSketch":
         """Build a sketch from parallel key/value sequences.
+
+        By default construction runs through the columnar
+        :meth:`update_array` fast path, which produces an identical sketch
+        to the streaming path; pass ``vectorized=False`` to force the
+        row-at-a-time :meth:`update_all` (reference implementation, and
+        the baseline ``bench_construction.py`` measures against).
 
         Raises:
             ValueError: if the sequences have different lengths.
@@ -127,7 +237,10 @@ class CorrelationSketch:
                 f"{len(values)}"
             )
         sketch = cls(n, aggregate=aggregate, hasher=hasher, name=name)
-        sketch.update_all(zip(keys, values))
+        if vectorized:
+            sketch.update_array(keys, values)
+        else:
+            sketch.update_all(zip(keys, values))
         return sketch
 
     # -- introspection -----------------------------------------------------

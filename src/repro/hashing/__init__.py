@@ -24,9 +24,13 @@ from repro.hashing.fibonacci import (
     FIB_MULTIPLIER_32,
     FIB_MULTIPLIER_64,
     fibonacci_hash_32,
+    fibonacci_hash_32_batch,
     fibonacci_hash_64,
+    fibonacci_hash_64_batch,
     to_unit_interval_32,
+    to_unit_interval_32_batch,
     to_unit_interval_64,
+    to_unit_interval_64_batch,
 )
 from repro.hashing.hash_functions import (
     HashPair,
@@ -35,6 +39,12 @@ from repro.hashing.hash_functions import (
     default_hasher,
 )
 from repro.hashing.murmur3 import murmur3_32, murmur3_x64_64
+from repro.hashing.vectorized import (
+    murmur3_32_batch,
+    murmur3_32_bytes_batch,
+    murmur3_x64_64_batch,
+    murmur3_x64_64_bytes_batch,
+)
 
 __all__ = [
     "FIB_MULTIPLIER_32",
@@ -44,9 +54,17 @@ __all__ = [
     "TupleHash",
     "default_hasher",
     "fibonacci_hash_32",
+    "fibonacci_hash_32_batch",
     "fibonacci_hash_64",
+    "fibonacci_hash_64_batch",
     "murmur3_32",
+    "murmur3_32_batch",
+    "murmur3_32_bytes_batch",
     "murmur3_x64_64",
+    "murmur3_x64_64_batch",
+    "murmur3_x64_64_bytes_batch",
     "to_unit_interval_32",
+    "to_unit_interval_32_batch",
     "to_unit_interval_64",
+    "to_unit_interval_64_batch",
 ]

@@ -14,6 +14,8 @@ always be recomputed from the stored key hash ``h(k)``.
 
 from __future__ import annotations
 
+import numpy as np
+
 _MASK32 = 0xFFFFFFFF
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
@@ -45,3 +47,34 @@ def to_unit_interval_32(value: int) -> float:
 def to_unit_interval_64(value: int) -> float:
     """Map a 64-bit integer to ``[0, 1)`` via Fibonacci hashing."""
     return fibonacci_hash_64(value) / 18446744073709551616.0  # 2**64
+
+
+# -- vectorized variants ----------------------------------------------------
+#
+# A single multiply maps a whole array of tuple identifiers to the unit
+# interval. Unsigned NumPy arithmetic wraps modulo 2**w exactly like the
+# masked scalar code, and dividing by the exact power of two afterwards is
+# lossless, so each element is bit-identical to the scalar function — the
+# property CorrelationSketch.update_array's parity guarantee rests on.
+
+
+def fibonacci_hash_32_batch(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`fibonacci_hash_32` over an integer array."""
+    return np.asarray(values).astype(np.uint32) * np.uint32(FIB_MULTIPLIER_32)
+
+
+def fibonacci_hash_64_batch(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`fibonacci_hash_64` over an integer array."""
+    return np.asarray(values).astype(np.uint64) * np.uint64(FIB_MULTIPLIER_64)
+
+
+def to_unit_interval_32_batch(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`to_unit_interval_32`; returns float64 in [0, 1)."""
+    return fibonacci_hash_32_batch(values).astype(np.float64) / 4294967296.0
+
+
+def to_unit_interval_64_batch(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`to_unit_interval_64`; returns float64 in [0, 1)."""
+    return (
+        fibonacci_hash_64_batch(values).astype(np.float64) / 18446744073709551616.0
+    )

@@ -12,8 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.hashing.fibonacci import to_unit_interval_32, to_unit_interval_64
+import numpy as np
+
+from repro.hashing.fibonacci import (
+    to_unit_interval_32,
+    to_unit_interval_32_batch,
+    to_unit_interval_64,
+    to_unit_interval_64_batch,
+)
 from repro.hashing.murmur3 import murmur3_32, murmur3_x64_64
+from repro.hashing.vectorized import murmur3_32_batch, murmur3_x64_64_batch
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,6 +81,30 @@ class KeyHasher:
         """Return both hash values for ``key``."""
         kh = self._hash(key, self.seed)
         return HashPair(key_hash=kh, unit_hash=self._unit(kh))
+
+    # -- vectorized fast path (array-in / array-out) -----------------------
+
+    def hash_batch(self, keys) -> np.ndarray:
+        """Vectorized :meth:`key_hash` over a key array or sequence.
+
+        Elementwise identical to the scalar path:
+        ``hash_batch(keys)[i] == key_hash(keys[i])`` for every supported
+        key type (see :mod:`repro.hashing.vectorized`). Returns a
+        ``uint32`` (``bits=32``) or ``uint64`` (``bits=64``) array.
+        """
+        if self.bits == 32:
+            return murmur3_32_batch(keys, self.seed)
+        return murmur3_x64_64_batch(keys, self.seed)
+
+    def unit_hash_batch(self, key_hashes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`unit_hash_of_key_hash` over an integer array.
+
+        Returns a float64 array; each element is bit-identical to the
+        scalar Fibonacci map of the same tuple identifier.
+        """
+        if self.bits == 32:
+            return to_unit_interval_32_batch(key_hashes)
+        return to_unit_interval_64_batch(key_hashes)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, KeyHasher):

@@ -19,6 +19,8 @@ which table it came from — the property Theorem 1 relies on.
 
 from __future__ import annotations
 
+import numpy as _np
+
 _MASK32 = 0xFFFFFFFF
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
@@ -30,7 +32,12 @@ def _to_bytes(key: object) -> bytes:
     signed encoding so that, e.g., ``1`` and ``"1"`` hash differently but
     ``1`` hashes identically regardless of the Python object's origin.
     Floats use their IEEE-754 big-endian representation via ``struct``.
+    NumPy scalars are unwrapped first so ``np.int64(1)`` hashes like ``1``
+    — the vectorized batch path in :mod:`repro.hashing.vectorized` hands
+    out native-dtype encodings and the scalar path must agree with it.
     """
+    if isinstance(key, _np.generic):
+        key = key.item()
     if isinstance(key, bytes):
         return key
     if isinstance(key, bytearray):

@@ -30,6 +30,11 @@ class SketchCatalog:
         aggregate: aggregate function for repeated keys.
         hasher: hashing scheme shared by every sketch in the catalog
             (sketches from different schemes cannot be joined).
+        vectorized: build sketches through the columnar
+            :meth:`~repro.core.sketch.CorrelationSketch.update_array` fast
+            path (default). The result is identical to the streaming path;
+            disable only to benchmark or debug against the row-at-a-time
+            reference implementation.
     """
 
     def __init__(
@@ -37,10 +42,13 @@ class SketchCatalog:
         sketch_size: int = 256,
         aggregate: str = "mean",
         hasher: KeyHasher | None = None,
+        *,
+        vectorized: bool = True,
     ) -> None:
         self.sketch_size = sketch_size
         self.aggregate = aggregate
         self.hasher = hasher if hasher is not None else KeyHasher()
+        self.vectorized = vectorized
         self._sketches: dict[str, CorrelationSketch] = {}
         self._index = InvertedIndex()
 
@@ -73,7 +81,11 @@ class SketchCatalog:
             hasher=self.hasher,
             name=sid,
         )
-        sketch.update_all(table.pair_rows(pair))
+        if self.vectorized:
+            keys, values = table.pair_arrays(pair)
+            sketch.update_array(keys, values)
+        else:
+            sketch.update_all(table.pair_rows(pair))
         self.add_sketch(sid, sketch)
         return sid
 

@@ -10,6 +10,21 @@ The engine follows the paper's two-phase plan:
 2. **Re-ranking** — join the query sketch with each candidate sketch,
    compute the per-candidate scoring statistics, apply the chosen scoring
    function (Section 4.4), and return the top-``k``.
+
+The ``scorer`` argument of :meth:`JoinCorrelationEngine.query` (and the
+CLI's ``repro-sketch query --scorer``) selects the Section 4.4 scoring
+function by name: ``rp`` (s1, raw Pearson), ``rp_sez`` (s2, Fisher-z
+penalized), ``rb_cib`` (s3, bootstrap-CI penalized — hundreds of
+resamples per candidate), ``rp_cih`` (s4, Hoeffding-CI penalized — the
+default and the paper's recommended latency/quality trade-off), plus the
+``jc`` / ``jc_est`` containment and ``random`` baselines of Section 5.4.
+See :data:`repro.ranking.scoring.SCORER_NAMES` — the name table in that
+module's docs is the authoritative registry — and
+:mod:`repro.ranking.ranker` for how scores become a ranked list.
+
+Query sketches for in-memory tables are built through the vectorized
+columnar path (:meth:`repro.core.sketch.CorrelationSketch.update_array`),
+which is bit-identical to streaming construction.
 """
 
 from __future__ import annotations
@@ -198,7 +213,8 @@ class JoinCorrelationEngine:
                 hasher=self.catalog.hasher,
                 name=pair.pair_id,
             )
-            sketch.update_all(table.pair_rows(pair))
+            keys, values = table.pair_arrays(pair)
+            sketch.update_array(keys, values)
             results[pair.pair_id] = self.query(
                 sketch, k=k, scorer=scorer, exclude_id=pair.pair_id, rng=rng
             )

@@ -22,7 +22,9 @@ iteration always reflect only live entries.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
 
 
 class _Entry:
@@ -133,6 +135,103 @@ class BottomK:
         heapq.heappush(self._heap, entry)
         self._by_key[key] = entry
         return True
+
+    def update_batch(
+        self,
+        ranks: np.ndarray,
+        keys: np.ndarray,
+        payloads: Sequence[Any],
+    ) -> np.ndarray:
+        """Batch-merge new candidates, keeping the bottom-``k`` by rank.
+
+        The vectorized counterpart of one :meth:`offer` call per element:
+        instead of ``m`` heap pushes (each O(log k)), the live entries and
+        the candidates are concatenated and the ``k`` smallest selected
+        with one ``np.argpartition`` pass, then the heap is rebuilt once.
+
+        Args:
+            ranks: float array of candidate ranks.
+            keys: parallel integer array; every key must be **distinct**,
+                **absent** from the structure, and fit in ``uint64``
+                (callers de-duplicate first — the sketch construction path
+                groups rows by key hash before offering).
+            payloads: parallel payload sequence.
+
+        Returns:
+            Boolean array; element ``i`` is True when ``keys[i]`` is
+            retained after the merge.
+
+        Exact rank ties on the admission boundary are broken like the
+        scalar path where possible: live entries beat candidates (one
+        :meth:`offer` rejects a newcomer whose rank *equals* the current
+        maximum), and among tied entries of the same kind the smaller key
+        wins (``_Entry.__lt__`` ejects the larger ``(rank, key)`` first).
+        Two tied *candidates* on the boundary are resolved by key, whereas
+        the scalar path would keep whichever arrived first — the one
+        divergence. With the 32-bit hasher it cannot occur at all (ranks
+        are ``fib(h(k)) / 2**32`` with a bijective ``fib``, hence
+        injective over key hashes); with the 64-bit hasher the float64
+        rounding of ``fib(h(k)) / 2**64`` could in principle collide two
+        key hashes onto one rank, but the collision must also land
+        exactly on the admission boundary to be observable.
+        """
+        ranks = np.asarray(ranks, dtype=np.float64)
+        keys_arr = np.asarray(keys, dtype=np.uint64)
+        m = ranks.shape[0]
+        if keys_arr.shape[0] != m or len(payloads) != m:
+            raise ValueError(
+                f"ranks ({m}), keys ({keys_arr.shape[0]}) and payloads "
+                f"({len(payloads)}) must have equal length"
+            )
+        if m == 0:
+            return np.zeros(0, dtype=bool)
+
+        n_live = len(self._by_key)
+        if n_live + m <= self.k:
+            # Everything fits: plain pushes, no selection needed.
+            for i in range(m):
+                entry = _Entry(float(ranks[i]), int(keys_arr[i]), payloads[i])
+                heapq.heappush(self._heap, entry)
+                self._by_key[entry.key] = entry
+            return np.ones(m, dtype=bool)
+
+        live = list(self._by_key.values())
+        all_ranks = np.concatenate(
+            [np.fromiter((e.rank for e in live), np.float64, n_live), ranks]
+        )
+        all_keys = np.concatenate(
+            [np.fromiter((e.key for e in live), np.uint64, n_live), keys_arr]
+        )
+
+        # Bottom-k by (rank, key): one argpartition on rank, with boundary
+        # ties resolved by key.
+        part = np.argpartition(all_ranks, self.k - 1)
+        kth_rank = all_ranks[part[self.k - 1]]
+        sure = np.nonzero(all_ranks < kth_rank)[0]
+        tied = np.nonzero(all_ranks == kth_rank)[0]
+        need = self.k - sure.size
+        if tied.size > need:
+            # Boundary ties: live entries first (a scalar offer rejects a
+            # newcomer whose rank equals the current max), then smaller key.
+            order = np.lexsort((all_keys[tied], tied >= n_live))
+            tied = tied[order[:need]]
+        keep = np.concatenate([sure, tied])
+
+        admitted = np.zeros(m, dtype=bool)
+        entries: list[_Entry] = []
+        for pos in keep.tolist():
+            if pos < n_live:
+                entries.append(live[pos])
+            else:
+                i = pos - n_live
+                admitted[i] = True
+                entries.append(
+                    _Entry(float(ranks[i]), int(keys_arr[i]), payloads[i])
+                )
+        heapq.heapify(entries)
+        self._heap = entries
+        self._by_key = {e.key: e for e in entries}
+        return admitted
 
     def items(self) -> Iterator[tuple[float, int, Any]]:
         """Yield live ``(rank, key, payload)`` tuples in arbitrary order."""

@@ -18,6 +18,31 @@ yielding the paper's four scoring functions
 with ``r_p`` the absolute Pearson estimate and ``r_b`` the absolute PM1
 bootstrap estimate. NaN estimates score 0 (a candidate whose correlation
 cannot even be estimated is ranked last, tied with zero-correlation ones).
+
+Scorer names
+------------
+:data:`SCORER_NAMES` is the registry every entry point accepts — the CLI's
+``repro-sketch query --scorer``, :meth:`JoinCorrelationEngine.query
+<repro.index.engine.JoinCorrelationEngine.query>` and
+:func:`repro.ranking.ranker.rank_candidates`:
+
+==========  ============================================================
+name        meaning (paper §4.4 / §5.4 unless noted)
+==========  ============================================================
+``rp``      ``s1`` — absolute Pearson estimate, no risk penalty
+``rp_sez``  ``s2`` — Pearson discounted by the Fisher-z standard error
+            (§4.2); cheap, sample-size-aware
+``rb_cib``  ``s3`` — PM1 bootstrap estimate discounted by its bootstrap
+            CI length; the most accurate and by far the most expensive
+``rp_cih``  ``s4`` — Pearson discounted by the Hoeffding CI length
+            (§4.3), min-max normalized over the ranked list; the paper's
+            recommended latency/quality trade-off and the CLI default
+``jc``      exact query-key containment when ground truth is available
+            (joinability baseline, §5.4)
+``jc_est``  sketch-estimated containment (the deployable joinability
+            baseline)
+``random``  uniform-random scores (ranking-quality floor, §5.4)
+==========  ============================================================
 """
 
 from __future__ import annotations

@@ -31,6 +31,10 @@ class NumericColumn:
         """Number of NaN cells."""
         return int(np.isnan(self.values).sum())
 
+    def as_array(self) -> np.ndarray:
+        """The backing float64 array (a view, not a copy)."""
+        return self.values
+
     def min(self) -> float:
         """Minimum over non-missing cells (NaN if all missing)."""
         finite = self.values[~np.isnan(self.values)]
@@ -53,6 +57,7 @@ class CategoricalColumn:
     def __init__(self, name: str, values: Sequence[str | None]) -> None:
         self.name = name
         self.values: list[str | None] = list(values)
+        self._array: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.values)
@@ -67,6 +72,18 @@ class CategoricalColumn:
     def distinct_count(self) -> int:
         """Exact number of distinct non-missing values."""
         return len({v for v in self.values if v is not None})
+
+    def as_array(self) -> np.ndarray:
+        """Object-dtype NumPy view of the values (None = missing).
+
+        Built lazily and cached — columns are treated as immutable once
+        inside a :class:`repro.table.table.Table`. The array feeds the
+        vectorized sketch-construction path
+        (:meth:`repro.core.sketch.CorrelationSketch.update_array`).
+        """
+        if self._array is None or self._array.shape[0] != len(self.values):
+            self._array = np.asarray(self.values, dtype=object)
+        return self._array
 
     def __repr__(self) -> str:
         return f"CategoricalColumn({self.name!r}, rows={len(self)})"

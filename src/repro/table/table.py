@@ -140,6 +140,24 @@ class Table:
                 continue
             yield k, float(v)
 
+    def pair_arrays(self, pair: ColumnPair) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar view of :meth:`pair_rows`: ``(keys, values)`` arrays.
+
+        Rows with a missing key are dropped (same policy as
+        :meth:`pair_rows`); missing numeric cells stay as NaN. The arrays
+        feed :meth:`repro.core.sketch.CorrelationSketch.update_array`,
+        which builds a sketch identical to streaming the rows but at
+        columnar speed.
+        """
+        keys = self.categorical(pair.key).as_array()
+        values = self.numeric(pair.value).as_array()
+        # Comparison on an object array yields object-dtype bools; cast so
+        # the result is usable as a boolean mask.
+        present = np.not_equal(keys, None).astype(bool)
+        if present.all():
+            return keys, values
+        return keys[present], values[present]
+
     def __repr__(self) -> str:
         return (
             f"Table({self.name!r}, rows={len(self)}, "
