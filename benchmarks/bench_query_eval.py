@@ -1,60 +1,202 @@
-"""Section 5.5 — end-to-end query-evaluation latency.
+"""Section 5.5 — end-to-end query-evaluation latency and executor speedup.
 
-Reproduces the paper's query-evaluation experiment: split the collection's
-column pairs into a corpus set (indexed, sketch size 1024) and a query
-set; evaluate every query through the full engine path — inverted-index
-overlap retrieval of the top-100 candidates, sketch joins, correlation
-estimation, risk-penalized re-ranking — and report the latency
-distribution.
+Two benchmarks cover the online path:
 
-The paper reports 94% of queries under 100 ms and ~98.5% under 200 ms on
-their corpus; the expected *shape* here is the same: a large majority of
-queries at interactive latency, with a short tail.
+* ``test_query_evaluation_latency`` reproduces the paper's
+  query-evaluation experiment: split the collection's column pairs into
+  a corpus set (indexed, sketch size 1024) and a query set; evaluate
+  every query through the full engine path — overlap retrieval of the
+  top-100 candidates, sketch joins, correlation estimation,
+  risk-penalized re-ranking — and report the latency distribution,
+  now broken down into the retrieval and re-rank phases.
+
+  The paper reports 94% of queries under 100 ms and ~98.5% under 200 ms
+  on their corpus; the expected *shape* here is the same: a large
+  majority of queries at interactive latency, with a short tail.
+
+* ``test_query_executor_speedup`` measures the columnar executor
+  against the scalar reference on a ≥2k-sketch catalog (the scale the
+  tentpole targets), asserting identical rankings and a ≥5x re-rank
+  phase speedup, and records the per-phase split of both executors.
+
+Both write their tables into ``benchmarks/results/`` and shrink to a
+CI-sized smoke run under ``--quick`` (absolute-performance assertions
+are skipped there).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from conftest import write_result
+from repro.core.sketch import CorrelationSketch
 from repro.data.workloads import split_query_workload
 from repro.evalharness.ranking_eval import build_catalog
 from repro.evalharness.timing import LatencyReport
+from repro.index.catalog import SketchCatalog
 from repro.index.engine import JoinCorrelationEngine
 
 SKETCH_SIZE = 1024
 RETRIEVAL_DEPTH = 100
 
+#: Synthetic catalog scale for the executor comparison (the tentpole's
+#: acceptance bar is >=5x re-rank throughput at >=2k sketches).
+SPEEDUP_CATALOG_SKETCHES = 2048
+SPEEDUP_QUERIES = 5
+SPEEDUP_QUICK_SKETCHES = 160
+SPEEDUP_QUICK_QUERIES = 2
 
-def _run_queries(nyc_refs) -> tuple[LatencyReport, int]:
+
+def _run_queries(nyc_refs, max_queries=None):
     workload = split_query_workload(nyc_refs, query_fraction=0.3, seed=9)
     catalog, _by_id = build_catalog(workload.corpus, SKETCH_SIZE)
     engine = JoinCorrelationEngine(catalog, retrieval_depth=RETRIEVAL_DEPTH)
 
-    from repro.core.sketch import CorrelationSketch
-
-    report = LatencyReport()
+    total = LatencyReport()
+    retrieval = LatencyReport()
+    rerank = LatencyReport()
     answered = 0
-    for query_ref in workload.queries:
+    queries = workload.queries
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    for query_ref in queries:
         sketch = CorrelationSketch(
             SKETCH_SIZE, hasher=catalog.hasher, name=query_ref.pair_id
         )
         sketch.update_all(query_ref.table.pair_rows(query_ref.pair))
         result = engine.query(sketch, k=10, scorer="rp_cih")
-        report.add(result.total_seconds)
+        total.add(result.total_seconds)
+        retrieval.add(result.retrieval_seconds)
+        rerank.add(result.rerank_seconds)
         if result.ranked:
             answered += 1
-    return report, answered
+    return total, retrieval, rerank, answered
 
 
-def test_query_evaluation_latency(benchmark, nyc_refs):
-    report, answered = benchmark.pedantic(
-        lambda: _run_queries(nyc_refs), rounds=1, iterations=1
+def test_query_evaluation_latency(benchmark, nyc_refs, quick):
+    max_queries = 8 if quick else None
+    total, retrieval, rerank, answered = benchmark.pedantic(
+        lambda: _run_queries(nyc_refs, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    phase_split = "\n".join(
+        [
+            "",
+            "-- phase split (columnar executor) --",
+            "retrieval:",
+            retrieval.format(thresholds_ms=(1.0, 10.0)),
+            "re-rank:",
+            rerank.format(thresholds_ms=(10.0, 50.0)),
+        ]
     )
     write_result(
         "query_eval_latency.txt",
-        report.format(thresholds_ms=(10.0, 50.0, 100.0, 200.0))
-        + f"\nqueries with non-empty results: {answered}",
+        total.format(thresholds_ms=(10.0, 50.0, 100.0, 200.0))
+        + f"\nqueries with non-empty results: {answered}"
+        + phase_split,
     )
-    assert len(report.latencies_seconds) >= 20
+    if quick:
+        return
+    assert len(total.latencies_seconds) >= 20
     # Interactive-latency claim: the overwhelming majority under 200 ms.
-    assert report.fraction_under(200.0) > 0.9
-    assert report.fraction_under(100.0) > 0.5
+    assert total.fraction_under(200.0) > 0.9
+    assert total.fraction_under(100.0) > 0.5
+
+
+def _build_speedup_catalog(n_sketches: int, seed: int = 1):
+    """A catalog of ``n_sketches`` column-pair sketches over one shared
+    key universe, so overlap retrieval always finds a full candidate
+    page (the paper's serving regime, not the sparse-join edge case)."""
+    rng = np.random.default_rng(seed)
+    universe = np.array([f"key{i:06d}" for i in range(12_000)])
+    catalog = SketchCatalog(sketch_size=SKETCH_SIZE)
+    for i in range(n_sketches):
+        m = int(rng.integers(1_200, 2_500))
+        idx = rng.choice(universe.shape[0], m, replace=False)
+        catalog.add_sketch(
+            f"pair{i:05d}",
+            CorrelationSketch.from_columns(
+                universe[idx], rng.standard_normal(m), SKETCH_SIZE,
+                hasher=catalog.hasher, name=f"pair{i:05d}",
+            ),
+        )
+    queries = []
+    for q in range(max(SPEEDUP_QUERIES, SPEEDUP_QUICK_QUERIES)):
+        m = int(rng.integers(1_800, 2_500))
+        idx = rng.choice(universe.shape[0], m, replace=False)
+        queries.append(
+            CorrelationSketch.from_columns(
+                universe[idx], rng.standard_normal(m), SKETCH_SIZE,
+                hasher=catalog.hasher, name=f"query{q}",
+            )
+        )
+    return catalog, queries
+
+
+def test_query_executor_speedup(quick):
+    n_sketches = SPEEDUP_QUICK_SKETCHES if quick else SPEEDUP_CATALOG_SKETCHES
+    n_queries = SPEEDUP_QUICK_QUERIES if quick else SPEEDUP_QUERIES
+    catalog, queries = _build_speedup_catalog(n_sketches)
+    queries = queries[:n_queries]
+
+    scalar = JoinCorrelationEngine(catalog, retrieval_depth=RETRIEVAL_DEPTH,
+                                   vectorized=False)
+    columnar = JoinCorrelationEngine(catalog, retrieval_depth=RETRIEVAL_DEPTH)
+
+    # Steady-state serving regime: the frozen postings snapshot and the
+    # per-sketch columnar views are one-time costs paid at catalog load
+    # (each sketch is lowered at most once, ever) — prewarm them so the
+    # measured phases compare per-query work, not amortized setup. The
+    # scalar path has no equivalent caches; its per-candidate dict builds
+    # are inherent to the reference design.
+    catalog.frozen_postings()
+    for sid in catalog:
+        catalog.sketch_columns(sid)
+    scalar.query(queries[0], k=10, scorer="rp_cih")
+    columnar.query(queries[0], k=10, scorer="rp_cih")
+
+    phases = {"scalar": [0.0, 0.0], "columnar": [0.0, 0.0]}
+    candidates = 0
+    for query in queries:
+        a = scalar.query(query, k=10, scorer="rp_cih")
+        b = columnar.query(query, k=10, scorer="rp_cih")
+        # The speedup is only meaningful if both executors do the same
+        # work: identical candidates, identical rankings.
+        assert a.candidates_considered == b.candidates_considered
+        assert [e.candidate_id for e in a.ranked] == [e.candidate_id for e in b.ranked]
+        candidates += a.candidates_considered
+        phases["scalar"][0] += a.retrieval_seconds
+        phases["scalar"][1] += a.rerank_seconds
+        phases["columnar"][0] += b.retrieval_seconds
+        phases["columnar"][1] += b.rerank_seconds
+
+    retrieval_speedup = phases["scalar"][0] / phases["columnar"][0]
+    rerank_speedup = phases["scalar"][1] / phases["columnar"][1]
+    total_scalar = sum(phases["scalar"])
+    total_columnar = sum(phases["columnar"])
+
+    lines = [
+        f"catalog sketches        : {len(catalog)}",
+        f"sketch size             : {SKETCH_SIZE}",
+        "(frozen postings + sketch-column views prewarmed: one-time",
+        " catalog-load costs, excluded from per-query phases)",
+        f"queries                 : {len(queries)} "
+        f"({candidates} candidates re-ranked)",
+        f"scalar   retrieval      : {phases['scalar'][0] * 1000:9.2f} ms",
+        f"scalar   re-rank        : {phases['scalar'][1] * 1000:9.2f} ms",
+        f"columnar retrieval      : {phases['columnar'][0] * 1000:9.2f} ms",
+        f"columnar re-rank        : {phases['columnar'][1] * 1000:9.2f} ms",
+        f"retrieval speedup       : {retrieval_speedup:9.2f}x",
+        f"re-rank speedup         : {rerank_speedup:9.2f}x",
+        f"end-to-end speedup      : {total_scalar / total_columnar:9.2f}x",
+    ]
+    if quick:
+        lines.append("(quick mode: CI smoke scale, speedup assertion skipped)")
+    write_result("query_executor_speedup.txt", "\n".join(lines))
+
+    if quick:
+        return
+    # The tentpole's acceptance bar: >=5x re-rank throughput at >=2k sketches.
+    assert len(catalog) >= 2000
+    assert rerank_speedup >= 5.0

@@ -25,6 +25,8 @@ import sys
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.estimation import estimate as estimate_pair
 from repro.core.sketch import CorrelationSketch
 from repro.index.catalog import SketchCatalog
@@ -106,11 +108,20 @@ def cmd_query(args: argparse.Namespace) -> int:
     pair = _resolve_pair(table, args.key, args.value)
     sketch = _build_query_sketch(table, pair, catalog)
 
-    engine = JoinCorrelationEngine(catalog, retrieval_depth=args.depth)
-    result = engine.query(sketch, k=args.k, scorer=args.scorer, exclude_id=pair.pair_id)
+    engine = JoinCorrelationEngine(
+        catalog,
+        retrieval_depth=args.depth,
+        min_overlap=args.min_overlap,
+        vectorized=not args.no_vectorized_query,
+    )
+    rng = np.random.default_rng(args.seed) if args.seed is not None else None
+    result = engine.query(
+        sketch, k=args.k, scorer=args.scorer, exclude_id=pair.pair_id, rng=rng
+    )
 
     print(f"query pair : {pair.pair_id}")
     print(f"scorer     : {args.scorer}")
+    print(f"executor   : {'scalar' if args.no_vectorized_query else 'columnar'}")
     print(
         f"candidates : {result.candidates_considered} joinable "
         f"({result.total_seconds * 1000:.1f} ms)\n"
@@ -198,6 +209,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("-k", type=int, default=10, help="result-list size")
     p_query.add_argument("--scorer", default="rp_cih", choices=SCORER_NAMES)
     p_query.add_argument("--depth", type=int, default=100, help="overlap retrieval depth")
+    p_query.add_argument(
+        "--min-overlap",
+        type=int,
+        default=1,
+        help="minimum shared key hashes for a candidate to be considered "
+        "joinable (default 1)",
+    )
+    p_query.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for the stochastic scorers (random, rb_cib bootstrap); "
+        "default: the engine's fixed seed, so repeated queries match",
+    )
+    p_query.add_argument(
+        "--no-vectorized-query",
+        action="store_true",
+        help="evaluate the query with the row-at-a-time reference executor "
+        "instead of the (identical-ranking, much faster) columnar one",
+    )
     p_query.set_defaults(func=cmd_query)
 
     p_est = sub.add_parser("estimate", help="estimate one after-join correlation")

@@ -23,6 +23,7 @@ column (``C_low``/``C_high`` bounds).
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -31,6 +32,39 @@ from repro.core.aggregators import Aggregator, GroupedAggregates, make_aggregato
 from repro.hashing import KeyHasher, default_hasher
 from repro.kmv.bottomk import BottomK
 from repro.kmv.estimators import basic_dv_estimate, unbiased_dv_estimate
+
+
+@dataclass(frozen=True)
+class SketchColumns:
+    """Read-only columnar view of a sketch's retained entries.
+
+    The arrays are parallel and sorted ascending by ``key_hashes`` so two
+    views can be merge-joined with ``np.searchsorted`` (see
+    :func:`repro.core.joined_sample.join_columns`) and probed against the
+    frozen inverted index without materializing Python sets.
+
+    Attributes:
+        key_hashes: retained tuple identifiers ``h(k)``, ascending
+            (``uint64``).
+        ranks: aligned unit-interval hashes ``h_u(h(k))`` (``float64``).
+        values: aligned aggregated numeric values (``float64``).
+        value_range: global ``(min, max)`` of the source column, or
+            ``(nan, nan)`` when no finite value was observed.
+        saw_all_keys: True when the sketch never overflowed.
+    """
+
+    key_hashes: np.ndarray
+    ranks: np.ndarray
+    values: np.ndarray
+    value_range: tuple[float, float]
+    saw_all_keys: bool
+
+    @property
+    def size(self) -> int:
+        return int(self.key_hashes.shape[0])
+
+    def __len__(self) -> int:
+        return self.size
 
 
 class CorrelationSketch:
@@ -72,6 +106,7 @@ class CorrelationSketch:
         self.value_min = math.inf
         self.value_max = -math.inf
         self.rows_seen = 0
+        self._columns: SketchColumns | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -82,6 +117,7 @@ class CorrelationSketch:
         joinability but contributes no numeric value (except under the
         ``count`` aggregate, which counts occurrences).
         """
+        self._columns = None
         self.rows_seen += 1
         value = float(value)
         if value == value:  # not NaN: maintain global range for CI bounds
@@ -152,6 +188,7 @@ class CorrelationSketch:
             raise ValueError(
                 f"key column has {len(keys)} rows but value column has {m}"
             )
+        self._columns = None
         self.rows_seen += m
         if m == 0:
             return
@@ -273,6 +310,39 @@ class CorrelationSketch:
     def entries(self) -> dict[int, float]:
         """Return ``{key_hash: aggregated_value}`` for all retained keys."""
         return {kh: agg.value() for _r, kh, agg in self._bottom.items()}
+
+    def columnar(self) -> SketchColumns:
+        """Lower the retained entries into a :class:`SketchColumns` view.
+
+        Built once and cached until the next update (catalog sketches are
+        never updated after registration, so in the query engine this is
+        effectively built once per sketch for the life of the catalog).
+        The aggregated values are materialized with the same
+        ``Aggregator.value()`` calls as :meth:`entries`, so the columnar
+        join consumes the exact floats the scalar join would.
+        """
+        if self._columns is None:
+            size = len(self._bottom)
+            key_hashes = np.empty(size, dtype=np.uint64)
+            ranks = np.empty(size, dtype=np.float64)
+            values = np.empty(size, dtype=np.float64)
+            for i, (rank, kh, agg) in enumerate(self._bottom.items()):
+                key_hashes[i] = kh
+                ranks[i] = rank
+                values[i] = agg.value()
+            order = np.argsort(key_hashes)
+            if self.value_min > self.value_max:
+                value_range = (math.nan, math.nan)
+            else:
+                value_range = (self.value_min, self.value_max)
+            self._columns = SketchColumns(
+                key_hashes=key_hashes[order],
+                ranks=ranks[order],
+                values=values[order],
+                value_range=value_range,
+                saw_all_keys=self.saw_all_keys,
+            )
+        return self._columns
 
     def kth_unit_value(self) -> float:
         """``U(k)`` — the largest retained unit-interval hash value."""

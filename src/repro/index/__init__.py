@@ -9,15 +9,25 @@ estimated correlation under a risk-averse scoring function).
 """
 
 from repro.index.catalog import SketchCatalog
-from repro.index.engine import JoinCorrelationEngine, QueryResult
-from repro.index.inverted import InvertedIndex
+from repro.index.engine import (
+    ColumnarQueryExecutor,
+    JoinCorrelationEngine,
+    QueryExecutor,
+    QueryResult,
+    ScalarQueryExecutor,
+)
+from repro.index.inverted import ColumnarPostings, InvertedIndex
 from repro.index.lsh import LshIndex, MinHashSignature
 
 __all__ = [
+    "ColumnarPostings",
+    "ColumnarQueryExecutor",
     "InvertedIndex",
     "JoinCorrelationEngine",
     "LshIndex",
     "MinHashSignature",
+    "QueryExecutor",
     "QueryResult",
+    "ScalarQueryExecutor",
     "SketchCatalog",
 ]

@@ -16,9 +16,9 @@ import json
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.core.sketch import CorrelationSketch
+from repro.core.sketch import CorrelationSketch, SketchColumns
 from repro.hashing import KeyHasher
-from repro.index.inverted import InvertedIndex
+from repro.index.inverted import ColumnarPostings, InvertedIndex
 from repro.table.table import ColumnPair, Table
 
 
@@ -51,6 +51,7 @@ class SketchCatalog:
         self.vectorized = vectorized
         self._sketches: dict[str, CorrelationSketch] = {}
         self._index = InvertedIndex()
+        self._frozen_postings: ColumnarPostings | None = None
 
     # -- population ---------------------------------------------------------
 
@@ -69,6 +70,9 @@ class SketchCatalog:
             )
         self._sketches[sketch_id] = sketch
         self._index.add(sketch_id, sketch.key_hashes())
+        # Any mutation invalidates the frozen columnar snapshot; it is
+        # rebuilt lazily on the next frozen_postings() call.
+        self._frozen_postings = None
 
     def add_column_pair(
         self, table: Table, pair: ColumnPair, *, sketch_id: str | None = None
@@ -147,6 +151,31 @@ class SketchCatalog:
         """The inverted index over key hashes (read-only use)."""
         return self._index
 
+    def frozen_postings(self) -> ColumnarPostings:
+        """The frozen CSR snapshot of the inverted index.
+
+        Built lazily from the live index and cached; any
+        :meth:`add_sketch` invalidates the cache, so a catalog that
+        alternates mutation and querying re-freezes automatically while a
+        stable catalog (the online-serving case) pays the freeze cost
+        exactly once — :meth:`JoinCorrelationEngine.query_table
+        <repro.index.engine.JoinCorrelationEngine.query_table>` reuses
+        one snapshot across its whole query batch.
+        """
+        if self._frozen_postings is None:
+            self._frozen_postings = self._index.freeze()
+        return self._frozen_postings
+
+    def sketch_columns(self, sketch_id: str) -> SketchColumns:
+        """Columnar (sorted key-hash / rank / value / range) view of a sketch.
+
+        Views are cached on the sketches themselves
+        (:meth:`repro.core.sketch.CorrelationSketch.columnar`); catalog
+        sketches are immutable after registration, so each is lowered at
+        most once for the life of the catalog.
+        """
+        return self.get(sketch_id).columnar()
+
     # -- persistence ----------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
@@ -155,6 +184,7 @@ class SketchCatalog:
             "sketch_size": self.sketch_size,
             "aggregate": self.aggregate,
             "scheme": list(self.hasher.scheme_id),
+            "vectorized": self.vectorized,
             "sketches": {
                 sid: sketch.to_dict() for sid, sketch in self._sketches.items()
             },
@@ -170,6 +200,9 @@ class SketchCatalog:
             sketch_size=payload["sketch_size"],
             aggregate=payload["aggregate"],
             hasher=KeyHasher(bits=bits, seed=seed),
+            # Catalogs saved before the flag was persisted default to the
+            # constructor default (vectorized construction).
+            vectorized=payload.get("vectorized", True),
         )
         for sid, sketch_payload in payload["sketches"].items():
             catalog.add_sketch(sid, CorrelationSketch.from_dict(sketch_payload))

@@ -25,6 +25,24 @@ module's docs is the authoritative registry — and
 Query sketches for in-memory tables are built through the vectorized
 columnar path (:meth:`repro.core.sketch.CorrelationSketch.update_array`),
 which is bit-identical to streaming construction.
+
+Two interchangeable :class:`QueryExecutor` strategies evaluate the plan:
+
+* :class:`ColumnarQueryExecutor` (default) — the whole pipeline runs on
+  arrays: the retrieval probe hits the catalog's frozen CSR postings
+  (:meth:`SketchCatalog.frozen_postings`), every candidate join is a
+  sorted-array merge of cached :class:`~repro.core.sketch.SketchColumns`
+  views, containment estimates come from one vectorized DV-estimator
+  call, and the scoring statistics are computed for all candidates at
+  once (:func:`repro.ranking.scoring.candidate_scores_batch`).
+* :class:`ScalarQueryExecutor` — the row-at-a-time reference
+  implementation (dict-of-lists ScanCount, per-candidate dict joins and
+  statistics), kept as the baseline the parity suite and the
+  ``bench_query_eval`` speedup benchmark compare against.
+
+Both return the same rankings; select with
+``JoinCorrelationEngine(..., vectorized=False)`` or the CLI's
+``query --no-vectorized-query``.
 """
 
 from __future__ import annotations
@@ -35,12 +53,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.joined_sample import join_sketches
-from repro.core.sketch import CorrelationSketch
+from repro.core.joined_sample import JoinedSample, join_sketches
+from repro.core.sketch import CorrelationSketch, SketchColumns
 from repro.index.catalog import SketchCatalog
-from repro.kmv.estimators import unbiased_dv_estimate
+from repro.kmv.estimators import unbiased_dv_estimate, unbiased_dv_estimate_batch
 from repro.ranking.ranker import RankedCandidate, rank_candidates
-from repro.ranking.scoring import CandidateScores, candidate_scores
+from repro.ranking.scoring import (
+    CandidateScores,
+    candidate_scores,
+    candidate_scores_batch,
+)
 
 
 @dataclass(frozen=True)
@@ -92,6 +114,302 @@ def _containment_estimate(
     return max(0.0, min(1.0, inter / d_query))
 
 
+@dataclass(frozen=True)
+class _UnionStats:
+    """Per-candidate combined-bottom-k statistics for Eq. 1.
+
+    ``k_len``/``kth``/``k_inter`` describe the first ``combined_k``
+    entries of the rank-ordered union of query and candidate hashes;
+    ``exact`` marks the both-sketches-saw-everything shortcut where the
+    raw overlap count is the exact intersection size.
+    """
+
+    k_len: int
+    kth: float
+    k_inter: int
+    exact: bool
+
+
+def _candidate_membership(
+    query: SketchColumns, candidate: SketchColumns
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probe the candidate's hashes against the query's sorted hashes.
+
+    Returns ``(in_query, positions)``: a boolean membership mask over the
+    candidate's entries and, for members, their index in the query's
+    arrays. One ``np.searchsorted`` pass serves both the sketch join and
+    the containment union statistics — the two hot per-candidate steps.
+    """
+    pos = np.searchsorted(query.key_hashes, candidate.key_hashes)
+    pos_clipped = np.minimum(pos, max(query.size - 1, 0))
+    if query.size:
+        in_query = query.key_hashes[pos_clipped] == candidate.key_hashes
+    else:
+        in_query = np.zeros(candidate.size, dtype=bool)
+    return in_query, pos_clipped
+
+
+def _union_stats_from_membership(
+    query: SketchColumns, candidate: SketchColumns, in_query: np.ndarray
+) -> _UnionStats:
+    """Combined-bottom-k statistics given a precomputed membership mask.
+
+    Mirrors the sorted-union step of :func:`_containment_estimate`
+    without re-sorting hash sets per candidate: dedup via the mask, then
+    the ``k``-th union rank from one ``np.partition`` over cached ranks.
+    """
+    if query.saw_all_keys and candidate.saw_all_keys:
+        return _UnionStats(k_len=0, kth=1.0, k_inter=0, exact=True)
+    union_ranks = np.concatenate([query.ranks, candidate.ranks[~in_query]])
+    combined_k = min(query.size, candidate.size)
+    k_len = min(combined_k, union_ranks.size)
+    if k_len == 0:
+        return _UnionStats(k_len=0, kth=1.0, k_inter=0, exact=False)
+    if k_len == union_ranks.size:
+        kth = float(union_ranks.max())
+    else:
+        kth = float(np.partition(union_ranks, k_len - 1)[k_len - 1])
+    # Ranks are injective over key hashes, so "within the first k_len of
+    # the union" is exactly "rank <= kth".
+    k_inter = int(np.count_nonzero(candidate.ranks[in_query] <= kth))
+    return _UnionStats(k_len=k_len, kth=kth, k_inter=k_inter, exact=False)
+
+
+def _union_stats(query: SketchColumns, candidate: SketchColumns) -> _UnionStats:
+    """Combined-bottom-k statistics from two cached columnar views."""
+    return _union_stats_from_membership(
+        query, candidate, _candidate_membership(query, candidate)[0]
+    )
+
+
+def _join_from_membership(
+    query: SketchColumns,
+    candidate: SketchColumns,
+    in_query: np.ndarray,
+    positions: np.ndarray,
+) -> JoinedSample:
+    """Materialize the sketch join from a precomputed membership probe.
+
+    Bit-identical to :func:`repro.core.joined_sample.join_columns` (both
+    sides store the same rank for a shared hash, so ordering by the
+    candidate's ranks reproduces the canonical ascending-rank order).
+    """
+    cand_idx = np.nonzero(in_query)[0]
+    query_idx = positions[cand_idx]
+    order = np.argsort(candidate.ranks[cand_idx])
+    cand_idx = cand_idx[order]
+    query_idx = query_idx[order]
+    return JoinedSample(
+        key_hashes=candidate.key_hashes[cand_idx],
+        x=query.values[query_idx],
+        y=candidate.values[cand_idx],
+        x_range=query.value_range,
+        y_range=candidate.value_range,
+    )
+
+
+def _containment_estimates_batch(
+    d_query: float, overlaps: list[int], stats: list[_UnionStats]
+) -> list[float]:
+    """Vectorized Eq. 1 over all candidates of one query.
+
+    Applies the same arithmetic as :func:`_containment_estimate`
+    elementwise — one :func:`unbiased_dv_estimate_batch` call for the
+    whole candidate list — so each estimate is bit-identical to the
+    scalar function's.
+    """
+    count = len(stats)
+    if count == 0:
+        return []
+    if d_query <= 0:
+        return [0.0] * count
+    k_len = np.asarray([s.k_len for s in stats], dtype=np.int64)
+    kth = np.asarray([s.kth for s in stats], dtype=np.float64)
+    k_inter = np.asarray([s.k_inter for s in stats], dtype=np.float64)
+    exact = np.asarray([s.exact for s in stats], dtype=bool)
+    overlap_arr = np.asarray(overlaps, dtype=np.int64)
+
+    dv = unbiased_dv_estimate_batch(
+        k_len, kth, np.zeros(count, dtype=bool)
+    )
+    safe_len = np.maximum(k_len, 1).astype(np.float64)
+    inter = (k_inter / safe_len) * dv
+    inter = np.where(exact, overlap_arr.astype(np.float64), inter)
+    contained = np.minimum(1.0, np.maximum(0.0, inter / d_query))
+    zero = (~exact & (k_len == 0)) | (overlap_arr <= 0)
+    return [0.0 if z else float(c) for z, c in zip(zero, contained)]
+
+
+class QueryExecutor:
+    """Strategy interface for one top-``k`` query evaluation.
+
+    Executors read ``catalog`` / ``retrieval_depth`` / ``min_overlap``
+    from the owning engine at execution time, so tuning the engine after
+    construction behaves identically under both strategies. Inputs are
+    validated by :meth:`JoinCorrelationEngine.query` before dispatch.
+    """
+
+    def __init__(self, engine: "JoinCorrelationEngine") -> None:
+        self.engine = engine
+
+    def execute(
+        self,
+        query_sketch: CorrelationSketch,
+        k: int,
+        scorer: str,
+        *,
+        exclude_id: str | None,
+        true_correlations: dict[str, float] | None,
+        rng: np.random.Generator,
+    ) -> QueryResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _truths(
+        ids: list[str], true_correlations: dict[str, float] | None
+    ) -> list[float]:
+        if true_correlations is None:
+            return [math.nan] * len(ids)
+        return [true_correlations.get(sid, math.nan) for sid in ids]
+
+
+class ScalarQueryExecutor(QueryExecutor):
+    """Row-at-a-time reference path (pre-columnar behavior, bit for bit).
+
+    One dict-based ScanCount probe, then per candidate: a dict-set sketch
+    join, a sorted-union containment estimate and a full
+    :func:`candidate_scores` round-trip.
+    """
+
+    def execute(
+        self,
+        query_sketch: CorrelationSketch,
+        k: int,
+        scorer: str,
+        *,
+        exclude_id: str | None,
+        true_correlations: dict[str, float] | None,
+        rng: np.random.Generator,
+    ) -> QueryResult:
+        engine = self.engine
+        t0 = time.perf_counter()
+        hits = engine.catalog.index.top_overlap(
+            query_sketch.key_hashes(),
+            engine.retrieval_depth,
+            exclude=exclude_id,
+            min_overlap=engine.min_overlap,
+        )
+        t1 = time.perf_counter()
+
+        # The PM1 bootstrap costs hundreds of resamples per candidate;
+        # compute it only when the chosen scorer reads r_b / cib.
+        needs_bootstrap = scorer == "rb_cib"
+
+        ids: list[str] = []
+        stats: list[CandidateScores] = []
+        for sid, overlap in hits:
+            candidate = engine.catalog.get(sid)
+            sample = join_sketches(query_sketch, candidate).drop_nan()
+            containment = _containment_estimate(query_sketch, candidate, overlap)
+            stat = candidate_scores(
+                sample,
+                containment_est=containment,
+                rng=rng,
+                with_bootstrap=needs_bootstrap,
+            )
+            ids.append(sid)
+            stats.append(stat)
+
+        ranked = rank_candidates(
+            ids, stats, scorer,
+            true_correlations=self._truths(ids, true_correlations),
+            rng=rng,
+        )[:k]
+        t2 = time.perf_counter()
+
+        return QueryResult(
+            ranked=ranked,
+            candidates_considered=len(hits),
+            retrieval_seconds=t1 - t0,
+            rerank_seconds=t2 - t1,
+        )
+
+
+class ColumnarQueryExecutor(QueryExecutor):
+    """Vectorized executor: frozen postings, merge joins, batch scoring.
+
+    Produces the same rankings as :class:`ScalarQueryExecutor` (the
+    parity suite pins this): retrieval counts, join samples, containment
+    estimates and bootstrap statistics are bit-identical; the batched
+    moment statistics agree to within float summation order.
+    """
+
+    def execute(
+        self,
+        query_sketch: CorrelationSketch,
+        k: int,
+        scorer: str,
+        *,
+        exclude_id: str | None,
+        true_correlations: dict[str, float] | None,
+        rng: np.random.Generator,
+    ) -> QueryResult:
+        engine = self.engine
+        t0 = time.perf_counter()
+        query_cols = query_sketch.columnar()
+        hits = engine.catalog.frozen_postings().top_overlap(
+            query_cols.key_hashes,
+            engine.retrieval_depth,
+            exclude=exclude_id,
+            min_overlap=engine.min_overlap,
+        )
+        t1 = time.perf_counter()
+
+        needs_bootstrap = scorer == "rb_cib"
+
+        ids: list[str] = []
+        samples: list[JoinedSample] = []
+        union_stats: list[_UnionStats] = []
+        overlaps: list[int] = []
+        for sid, overlap in hits:
+            candidate_cols = engine.catalog.sketch_columns(sid)
+            in_query, positions = _candidate_membership(query_cols, candidate_cols)
+            ids.append(sid)
+            samples.append(
+                _join_from_membership(
+                    query_cols, candidate_cols, in_query, positions
+                ).drop_nan()
+            )
+            union_stats.append(
+                _union_stats_from_membership(query_cols, candidate_cols, in_query)
+            )
+            overlaps.append(overlap)
+
+        containments = _containment_estimates_batch(
+            query_sketch.distinct_keys(), overlaps, union_stats
+        )
+        stats = candidate_scores_batch(
+            samples,
+            containment_ests=containments,
+            rng=rng,
+            with_bootstrap=needs_bootstrap,
+        )
+
+        ranked = rank_candidates(
+            ids, stats, scorer,
+            true_correlations=self._truths(ids, true_correlations),
+            rng=rng,
+        )[:k]
+        t2 = time.perf_counter()
+
+        return QueryResult(
+            ranked=ranked,
+            candidates_considered=len(hits),
+            retrieval_seconds=t1 - t0,
+            rerank_seconds=t2 - t1,
+        )
+
+
 class JoinCorrelationEngine:
     """Evaluates top-k join-correlation queries against a sketch catalog.
 
@@ -101,6 +419,10 @@ class JoinCorrelationEngine:
             re-ranking (the paper's experiments use 100).
         min_overlap: minimum shared key hashes for a candidate to be
             considered joinable at all.
+        vectorized: evaluate queries with the columnar executor
+            (default). Disable to run the row-at-a-time reference path —
+            same rankings, ~an order of magnitude slower re-ranking; used
+            for debugging and as the benchmark baseline.
     """
 
     def __init__(
@@ -108,12 +430,18 @@ class JoinCorrelationEngine:
         catalog: SketchCatalog,
         retrieval_depth: int = 100,
         min_overlap: int = 1,
+        *,
+        vectorized: bool = True,
     ) -> None:
         if retrieval_depth <= 0:
             raise ValueError(f"retrieval_depth must be positive, got {retrieval_depth}")
         self.catalog = catalog
         self.retrieval_depth = retrieval_depth
         self.min_overlap = min_overlap
+        self.vectorized = vectorized
+        self.executor: QueryExecutor = (
+            ColumnarQueryExecutor(self) if vectorized else ScalarQueryExecutor(self)
+        )
 
     def query(
         self,
@@ -142,52 +470,24 @@ class JoinCorrelationEngine:
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        if query_sketch.hasher.scheme_id != self.catalog.hasher.scheme_id:
+            # The scalar path would fail inside join_sketches at the first
+            # candidate; the columnar join has no hasher to check against,
+            # so enforce comparability up front for both executors.
+            raise ValueError(
+                "query sketch hashing scheme "
+                f"{query_sketch.hasher!r} differs from catalog scheme "
+                f"{self.catalog.hasher!r}"
+            )
         if rng is None:
             rng = np.random.default_rng(7)
-
-        t0 = time.perf_counter()
-        hits = self.catalog.index.top_overlap(
-            query_sketch.key_hashes(),
-            self.retrieval_depth,
-            exclude=exclude_id,
-            min_overlap=self.min_overlap,
-        )
-        t1 = time.perf_counter()
-
-        # The PM1 bootstrap costs hundreds of resamples per candidate;
-        # compute it only when the chosen scorer reads r_b / cib.
-        needs_bootstrap = scorer == "rb_cib"
-
-        ids: list[str] = []
-        stats: list[CandidateScores] = []
-        truths: list[float] = []
-        for sid, overlap in hits:
-            candidate = self.catalog.get(sid)
-            sample = join_sketches(query_sketch, candidate).drop_nan()
-            containment = _containment_estimate(query_sketch, candidate, overlap)
-            stat = candidate_scores(
-                sample,
-                containment_est=containment,
-                rng=rng,
-                with_bootstrap=needs_bootstrap,
-            )
-            ids.append(sid)
-            stats.append(stat)
-            if true_correlations is not None:
-                truths.append(true_correlations.get(sid, math.nan))
-            else:
-                truths.append(math.nan)
-
-        ranked = rank_candidates(
-            ids, stats, scorer, true_correlations=truths, rng=rng
-        )[:k]
-        t2 = time.perf_counter()
-
-        return QueryResult(
-            ranked=ranked,
-            candidates_considered=len(hits),
-            retrieval_seconds=t1 - t0,
-            rerank_seconds=t2 - t1,
+        return self.executor.execute(
+            query_sketch,
+            k,
+            scorer,
+            exclude_id=exclude_id,
+            true_correlations=true_correlations,
+            rng=rng,
         )
 
     def query_table(
@@ -204,6 +504,11 @@ class JoinCorrelationEngine:
         everything correlated with any of its columns" interaction: every
         column pair becomes a query sketch built with the catalog's
         hashing scheme, and results are keyed by ``pair_id``.
+
+        Under the columnar executor the catalog's frozen postings
+        snapshot is built by the first query and reused by every
+        subsequent one (the catalog is not mutated between queries), so
+        the freeze cost is amortized across the whole batch.
         """
         results: dict[str, QueryResult] = {}
         for pair in table.column_pairs():

@@ -10,12 +10,26 @@ with the query sketch. This module implements exactly that primitive:
   accumulate per-candidate overlap counts, return the top-``k`` by count
   (a textbook ScanCount set-overlap search; JOSIE/ppjoin+ are optimized
   variants of the same computation).
+
+Two physical layouts implement the same logical index:
+
+* :class:`InvertedIndex` — the mutable dict-of-lists build used while a
+  catalog is being populated, probed one posting list at a time (the
+  scalar reference path);
+* :class:`ColumnarPostings` — a frozen CSR-style snapshot
+  (:meth:`InvertedIndex.freeze`): the sorted key-hash vocabulary plus one
+  contiguous ``int32`` doc-id array, probed with ``np.searchsorted`` +
+  ``np.bincount`` and top-``k``-selected with ``np.argpartition``. Its
+  :meth:`~ColumnarPostings.top_overlap` returns exactly the scalar
+  result, including the ``(−overlap, sketch_id)`` tie-break.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from typing import Iterable
+
+import numpy as np
 
 
 class InvertedIndex:
@@ -98,3 +112,170 @@ class InvertedIndex:
         ]
         candidates.sort(key=lambda t: (-t[1], t[0]))
         return candidates[:k]
+
+    def freeze(self) -> "ColumnarPostings":
+        """Snapshot the current postings into a :class:`ColumnarPostings`.
+
+        The snapshot does not track later :meth:`add` calls — callers that
+        mutate the index must re-freeze (the catalog does this
+        automatically; see :meth:`repro.index.catalog.SketchCatalog.frozen_postings`).
+        """
+        return ColumnarPostings._from_index(self)
+
+
+class ColumnarPostings:
+    """Frozen CSR layout of an :class:`InvertedIndex`.
+
+    Three parallel arrays hold the whole index:
+
+    * ``vocab`` — the distinct key hashes, sorted ascending (``uint64``);
+    * ``indptr`` — ``indptr[i]:indptr[i+1]`` delimits the postings of
+      ``vocab[i]`` (``int64``, length ``len(vocab) + 1``);
+    * ``doc_ids`` — the concatenated posting lists as integer document
+      ids (``int32``).
+
+    Document ids are positions into ``docs``, which is sorted
+    lexicographically so the integer order *is* the sketch-id order —
+    the scalar path's ``(−overlap, sketch_id)`` tie-break becomes a
+    plain integer comparison.
+
+    Build once with :meth:`InvertedIndex.freeze`; instances are
+    immutable.
+    """
+
+    __slots__ = ("vocab", "indptr", "doc_ids", "docs", "_doc_index", "_doc_lengths")
+
+    def __init__(
+        self,
+        vocab: np.ndarray,
+        indptr: np.ndarray,
+        doc_ids: np.ndarray,
+        docs: list[str],
+        doc_lengths: np.ndarray,
+        doc_index: dict[str, int] | None = None,
+    ) -> None:
+        self.vocab = vocab
+        self.indptr = indptr
+        self.doc_ids = doc_ids
+        self.docs = docs
+        self._doc_index = (
+            doc_index if doc_index is not None else {sid: i for i, sid in enumerate(docs)}
+        )
+        self._doc_lengths = doc_lengths
+
+    @classmethod
+    def _from_index(cls, index: InvertedIndex) -> "ColumnarPostings":
+        docs = sorted(index._doc_keys)
+        doc_index = {sid: i for i, sid in enumerate(docs)}
+        doc_lengths = np.asarray(
+            [index._doc_keys[sid] for sid in docs], dtype=np.int64
+        )
+        items = sorted(index._postings.items())
+        vocab = np.asarray([kh for kh, _ in items], dtype=np.uint64)
+        lengths = np.asarray([len(p) for _, p in items], dtype=np.int64)
+        indptr = np.zeros(len(items) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        doc_ids = np.empty(int(indptr[-1]), dtype=np.int32)
+        pos = 0
+        for _, postings in items:
+            for sid in postings:
+                doc_ids[pos] = doc_index[sid]
+                pos += 1
+        return cls(vocab, indptr, doc_ids, docs, doc_lengths, doc_index)
+
+    def __len__(self) -> int:
+        """Number of indexed sketches."""
+        return len(self.docs)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct key hashes with postings."""
+        return int(self.vocab.shape[0])
+
+    def overlap_counts_array(self, key_hashes) -> np.ndarray:
+        """Per-document shared-key-hash counts for one query (ScanCount).
+
+        Args:
+            key_hashes: the query's key hashes — any iterable of ints or
+                an integer array. Duplicates count once per occurrence,
+                exactly like the scalar ScanCount (sketch queries pass
+                hash sets, so multiplicity is 1 in practice).
+
+        Returns:
+            ``int64`` array of length ``len(self)``; element ``d`` is the
+            number of query hashes indexed under document ``d``.
+        """
+        if isinstance(key_hashes, np.ndarray):
+            q_arr = key_hashes.astype(np.uint64, copy=False)
+        else:
+            q_arr = np.fromiter(key_hashes, dtype=np.uint64)
+        n_docs = len(self.docs)
+        if q_arr.size == 0 or self.vocab.size == 0:
+            return np.zeros(n_docs, dtype=np.int64)
+        q, mult = np.unique(q_arr, return_counts=True)
+        pos = np.searchsorted(self.vocab, q)
+        in_range = pos < self.vocab.size
+        pos = pos[in_range]
+        matched = self.vocab[pos] == q[in_range]
+        pos = pos[matched]
+        mult = mult[in_range][matched]
+        starts = self.indptr[pos]
+        ends = self.indptr[pos + 1]
+        lens = ends - starts
+        total = int(lens.sum())
+        if total == 0:
+            return np.zeros(n_docs, dtype=np.int64)
+        # Gather all matched posting slices with one fancy index: for each
+        # slice, generate its absolute positions via the repeat/cumsum
+        # trick (no Python-level loop over posting lists).
+        shifts = np.repeat(starts - np.concatenate(([0], np.cumsum(lens)[:-1])), lens)
+        flat = np.arange(total, dtype=np.int64) + shifts
+        weights = np.repeat(mult, lens)
+        # Float weights are exact for any realistic count (< 2**53).
+        return np.bincount(
+            self.doc_ids[flat], weights=weights, minlength=n_docs
+        ).astype(np.int64)
+
+    def top_overlap(
+        self,
+        key_hashes,
+        k: int,
+        *,
+        exclude: str | None = None,
+        min_overlap: int = 1,
+    ) -> list[tuple[str, int]]:
+        """Top-``k`` sketches by key-hash overlap; scalar-parity output.
+
+        Same contract and same result as
+        :meth:`InvertedIndex.top_overlap` — descending overlap, sketch id
+        as tie-break — computed columnarly: one ScanCount via
+        :meth:`overlap_counts_array`, then an ``np.argpartition``
+        selection on a composite ``(overlap, doc)`` key.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        counts = self.overlap_counts_array(key_hashes)
+        if exclude is not None:
+            excl = self._doc_index.get(exclude)
+            if excl is not None:
+                counts[excl] = 0
+        threshold = max(1, min_overlap)
+        cand = np.nonzero(counts >= threshold)[0]
+        if cand.size == 0:
+            return []
+        n_docs = len(self.docs)
+        if cand.size > k:
+            # Composite selection key: maximize overlap, then minimize the
+            # (lexicographically ordered) doc id. Overlaps are bounded by
+            # the query size and doc ids by the corpus size, so the
+            # product stays well inside int64.
+            composite = counts[cand] * np.int64(n_docs) + (
+                np.int64(n_docs - 1) - cand
+            )
+            sel = np.argpartition(composite, cand.size - k)[cand.size - k:]
+            sel = sel[np.argsort(composite[sel])[::-1]]
+            cand = cand[sel]
+        else:
+            order = np.lexsort((cand, -counts[cand]))
+            cand = cand[order]
+        return [(self.docs[int(d)], int(counts[d])) for d in cand]

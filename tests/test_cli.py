@@ -127,3 +127,55 @@ def test_unknown_scorer_rejected(portal, tmp_path):
     catalog = _index(portal, tmp_path)
     with pytest.raises(SystemExit):
         main(["query", str(catalog), str(portal / "query.csv"), "--scorer", "magic"])
+
+
+def test_query_scalar_executor_matches_columnar(portal, tmp_path, capsys):
+    """--no-vectorized-query runs the reference executor and must print
+    the identical ranking."""
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    query = ["query", str(catalog), str(portal / "query.csv"), "--scorer", "rp"]
+    assert main(query) == 0
+    columnar_out = capsys.readouterr().out
+    assert "executor   : columnar" in columnar_out
+    assert main(query + ["--no-vectorized-query"]) == 0
+    scalar_out = capsys.readouterr().out
+    assert "executor   : scalar" in scalar_out
+
+    def ranking(text):
+        return [l.split() for l in text.splitlines() if l and l[0].isdigit()]
+
+    assert ranking(columnar_out) == ranking(scalar_out)
+
+
+def test_query_min_overlap_prunes_everything(portal, tmp_path, capsys):
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    rc = main(
+        [
+            "query", str(catalog), str(portal / "query.csv"),
+            "--min-overlap", "1000000",
+        ]
+    )
+    assert rc == 0
+    assert "no joinable candidates found" in capsys.readouterr().out
+
+
+def test_query_seed_controls_random_scorer(portal, tmp_path, capsys):
+    """Same seed -> same ranking; the stochastic scorer makes differing
+    seeds overwhelmingly likely to produce different orders."""
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+
+    def run(extra):
+        rc = main(
+            ["query", str(catalog), str(portal / "query.csv"),
+             "--scorer", "random", *extra]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        return [l.split()[1] for l in out.splitlines() if l and l[0].isdigit()]
+
+    assert run(["--seed", "3"]) == run(["--seed", "3"])
+    runs = {tuple(run(["--seed", str(s)])) for s in range(8)}
+    assert len(runs) > 1

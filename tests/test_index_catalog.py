@@ -96,3 +96,52 @@ def test_loaded_catalog_preserves_scheme(tmp_path):
     catalog.save(path)
     loaded = SketchCatalog.load(path)
     assert loaded.hasher.scheme_id == (64, 5)
+
+
+@pytest.mark.parametrize("vectorized", [True, False])
+def test_save_load_round_trips_vectorized_flag(tmp_path, vectorized):
+    """The construction-path flag must survive persistence: a reloaded
+    catalog used to silently revert to the default."""
+    catalog = SketchCatalog(sketch_size=8, vectorized=vectorized)
+    catalog.add_table(table_from_arrays("t", ["a", "b"], [1.0, 2.0]))
+    path = tmp_path / "c.json"
+    catalog.save(path)
+    assert SketchCatalog.load(path).vectorized is vectorized
+
+
+def test_load_legacy_payload_defaults_vectorized(tmp_path):
+    """Catalogs saved before the flag existed load with the constructor
+    default (vectorized construction)."""
+    import json
+
+    catalog = SketchCatalog(sketch_size=8, vectorized=False)
+    catalog.add_table(table_from_arrays("t", ["a", "b"], [1.0, 2.0]))
+    path = tmp_path / "c.json"
+    catalog.save(path)
+    payload = json.loads(path.read_text())
+    del payload["vectorized"]
+    path.write_text(json.dumps(payload))
+    assert SketchCatalog.load(path).vectorized is True
+
+
+def test_frozen_postings_cached_and_invalidated():
+    catalog = _catalog()
+    frozen = catalog.frozen_postings()
+    assert catalog.frozen_postings() is frozen
+    catalog.add_table(
+        table_from_arrays("t3", [f"k{i}" for i in range(100)], np.arange(100.0))
+    )
+    refrozen = catalog.frozen_postings()
+    assert refrozen is not frozen
+    assert len(refrozen) == len(catalog) == 3
+
+
+def test_sketch_columns_matches_sketch():
+    catalog = _catalog()
+    cols = catalog.sketch_columns("t1::key->value")
+    sketch = catalog.get("t1::key->value")
+    assert cols.size == len(sketch)
+    assert set(int(kh) for kh in cols.key_hashes) == sketch.key_hashes()
+    entries = sketch.entries()
+    for kh, value in zip(cols.key_hashes, cols.values):
+        assert entries[int(kh)] == value

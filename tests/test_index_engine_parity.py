@@ -1,0 +1,316 @@
+"""Executor parity: the columnar query pipeline vs the scalar reference.
+
+The contract of the columnar executor is *identical rankings*: for any
+catalog, any query and every scoring function, ``ColumnarQueryExecutor``
+must rank exactly the candidates ``ScalarQueryExecutor`` ranks, in the
+same order. Statistics computed by per-candidate paths the columnar
+executor reuses verbatim (joins, containment, the PM1 bootstrap, the
+``random`` scorer's draws) must be bit-identical; the reduceat-batched
+moment statistics (Pearson, Hoeffding-CI length) may differ from the
+per-candidate reductions only in float summation order, which the score
+assertions bound tightly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.joined_sample import join_columns, join_sketches
+from repro.core.sketch import CorrelationSketch
+from repro.index.catalog import SketchCatalog
+from repro.index.engine import (
+    ColumnarQueryExecutor,
+    JoinCorrelationEngine,
+    ScalarQueryExecutor,
+    _candidate_membership,
+    _containment_estimate,
+    _containment_estimates_batch,
+    _join_from_membership,
+    _union_stats,
+)
+from repro.ranking.scoring import SCORER_NAMES, candidate_scores, candidate_scores_batch
+from repro.table.table import table_from_arrays
+
+#: Scorers whose columnar statistics are bit-identical to the scalar
+#: path's (no reduceat-summed moments in the score formula).
+EXACT_SCORERS = ("rb_cib", "jc", "jc_est", "random")
+
+
+def _random_catalog(seed: int, *, n_tables=12, n_rows=1200, sketch_size=96):
+    """A corpus of tables with varied correlation and key overlap, plus a
+    query sketch sharing the key universe (and one alien table that must
+    never be retrieved)."""
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i}" for i in range(n_rows)]
+    q = rng.standard_normal(n_rows)
+
+    catalog = SketchCatalog(sketch_size=sketch_size)
+    for t in range(n_tables):
+        rho = float(rng.uniform(-1.0, 1.0))
+        vals = rho * q + math.sqrt(max(0.0, 1.0 - rho * rho)) * rng.standard_normal(
+            n_rows
+        )
+        keep = rng.uniform(size=n_rows) < rng.uniform(0.1, 1.0)
+        table_keys = [k for k, m in zip(keys, keep) if m]
+        catalog.add_table(table_from_arrays(f"tab{t:02d}", table_keys, vals[keep]))
+    catalog.add_table(
+        table_from_arrays("alien", [f"z{i}" for i in range(200)], rng.standard_normal(200))
+    )
+    query = CorrelationSketch.from_columns(
+        keys, q, sketch_size, hasher=catalog.hasher, name="query"
+    )
+    return catalog, query
+
+
+def _assert_results_match(a, b, scorer):
+    assert a.candidates_considered == b.candidates_considered
+    ids_a = [e.candidate_id for e in a.ranked]
+    ids_b = [e.candidate_id for e in b.ranked]
+    assert ids_a == ids_b, f"{scorer}: ranking mismatch"
+    scores_a = np.asarray([e.score for e in a.ranked])
+    scores_b = np.asarray([e.score for e in b.ranked])
+    if scorer in EXACT_SCORERS:
+        assert (scores_a == scores_b).all(), f"{scorer}: scores not bit-identical"
+    else:
+        np.testing.assert_allclose(
+            scores_a, scores_b, rtol=1e-9, atol=1e-12, err_msg=scorer
+        )
+    for ea, eb in zip(a.ranked, b.ranked):
+        assert ea.stats.sample_size == eb.stats.sample_size
+        assert ea.stats.containment_est == eb.stats.containment_est
+        assert math.isclose(
+            ea.true_correlation, eb.true_correlation, rel_tol=0.0, abs_tol=0.0
+        ) or (math.isnan(ea.true_correlation) and math.isnan(eb.true_correlation))
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("scorer", SCORER_NAMES)
+def test_rankings_identical_for_every_scorer(seed, scorer):
+    catalog, query = _random_catalog(seed)
+    scalar = JoinCorrelationEngine(catalog, vectorized=False)
+    columnar = JoinCorrelationEngine(catalog)
+    a = scalar.query(query, k=10, scorer=scorer)
+    b = columnar.query(query, k=10, scorer=scorer)
+    _assert_results_match(a, b, scorer)
+
+
+def test_executor_selection():
+    catalog, _ = _random_catalog(0, n_tables=2, n_rows=100, sketch_size=16)
+    assert isinstance(JoinCorrelationEngine(catalog).executor, ColumnarQueryExecutor)
+    assert isinstance(
+        JoinCorrelationEngine(catalog, vectorized=False).executor, ScalarQueryExecutor
+    )
+
+
+def test_parity_with_exclude_min_overlap_and_truths():
+    catalog, query = _random_catalog(7)
+    truths = {"tab03::key->value": 0.42, "tab05::key->value": -0.9}
+    for kwargs in (
+        {"exclude_id": "tab00::key->value"},
+        {"true_correlations": truths},
+    ):
+        a = JoinCorrelationEngine(catalog, vectorized=False).query(
+            query, k=8, scorer="rp_cih", **kwargs
+        )
+        b = JoinCorrelationEngine(catalog).query(query, k=8, scorer="rp_cih", **kwargs)
+        _assert_results_match(a, b, "rp_cih")
+    for min_overlap in (2, 25, 10**9):
+        a = JoinCorrelationEngine(catalog, vectorized=False, min_overlap=min_overlap)
+        b = JoinCorrelationEngine(catalog, min_overlap=min_overlap)
+        _assert_results_match(
+            a.query(query, k=8), b.query(query, k=8), "rp_cih"
+        )
+
+
+def test_scheme_mismatch_rejected_by_both_executors():
+    from repro.hashing import KeyHasher
+
+    catalog, _ = _random_catalog(0, n_tables=2, n_rows=100, sketch_size=16)
+    alien = CorrelationSketch.from_columns(
+        ["a", "b", "c"], [1.0, 2.0, 3.0], 16, hasher=KeyHasher(seed=99)
+    )
+    for vectorized in (True, False):
+        engine = JoinCorrelationEngine(catalog, vectorized=vectorized)
+        with pytest.raises(ValueError, match="hashing scheme"):
+            engine.query(alien, k=3)
+
+
+def test_parity_on_empty_query_sketch():
+    catalog, _ = _random_catalog(1, n_tables=3, n_rows=300, sketch_size=32)
+    empty = CorrelationSketch(32, hasher=catalog.hasher, name="empty")
+    a = JoinCorrelationEngine(catalog, vectorized=False).query(empty, k=5)
+    b = JoinCorrelationEngine(catalog).query(empty, k=5)
+    assert a.candidates_considered == b.candidates_considered == 0
+    assert a.ranked == [] and b.ranked == []
+
+
+def test_parity_with_missing_values():
+    """NaN cells flow through join -> drop_nan identically on both paths."""
+    rng = np.random.default_rng(5)
+    n = 800
+    keys = [f"k{i}" for i in range(n)]
+    q = rng.standard_normal(n)
+    vals = 0.7 * q + 0.5 * rng.standard_normal(n)
+    vals[rng.uniform(size=n) < 0.2] = np.nan
+    catalog = SketchCatalog(sketch_size=64)
+    catalog.add_table(table_from_arrays("holey", keys, vals))
+    query = CorrelationSketch.from_columns(keys, q, 64, hasher=catalog.hasher)
+    for scorer in ("rp", "rp_cih"):
+        a = JoinCorrelationEngine(catalog, vectorized=False).query(query, scorer=scorer)
+        b = JoinCorrelationEngine(catalog).query(query, scorer=scorer)
+        _assert_results_match(a, b, scorer)
+
+
+def test_query_table_parity_and_frozen_reuse():
+    catalog, _ = _random_catalog(3)
+    rng = np.random.default_rng(9)
+    n = 600
+    keys = [f"k{i}" for i in range(n)]
+    from repro.table.column import CategoricalColumn, NumericColumn
+    from repro.table.table import Table
+
+    table = Table(
+        "mine",
+        [
+            CategoricalColumn("key", keys),
+            NumericColumn("a", rng.standard_normal(n)),
+            NumericColumn("b", rng.standard_normal(n)),
+        ],
+    )
+    results_a = JoinCorrelationEngine(catalog, vectorized=False).query_table(
+        table, k=5, scorer="rp_sez"
+    )
+    results_b = JoinCorrelationEngine(catalog).query_table(table, k=5, scorer="rp_sez")
+    assert set(results_a) == set(results_b)
+    for pair_id in results_a:
+        _assert_results_match(results_a[pair_id], results_b[pair_id], "rp_sez")
+    # The frozen snapshot was built once and shared across the batch.
+    assert catalog.frozen_postings() is catalog.frozen_postings()
+
+
+def test_catalog_mutation_invalidates_frozen_postings():
+    catalog, query = _random_catalog(2, n_tables=3, n_rows=400, sketch_size=48)
+    engine = JoinCorrelationEngine(catalog)
+    before = engine.query(query, k=10)
+    frozen_before = catalog.frozen_postings()
+
+    # Register a perfect clone of the query pair: it must appear in the
+    # next columnar query without any manual re-freeze.
+    keys = [f"k{i}" for i in range(400)]
+    rng = np.random.default_rng(2)
+    catalog.add_table(table_from_arrays("late", keys, rng.standard_normal(400)))
+    after = engine.query(query, k=10)
+    assert catalog.frozen_postings() is not frozen_before
+    assert after.candidates_considered == before.candidates_considered + 1
+    assert any(e.candidate_id.startswith("late") for e in after.ranked)
+
+
+# -- layer-level parity -----------------------------------------------------
+
+
+def _random_sketch_pair(rng, *, with_nan=True):
+    n = int(rng.integers(1, 3000))
+    m = int(rng.integers(1, 3000))
+    universe = [f"u{i}" for i in range(int(rng.integers(1, 4000)))]
+    lk = [universe[int(i)] for i in rng.integers(0, len(universe), n)]
+    rk = [universe[int(i)] for i in rng.integers(0, len(universe), m)]
+    lv = rng.standard_normal(n)
+    if with_nan:
+        lv[rng.uniform(size=n) < 0.05] = np.nan
+    rv = rng.standard_normal(m)
+    size = int(rng.integers(2, 300))
+    left = CorrelationSketch.from_columns(lk, lv, size, name="L")
+    right = CorrelationSketch.from_columns(rk, rv, size, hasher=left.hasher, name="R")
+    return left, right
+
+
+def test_join_columns_bit_identical_to_join_sketches():
+    rng = np.random.default_rng(17)
+    for _ in range(25):
+        left, right = _random_sketch_pair(rng)
+        a = join_sketches(left, right)
+        lcols, rcols = left.columnar(), right.columnar()
+        b = join_columns(lcols, rcols)
+        # The executor's fused single-probe join must match too.
+        c = _join_from_membership(lcols, rcols, *_candidate_membership(lcols, rcols))
+        for other in (b, c):
+            assert (a.key_hashes == other.key_hashes).all()
+            assert np.array_equal(a.x, other.x, equal_nan=True)
+            assert np.array_equal(a.y, other.y, equal_nan=True)
+            for ra, rb in zip(
+                (a.x_range, a.y_range), (other.x_range, other.y_range)
+            ):
+                assert ra == rb or (
+                    all(math.isnan(v) for v in ra) and all(math.isnan(v) for v in rb)
+                )
+
+
+def test_containment_batch_bit_identical_to_scalar():
+    rng = np.random.default_rng(23)
+    for _ in range(25):
+        query, candidate = _random_sketch_pair(rng, with_nan=False)
+        overlap = len(query.key_hashes() & candidate.key_hashes())
+        expected = _containment_estimate(query, candidate, overlap)
+        stats = [_union_stats(query.columnar(), candidate.columnar())]
+        got = _containment_estimates_batch(query.distinct_keys(), [overlap], stats)
+        assert got[0] == expected
+
+
+def test_candidate_scores_batch_matches_scalar():
+    rng = np.random.default_rng(29)
+    samples = []
+    for _ in range(20):
+        left, right = _random_sketch_pair(rng)
+        samples.append(join_sketches(left, right).drop_nan())
+
+    rng_a = np.random.default_rng(101)
+    rng_b = np.random.default_rng(101)
+    scalar = [candidate_scores(s, rng=rng_a, with_bootstrap=True) for s in samples]
+    batch = candidate_scores_batch(samples, rng=rng_b, with_bootstrap=True)
+    for s, b in zip(scalar, batch):
+        assert s.sample_size == b.sample_size
+        assert s.sez_factor == b.sez_factor
+        # Bootstrap statistics consume the shared rng in candidate order,
+        # so they are bit-identical.
+        assert s.r_bootstrap == b.r_bootstrap or (
+            math.isnan(s.r_bootstrap) and math.isnan(b.r_bootstrap)
+        )
+        assert s.cib_factor == b.cib_factor
+        # Moment statistics agree to summation-order rounding.
+        if math.isnan(s.r_pearson):
+            assert math.isnan(b.r_pearson)
+        else:
+            assert math.isclose(s.r_pearson, b.r_pearson, rel_tol=1e-12, abs_tol=1e-14)
+        if math.isnan(s.hfd_ci_length):
+            assert math.isnan(b.hfd_ci_length)
+        else:
+            assert math.isclose(
+                s.hfd_ci_length, b.hfd_ci_length, rel_tol=1e-9, abs_tol=1e-12
+            )
+
+
+def test_candidate_scores_batch_degenerate_samples():
+    from repro.core.joined_sample import JoinedSample
+
+    empty = JoinedSample(
+        np.array([], dtype=np.uint64), np.array([]), np.array([]),
+        (np.nan, np.nan), (np.nan, np.nan),
+    )
+    single = JoinedSample(
+        np.array([1], dtype=np.uint64), np.array([2.0]), np.array([3.0]),
+        (0.0, 5.0), (0.0, 5.0),
+    )
+    constant = JoinedSample(
+        np.array([1, 2, 3], dtype=np.uint64),
+        np.array([2.0, 2.0, 2.0]), np.array([1.0, 2.0, 3.0]),
+        (2.0, 2.0), (1.0, 3.0),
+    )
+    samples = [empty, single, constant]
+    batch = candidate_scores_batch(samples, with_bootstrap=False)
+    for sample, got in zip(samples, batch):
+        ref = candidate_scores(sample, with_bootstrap=False)
+        assert got.sample_size == ref.sample_size
+        assert math.isnan(got.r_pearson) and math.isnan(ref.r_pearson)
+        assert got.sez_factor == ref.sez_factor
+        assert got.hfd_ci_length == ref.hfd_ci_length
