@@ -1,0 +1,145 @@
+"""Catalog persistence: JSON reference format vs binary snapshots.
+
+The offline-build / online-serve split the paper promises only works if
+cold starts are cheap: a serving process must go from catalog file to
+first answered query without re-parsing and re-indexing the corpus.
+``test_catalog_io_speedup`` measures, at the 4096-sketch scale:
+
+* **save** latency and on-disk bytes for both formats;
+* **load** latency — JSON pays per-entry parsing plus a full inverted
+  index rebuild; the binary snapshot is array reads plus lazy
+  array-view rehydration with the frozen CSR postings restored verbatim;
+* **cold-start-to-first-query** — load immediately followed by one
+  columnar top-k query, the number an operator actually experiences.
+
+The binary path must load ≥10x faster than JSON (the tentpole's
+acceptance bar); results land in ``benchmarks/results/catalog_io.txt``.
+``--quick`` shrinks to a CI smoke (256 sketches, no assertions).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import write_result
+from repro.core.sketch import CorrelationSketch
+from repro.index.catalog import SketchCatalog
+from repro.index.engine import JoinCorrelationEngine
+
+#: The tentpole's acceptance scale for snapshot loading.
+CATALOG_SKETCHES = 4096
+QUICK_SKETCHES = 256
+SKETCH_SIZE = 256
+ROWS_PER_SKETCH = 600
+KEY_UNIVERSE = 20_000
+
+
+def _build_catalog(n_sketches: int, seed: int = 3):
+    """``n_sketches`` column-pair sketches over one shared key universe
+    (integer keys: construction itself is not what this bench measures)."""
+    rng = np.random.default_rng(seed)
+    catalog = SketchCatalog(sketch_size=SKETCH_SIZE)
+    batch = []
+    for i in range(n_sketches):
+        keys = rng.choice(KEY_UNIVERSE, ROWS_PER_SKETCH, replace=False)
+        sid = f"pair{i:05d}"
+        batch.append(
+            (
+                sid,
+                CorrelationSketch.from_columns(
+                    keys,
+                    rng.standard_normal(ROWS_PER_SKETCH),
+                    SKETCH_SIZE,
+                    hasher=catalog.hasher,
+                    name=sid,
+                ),
+            )
+        )
+    catalog.add_sketches(batch)
+    query_keys = rng.choice(KEY_UNIVERSE, 2 * ROWS_PER_SKETCH, replace=False)
+    query = CorrelationSketch.from_columns(
+        query_keys,
+        rng.standard_normal(query_keys.shape[0]),
+        SKETCH_SIZE,
+        hasher=catalog.hasher,
+        name="query",
+    )
+    return catalog, query
+
+
+def _first_query_ms(catalog: SketchCatalog, query) -> float:
+    t0 = time.perf_counter()
+    JoinCorrelationEngine(catalog, retrieval_depth=100).query(
+        query, k=10, scorer="rp_cih"
+    )
+    return (time.perf_counter() - t0) * 1000
+
+
+def test_catalog_io_speedup(tmp_path_factory, quick):
+    n_sketches = QUICK_SKETCHES if quick else CATALOG_SKETCHES
+    catalog, query = _build_catalog(n_sketches)
+    # Freeze before timing saves so both formats serialize a warm catalog
+    # (the snapshot persists the frozen postings; freezing is save-time
+    # work either way, not what distinguishes the formats).
+    catalog.frozen_postings()
+
+    out_dir = tmp_path_factory.mktemp("catalog_io")
+    json_path = out_dir / "catalog.json"
+    npz_path = out_dir / "catalog.npz"
+
+    t0 = time.perf_counter()
+    catalog.save(json_path)
+    json_save = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    catalog.save(npz_path)
+    npz_save = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    from_json = SketchCatalog.load(json_path)
+    json_load = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    from_npz = SketchCatalog.load(npz_path)
+    npz_load = time.perf_counter() - t0
+
+    # Sanity: both loads serve the same corpus.
+    assert len(from_json) == len(from_npz) == n_sketches
+    sid = next(iter(catalog))
+    a = from_json.sketch_columns(sid)
+    b = from_npz.sketch_columns(sid)
+    assert (a.key_hashes == b.key_hashes).all()
+    assert (a.values == b.values).all()
+
+    json_first_query = _first_query_ms(from_json, query)
+    npz_first_query = _first_query_ms(from_npz, query)
+    load_speedup = json_load / npz_load
+    cold_start_speedup = (json_load * 1000 + json_first_query) / (
+        npz_load * 1000 + npz_first_query
+    )
+
+    lines = [
+        f"sketches                  : {n_sketches} "
+        f"(size {SKETCH_SIZE}, {ROWS_PER_SKETCH} rows each)",
+        f"json save                 : {json_save * 1000:9.1f} ms",
+        f"npz  save                 : {npz_save * 1000:9.1f} ms",
+        f"json bytes                : {json_path.stat().st_size:>12,}",
+        f"npz  bytes                : {npz_path.stat().st_size:>12,}",
+        f"json load                 : {json_load * 1000:9.1f} ms "
+        "(parse + per-sketch rebuild + index rebuild)",
+        f"npz  load                 : {npz_load * 1000:9.1f} ms "
+        "(array reads + lazy views + stored postings)",
+        f"load speedup              : {load_speedup:9.1f}x",
+        f"json first query          : {json_first_query:9.1f} ms (freeze on demand)",
+        f"npz  first query          : {npz_first_query:9.1f} ms (postings pre-frozen)",
+        f"cold-start-to-first-query : {cold_start_speedup:9.1f}x",
+    ]
+    if quick:
+        lines.append("(quick mode: CI smoke scale, speedup assertion skipped)")
+    write_result("catalog_io.txt", "\n".join(lines))
+
+    if quick:
+        return
+    # Acceptance bar: binary snapshot load >=10x faster than JSON at 4096.
+    assert n_sketches >= 4096
+    assert load_speedup >= 10.0

@@ -19,7 +19,15 @@ Two benchmarks cover the online path:
   tentpole targets), asserting identical rankings and a ≥5x re-rank
   phase speedup, and records the per-phase split of both executors.
 
-Both write their tables into ``benchmarks/results/`` and shrink to a
+* ``test_bootstrap_rerank_speedup`` measures the ``rb_cib`` scorer — the
+  paper's most expensive, most accurate ranking — on the same 2048-sketch
+  catalog under both bootstrap contracts: ``rng_mode="compat"`` (one
+  599-replicate PM1 run per candidate) vs ``rng_mode="batched"`` (the
+  cross-candidate engine: shared draws per stopping round, adaptive
+  early stopping, chunked tensor arithmetic), asserting the batched
+  engine re-ranks ≥5x faster.
+
+All write their tables into ``benchmarks/results/`` and shrink to a
 CI-sized smoke run under ``--quick`` (absolute-performance assertions
 are skipped there).
 """
@@ -198,5 +206,83 @@ def test_query_executor_speedup(quick):
     if quick:
         return
     # The tentpole's acceptance bar: >=5x re-rank throughput at >=2k sketches.
+    assert len(catalog) >= 2000
+    assert rerank_speedup >= 5.0
+
+
+#: Queries for the bootstrap-contract comparison (each costs hundreds of
+#: milliseconds on the compat path — 599 resamples x ~100 candidates) and
+#: repetitions per (query, mode): the best-of-N re-rank time filters
+#: scheduler/throttling noise out of a sustained-CPU comparison.
+BOOTSTRAP_QUERIES = 3
+BOOTSTRAP_QUICK_QUERIES = 1
+BOOTSTRAP_REPEATS = 3
+
+
+def test_bootstrap_rerank_speedup(quick):
+    """rb_cib re-rank: per-candidate PM1 (compat) vs the batched engine."""
+    n_sketches = SPEEDUP_QUICK_SKETCHES if quick else SPEEDUP_CATALOG_SKETCHES
+    n_queries = BOOTSTRAP_QUICK_QUERIES if quick else BOOTSTRAP_QUERIES
+    repeats = 1 if quick else BOOTSTRAP_REPEATS
+    catalog, queries = _build_speedup_catalog(n_sketches)
+    queries = queries[:n_queries]
+
+    compat = JoinCorrelationEngine(
+        catalog, retrieval_depth=RETRIEVAL_DEPTH, rng_mode="compat"
+    )
+    batched = JoinCorrelationEngine(
+        catalog, retrieval_depth=RETRIEVAL_DEPTH, rng_mode="batched"
+    )
+
+    # Same steady-state prewarm as the executor comparison: catalog-load
+    # costs are one-time, both engines share the columnar executor.
+    catalog.frozen_postings()
+    for sid in catalog:
+        catalog.sketch_columns(sid)
+    compat.query(queries[0], k=10, scorer="rb_cib")
+    batched.query(queries[0], k=10, scorer="rb_cib")
+
+    rerank = {"compat": 0.0, "batched": 0.0}
+    candidates = 0
+    for query in queries:
+        a = compat.query(query, k=10, scorer="rb_cib")
+        b = batched.query(query, k=10, scorer="rb_cib")
+        # Both contracts must re-rank the identical candidate page; the
+        # rankings themselves are equivalent-but-not-identical on this
+        # near-tied synthetic corpus (different rng streams), which the
+        # parity suite covers on separated candidates.
+        assert a.candidates_considered == b.candidates_considered
+        candidates += a.candidates_considered
+        for name, engine, first in (("compat", compat, a), ("batched", batched, b)):
+            best = first.rerank_seconds
+            for _ in range(repeats - 1):
+                best = min(
+                    best,
+                    engine.query(query, k=10, scorer="rb_cib").rerank_seconds,
+                )
+            rerank[name] += best
+
+    rerank_speedup = rerank["compat"] / rerank["batched"]
+    lines = [
+        f"catalog sketches        : {len(catalog)}",
+        f"sketch size             : {SKETCH_SIZE}",
+        f"scorer                  : rb_cib (PM1 bootstrap + CI penalty)",
+        f"queries                 : {len(queries)} "
+        f"({candidates} candidates re-ranked, best of {repeats} runs each)",
+        f"compat   re-rank        : {rerank['compat'] * 1000:9.2f} ms "
+        "(per-candidate PM1, 599 replicates each)",
+        f"batched  re-rank        : {rerank['batched'] * 1000:9.2f} ms "
+        "(cross-candidate engine, adaptive stopping)",
+        f"re-rank speedup         : {rerank_speedup:9.2f}x",
+        f"compat   ms/candidate   : {rerank['compat'] * 1000 / candidates:9.3f}",
+        f"batched  ms/candidate   : {rerank['batched'] * 1000 / candidates:9.3f}",
+    ]
+    if quick:
+        lines.append("(quick mode: CI smoke scale, speedup assertion skipped)")
+    write_result("bootstrap_rerank_speedup.txt", "\n".join(lines))
+
+    if quick:
+        return
+    # Acceptance bar: >=5x rb_cib re-rank throughput at the 2048-sketch scale.
     assert len(catalog) >= 2000
     assert rerank_speedup >= 5.0

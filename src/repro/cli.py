@@ -1,21 +1,25 @@
 """Command-line interface: ``repro-sketch``.
 
-The three operations of a join-correlation deployment, as subcommands:
+The operations of a join-correlation deployment, as subcommands:
 
 * ``index``    — sketch every ⟨categorical, numeric⟩ column pair of every
-  CSV file in a directory and persist the catalog to JSON (offline).
+  CSV file in a directory and persist the catalog (offline). The output
+  extension picks the format: ``.npz`` writes the binary columnar
+  snapshot (fast cold starts), anything else the portable JSON.
 * ``query``    — run a top-k join-correlation query against a saved
   catalog, using one column pair of a query CSV (online).
 * ``estimate`` — one-off: estimate the after-join correlation between two
   CSV column pairs directly from freshly built sketches.
-* ``info``     — catalog statistics.
+* ``catalog``  — catalog management; ``catalog info <path>`` reports
+  statistics, format and on-disk size (``info <path>`` is the shorthand).
 
 Examples::
 
-    repro-sketch index data/portal/ -o catalog.json --sketch-size 256
-    repro-sketch query catalog.json taxi.csv --key date --value pickups -k 10
+    repro-sketch index data/portal/ -o catalog.npz --sketch-size 256
+    repro-sketch query catalog.npz taxi.csv --key date --value pickups -k 10
+    repro-sketch query catalog.npz taxi.csv --scorer rb_cib --profile
     repro-sketch estimate left.csv right.csv --left-key date --right-key day
-    repro-sketch info catalog.json
+    repro-sketch catalog info catalog.npz
 """
 
 from __future__ import annotations
@@ -31,7 +35,8 @@ from repro.core.estimation import estimate as estimate_pair
 from repro.core.sketch import CorrelationSketch
 from repro.index.catalog import SketchCatalog
 from repro.index.engine import JoinCorrelationEngine
-from repro.ranking.scoring import SCORER_NAMES
+from repro.index.snapshot import detect_format
+from repro.ranking.scoring import RNG_MODES, SCORER_NAMES
 from repro.table.csv_io import read_csv
 from repro.table.table import ColumnPair, Table
 
@@ -113,6 +118,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         retrieval_depth=args.depth,
         min_overlap=args.min_overlap,
         vectorized=not args.no_vectorized_query,
+        rng_mode=args.rng_mode,
     )
     rng = np.random.default_rng(args.seed) if args.seed is not None else None
     result = engine.query(
@@ -124,8 +130,19 @@ def cmd_query(args: argparse.Namespace) -> int:
     print(f"executor   : {'scalar' if args.no_vectorized_query else 'columnar'}")
     print(
         f"candidates : {result.candidates_considered} joinable "
-        f"({result.total_seconds * 1000:.1f} ms)\n"
+        f"({result.total_seconds * 1000:.1f} ms)"
     )
+    if args.profile:
+        total = max(result.total_seconds, 1e-12)
+        print(
+            f"profile    : retrieval {result.retrieval_seconds * 1000:8.2f} ms "
+            f"({100 * result.retrieval_seconds / total:5.1f}%)"
+        )
+        print(
+            f"             re-rank   {result.rerank_seconds * 1000:8.2f} ms "
+            f"({100 * result.rerank_seconds / total:5.1f}%)"
+        )
+    print()
     if not result.ranked:
         print("no joinable candidates found")
         return 0
@@ -167,15 +184,20 @@ def cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    catalog = SketchCatalog.load(args.catalog)
-    sizes = [len(catalog.get(sid)) for sid in catalog]
-    print(f"catalog      : {args.catalog}")
+    path = Path(args.catalog)
+    catalog = SketchCatalog.load(path)
+    # sketch_columns serves snapshot-loaded sketches from their stored
+    # array views, so info on a binary catalog materializes nothing.
+    sizes = [catalog.sketch_columns(sid).size for sid in catalog]
+    print(f"catalog      : {path}")
+    print(f"format       : {detect_format(path)}")
+    print(f"on-disk bytes: {path.stat().st_size:,}")
     print(f"sketches     : {len(catalog)}")
     print(f"sketch size  : {catalog.sketch_size} (aggregate: {catalog.aggregate})")
     print(f"hash scheme  : bits={catalog.hasher.bits} seed={catalog.hasher.seed}")
     if sizes:
         print(f"entries      : min={min(sizes)} max={max(sizes)} total={sum(sizes)}")
-    print(f"posting keys : {catalog.index.vocabulary_size}")
+    print(f"posting keys : {catalog.vocabulary_size}")
     return 0
 
 
@@ -189,7 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_index = sub.add_parser("index", help="sketch every CSV in a directory")
     p_index.add_argument("directory", help="directory containing CSV files")
-    p_index.add_argument("-o", "--output", required=True, help="catalog JSON path")
+    p_index.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="catalog path; a .npz extension writes the binary columnar "
+        "snapshot (fast cold starts), anything else portable JSON",
+    )
     p_index.add_argument("--sketch-size", type=int, default=256)
     p_index.add_argument("--aggregate", default="mean")
     p_index.add_argument(
@@ -202,7 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_index.set_defaults(func=cmd_index)
 
     p_query = sub.add_parser("query", help="top-k join-correlation query")
-    p_query.add_argument("catalog", help="catalog JSON from `index`")
+    p_query.add_argument("catalog", help="catalog file from `index` (JSON or .npz)")
     p_query.add_argument("query_csv", help="CSV holding the query column pair")
     p_query.add_argument("--key", help="join-key column (default: first categorical)")
     p_query.add_argument("--value", help="numeric column (default: first numeric)")
@@ -229,6 +257,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate the query with the row-at-a-time reference executor "
         "instead of the (identical-ranking, much faster) columnar one",
     )
+    p_query.add_argument(
+        "--rng-mode",
+        default="batched",
+        choices=RNG_MODES,
+        help="how rb_cib runs the PM1 bootstrap over the candidate page: "
+        "'batched' resamples all candidates through the cross-candidate "
+        "engine (default, a multiple faster); 'compat' reproduces the "
+        "per-candidate rng stream bit-for-bit",
+    )
+    p_query.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the retrieval / re-rank phase split the engine measures",
+    )
     p_query.set_defaults(func=cmd_query)
 
     p_est = sub.add_parser("estimate", help="estimate one after-join correlation")
@@ -247,7 +289,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_est.set_defaults(func=cmd_estimate)
 
-    p_info = sub.add_parser("info", help="catalog statistics")
+    p_catalog = sub.add_parser("catalog", help="catalog management")
+    catalog_sub = p_catalog.add_subparsers(dest="catalog_command", required=True)
+    p_catalog_info = catalog_sub.add_parser(
+        "info", help="sketch count, scheme, size, format, on-disk bytes"
+    )
+    p_catalog_info.add_argument("catalog", help="catalog file (JSON or .npz)")
+    p_catalog_info.set_defaults(func=cmd_info)
+
+    # Shorthand kept for compatibility with earlier releases.
+    p_info = sub.add_parser("info", help="catalog statistics (alias of `catalog info`)")
     p_info.add_argument("catalog")
     p_info.set_defaults(func=cmd_info)
     return parser

@@ -34,6 +34,14 @@ from repro.kmv.bottomk import BottomK
 from repro.kmv.estimators import basic_dv_estimate, unbiased_dv_estimate
 
 
+def _value_range_of(value_min: float, value_max: float) -> tuple[float, float]:
+    """Map the ±inf no-finite-value sentinels to the NaN convention
+    :class:`SketchColumns` uses for ``value_range``."""
+    if value_min > value_max:
+        return (math.nan, math.nan)
+    return (value_min, value_max)
+
+
 @dataclass(frozen=True)
 class SketchColumns:
     """Read-only columnar view of a sketch's retained entries.
@@ -278,6 +286,53 @@ class CorrelationSketch:
             sketch.update_array(keys, values)
         else:
             sketch.update_all(zip(keys, values))
+        return sketch
+
+    @classmethod
+    def from_frozen_arrays(
+        cls,
+        key_hashes: np.ndarray,
+        ranks: np.ndarray,
+        values: np.ndarray,
+        *,
+        n: int,
+        aggregate: str = "mean",
+        hasher: KeyHasher | None = None,
+        name: str | None = None,
+        rows_seen: int = 0,
+        overflowed: bool = False,
+        value_min: float = math.inf,
+        value_max: float = -math.inf,
+    ) -> "CorrelationSketch":
+        """Rehydrate a frozen sketch from its columnar arrays.
+
+        The array-level inverse of :meth:`columnar`, used by binary
+        catalog snapshots (:mod:`repro.index.snapshot`): ``key_hashes``
+        must be sorted ascending with ``ranks``/``values`` aligned —
+        exactly the :class:`SketchColumns` layout. Like
+        :meth:`from_dict`, the result is frozen for estimation purposes
+        (``last`` aggregators holding the materialized values); unlike
+        it, the stored unit-hash ranks are trusted rather than recomputed
+        and the columnar view is pre-seeded without a rebuild.
+        """
+        sketch = cls(n, aggregate=aggregate, hasher=hasher, name=name)
+        sketch.rows_seen = rows_seen
+        sketch._overflowed = overflowed
+        sketch.value_min = value_min
+        sketch.value_max = value_max
+        for rank, kh, value in zip(
+            ranks.tolist(), key_hashes.tolist(), values.tolist()
+        ):
+            agg = make_aggregator("last")
+            agg.observe(value)
+            sketch._bottom.offer(rank, kh, agg)
+        sketch._columns = SketchColumns(
+            key_hashes=key_hashes,
+            ranks=ranks,
+            values=values,
+            value_range=_value_range_of(value_min, value_max),
+            saw_all_keys=not overflowed,
+        )
         return sketch
 
     # -- introspection -----------------------------------------------------

@@ -7,10 +7,12 @@ arrays and return NaN when the correlation is undefined.
 """
 
 from repro.correlation.bootstrap import (
+    BATCH_ROUND_REPLICATES,
     PM1_REPLICATES,
     BootstrapResult,
     pm1_bootstrap,
     pm1_interval,
+    pm1_interval_batch,
 )
 from repro.correlation.estimators import (
     ESTIMATORS,
@@ -32,6 +34,7 @@ from repro.correlation.rin import rin
 from repro.correlation.spearman import spearman
 
 __all__ = [
+    "BATCH_ROUND_REPLICATES",
     "ESTIMATORS",
     "PM1_REPLICATES",
     "BootstrapResult",
@@ -47,6 +50,7 @@ __all__ = [
     "pearson_moments",
     "pm1_bootstrap",
     "pm1_interval",
+    "pm1_interval_batch",
     "population_reference",
     "qn_correlation",
     "qn_scale",

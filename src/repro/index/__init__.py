@@ -8,7 +8,7 @@ query plan of Section 5.5 (retrieve top-100 by overlap, re-rank by
 estimated correlation under a risk-averse scoring function).
 """
 
-from repro.index.catalog import SketchCatalog
+from repro.index.catalog import SketchCatalog, SketchMeta
 from repro.index.engine import (
     ColumnarQueryExecutor,
     JoinCorrelationEngine,
@@ -18,6 +18,12 @@ from repro.index.engine import (
 )
 from repro.index.inverted import ColumnarPostings, InvertedIndex
 from repro.index.lsh import LshIndex, MinHashSignature
+from repro.index.snapshot import (
+    SNAPSHOT_VERSION,
+    detect_format,
+    load_snapshot,
+    save_snapshot,
+)
 
 __all__ = [
     "ColumnarPostings",
@@ -28,6 +34,11 @@ __all__ = [
     "MinHashSignature",
     "QueryExecutor",
     "QueryResult",
+    "SNAPSHOT_VERSION",
     "ScalarQueryExecutor",
     "SketchCatalog",
+    "SketchMeta",
+    "detect_format",
+    "load_snapshot",
+    "save_snapshot",
 ]

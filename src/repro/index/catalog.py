@@ -6,13 +6,28 @@ sketches and maintains the inverted index over key hashes. It is the
 sketches are built offline per column pair (one pass each), added here,
 and queried at interactive latency without touching the original data.
 
-Serialization round-trips the whole catalog through JSON so examples can
-demonstrate the offline-build / online-query split.
+Two persistence formats share :meth:`SketchCatalog.save` /
+:meth:`SketchCatalog.load` (dispatched on the ``.npz`` extension, with a
+content sniff on load):
+
+* **JSON** — the portable, human-inspectable reference format: every
+  sketch round-trips through ``to_dict``/``from_dict`` and the inverted
+  index is rebuilt from scratch;
+* **binary snapshot** (:mod:`repro.index.snapshot`) — the serving format:
+  the concatenated columnar sketch arrays plus the frozen CSR postings
+  are persisted verbatim, so loading is array reads plus O(1)-per-sketch
+  rehydration. Sketches come back as lazy array views
+  (:class:`_LazySketch`): the columnar query path
+  (:meth:`sketch_columns` / :meth:`frozen_postings`) never materializes
+  Python-object sketches at all, while :meth:`get` materializes on first
+  access; the live :class:`InvertedIndex` is rebuilt only when something
+  actually needs it (scalar retrieval, or a mutation).
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -20,6 +35,59 @@ from repro.core.sketch import CorrelationSketch, SketchColumns
 from repro.hashing import KeyHasher
 from repro.index.inverted import ColumnarPostings, InvertedIndex
 from repro.table.table import ColumnPair, Table
+
+
+@dataclass(frozen=True)
+class SketchMeta:
+    """Per-sketch scalars persisted alongside the columnar arrays.
+
+    Uniform view over materialized sketches and lazy snapshot entries,
+    consumed by :mod:`repro.index.snapshot` when writing a catalog.
+    """
+
+    n: int
+    aggregate: str
+    name: str | None
+    rows_seen: int
+    overflowed: bool
+    value_min: float
+    value_max: float
+
+
+class _LazySketch:
+    """A snapshot sketch not yet materialized into Python objects.
+
+    Holds the zero-copy :class:`SketchColumns` view (slices of the
+    snapshot's concatenated arrays) plus the scalars needed to rebuild a
+    full :class:`CorrelationSketch` on demand. The columnar query path
+    consumes :attr:`columns` directly and never triggers
+    :meth:`materialize`.
+    """
+
+    __slots__ = ("columns", "meta", "hasher")
+
+    def __init__(
+        self, columns: SketchColumns, meta: SketchMeta, hasher: KeyHasher
+    ) -> None:
+        self.columns = columns
+        self.meta = meta
+        self.hasher = hasher
+
+    def materialize(self) -> CorrelationSketch:
+        """Rebuild the full sketch (bottom-k heap, aggregator objects)."""
+        return CorrelationSketch.from_frozen_arrays(
+            self.columns.key_hashes,
+            self.columns.ranks,
+            self.columns.values,
+            n=self.meta.n,
+            aggregate=self.meta.aggregate,
+            hasher=self.hasher,
+            name=self.meta.name,
+            rows_seen=self.meta.rows_seen,
+            overflowed=self.meta.overflowed,
+            value_min=self.meta.value_min,
+            value_max=self.meta.value_max,
+        )
 
 
 class SketchCatalog:
@@ -49,18 +117,17 @@ class SketchCatalog:
         self.aggregate = aggregate
         self.hasher = hasher if hasher is not None else KeyHasher()
         self.vectorized = vectorized
-        self._sketches: dict[str, CorrelationSketch] = {}
+        #: id -> CorrelationSketch | _LazySketch (insertion-ordered).
+        self._sketches: dict[str, CorrelationSketch | _LazySketch] = {}
         self._index = InvertedIndex()
+        #: True after a binary-snapshot load: the live index is empty and
+        #: must be rebuilt from the stored arrays before first use.
+        self._index_stale = False
         self._frozen_postings: ColumnarPostings | None = None
 
     # -- population ---------------------------------------------------------
 
-    def add_sketch(self, sketch_id: str, sketch: CorrelationSketch) -> None:
-        """Register an externally built sketch under ``sketch_id``.
-
-        Raises:
-            ValueError: on duplicate ids or hashing-scheme mismatch.
-        """
+    def _validate_new(self, sketch_id: str, sketch: CorrelationSketch) -> None:
         if sketch_id in self._sketches:
             raise ValueError(f"sketch id {sketch_id!r} already in catalog")
         if sketch.hasher.scheme_id != self.hasher.scheme_id:
@@ -68,16 +135,54 @@ class SketchCatalog:
                 "sketch hashing scheme "
                 f"{sketch.hasher!r} differs from catalog scheme {self.hasher!r}"
             )
+
+    def add_sketch(self, sketch_id: str, sketch: CorrelationSketch) -> None:
+        """Register an externally built sketch under ``sketch_id``.
+
+        Raises:
+            ValueError: on duplicate ids or hashing-scheme mismatch.
+        """
+        self._validate_new(sketch_id, sketch)
+        self._ensure_index()
         self._sketches[sketch_id] = sketch
         self._index.add(sketch_id, sketch.key_hashes())
         # Any mutation invalidates the frozen columnar snapshot; it is
         # rebuilt lazily on the next frozen_postings() call.
         self._frozen_postings = None
 
-    def add_column_pair(
+    def add_sketches(
+        self, sketches: Iterable[tuple[str, CorrelationSketch]]
+    ) -> list[str]:
+        """Bulk :meth:`add_sketch`: validate everything, then commit once.
+
+        All ``(sketch_id, sketch)`` pairs are validated up front (so a
+        bad entry rejects the whole batch before any mutation), the
+        inverted-index updates run in one pass, and the frozen-postings
+        snapshot is invalidated a single time — instead of per sketch, as
+        a loop over :meth:`add_sketch` would. This is the registration
+        path of :meth:`add_tables`, :meth:`add_csv_streaming` and the
+        JSON loader.
+        """
+        batch = list(sketches)
+        seen: set[str] = set()
+        for sid, sketch in batch:
+            self._validate_new(sid, sketch)
+            if sid in seen:
+                raise ValueError(f"duplicate sketch id {sid!r} in batch")
+            seen.add(sid)
+        if not batch:
+            return []
+        self._ensure_index()
+        for sid, sketch in batch:
+            self._sketches[sid] = sketch
+            self._index.add(sid, sketch.key_hashes())
+        self._frozen_postings = None
+        return [sid for sid, _ in batch]
+
+    def _build_pair_sketch(
         self, table: Table, pair: ColumnPair, *, sketch_id: str | None = None
-    ) -> str:
-        """Build and register the sketch for one ``⟨K, X⟩`` column pair."""
+    ) -> tuple[str, CorrelationSketch]:
+        """Build (but do not register) the sketch for one column pair."""
         sid = sketch_id if sketch_id is not None else pair.pair_id
         sketch = CorrelationSketch(
             self.sketch_size,
@@ -90,19 +195,29 @@ class SketchCatalog:
             sketch.update_array(keys, values)
         else:
             sketch.update_all(table.pair_rows(pair))
+        return sid, sketch
+
+    def add_column_pair(
+        self, table: Table, pair: ColumnPair, *, sketch_id: str | None = None
+    ) -> str:
+        """Build and register the sketch for one ``⟨K, X⟩`` column pair."""
+        sid, sketch = self._build_pair_sketch(table, pair, sketch_id=sketch_id)
         self.add_sketch(sid, sketch)
         return sid
 
     def add_table(self, table: Table) -> list[str]:
         """Sketch and register every column pair of ``table``."""
-        return [self.add_column_pair(table, pair) for pair in table.column_pairs()]
+        return self.add_sketches(
+            self._build_pair_sketch(table, pair) for pair in table.column_pairs()
+        )
 
     def add_tables(self, tables: Iterable[Table]) -> list[str]:
         """Sketch and register every column pair of every table."""
-        ids: list[str] = []
-        for table in tables:
-            ids.extend(self.add_table(table))
-        return ids
+        return self.add_sketches(
+            self._build_pair_sketch(table, pair)
+            for table in tables
+            for pair in table.column_pairs()
+        )
 
     def add_csv_streaming(self, path: str | Path, **kwargs) -> list[str]:
         """Sketch a CSV file in one streaming pass and register the result.
@@ -122,9 +237,7 @@ class SketchCatalog:
             hasher=self.hasher,
             **kwargs,
         )
-        for sid, sketch in sketches.items():
-            self.add_sketch(sid, sketch)
-        return list(sketches)
+        return self.add_sketches(sketches.items())
 
     # -- access --------------------------------------------------------------
 
@@ -138,18 +251,58 @@ class SketchCatalog:
         return iter(self._sketches)
 
     def get(self, sketch_id: str) -> CorrelationSketch:
-        """Fetch a sketch by id (KeyError with context if absent)."""
+        """Fetch a sketch by id (KeyError with context if absent).
+
+        Snapshot-loaded sketches materialize on first access and stay
+        cached; the columnar arrays they came from are shared with the
+        pre-seeded :meth:`~repro.core.sketch.CorrelationSketch.columnar`
+        view, not copied.
+        """
         try:
-            return self._sketches[sketch_id]
+            entry = self._sketches[sketch_id]
         except KeyError:
             raise KeyError(
                 f"no sketch {sketch_id!r} in catalog ({len(self)} sketches)"
             ) from None
+        if isinstance(entry, _LazySketch):
+            entry = entry.materialize()
+            self._sketches[sketch_id] = entry
+        return entry
 
     @property
     def index(self) -> InvertedIndex:
-        """The inverted index over key hashes (read-only use)."""
+        """The inverted index over key hashes (read-only use).
+
+        After a binary-snapshot load the live index starts empty and is
+        rebuilt from the stored key-hash arrays on first access — the
+        columnar query path never needs it (it probes
+        :meth:`frozen_postings`), so a pure serving process skips the
+        rebuild entirely.
+        """
+        self._ensure_index()
         return self._index
+
+    def _ensure_index(self) -> None:
+        if not self._index_stale:
+            return
+        index = InvertedIndex()
+        for sid, entry in self._sketches.items():
+            if isinstance(entry, _LazySketch):
+                index.add(sid, entry.columns.key_hashes.tolist())
+            else:
+                index.add(sid, entry.key_hashes())
+        self._index = index
+        self._index_stale = False
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Distinct key hashes with postings, from whichever index
+        representation is already built — never forces a freeze or a
+        stale-index rebuild (snapshot-loaded catalogs answer from the
+        stored postings, JSON-loaded ones from the live index)."""
+        if self._frozen_postings is not None:
+            return self._frozen_postings.vocabulary_size
+        return self.index.vocabulary_size
 
     def frozen_postings(self) -> ColumnarPostings:
         """The frozen CSR snapshot of the inverted index.
@@ -160,9 +313,12 @@ class SketchCatalog:
         stable catalog (the online-serving case) pays the freeze cost
         exactly once — :meth:`JoinCorrelationEngine.query_table
         <repro.index.engine.JoinCorrelationEngine.query_table>` reuses
-        one snapshot across its whole query batch.
+        one snapshot across its whole query batch. Binary snapshots
+        persist the frozen arrays, so a loaded catalog starts with this
+        cache already warm.
         """
         if self._frozen_postings is None:
+            self._ensure_index()
             self._frozen_postings = self._index.freeze()
         return self._frozen_postings
 
@@ -172,29 +328,73 @@ class SketchCatalog:
         Views are cached on the sketches themselves
         (:meth:`repro.core.sketch.CorrelationSketch.columnar`); catalog
         sketches are immutable after registration, so each is lowered at
-        most once for the life of the catalog.
+        most once for the life of the catalog. Snapshot-loaded sketches
+        serve their stored array views directly, without materializing
+        the sketch object.
         """
+        entry = self._sketches.get(sketch_id)
+        if isinstance(entry, _LazySketch):
+            return entry.columns
         return self.get(sketch_id).columnar()
+
+    def sketch_meta(self, sketch_id: str) -> SketchMeta:
+        """Per-sketch persisted scalars, without materializing lazy entries."""
+        try:
+            entry = self._sketches[sketch_id]
+        except KeyError:
+            raise KeyError(
+                f"no sketch {sketch_id!r} in catalog ({len(self)} sketches)"
+            ) from None
+        if isinstance(entry, _LazySketch):
+            return entry.meta
+        return SketchMeta(
+            n=entry.n,
+            aggregate=entry.aggregate,
+            name=entry.name,
+            rows_seen=entry.rows_seen,
+            overflowed=not entry.saw_all_keys,
+            value_min=entry.value_min,
+            value_max=entry.value_max,
+        )
 
     # -- persistence ----------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Serialize the catalog (sketches only; the index is rebuilt)."""
+        """Serialize the catalog; format chosen by extension.
+
+        ``.npz`` writes the binary columnar snapshot
+        (:func:`repro.index.snapshot.save_snapshot` — sketch arrays plus
+        the frozen postings); anything else writes the portable JSON
+        reference format (sketches only; the index is rebuilt on load).
+        """
+        path = Path(path)
+        if path.suffix == ".npz":
+            from repro.index.snapshot import save_snapshot
+
+            save_snapshot(self, path)
+            return
         payload = {
             "sketch_size": self.sketch_size,
             "aggregate": self.aggregate,
             "scheme": list(self.hasher.scheme_id),
             "vectorized": self.vectorized,
-            "sketches": {
-                sid: sketch.to_dict() for sid, sketch in self._sketches.items()
-            },
+            "sketches": {sid: self.get(sid).to_dict() for sid in self},
         }
-        Path(path).write_text(json.dumps(payload))
+        path.write_text(json.dumps(payload))
 
     @classmethod
     def load(cls, path: str | Path) -> "SketchCatalog":
-        """Load a catalog written by :meth:`save`, rebuilding the index."""
-        payload = json.loads(Path(path).read_text())
+        """Load a catalog written by :meth:`save`, either format.
+
+        Binary snapshots are detected by the ``.npz`` extension or the
+        zip magic bytes; everything else parses as JSON.
+        """
+        path = Path(path)
+        if path.suffix == ".npz" or _has_zip_magic(path):
+            from repro.index.snapshot import load_snapshot
+
+            return load_snapshot(path)
+        payload = json.loads(path.read_text())
         bits, seed = payload["scheme"]
         catalog = cls(
             sketch_size=payload["sketch_size"],
@@ -204,6 +404,17 @@ class SketchCatalog:
             # constructor default (vectorized construction).
             vectorized=payload.get("vectorized", True),
         )
-        for sid, sketch_payload in payload["sketches"].items():
-            catalog.add_sketch(sid, CorrelationSketch.from_dict(sketch_payload))
+        catalog.add_sketches(
+            (sid, CorrelationSketch.from_dict(sketch_payload))
+            for sid, sketch_payload in payload["sketches"].items()
+        )
         return catalog
+
+
+def _has_zip_magic(path: Path) -> bool:
+    """True when the file starts with the npz (zip) magic bytes."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(4) == b"PK\x03\x04"
+    except OSError:
+        return False

@@ -43,25 +43,36 @@ Two interchangeable :class:`QueryExecutor` strategies evaluate the plan:
 Both return the same rankings; select with
 ``JoinCorrelationEngine(..., vectorized=False)`` or the CLI's
 ``query --no-vectorized-query``.
+
+Orthogonally, ``rng_mode`` selects how ``rb_cib`` queries run the PM1
+bootstrap across the candidate page: ``"batched"`` (default) drives all
+candidates through the cross-candidate resampling engine
+(:func:`repro.correlation.bootstrap.pm1_interval_batch`); ``"compat"``
+reproduces the historical per-candidate rng stream bit-for-bit. Both
+executors honor both modes with bit-identical bootstrap statistics for a
+given mode, so executor parity holds under either.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.joined_sample import JoinedSample, join_sketches
 from repro.core.sketch import CorrelationSketch, SketchColumns
+from repro.correlation.bootstrap import pm1_interval_batch
 from repro.index.catalog import SketchCatalog
 from repro.kmv.estimators import unbiased_dv_estimate, unbiased_dv_estimate_batch
 from repro.ranking.ranker import RankedCandidate, rank_candidates
 from repro.ranking.scoring import (
+    RNG_MODES,
     CandidateScores,
     candidate_scores,
     candidate_scores_batch,
+    cib_factor,
 )
 
 
@@ -240,6 +251,40 @@ def _containment_estimates_batch(
     return [0.0 if z else float(c) for z, c in zip(zero, contained)]
 
 
+def _apply_batched_bootstrap(
+    samples: list[JoinedSample],
+    stats: list[CandidateScores],
+    rng: np.random.Generator,
+) -> list[CandidateScores]:
+    """Fill ``r_bootstrap``/``cib_factor`` via the cross-candidate engine.
+
+    Shared by both executors under ``rng_mode="batched"``: the eligibility
+    mask and candidate order derive from already-computed statistics, so
+    feeding the same samples and rng produces bit-identical bootstrap
+    columns regardless of which executor computed the rest.
+    """
+    eligible = [
+        s.size >= 2 and not math.isnan(st.r_pearson)
+        for s, st in zip(samples, stats)
+    ]
+    boots = pm1_interval_batch(
+        [s.x for s in samples],
+        [s.y for s in samples],
+        rng=rng,
+        active=eligible,
+    )
+    return [
+        replace(
+            st,
+            r_bootstrap=boot.estimate,
+            cib_factor=cib_factor(boot.low, boot.high),
+        )
+        if ok
+        else st
+        for st, boot, ok in zip(stats, boots, eligible)
+    ]
+
+
 class QueryExecutor:
     """Strategy interface for one top-``k`` query evaluation.
 
@@ -274,11 +319,14 @@ class QueryExecutor:
 
 
 class ScalarQueryExecutor(QueryExecutor):
-    """Row-at-a-time reference path (pre-columnar behavior, bit for bit).
+    """Row-at-a-time reference path (pre-columnar behavior, bit for bit
+    under ``rng_mode="compat"``).
 
     One dict-based ScanCount probe, then per candidate: a dict-set sketch
     join, a sorted-union containment estimate and a full
-    :func:`candidate_scores` round-trip.
+    :func:`candidate_scores` round-trip. Under ``rng_mode="batched"`` the
+    PM1 bootstrap alone moves to the shared cross-candidate engine so the
+    scalar path stays ranking-identical to the columnar one in every mode.
     """
 
     def execute(
@@ -302,10 +350,15 @@ class ScalarQueryExecutor(QueryExecutor):
         t1 = time.perf_counter()
 
         # The PM1 bootstrap costs hundreds of resamples per candidate;
-        # compute it only when the chosen scorer reads r_b / cib.
+        # compute it only when the chosen scorer reads r_b / cib. Under
+        # rng_mode="batched" it runs after the per-candidate loop so both
+        # executors share one cross-candidate engine invocation (and hence
+        # bit-identical bootstrap statistics).
         needs_bootstrap = scorer == "rb_cib"
+        per_candidate_bootstrap = needs_bootstrap and engine.rng_mode == "compat"
 
         ids: list[str] = []
+        samples: list[JoinedSample] = []
         stats: list[CandidateScores] = []
         for sid, overlap in hits:
             candidate = engine.catalog.get(sid)
@@ -315,10 +368,14 @@ class ScalarQueryExecutor(QueryExecutor):
                 sample,
                 containment_est=containment,
                 rng=rng,
-                with_bootstrap=needs_bootstrap,
+                with_bootstrap=per_candidate_bootstrap,
             )
             ids.append(sid)
+            samples.append(sample)
             stats.append(stat)
+
+        if needs_bootstrap and not per_candidate_bootstrap:
+            stats = _apply_batched_bootstrap(samples, stats, rng)
 
         ranked = rank_candidates(
             ids, stats, scorer,
@@ -393,6 +450,7 @@ class ColumnarQueryExecutor(QueryExecutor):
             containment_ests=containments,
             rng=rng,
             with_bootstrap=needs_bootstrap,
+            rng_mode=engine.rng_mode,
         )
 
         ranked = rank_candidates(
@@ -423,6 +481,13 @@ class JoinCorrelationEngine:
             (default). Disable to run the row-at-a-time reference path —
             same rankings, ~an order of magnitude slower re-ranking; used
             for debugging and as the benchmark baseline.
+        rng_mode: how ``rb_cib`` queries run the PM1 bootstrap across the
+            candidate page (see :data:`repro.ranking.scoring.RNG_MODES`):
+            ``"batched"`` (default) resamples all candidates through the
+            cross-candidate engine — statistically equivalent scores, a
+            multiple faster; ``"compat"`` reproduces the per-candidate
+            rng stream bit-for-bit. Both executors honor both modes, so
+            scalar/columnar rankings stay identical either way.
     """
 
     def __init__(
@@ -432,13 +497,19 @@ class JoinCorrelationEngine:
         min_overlap: int = 1,
         *,
         vectorized: bool = True,
+        rng_mode: str = "batched",
     ) -> None:
         if retrieval_depth <= 0:
             raise ValueError(f"retrieval_depth must be positive, got {retrieval_depth}")
+        if rng_mode not in RNG_MODES:
+            raise ValueError(
+                f"unknown rng_mode {rng_mode!r}; expected one of {RNG_MODES}"
+            )
         self.catalog = catalog
         self.retrieval_depth = retrieval_depth
         self.min_overlap = min_overlap
         self.vectorized = vectorized
+        self.rng_mode = rng_mode
         self.executor: QueryExecutor = (
             ColumnarQueryExecutor(self) if vectorized else ScalarQueryExecutor(self)
         )

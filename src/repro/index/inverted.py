@@ -192,6 +192,14 @@ class ColumnarPostings:
         """Number of distinct key hashes with postings."""
         return int(self.vocab.shape[0])
 
+    @property
+    def doc_lengths(self) -> np.ndarray:
+        """Per-document key-hash counts, aligned with :attr:`docs`.
+
+        Part of the persisted snapshot layout (:mod:`repro.index.snapshot`).
+        """
+        return self._doc_lengths
+
     def overlap_counts_array(self, key_hashes) -> np.ndarray:
         """Per-document shared-key-hash counts for one query (ScanCount).
 

@@ -1,0 +1,200 @@
+"""Binary catalog snapshots: the offline-build / online-serve format.
+
+The JSON catalog format (:meth:`repro.index.catalog.SketchCatalog.save`)
+is the portable reference: readable, diffable, and slow — every sketch
+round-trips through per-entry Python lists and the inverted index is
+rebuilt entry by entry on every cold start. This module is the serving
+format: one versioned ``.npz`` file (uncompressed zip of ``.npy``
+members) holding
+
+* the **concatenated columnar sketch arrays** — all sketches' sorted
+  key hashes, unit-hash ranks and aggregated values laid end to end with
+  one CSR-style ``entry_indptr`` delimiting each sketch's slice, plus
+  per-sketch scalar columns (capacity, rows seen, overflow flag, value
+  min/max, names);
+* the **frozen CSR postings** of the inverted index
+  (:class:`repro.index.inverted.ColumnarPostings` — vocabulary,
+  ``indptr``, doc ids, doc table), persisted verbatim.
+
+Loading therefore does no per-entry work at all: each array is one
+contiguous read, every sketch rehydrates as a zero-copy slice view
+(:class:`repro.index.catalog._LazySketch` wrapping a
+:class:`~repro.core.sketch.SketchColumns`), and the postings snapshot is
+reconstructed directly from its stored arrays — the catalog's
+``frozen_postings`` cache starts warm, so the first query probes the
+index without any freeze or rebuild. Full ``CorrelationSketch`` objects
+(bottom-k heap + aggregators) materialize lazily per sketch, only if the
+scalar reference path asks for them.
+
+Format contract:
+
+* ``version`` (currently 1) gates compatibility — loading a snapshot
+  with an unknown version raises ``ValueError`` rather than guessing;
+* array-level equality with the JSON round trip: a catalog saved to both
+  formats loads back with identical per-sketch entries, columnar views
+  and postings (the snapshot test suite pins this);
+* mutation after load behaves exactly like a JSON-loaded catalog: the
+  first ``add_sketch`` rebuilds the live inverted index from the stored
+  arrays and invalidates the frozen postings, which re-freeze lazily.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.sketch import SketchColumns, _value_range_of
+from repro.hashing import KeyHasher
+from repro.index.catalog import (
+    SketchCatalog,
+    SketchMeta,
+    _has_zip_magic,
+    _LazySketch,
+)
+from repro.index.inverted import ColumnarPostings
+
+#: Bump on any layout change; load_snapshot refuses unknown versions.
+SNAPSHOT_VERSION = 1
+
+
+def detect_format(path: str | Path) -> str:
+    """``"binary"`` for npz snapshots, ``"json"`` otherwise.
+
+    Decided the same way :meth:`SketchCatalog.load` dispatches: the
+    ``.npz`` extension or the zip magic bytes.
+    """
+    path = Path(path)
+    if path.suffix == ".npz" or _has_zip_magic(path):
+        return "binary"
+    return "json"
+
+
+def save_snapshot(catalog: SketchCatalog, path: str | Path) -> None:
+    """Write ``catalog`` as a versioned binary snapshot.
+
+    The frozen postings are built here if not already cached — freezing
+    is an offline (save-time) cost in this format, never an online one.
+    Works on any catalog, including one that was itself snapshot-loaded
+    and never materialized (lazy entries are persisted from their array
+    views directly).
+    """
+    ids = list(catalog)
+    metas = [catalog.sketch_meta(sid) for sid in ids]
+    columns = [catalog.sketch_columns(sid) for sid in ids]
+    postings = catalog.frozen_postings()
+
+    lengths = np.asarray([c.size for c in columns], dtype=np.int64)
+    entry_indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=entry_indptr[1:])
+
+    def _concat(arrays, dtype):
+        arrays = [np.asarray(a) for a in arrays if np.asarray(a).size]
+        if not arrays:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(arrays).astype(dtype, copy=False)
+
+    bits, seed = catalog.hasher.scheme_id
+    # A file handle (not a path) keeps np.savez from appending ".npz"
+    # behind the caller's back — the snapshot lands exactly where asked,
+    # whatever the extension (load sniffs the zip magic anyway).
+    with open(path, "wb") as handle:
+        np.savez(
+            handle,
+            version=np.asarray([SNAPSHOT_VERSION], dtype=np.int64),
+            catalog_config=np.asarray(
+                [catalog.sketch_size, bits, seed, int(catalog.vectorized)],
+                dtype=np.int64,
+            ),
+            catalog_aggregate=np.asarray([catalog.aggregate]),
+            ids=np.asarray(ids, dtype=str),
+            names=np.asarray([m.name or "" for m in metas], dtype=str),
+            has_name=np.asarray([m.name is not None for m in metas], dtype=bool),
+            aggregates=np.asarray([m.aggregate for m in metas], dtype=str),
+            capacities=np.asarray([m.n for m in metas], dtype=np.int64),
+            rows_seen=np.asarray([m.rows_seen for m in metas], dtype=np.int64),
+            overflowed=np.asarray([m.overflowed for m in metas], dtype=bool),
+            value_min=np.asarray([m.value_min for m in metas], dtype=np.float64),
+            value_max=np.asarray([m.value_max for m in metas], dtype=np.float64),
+            entry_indptr=entry_indptr,
+            key_hashes=_concat([c.key_hashes for c in columns], np.uint64),
+            ranks=_concat([c.ranks for c in columns], np.float64),
+            values=_concat([c.values for c in columns], np.float64),
+            postings_vocab=postings.vocab,
+            postings_indptr=postings.indptr,
+            postings_doc_ids=postings.doc_ids,
+            postings_docs=np.asarray(postings.docs, dtype=str),
+            postings_doc_lengths=postings.doc_lengths,
+        )
+
+
+def load_snapshot(path: str | Path) -> SketchCatalog:
+    """Load a binary snapshot into a lazily rehydrated catalog.
+
+    Raises:
+        ValueError: for snapshots written by an unknown format version.
+    """
+    with np.load(path, allow_pickle=False) as payload:
+        version = int(payload["version"][0])
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported catalog snapshot version {version} "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        sketch_size, bits, seed, vectorized = (
+            int(v) for v in payload["catalog_config"]
+        )
+        catalog = SketchCatalog(
+            sketch_size=sketch_size,
+            aggregate=str(payload["catalog_aggregate"][0]),
+            hasher=KeyHasher(bits=bits, seed=seed),
+            vectorized=bool(vectorized),
+        )
+
+        ids = payload["ids"]
+        names = payload["names"]
+        has_name = payload["has_name"]
+        aggregates = payload["aggregates"]
+        capacities = payload["capacities"]
+        rows_seen = payload["rows_seen"]
+        overflowed = payload["overflowed"]
+        value_min = payload["value_min"]
+        value_max = payload["value_max"]
+        entry_indptr = payload["entry_indptr"]
+        key_hashes = payload["key_hashes"]
+        ranks = payload["ranks"]
+        values = payload["values"]
+
+        for i in range(ids.shape[0]):
+            start, end = int(entry_indptr[i]), int(entry_indptr[i + 1])
+            vmin = float(value_min[i])
+            vmax = float(value_max[i])
+            meta = SketchMeta(
+                n=int(capacities[i]),
+                aggregate=str(aggregates[i]),
+                name=str(names[i]) if bool(has_name[i]) else None,
+                rows_seen=int(rows_seen[i]),
+                overflowed=bool(overflowed[i]),
+                value_min=vmin,
+                value_max=vmax,
+            )
+            columns = SketchColumns(
+                key_hashes=key_hashes[start:end],
+                ranks=ranks[start:end],
+                values=values[start:end],
+                value_range=_value_range_of(vmin, vmax),
+                saw_all_keys=not meta.overflowed,
+            )
+            catalog._sketches[str(ids[i])] = _LazySketch(
+                columns, meta, catalog.hasher
+            )
+
+        catalog._index_stale = True
+        catalog._frozen_postings = ColumnarPostings(
+            payload["postings_vocab"],
+            payload["postings_indptr"],
+            payload["postings_doc_ids"],
+            payload["postings_docs"].tolist(),
+            payload["postings_doc_lengths"],
+        )
+    return catalog

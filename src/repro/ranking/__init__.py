@@ -20,9 +20,11 @@ from repro.ranking.ranker import (
     relevance_gains,
 )
 from repro.ranking.scoring import (
+    RNG_MODES,
     SCORER_NAMES,
     CandidateScores,
     candidate_scores,
+    candidate_scores_batch,
     cib_factor,
     cih_factors,
     score_candidates,
@@ -31,10 +33,12 @@ from repro.ranking.scoring import (
 
 __all__ = [
     "CandidateScores",
+    "RNG_MODES",
     "RankedCandidate",
     "SCORER_NAMES",
     "average_precision",
     "candidate_scores",
+    "candidate_scores_batch",
     "cib_factor",
     "cih_factors",
     "dcg_at",

@@ -53,12 +53,22 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bounds.hoeffding import hfd_interval
-from repro.correlation.bootstrap import pm1_interval
+from repro.correlation.bootstrap import pm1_interval, pm1_interval_batch
 from repro.correlation.fisher import clamped_fisher_se
 from repro.correlation.pearson import pearson
 from repro.core.joined_sample import JoinedSample
 
 SCORER_NAMES = ("rp", "rp_sez", "rb_cib", "rp_cih", "jc", "jc_est", "random")
+
+#: How batched scoring runs the PM1 bootstrap across a candidate list:
+#: ``"batched"`` (default) drives all candidates through the
+#: cross-candidate engine (:func:`repro.correlation.bootstrap
+#: .pm1_interval_batch` — shared draws per stopping round, adaptive
+#: early stopping, one masked tensor pass); ``"compat"`` reproduces the
+#: per-candidate rng stream bit-for-bit (one 599-replicate
+#: :func:`~repro.correlation.bootstrap.pm1_interval` per candidate, in
+#: list order).
+RNG_MODES = ("batched", "compat")
 
 
 @dataclass(frozen=True)
@@ -189,6 +199,7 @@ def candidate_scores_batch(
     alpha: float = 0.05,
     rng: np.random.Generator | None = None,
     with_bootstrap: bool = True,
+    rng_mode: str = "batched",
 ) -> list[CandidateScores]:
     """Batched :func:`candidate_scores` over a whole candidate list.
 
@@ -201,10 +212,19 @@ def candidate_scores_batch(
     same degenerate statistics as the scalar path (NaN Pearson, vacuous
     ``[-1, 1]`` Hoeffding interval).
 
-    The PM1 bootstrap — when ``with_bootstrap`` — remains a per-candidate
-    loop in list order: it must consume ``rng`` draws in exactly the
-    order the scalar path does (and it already vectorizes internally over
-    resamples), so ``r_b``/``cib`` are bit-identical to the scalar path.
+    The PM1 bootstrap — when ``with_bootstrap`` — follows ``rng_mode``:
+
+    * ``"batched"`` (default): all eligible candidates are resampled
+      together by the cross-candidate engine
+      (:func:`repro.correlation.bootstrap.pm1_interval_batch`) — shared
+      index draws per stopping round, per-candidate adaptive stopping,
+      chunked masked tensor arithmetic. Statistically equivalent to the
+      per-candidate path and deterministic per ``rng``, but a different
+      rng stream; the parity suite pins identical *rankings*.
+    * ``"compat"``: one per-candidate :func:`pm1_interval` call in list
+      order, consuming ``rng`` draws exactly as the scalar path does, so
+      ``r_b``/``cib`` are bit-identical to pre-batch-engine behavior.
+
     The reduceat-based moment statistics differ from the scalar
     per-candidate reductions only in float summation order (a few ulps);
     the parity suite pins rankings to be identical and these statistics
@@ -215,13 +235,20 @@ def candidate_scores_batch(
         containment_ests: per-candidate ``ĵc`` estimates (default 0.0).
         containment_trues: per-candidate exact containments (default NaN).
         alpha: miscoverage level for the HFD interval.
-        rng: generator for the PM1 bootstrap; per-sample seeded defaults
-            (matching the scalar path) are used when None.
+        rng: generator for the PM1 bootstrap. When None, ``"compat"``
+            falls back to the scalar path's per-sample seeded defaults
+            and ``"batched"`` to the batch engine's fixed-seed default —
+            both deterministic.
         with_bootstrap: compute ``r_b``/``cib`` (expensive; see
             :func:`candidate_scores`).
+        rng_mode: bootstrap execution contract (see :data:`RNG_MODES`).
     """
     if not 0.0 < alpha < 1.0:
         raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if rng_mode not in RNG_MODES:
+        raise ValueError(
+            f"unknown rng_mode {rng_mode!r}; expected one of {RNG_MODES}"
+        )
     count = len(samples)
     if containment_ests is None:
         containment_ests = [0.0] * count
@@ -315,17 +342,37 @@ def candidate_scores_batch(
     # -- Fisher-z SE factor (§4.2) -----------------------------------------
     sez = 1.0 - 1.0 / np.sqrt(np.maximum(4, lengths) - 3.0)
 
-    # -- PM1 bootstrap (per candidate, preserving scalar rng order) --------
+    # -- PM1 bootstrap (rng_mode selects the execution contract) -----------
     r_boot = [math.nan] * count
     cib = [0.0] * count
     if with_bootstrap:
-        for i, sample in enumerate(samples):
-            n = sample.size
-            if n >= 2 and not math.isnan(r_pearson[i]):
+        eligible = [
+            samples[i].size >= 2 and not math.isnan(r_pearson[i])
+            for i in range(count)
+        ]
+        if rng_mode == "batched":
+            boots = pm1_interval_batch(
+                [s.x for s in samples],
+                [s.y for s in samples],
+                rng=rng,
+                active=eligible,
+            )
+            for i, boot in enumerate(boots):
+                if eligible[i]:
+                    r_boot[i] = boot.estimate
+                    cib[i] = cib_factor(boot.low, boot.high)
+        else:
+            # Compat: per candidate in list order, preserving the scalar
+            # path's rng consumption bit-for-bit.
+            for i, sample in enumerate(samples):
+                if not eligible[i]:
+                    continue
                 sample_rng = (
                     rng
                     if rng is not None
-                    else np.random.default_rng(n * 2_654_435_761 % (2**32) + 17)
+                    else np.random.default_rng(
+                        sample.size * 2_654_435_761 % (2**32) + 17
+                    )
                 )
                 boot = pm1_interval(sample.x, sample.y, rng=sample_rng)
                 r_boot[i] = boot.estimate

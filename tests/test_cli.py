@@ -161,6 +161,74 @@ def test_query_min_overlap_prunes_everything(portal, tmp_path, capsys):
     assert "no joinable candidates found" in capsys.readouterr().out
 
 
+def test_index_npz_output_and_catalog_info(portal, tmp_path, capsys):
+    """-o catalog.npz writes the binary snapshot; `catalog info` reports
+    format and on-disk bytes for both formats."""
+    npz = tmp_path / "catalog.npz"
+    assert main(["index", str(portal), "-o", str(npz)]) == 0
+    assert npz.exists()
+    capsys.readouterr()
+
+    rc = main(["catalog", "info", str(npz)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "format       : binary" in out
+    assert "on-disk bytes:" in out
+    assert "sketches     : 3" in out
+
+    json_catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    assert main(["catalog", "info", str(json_catalog)]) == 0
+    assert "format       : json" in capsys.readouterr().out
+
+
+def test_query_against_binary_catalog_matches_json(portal, tmp_path, capsys):
+    npz = tmp_path / "catalog.npz"
+    assert main(["index", str(portal), "-o", str(npz)]) == 0
+    json_catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+
+    def ranking(catalog):
+        assert main(
+            ["query", str(catalog), str(portal / "query.csv"), "--scorer", "rp"]
+        ) == 0
+        out = capsys.readouterr().out
+        return [l.split() for l in out.splitlines() if l and l[0].isdigit()]
+
+    assert ranking(npz) == ranking(json_catalog)
+
+
+def test_query_profile_prints_phase_split(portal, tmp_path, capsys):
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    rc = main(
+        ["query", str(catalog), str(portal / "query.csv"), "--profile",
+         "--scorer", "rp"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "profile    : retrieval" in out
+    assert "re-rank" in out
+
+
+def test_query_rng_mode_flag(portal, tmp_path, capsys):
+    """Both rng modes run and rank the clearly-correlated candidate first."""
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    for mode in ("batched", "compat"):
+        rc = main(
+            ["query", str(catalog), str(portal / "query.csv"),
+             "--scorer", "rb_cib", "--rng-mode", mode]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+        assert lines[0].split()[1].startswith("good.csv"), mode
+    with pytest.raises(SystemExit):
+        main(["query", str(catalog), str(portal / "query.csv"),
+              "--rng-mode", "magic"])
+
+
 def test_query_seed_controls_random_scorer(portal, tmp_path, capsys):
     """Same seed -> same ranking; the stochastic scorer makes differing
     seeds overwhelmingly likely to produce different orders."""

@@ -267,12 +267,14 @@ def test_candidate_scores_batch_matches_scalar():
     rng_a = np.random.default_rng(101)
     rng_b = np.random.default_rng(101)
     scalar = [candidate_scores(s, rng=rng_a, with_bootstrap=True) for s in samples]
-    batch = candidate_scores_batch(samples, rng=rng_b, with_bootstrap=True)
+    batch = candidate_scores_batch(
+        samples, rng=rng_b, with_bootstrap=True, rng_mode="compat"
+    )
     for s, b in zip(scalar, batch):
         assert s.sample_size == b.sample_size
         assert s.sez_factor == b.sez_factor
-        # Bootstrap statistics consume the shared rng in candidate order,
-        # so they are bit-identical.
+        # Under rng_mode="compat" the bootstrap consumes the shared rng in
+        # candidate order, so its statistics are bit-identical.
         assert s.r_bootstrap == b.r_bootstrap or (
             math.isnan(s.r_bootstrap) and math.isnan(b.r_bootstrap)
         )
