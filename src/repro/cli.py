@@ -6,8 +6,14 @@ The operations of a join-correlation deployment, as subcommands:
   CSV file in a directory and persist the catalog (offline). The output
   extension picks the format: ``.npz`` writes the binary columnar
   snapshot (fast cold starts), anything else the portable JSON.
+  ``--lsh`` additionally builds the MinHash-LSH retrieval index so an
+  ``.npz`` snapshot ships it warm.
 * ``query``    — run a top-k join-correlation query against a saved
-  catalog, using one column pair of a query CSV (online).
+  catalog, using one column pair of a query CSV (online). ``--retrieval
+  lsh`` serves the candidate phase from the approximate MinHash-LSH
+  backend (``--bands``/``--rows`` tune it); ``--queries-dir`` evaluates
+  every column pair of every CSV in a directory as one batched
+  multi-query round trip (:meth:`JoinCorrelationEngine.query_batch`).
 * ``estimate`` — one-off: estimate the after-join correlation between two
   CSV column pairs directly from freshly built sketches.
 * ``catalog``  — catalog management; ``catalog info <path>`` reports
@@ -18,6 +24,8 @@ Examples::
     repro-sketch index data/portal/ -o catalog.npz --sketch-size 256
     repro-sketch query catalog.npz taxi.csv --key date --value pickups -k 10
     repro-sketch query catalog.npz taxi.csv --scorer rb_cib --profile
+    repro-sketch query catalog.npz --queries-dir my_tables/ -k 5
+    repro-sketch query catalog.npz taxi.csv --retrieval lsh --bands 32 --rows 2
     repro-sketch estimate left.csv right.csv --left-key date --right-key day
     repro-sketch catalog info catalog.npz
 """
@@ -34,7 +42,8 @@ import numpy as np
 from repro.core.estimation import estimate as estimate_pair
 from repro.core.sketch import CorrelationSketch
 from repro.index.catalog import SketchCatalog
-from repro.index.engine import JoinCorrelationEngine
+from repro.index.engine import RETRIEVAL_BACKENDS, JoinCorrelationEngine
+from repro.index.lsh import DEFAULT_BANDS, DEFAULT_ROWS
 from repro.index.snapshot import detect_format
 from repro.ranking.scoring import RNG_MODES, SCORER_NAMES
 from repro.table.csv_io import read_csv
@@ -98,6 +107,19 @@ def cmd_index(args: argparse.Namespace) -> int:
         n_pairs += len(ids)
         if args.verbose:
             print(f"  {path.name}: {len(ids)} column pair(s)")
+    if args.lsh:
+        if Path(args.output).suffix == ".npz":
+            # Build the LSH index now so the snapshot ships it warm — the
+            # serving process then probes --retrieval lsh without a rebuild.
+            catalog.lsh_index(bands=args.lsh_bands, rows=args.lsh_rows)
+        else:
+            # JSON persists no LSH members; building one here would be
+            # silently thrown away.
+            print(
+                "warning: --lsh ignored — only .npz snapshots persist the "
+                "LSH index (JSON catalogs rebuild it lazily)",
+                file=sys.stderr,
+            )
     catalog.save(args.output)
     elapsed = time.perf_counter() - t0
     print(
@@ -107,20 +129,55 @@ def cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_query(args: argparse.Namespace) -> int:
-    catalog = SketchCatalog.load(args.catalog)
-    table = read_csv(args.query_csv)
-    pair = _resolve_pair(table, args.key, args.value)
-    sketch = _build_query_sketch(table, pair, catalog)
+def _print_ranked(ranked) -> None:
+    header = f"{'rank':<5}{'column pair':<55}{'score':>8}{'est r':>8}{'n':>6}"
+    print(header)
+    print("-" * len(header))
+    for rank, entry in enumerate(ranked, start=1):
+        print(
+            f"{rank:<5}{entry.candidate_id:<55}{entry.score:>8.3f}"
+            f"{entry.stats.r_pearson:>8.3f}{entry.stats.sample_size:>6}"
+        )
 
-    engine = JoinCorrelationEngine(
+
+def _build_engine(catalog: SketchCatalog, args: argparse.Namespace):
+    return JoinCorrelationEngine(
         catalog,
         retrieval_depth=args.depth,
         min_overlap=args.min_overlap,
         vectorized=not args.no_vectorized_query,
         rng_mode=args.rng_mode,
+        retrieval_backend=args.retrieval,
+        lsh_bands=args.bands,
+        lsh_rows=args.rows,
     )
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    if args.query_csv is not None and args.queries_dir is not None:
+        raise SystemExit(
+            "error: provide either a query CSV or --queries-dir, not both"
+        )
+    if args.query_csv is None and args.queries_dir is None:
+        raise SystemExit(
+            "error: provide a query CSV (single query) or --queries-dir "
+            "(batched multi-query round)"
+        )
+    if args.queries_dir is not None and (args.key or args.value):
+        raise SystemExit(
+            "error: --key/--value select one pair of a single query CSV; "
+            "--queries-dir always evaluates every column pair"
+        )
+    catalog = SketchCatalog.load(args.catalog)
     rng = np.random.default_rng(args.seed) if args.seed is not None else None
+    if args.queries_dir is not None:
+        return _run_query_batch(catalog, args, rng)
+
+    table = read_csv(args.query_csv)
+    pair = _resolve_pair(table, args.key, args.value)
+    sketch = _build_query_sketch(table, pair, catalog)
+
+    engine = _build_engine(catalog, args)
     result = engine.query(
         sketch, k=args.k, scorer=args.scorer, exclude_id=pair.pair_id, rng=rng
     )
@@ -128,6 +185,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     print(f"query pair : {pair.pair_id}")
     print(f"scorer     : {args.scorer}")
     print(f"executor   : {'scalar' if args.no_vectorized_query else 'columnar'}")
+    print(f"retrieval  : {args.retrieval}")
     print(
         f"candidates : {result.candidates_considered} joinable "
         f"({result.total_seconds * 1000:.1f} ms)"
@@ -146,14 +204,72 @@ def cmd_query(args: argparse.Namespace) -> int:
     if not result.ranked:
         print("no joinable candidates found")
         return 0
-    header = f"{'rank':<5}{'column pair':<55}{'score':>8}{'est r':>8}{'n':>6}"
-    print(header)
-    print("-" * len(header))
-    for rank, entry in enumerate(result.ranked, start=1):
+    _print_ranked(result.ranked)
+    return 0
+
+
+def _run_query_batch(
+    catalog: SketchCatalog, args: argparse.Namespace, rng
+) -> int:
+    """``query --queries-dir``: every column pair of every CSV in the
+    directory becomes one query of a single ``query_batch`` round."""
+    directory = Path(args.queries_dir)
+    csv_files = sorted(directory.glob("*.csv"))
+    if not csv_files:
+        print(f"error: no CSV files under {directory}", file=sys.stderr)
+        return 1
+    sketches = []
+    pair_ids = []
+    for path in csv_files:
+        try:
+            table = read_csv(path)
+        except ValueError as exc:
+            print(f"skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        for pair in table.column_pairs():
+            sketches.append(_build_query_sketch(table, pair, catalog))
+            pair_ids.append(pair.pair_id)
+    if not sketches:
+        print(f"error: no sketchable column pairs under {directory}", file=sys.stderr)
+        return 1
+
+    engine = _build_engine(catalog, args)
+    t0 = time.perf_counter()
+    results = engine.query_batch(
+        sketches, k=args.k, scorer=args.scorer, exclude_ids=pair_ids, rng=rng
+    )
+    elapsed = time.perf_counter() - t0
+
+    print(f"queries    : {len(sketches)} column pair(s) from {len(csv_files)} file(s)")
+    print(f"scorer     : {args.scorer}")
+    print(f"retrieval  : {args.retrieval}")
+    print(
+        f"batch time : {elapsed * 1000:.1f} ms "
+        f"({elapsed * 1000 / len(sketches):.2f} ms/query)"
+    )
+    if args.profile and results:
+        # Batch phase timings are per-query shares of the stacked passes.
+        retrieval_ms = sum(r.retrieval_seconds for r in results) * 1000
+        rerank_ms = sum(r.rerank_seconds for r in results) * 1000
+        total = max(retrieval_ms + rerank_ms, 1e-9)
         print(
-            f"{rank:<5}{entry.candidate_id:<55}{entry.score:>8.3f}"
-            f"{entry.stats.r_pearson:>8.3f}{entry.stats.sample_size:>6}"
+            f"profile    : retrieval {retrieval_ms:8.2f} ms "
+            f"({100 * retrieval_ms / total:5.1f}%)"
         )
+        print(
+            f"             re-rank   {rerank_ms:8.2f} ms "
+            f"({100 * rerank_ms / total:5.1f}%)"
+        )
+    for pair_id, result in zip(pair_ids, results):
+        print()
+        print(
+            f"query pair : {pair_id} "
+            f"({result.candidates_considered} joinable candidates)"
+        )
+        if not result.ranked:
+            print("no joinable candidates found")
+            continue
+        _print_ranked(result.ranked)
     return 0
 
 
@@ -198,6 +314,14 @@ def cmd_info(args: argparse.Namespace) -> int:
     if sizes:
         print(f"entries      : min={min(sizes)} max={max(sizes)} total={sum(sizes)}")
     print(f"posting keys : {catalog.vocabulary_size}")
+    lsh = catalog.lsh_params
+    if lsh is not None:
+        print(f"lsh index    : warm (bands={lsh[0]} rows={lsh[1]})")
+    else:
+        print(
+            "lsh index    : none (index --lsh persists one; otherwise each "
+            "--retrieval lsh process rebuilds it)"
+        )
     return 0
 
 
@@ -226,17 +350,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="build sketches row-at-a-time instead of the (identical but "
         "much faster) columnar fast path",
     )
+    p_index.add_argument(
+        "--lsh",
+        action="store_true",
+        help="also build the MinHash-LSH retrieval index before saving; "
+        "a .npz output then ships it warm for `query --retrieval lsh`",
+    )
+    p_index.add_argument(
+        "--lsh-bands",
+        type=int,
+        default=DEFAULT_BANDS,
+        help="LSH bands for --lsh (collision threshold is roughly "
+        "(1/bands)**(1/rows) Jaccard)",
+    )
+    p_index.add_argument(
+        "--lsh-rows",
+        type=int,
+        default=DEFAULT_ROWS,
+        help="LSH rows per band for --lsh",
+    )
     p_index.add_argument("-v", "--verbose", action="store_true")
     p_index.set_defaults(func=cmd_index)
 
     p_query = sub.add_parser("query", help="top-k join-correlation query")
     p_query.add_argument("catalog", help="catalog file from `index` (JSON or .npz)")
-    p_query.add_argument("query_csv", help="CSV holding the query column pair")
+    p_query.add_argument(
+        "query_csv",
+        nargs="?",
+        default=None,
+        help="CSV holding the query column pair (omit with --queries-dir)",
+    )
+    p_query.add_argument(
+        "--queries-dir",
+        default=None,
+        help="evaluate every column pair of every CSV in this directory as "
+        "one batched multi-query round (amortized retrieval + scoring)",
+    )
     p_query.add_argument("--key", help="join-key column (default: first categorical)")
     p_query.add_argument("--value", help="numeric column (default: first numeric)")
     p_query.add_argument("-k", type=int, default=10, help="result-list size")
     p_query.add_argument("--scorer", default="rp_cih", choices=SCORER_NAMES)
     p_query.add_argument("--depth", type=int, default=100, help="overlap retrieval depth")
+    p_query.add_argument(
+        "--retrieval",
+        default="inverted",
+        choices=RETRIEVAL_BACKENDS,
+        help="candidate-retrieval backend: 'inverted' probes the exact "
+        "inverted index (default); 'lsh' the approximate MinHash-LSH "
+        "index — sub-linear probes, recall < 1 on low-overlap candidates",
+    )
+    p_query.add_argument(
+        "--bands",
+        type=int,
+        default=None,
+        help="LSH bands (with --retrieval lsh); collision threshold is "
+        "roughly (1/bands)**(1/rows) Jaccard. Default: the banding of a "
+        f"warm snapshot index if present, else {DEFAULT_BANDS}",
+    )
+    p_query.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        help="LSH rows per band (with --retrieval lsh); default: the warm "
+        f"snapshot index's if present, else {DEFAULT_ROWS}",
+    )
     p_query.add_argument(
         "--min-overlap",
         type=int,

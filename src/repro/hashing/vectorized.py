@@ -342,3 +342,85 @@ def murmur3_x64_64_batch(keys, seed: int = 0) -> np.ndarray:
     return _dispatch_batch(
         keys, seed, murmur3_x64_64_matrix, murmur3_x64_64_bytes_batch, np.uint64
     )
+
+
+# -- one-permutation MinHash bucketing ---------------------------------------
+#
+# The LSH retrieval backend (repro/index/lsh.py) buckets the ``2**bits``
+# key-hash space into ``n_slots`` equal ranges and keeps the minimum hash
+# per range. These kernels vectorize that bucketing; like the hash
+# kernels above, each is elementwise identical to its scalar reference
+# (``MinHashSignature.from_key_hashes``).
+
+#: Placeholder value of slots no hash fell into; always paired with a
+#: boolean ``filled`` mask, so a genuine key hash of the same value is
+#: still distinguished from an empty slot.
+_SLOT_EMPTY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def minhash_slot_index_batch(
+    key_hashes: np.ndarray, n_slots: int, bits: int
+) -> np.ndarray:
+    """Slot index ``min(n_slots - 1, kh * n_slots // 2**bits)`` per hash.
+
+    Exact for both hash widths: the 32-bit product fits ``uint64``
+    directly; the 64-bit path emulates the 128-bit product with two
+    32-bit halves (``kh = hi·2³² + lo`` gives
+    ``⌊kh·n / 2⁶⁴⌋ = ⌊(hi·n + ⌊lo·n / 2³²⌋) / 2³²⌋``, every intermediate
+    below ``2⁶⁴`` for any realistic slot count).
+    """
+    if n_slots <= 0:
+        raise ValueError(f"n_slots must be positive, got {n_slots}")
+    kh = np.asarray(key_hashes, dtype=np.uint64)
+    ns = np.uint64(n_slots)
+    if bits <= 32:
+        idx = (kh * ns) >> np.uint64(bits)
+    else:
+        lo = kh & np.uint64(0xFFFFFFFF)
+        hi = kh >> np.uint64(32)
+        idx = (hi * ns + ((lo * ns) >> np.uint64(32))) >> np.uint64(32)
+    return np.minimum(idx, np.uint64(n_slots - 1)).astype(np.int64)
+
+
+def one_permutation_signature(
+    key_hashes: np.ndarray, n_slots: int, bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-permutation MinHash signature of one key-hash set.
+
+    Returns ``(slots, filled)``: the minimum hash per slot (``uint64``)
+    and a boolean mask marking slots at least one hash fell into.
+    Unfilled slots hold a placeholder value; consumers must honor the
+    mask rather than compare against it.
+    """
+    kh = np.asarray(key_hashes, dtype=np.uint64).ravel()
+    slots = np.full(n_slots, _SLOT_EMPTY, dtype=np.uint64)
+    filled = np.zeros(n_slots, dtype=bool)
+    if kh.size:
+        idx = minhash_slot_index_batch(kh, n_slots, bits)
+        np.minimum.at(slots, idx, kh)
+        filled[idx] = True
+    return slots, filled
+
+
+def one_permutation_signatures_batch(
+    concat_hashes: np.ndarray, indptr: np.ndarray, n_slots: int, bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-batched :func:`one_permutation_signature` over many key sets.
+
+    ``indptr`` delimits each set's slice of ``concat_hashes`` (length
+    ``n_sets + 1``). All signatures are bucketed with a single
+    ``np.minimum.at`` scatter into one flat ``(n_sets · n_slots)``
+    buffer; row ``i`` of the returned ``(n_sets, n_slots)`` matrices
+    equals ``one_permutation_signature(concat_hashes[indptr[i]:indptr[i+1]], …)``.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    n_sets = indptr.shape[0] - 1
+    slots = np.full(n_sets * n_slots, _SLOT_EMPTY, dtype=np.uint64)
+    filled = np.zeros(n_sets * n_slots, dtype=bool)
+    kh = np.asarray(concat_hashes, dtype=np.uint64).ravel()
+    if kh.size:
+        rows = np.repeat(np.arange(n_sets, dtype=np.int64), np.diff(indptr))
+        idx = rows * n_slots + minhash_slot_index_batch(kh, n_slots, bits)
+        np.minimum.at(slots, idx, kh)
+        filled[idx] = True
+    return slots.reshape(n_sets, n_slots), filled.reshape(n_sets, n_slots)

@@ -10,6 +10,7 @@ estimated correlation under a risk-averse scoring function).
 
 from repro.index.catalog import SketchCatalog, SketchMeta
 from repro.index.engine import (
+    RETRIEVAL_BACKENDS,
     ColumnarQueryExecutor,
     JoinCorrelationEngine,
     QueryExecutor,
@@ -34,6 +35,7 @@ __all__ = [
     "MinHashSignature",
     "QueryExecutor",
     "QueryResult",
+    "RETRIEVAL_BACKENDS",
     "SNAPSHOT_VERSION",
     "ScalarQueryExecutor",
     "SketchCatalog",

@@ -1,7 +1,9 @@
 """Sketch catalog: the persistent store behind the query engine.
 
 A :class:`SketchCatalog` maps column-pair identifiers to their correlation
-sketches and maintains the inverted index over key hashes. It is the
+sketches and maintains the retrieval indexes over key hashes — the exact
+inverted index (always) and the approximate MinHash-LSH index (lazily,
+on first :meth:`SketchCatalog.lsh_index` use). It is the
 "index for a large number of tables" the paper's introduction promises:
 sketches are built offline per column pair (one pass each), added here,
 and queried at interactive latency without touching the original data.
@@ -31,9 +33,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.core.sketch import CorrelationSketch, SketchColumns
 from repro.hashing import KeyHasher
 from repro.index.inverted import ColumnarPostings, InvertedIndex
+from repro.index.lsh import DEFAULT_BANDS, DEFAULT_ROWS, LshIndex
 from repro.table.table import ColumnPair, Table
 
 
@@ -124,6 +129,7 @@ class SketchCatalog:
         #: must be rebuilt from the stored arrays before first use.
         self._index_stale = False
         self._frozen_postings: ColumnarPostings | None = None
+        self._lsh_index: LshIndex | None = None
 
     # -- population ---------------------------------------------------------
 
@@ -146,9 +152,10 @@ class SketchCatalog:
         self._ensure_index()
         self._sketches[sketch_id] = sketch
         self._index.add(sketch_id, sketch.key_hashes())
-        # Any mutation invalidates the frozen columnar snapshot; it is
-        # rebuilt lazily on the next frozen_postings() call.
+        # Any mutation invalidates the frozen columnar snapshot and the
+        # LSH index; each is rebuilt lazily on its next accessor call.
         self._frozen_postings = None
+        self._lsh_index = None
 
     def add_sketches(
         self, sketches: Iterable[tuple[str, CorrelationSketch]]
@@ -177,6 +184,7 @@ class SketchCatalog:
             self._sketches[sid] = sketch
             self._index.add(sid, sketch.key_hashes())
         self._frozen_postings = None
+        self._lsh_index = None
         return [sid for sid, _ in batch]
 
     def _build_pair_sketch(
@@ -321,6 +329,66 @@ class SketchCatalog:
             self._ensure_index()
             self._frozen_postings = self._index.freeze()
         return self._frozen_postings
+
+    def lsh_index(
+        self, *, bands: int | None = None, rows: int | None = None
+    ) -> LshIndex:
+        """The catalog-wide MinHash-LSH index (approximate retrieval).
+
+        Same lifecycle contract as :meth:`frozen_postings`: built lazily
+        on first access and cached; any mutation (:meth:`add_sketch` /
+        :meth:`add_sketches`) invalidates the cache, so it rebuilds on
+        the next call while a stable serving catalog pays the build
+        exactly once. Binary snapshots persist the signature arrays, so
+        a loaded catalog that had an LSH index starts with this cache
+        warm.
+
+        ``bands``/``rows`` semantics: ``None`` (the default) means "use
+        whatever index is cached, else build with the module defaults" —
+        so a serving process that loaded a warm snapshot keeps its
+        persisted banding whatever shape it was built with. Passing
+        explicit values pins the shape: a cached index of a different
+        ``(bands, rows)`` is discarded and rebuilt (and re-cached).
+
+        The build is fully vectorized: every sketch's columnar
+        ``key_hashes`` view is concatenated CSR-style and bucketed by
+        one :meth:`LshIndex.add_batch` scatter.
+        """
+        cached = self._lsh_index
+        if cached is not None:
+            want = (
+                bands if bands is not None else cached.bands,
+                rows if rows is not None else cached.rows,
+            )
+            if (cached.bands, cached.rows) == want:
+                return cached
+        bands = DEFAULT_BANDS if bands is None else bands
+        rows = DEFAULT_ROWS if rows is None else rows
+        index = LshIndex(bands=bands, rows=rows, bits=self.hasher.bits)
+        ids = list(self)
+        columns = [self.sketch_columns(sid) for sid in ids]
+        lengths = np.asarray([c.size for c in columns], dtype=np.int64)
+        indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        if columns:
+            concat = np.concatenate(
+                [c.key_hashes.astype(np.uint64, copy=False) for c in columns]
+            )
+        else:
+            concat = np.empty(0, dtype=np.uint64)
+        index.add_batch(ids, concat, indptr)
+        self._lsh_index = index
+        return index
+
+    @property
+    def lsh_params(self) -> tuple[int, int] | None:
+        """``(bands, rows)`` of the cached LSH index, or None when the
+        index has not been built (or was invalidated by a mutation).
+        Never triggers a build — ``catalog info`` uses this to report
+        whether a snapshot shipped a warm LSH index."""
+        if self._lsh_index is None:
+            return None
+        return (self._lsh_index.bands, self._lsh_index.rows)
 
     def sketch_columns(self, sketch_id: str) -> SketchColumns:
         """Columnar (sorted key-hash / rank / value / range) view of a sketch.

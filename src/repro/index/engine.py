@@ -51,6 +51,18 @@ candidates through the cross-candidate resampling engine
 reproduces the historical per-candidate rng stream bit-for-bit. Both
 executors honor both modes with bit-identical bootstrap statistics for a
 given mode, so executor parity holds under either.
+
+Two further serving axes (both orthogonal to the executor choice):
+
+* ``retrieval_backend`` plugs the candidate-retrieval phase
+  (:data:`RETRIEVAL_BACKENDS`): the exact inverted index (default) or
+  the approximate MinHash-LSH index — candidates are ranked by exact
+  key overlap either way, so the backends share re-ranking and differ
+  only in retrieval recall;
+* :meth:`JoinCorrelationEngine.query_batch` evaluates many queries
+  through one amortized pipeline (stacked index probe, one shared
+  scoring pass) with results bit-identical to looping
+  :meth:`JoinCorrelationEngine.query`.
 """
 
 from __future__ import annotations
@@ -63,7 +75,7 @@ import numpy as np
 
 from repro.core.joined_sample import JoinedSample, join_sketches
 from repro.core.sketch import CorrelationSketch, SketchColumns
-from repro.correlation.bootstrap import pm1_interval_batch
+from repro.correlation.bootstrap import pm1_interval, pm1_interval_batch
 from repro.index.catalog import SketchCatalog
 from repro.kmv.estimators import unbiased_dv_estimate, unbiased_dv_estimate_batch
 from repro.ranking.ranker import RankedCandidate, rank_candidates
@@ -74,6 +86,15 @@ from repro.ranking.scoring import (
     candidate_scores_batch,
     cib_factor,
 )
+
+
+#: Candidate-retrieval strategies the engine can plug in (Section 4 lists
+#: the family): ``"inverted"`` — exact ScanCount over the inverted index
+#: (the paper's experimental setup); ``"lsh"`` — approximate banded
+#: MinHash-LSH (:mod:`repro.index.lsh`), O(bands) probe cost independent
+#: of posting lengths, recall < 1 on low-overlap candidates. Re-ranking
+#: is shared, so the backends differ only in which candidates enter it.
+RETRIEVAL_BACKENDS = ("inverted", "lsh")
 
 
 @dataclass(frozen=True)
@@ -160,6 +181,38 @@ def _candidate_membership(
     return in_query, pos_clipped
 
 
+def _membership_batch(
+    query: SketchColumns, candidates: list[SketchColumns]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`_candidate_membership` for a whole candidate page at once.
+
+    Concatenates the candidates' hash arrays and probes the query's
+    sorted hashes with a single ``np.searchsorted``; membership is
+    per-element, so slice ``i`` (``offsets[i]:offsets[i+1]``) of the
+    returned ``(in_query, positions)`` arrays is bit-identical to the
+    per-candidate probe. This collapses the batch executor's hottest
+    per-candidate numpy round-trip into one call per query. Also returns
+    the concatenated hash array itself (``offsets`` delimits candidate
+    slices) for downstream page-level passes to reuse.
+    """
+    offsets = np.zeros(len(candidates) + 1, dtype=np.int64)
+    np.cumsum(
+        np.asarray([c.size for c in candidates], dtype=np.int64),
+        out=offsets[1:],
+    )
+    if candidates:
+        concat = np.concatenate([c.key_hashes for c in candidates])
+    else:
+        concat = np.empty(0, dtype=np.uint64)
+    pos = np.searchsorted(query.key_hashes, concat)
+    pos_clipped = np.minimum(pos, max(query.size - 1, 0))
+    if query.size:
+        in_query = query.key_hashes[pos_clipped] == concat
+    else:
+        in_query = np.zeros(concat.size, dtype=bool)
+    return in_query, pos_clipped, offsets, concat
+
+
 def _union_stats_from_membership(
     query: SketchColumns, candidate: SketchColumns, in_query: np.ndarray
 ) -> _UnionStats:
@@ -191,6 +244,185 @@ def _union_stats(query: SketchColumns, candidate: SketchColumns) -> _UnionStats:
     return _union_stats_from_membership(
         query, candidate, _candidate_membership(query, candidate)[0]
     )
+
+
+def _join_page(
+    query: SketchColumns,
+    candidates: list[SketchColumns],
+    cat_hashes: np.ndarray,
+    cat_ranks: np.ndarray,
+    cat_values: np.ndarray,
+    in_query_all: np.ndarray,
+    positions_all: np.ndarray,
+    offsets: np.ndarray,
+) -> list[JoinedSample]:
+    """Materialize every candidate join of a page in one tensor pass.
+
+    Bit-identical to calling ``_join_from_membership(...).drop_nan()``
+    per candidate: one ``np.lexsort`` on ``(candidate row, rank)`` orders
+    all matched pairs by ascending rank within each candidate (ranks are
+    injective, so the permutation equals the per-candidate ``argsort``),
+    the NaN filter is applied to the whole page at once, and each
+    returned :class:`JoinedSample` is a zero-copy slice view of the
+    page-level arrays.
+    """
+    mem_idx = np.nonzero(in_query_all)[0]
+    row = np.searchsorted(offsets, mem_idx, side="right") - 1
+    order = np.lexsort((cat_ranks[mem_idx], row))
+    mem_ordered = mem_idx[order]
+    row_ordered = row[order]
+    kh = cat_hashes[mem_ordered]
+    y = cat_values[mem_ordered]
+    x = query.values[positions_all[mem_ordered]]
+    keep = ~(np.isnan(x) | np.isnan(y))
+    if not keep.all():
+        kh, x, y, row_ordered = kh[keep], x[keep], y[keep], row_ordered[keep]
+    counts = np.bincount(row_ordered, minlength=len(candidates))
+    indptr = np.zeros(len(candidates) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    x_range = query.value_range
+    return [
+        JoinedSample(
+            key_hashes=kh[indptr[i] : indptr[i + 1]],
+            x=x[indptr[i] : indptr[i + 1]],
+            y=y[indptr[i] : indptr[i + 1]],
+            x_range=x_range,
+            y_range=cand.value_range,
+        )
+        for i, cand in enumerate(candidates)
+    ]
+
+
+def _union_stats_page(
+    query: SketchColumns,
+    candidates: list[SketchColumns],
+    in_query_all: np.ndarray,
+    offsets: np.ndarray,
+    all_ranks: np.ndarray | None = None,
+) -> list[_UnionStats]:
+    """:func:`_union_stats_from_membership` for a whole candidate page.
+
+    Bit-identical output, computed without per-candidate
+    concatenate/partition round-trips. The union of query and candidate
+    ranks always shares the query's side, so the ``k``-th union rank is
+    selected from two *sorted* sequences instead: the query's ranks
+    (sorted once per page) and the candidates' non-member ranks (one
+    padded row-sorted matrix for the page). An element's 0-based union
+    position is its index in its own sequence plus its
+    ``np.searchsorted`` insertion point in the other; ranks are
+    injective over key hashes (see :meth:`BottomK.update_batch
+    <repro.kmv.bottomk.BottomK.update_batch>`), so positions are unique
+    and the selected value equals the per-candidate ``np.partition``
+    result exactly. ``k_inter`` counts come from one concatenated
+    member-rank comparison with segment sums.
+    """
+    count = len(candidates)
+    out: list[_UnionStats | None] = [None] * count
+    active: list[int] = []
+    for i, cand in enumerate(candidates):
+        if query.saw_all_keys and cand.saw_all_keys:
+            out[i] = _UnionStats(k_len=0, kth=1.0, k_inter=0, exact=True)
+        else:
+            active.append(i)
+    if not active:
+        return out
+
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = offsets[1:] - offsets[:-1]
+    member_csum = np.concatenate(
+        ([0], np.cumsum(in_query_all, dtype=np.int64))
+    )
+    members = member_csum[offsets[1:]] - member_csum[offsets[:-1]]
+    nonmembers = sizes - members
+
+    act = np.asarray(active, dtype=np.int64)
+    m_act = nonmembers[act]
+    q_size = query.size
+    k_len = np.minimum(np.minimum(q_size, sizes[act]), q_size + m_act)
+    valid = np.nonzero(k_len > 0)[0]
+    for j in np.nonzero(k_len == 0)[0].tolist():
+        out[active[j]] = _UnionStats(k_len=0, kth=1.0, k_inter=0, exact=False)
+    if valid.size == 0:
+        return out
+
+    if all_ranks is None:
+        all_ranks = np.concatenate([c.ranks for c in candidates])
+    nonmem_ranks = all_ranks[~in_query_all]
+    mem_ranks = all_ranks[in_query_all]
+    #: Positions of candidate i's segment within the member/non-member
+    #: streams: entries before i, minus/plus how many of them matched.
+    nm_starts = offsets[:-1] - member_csum[offsets[:-1]]
+    mem_starts = member_csum[offsets[:-1]]
+
+    sorted_q = np.sort(query.ranks)
+    v_act = act[valid]
+    m_v = nonmembers[v_act]
+    max_m = int(m_v.max()) if m_v.size else 0
+    n_rows = v_act.size
+
+    # Padded (rows, max_m) non-member rank matrix, +inf beyond each row.
+    non_matrix = np.full((n_rows, max_m), np.inf)
+    if max_m:
+        total_nm = int(m_v.sum())
+        row_rep = np.repeat(np.arange(n_rows, dtype=np.int64), m_v)
+        col_rep = np.arange(total_nm, dtype=np.int64) - np.repeat(
+            np.cumsum(m_v) - m_v, m_v
+        )
+        non_matrix[row_rep, col_rep] = nonmem_ranks[
+            np.repeat(nm_starts[v_act], m_v) + col_rep
+        ]
+        non_matrix.sort(axis=1)
+
+    # 0-based union position of the row-sorted non-member j: its
+    # insertion point in the sorted query ranks plus j. Padding lands at
+    # q_size + j, beyond any valid target position.
+    kth = np.empty(n_rows)
+    if max_m:
+        pos_in_q = np.searchsorted(sorted_q, non_matrix.reshape(-1)).reshape(
+            n_rows, max_m
+        )
+        union_pos = pos_in_q + np.arange(max_m, dtype=np.int64)[None, :]
+        target = (k_len[valid] - 1)[:, None]
+        from_non = union_pos == target
+        has_non = from_non.any(axis=1)
+        non_col = np.argmax(from_non, axis=1)
+        taken_before = (union_pos < target).sum(axis=1)
+        kth[has_non] = non_matrix[np.nonzero(has_non)[0], non_col[has_non]]
+    else:
+        has_non = np.zeros(n_rows, dtype=bool)
+        taken_before = np.zeros(n_rows, dtype=np.int64)
+    from_query = ~has_non
+    kth[from_query] = sorted_q[
+        (k_len[valid] - 1 - taken_before)[from_query]
+    ]
+
+    # k_inter: member ranks <= kth, segment-summed over the page.
+    mem_v = members[v_act]
+    total_mem = int(mem_v.sum())
+    if total_mem:
+        col_mem = np.arange(total_mem, dtype=np.int64) - np.repeat(
+            np.cumsum(mem_v) - mem_v, mem_v
+        )
+        inside = (
+            mem_ranks[np.repeat(mem_starts[v_act], mem_v) + col_mem]
+            <= np.repeat(kth, mem_v)
+        )
+        inside_csum = np.concatenate(
+            ([0], np.cumsum(inside, dtype=np.int64))
+        )
+        seg_ends = np.cumsum(mem_v)
+        k_inter = inside_csum[seg_ends] - inside_csum[seg_ends - mem_v]
+    else:
+        k_inter = np.zeros(n_rows, dtype=np.int64)
+
+    for j, row in enumerate(valid.tolist()):
+        out[active[row]] = _UnionStats(
+            k_len=int(k_len[row]),
+            kth=float(kth[j]),
+            k_inter=int(k_inter[j]),
+            exact=False,
+        )
+    return out
 
 
 def _join_from_membership(
@@ -285,6 +517,63 @@ def _apply_batched_bootstrap(
     ]
 
 
+def _apply_compat_bootstrap(
+    samples: list[JoinedSample],
+    stats: list[CandidateScores],
+    rng: np.random.Generator,
+) -> list[CandidateScores]:
+    """Fill ``r_bootstrap``/``cib_factor`` per candidate in list order.
+
+    Mirrors the ``rng_mode="compat"`` branch of
+    :func:`repro.ranking.scoring.candidate_scores_batch` — one
+    599-replicate :func:`pm1_interval` per eligible candidate, consuming
+    ``rng`` sequentially — so :meth:`JoinCorrelationEngine.query_batch`
+    stays bit-identical to looped single queries under either rng mode.
+    """
+    out: list[CandidateScores] = []
+    for sample, stat in zip(samples, stats):
+        if sample.size >= 2 and not math.isnan(stat.r_pearson):
+            boot = pm1_interval(sample.x, sample.y, rng=rng)
+            stat = replace(
+                stat,
+                r_bootstrap=boot.estimate,
+                cib_factor=cib_factor(boot.low, boot.high),
+            )
+        out.append(stat)
+    return out
+
+
+def _lsh_hits_columnar(
+    engine: "JoinCorrelationEngine",
+    query_cols: SketchColumns,
+    exclude_id: str | None,
+) -> list[tuple[str, int]]:
+    """LSH candidate retrieval with exact-overlap ranking (columnar).
+
+    Probes the catalog's LSH index for colliding sketches, then computes
+    each survivor's *exact* key overlap with one sorted-membership pass —
+    so the hits list has the same ``(sketch_id, overlap)`` contract,
+    ``min_overlap`` floor and ``(−overlap, id)`` ordering as the inverted
+    backend, and downstream re-ranking is shared unchanged. The backends
+    therefore differ only in recall: candidates the banding never
+    collides with are missing here, everything retrieved is ranked
+    identically.
+    """
+    index = engine.catalog.lsh_index(
+        bands=engine.lsh_bands, rows=engine.lsh_rows
+    )
+    threshold = max(1, engine.min_overlap)
+    hits: list[tuple[str, int]] = []
+    for sid in index.candidate_ids(query_cols.key_hashes, exclude=exclude_id):
+        candidate_cols = engine.catalog.sketch_columns(sid)
+        in_query, _ = _candidate_membership(query_cols, candidate_cols)
+        overlap = int(np.count_nonzero(in_query))
+        if overlap >= threshold:
+            hits.append((sid, overlap))
+    hits.sort(key=lambda t: (-t[1], t[0]))
+    return hits[: engine.retrieval_depth]
+
+
 class QueryExecutor:
     """Strategy interface for one top-``k`` query evaluation.
 
@@ -329,6 +618,26 @@ class ScalarQueryExecutor(QueryExecutor):
     scalar path stays ranking-identical to the columnar one in every mode.
     """
 
+    def _lsh_hits(
+        self, query_sketch: CorrelationSketch, exclude_id: str | None
+    ) -> list[tuple[str, int]]:
+        """Set-based reference of :func:`_lsh_hits_columnar` — identical
+        candidate set (signatures are order-free) and identical exact
+        overlaps (set intersection vs sorted membership)."""
+        engine = self.engine
+        q_hashes = query_sketch.key_hashes()
+        index = engine.catalog.lsh_index(
+            bands=engine.lsh_bands, rows=engine.lsh_rows
+        )
+        threshold = max(1, engine.min_overlap)
+        hits: list[tuple[str, int]] = []
+        for sid in index.candidate_ids(q_hashes, exclude=exclude_id):
+            overlap = len(q_hashes & engine.catalog.get(sid).key_hashes())
+            if overlap >= threshold:
+                hits.append((sid, overlap))
+        hits.sort(key=lambda t: (-t[1], t[0]))
+        return hits[: engine.retrieval_depth]
+
     def execute(
         self,
         query_sketch: CorrelationSketch,
@@ -341,12 +650,15 @@ class ScalarQueryExecutor(QueryExecutor):
     ) -> QueryResult:
         engine = self.engine
         t0 = time.perf_counter()
-        hits = engine.catalog.index.top_overlap(
-            query_sketch.key_hashes(),
-            engine.retrieval_depth,
-            exclude=exclude_id,
-            min_overlap=engine.min_overlap,
-        )
+        if engine.retrieval_backend == "lsh":
+            hits = self._lsh_hits(query_sketch, exclude_id)
+        else:
+            hits = engine.catalog.index.top_overlap(
+                query_sketch.key_hashes(),
+                engine.retrieval_depth,
+                exclude=exclude_id,
+                min_overlap=engine.min_overlap,
+            )
         t1 = time.perf_counter()
 
         # The PM1 bootstrap costs hundreds of resamples per candidate;
@@ -414,12 +726,15 @@ class ColumnarQueryExecutor(QueryExecutor):
         engine = self.engine
         t0 = time.perf_counter()
         query_cols = query_sketch.columnar()
-        hits = engine.catalog.frozen_postings().top_overlap(
-            query_cols.key_hashes,
-            engine.retrieval_depth,
-            exclude=exclude_id,
-            min_overlap=engine.min_overlap,
-        )
+        if engine.retrieval_backend == "lsh":
+            hits = _lsh_hits_columnar(engine, query_cols, exclude_id)
+        else:
+            hits = engine.catalog.frozen_postings().top_overlap(
+                query_cols.key_hashes,
+                engine.retrieval_depth,
+                exclude=exclude_id,
+                min_overlap=engine.min_overlap,
+            )
         t1 = time.perf_counter()
 
         needs_bootstrap = scorer == "rb_cib"
@@ -467,6 +782,146 @@ class ColumnarQueryExecutor(QueryExecutor):
             rerank_seconds=t2 - t1,
         )
 
+    def execute_batch(
+        self,
+        query_sketches: list[CorrelationSketch],
+        k: int,
+        scorer: str,
+        *,
+        exclude_ids: list[str | None],
+        true_correlations: list[dict[str, float] | None],
+        rng: np.random.Generator | None,
+    ) -> list[QueryResult]:
+        """Evaluate many queries through one amortized columnar pipeline.
+
+        Three batch effects, none changing any result bit
+        (:meth:`JoinCorrelationEngine.query_batch` documents the parity
+        contract):
+
+        * **stacked retrieval** — all queries probe the frozen postings
+          with one concatenated ``searchsorted``/``bincount`` pass
+          (:meth:`~repro.index.inverted.ColumnarPostings.top_overlap_batch`);
+        * **shared join state** — candidates appearing in several
+          queries' pages are lowered to :class:`SketchColumns` once (the
+          catalog cache), so overlapping candidate sets amortize;
+        * **one scoring pass** — every query's join samples enter a
+          single :func:`candidate_scores_batch` call; per-sample segment
+          reductions are independent, so each query's statistics are
+          bit-identical to its standalone evaluation. Bootstrap (rng
+          consuming) work stays per query, in order, preserving the rng
+          stream of a plain loop.
+
+        Phase timings in the returned results are per-query shares of
+        the batch phases (the probe is one pass; it has no per-query
+        wall time).
+        """
+        engine = self.engine
+        n_queries = len(query_sketches)
+        if n_queries == 0:
+            return []
+        t0 = time.perf_counter()
+        query_cols = [sketch.columnar() for sketch in query_sketches]
+        if engine.retrieval_backend == "lsh":
+            hits_per_query = [
+                _lsh_hits_columnar(engine, cols, excl)
+                for cols, excl in zip(query_cols, exclude_ids)
+            ]
+        else:
+            hits_per_query = engine.catalog.frozen_postings().top_overlap_batch(
+                [cols.key_hashes for cols in query_cols],
+                engine.retrieval_depth,
+                excludes=exclude_ids,
+                min_overlap=engine.min_overlap,
+            )
+        t1 = time.perf_counter()
+
+        needs_bootstrap = scorer == "rb_cib"
+
+        ids_per_query: list[list[str]] = []
+        spans: list[tuple[int, int]] = []
+        all_samples: list[JoinedSample] = []
+        all_containments: list[float] = []
+        for sketch, cols, hits in zip(query_sketches, query_cols, hits_per_query):
+            start = len(all_samples)
+            page_cols = [
+                engine.catalog.sketch_columns(sid) for sid, _ in hits
+            ]
+            in_query_all, positions_all, offsets, cat_hashes = (
+                _membership_batch(cols, page_cols)
+            )
+            if page_cols:
+                cat_ranks = np.concatenate([c.ranks for c in page_cols])
+                cat_values = np.concatenate([c.values for c in page_cols])
+            else:
+                cat_ranks = np.empty(0, dtype=np.float64)
+                cat_values = np.empty(0, dtype=np.float64)
+            union_stats = _union_stats_page(
+                cols, page_cols, in_query_all, offsets, all_ranks=cat_ranks
+            )
+            all_samples.extend(
+                _join_page(
+                    cols,
+                    page_cols,
+                    cat_hashes,
+                    cat_ranks,
+                    cat_values,
+                    in_query_all,
+                    positions_all,
+                    offsets,
+                )
+            )
+            all_containments.extend(
+                _containment_estimates_batch(
+                    sketch.distinct_keys(),
+                    [overlap for _sid, overlap in hits],
+                    union_stats,
+                )
+            )
+            ids_per_query.append([sid for sid, _ in hits])
+            spans.append((start, len(all_samples)))
+
+        base_stats = candidate_scores_batch(
+            all_samples,
+            containment_ests=all_containments,
+            with_bootstrap=False,
+        )
+
+        ranked_per_query: list[tuple[list[RankedCandidate], int]] = []
+        for q in range(n_queries):
+            start, end = spans[q]
+            samples = all_samples[start:end]
+            stats = base_stats[start:end]
+            # Each query consumes rng exactly as its standalone query()
+            # would: a fresh fixed-seed generator when none was supplied,
+            # the shared one in query order otherwise.
+            query_rng = np.random.default_rng(7) if rng is None else rng
+            if needs_bootstrap:
+                if engine.rng_mode == "batched":
+                    stats = _apply_batched_bootstrap(samples, stats, query_rng)
+                else:
+                    stats = _apply_compat_bootstrap(samples, stats, query_rng)
+            ranked = rank_candidates(
+                ids_per_query[q], stats, scorer,
+                true_correlations=self._truths(
+                    ids_per_query[q], true_correlations[q]
+                ),
+                rng=query_rng,
+            )[:k]
+            ranked_per_query.append((ranked, len(hits_per_query[q])))
+        t2 = time.perf_counter()
+
+        retrieval_share = (t1 - t0) / n_queries
+        rerank_share = (t2 - t1) / n_queries
+        return [
+            QueryResult(
+                ranked=ranked,
+                candidates_considered=considered,
+                retrieval_seconds=retrieval_share,
+                rerank_seconds=rerank_share,
+            )
+            for ranked, considered in ranked_per_query
+        ]
+
 
 class JoinCorrelationEngine:
     """Evaluates top-k join-correlation queries against a sketch catalog.
@@ -488,6 +943,21 @@ class JoinCorrelationEngine:
             multiple faster; ``"compat"`` reproduces the per-candidate
             rng stream bit-for-bit. Both executors honor both modes, so
             scalar/columnar rankings stay identical either way.
+        retrieval_backend: candidate-retrieval strategy (see
+            :data:`RETRIEVAL_BACKENDS`): ``"inverted"`` (default) probes
+            the exact inverted index; ``"lsh"`` probes the catalog's
+            MinHash-LSH index — sub-linear in posting lengths, recall
+            < 1 on low-overlap candidates. Retrieved candidates are
+            ranked by exact key overlap and re-ranked identically under
+            either backend, so rankings differ only by retrieval recall
+            (quantified in ``benchmarks/bench_ablation_retrieval.py``).
+        lsh_bands: LSH bands ``b`` (``"lsh"`` backend only). ``None``
+            (default) keeps a warm snapshot-loaded index whatever its
+            persisted banding (module default ``16`` when none exists);
+            an explicit value pins the shape, rebuilding a cached index
+            of a different one.
+        lsh_rows: LSH rows per band ``r``, same ``None`` semantics.
+            Collision threshold is roughly ``(1/b)**(1/r)`` Jaccard.
     """
 
     def __init__(
@@ -498,6 +968,9 @@ class JoinCorrelationEngine:
         *,
         vectorized: bool = True,
         rng_mode: str = "batched",
+        retrieval_backend: str = "inverted",
+        lsh_bands: int | None = None,
+        lsh_rows: int | None = None,
     ) -> None:
         if retrieval_depth <= 0:
             raise ValueError(f"retrieval_depth must be positive, got {retrieval_depth}")
@@ -505,11 +978,22 @@ class JoinCorrelationEngine:
             raise ValueError(
                 f"unknown rng_mode {rng_mode!r}; expected one of {RNG_MODES}"
             )
+        if retrieval_backend not in RETRIEVAL_BACKENDS:
+            raise ValueError(
+                f"unknown retrieval_backend {retrieval_backend!r}; "
+                f"expected one of {RETRIEVAL_BACKENDS}"
+            )
+        for name, value in (("lsh_bands", lsh_bands), ("lsh_rows", lsh_rows)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
         self.catalog = catalog
         self.retrieval_depth = retrieval_depth
         self.min_overlap = min_overlap
         self.vectorized = vectorized
         self.rng_mode = rng_mode
+        self.retrieval_backend = retrieval_backend
+        self.lsh_bands = lsh_bands
+        self.lsh_rows = lsh_rows
         self.executor: QueryExecutor = (
             ColumnarQueryExecutor(self) if vectorized else ScalarQueryExecutor(self)
         )
@@ -541,6 +1025,19 @@ class JoinCorrelationEngine:
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        self._check_scheme(query_sketch)
+        if rng is None:
+            rng = np.random.default_rng(7)
+        return self.executor.execute(
+            query_sketch,
+            k,
+            scorer,
+            exclude_id=exclude_id,
+            true_correlations=true_correlations,
+            rng=rng,
+        )
+
+    def _check_scheme(self, query_sketch: CorrelationSketch) -> None:
         if query_sketch.hasher.scheme_id != self.catalog.hasher.scheme_id:
             # The scalar path would fail inside join_sketches at the first
             # candidate; the columnar join has no hasher to check against,
@@ -550,13 +1047,79 @@ class JoinCorrelationEngine:
                 f"{query_sketch.hasher!r} differs from catalog scheme "
                 f"{self.catalog.hasher!r}"
             )
-        if rng is None:
-            rng = np.random.default_rng(7)
-        return self.executor.execute(
-            query_sketch,
+
+    def query_batch(
+        self,
+        query_sketches,
+        k: int = 10,
+        scorer: str = "rp_cih",
+        *,
+        exclude_ids: list[str | None] | None = None,
+        true_correlations: list[dict[str, float] | None] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> list[QueryResult]:
+        """Evaluate many top-``k`` queries through one batched pipeline.
+
+        The multi-query serving entry point: ``Q`` concurrent queries
+        cost one stacked retrieval probe over their concatenated key
+        hashes, one shared scoring tensor pass over every candidate join
+        sample, and per-query ranking — instead of ``Q`` full pipeline
+        round-trips (``benchmarks/bench_batch_query.py`` quantifies the
+        throughput gain; CLI: ``query --queries-dir``). Amortization
+        pays most when per-query fixed overhead is a large fraction of
+        the pipeline (small-to-moderate sketch sizes, deep candidate
+        pages); at very large sketch sizes the shared per-candidate join
+        math dominates and the gain tapers toward parity.
+
+        **Parity contract**: results are bit-identical to looping
+        :meth:`query` over the sketches in order — for every scorer,
+        both rng modes and both retrieval backends. When ``rng`` is
+        None, each query gets the same fresh fixed-seed generator
+        :meth:`query` would create; a caller-supplied generator is
+        consumed in query order, exactly like the loop. (Phase timings
+        are per-query shares of the batch phases, the one field a loop
+        cannot reproduce.)
+
+        Args:
+            query_sketches: the query sketches, one per query.
+            k: result-list size per query.
+            scorer: scoring function name, shared by the batch.
+            exclude_ids: optional per-query catalog id to exclude
+                (parallel to ``query_sketches``; None entries allowed).
+            true_correlations: optional per-query ground-truth dicts.
+            rng: generator for stochastic scorers and the bootstrap.
+        """
+        query_sketches = list(query_sketches)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        n_queries = len(query_sketches)
+        if exclude_ids is None:
+            exclude_ids = [None] * n_queries
+        if true_correlations is None:
+            true_correlations = [None] * n_queries
+        if len(exclude_ids) != n_queries or len(true_correlations) != n_queries:
+            raise ValueError(
+                f"{n_queries} query sketches but {len(exclude_ids)} exclude "
+                f"ids and {len(true_correlations)} truth dicts"
+            )
+        for sketch in query_sketches:
+            self._check_scheme(sketch)
+        if not self.vectorized:
+            # Reference loop (trivially bit-identical to the batch path).
+            return [
+                self.query(
+                    sketch, k=k, scorer=scorer,
+                    exclude_id=exclude, true_correlations=truths, rng=rng,
+                )
+                for sketch, exclude, truths in zip(
+                    query_sketches, exclude_ids, true_correlations
+                )
+            ]
+        return self.executor.execute_batch(
+            query_sketches,
             k,
             scorer,
-            exclude_id=exclude_id,
+            exclude_ids=exclude_ids,
             true_correlations=true_correlations,
             rng=rng,
         )
@@ -576,13 +1139,15 @@ class JoinCorrelationEngine:
         column pair becomes a query sketch built with the catalog's
         hashing scheme, and results are keyed by ``pair_id``.
 
-        Under the columnar executor the catalog's frozen postings
-        snapshot is built by the first query and reused by every
-        subsequent one (the catalog is not mutated between queries), so
-        the freeze cost is amortized across the whole batch.
+        Evaluation rides :meth:`query_batch`, so under the columnar
+        executor the whole table costs one stacked retrieval probe and
+        one shared scoring pass (plus the catalog's one-time frozen
+        postings freeze) — with results bit-identical to querying each
+        pair separately.
         """
-        results: dict[str, QueryResult] = {}
-        for pair in table.column_pairs():
+        pairs = table.column_pairs()
+        sketches = []
+        for pair in pairs:
             sketch = CorrelationSketch(
                 self.catalog.sketch_size,
                 aggregate=self.catalog.aggregate,
@@ -591,7 +1156,12 @@ class JoinCorrelationEngine:
             )
             keys, values = table.pair_arrays(pair)
             sketch.update_array(keys, values)
-            results[pair.pair_id] = self.query(
-                sketch, k=k, scorer=scorer, exclude_id=pair.pair_id, rng=rng
-            )
-        return results
+            sketches.append(sketch)
+        results = self.query_batch(
+            sketches,
+            k=k,
+            scorer=scorer,
+            exclude_ids=[pair.pair_id for pair in pairs],
+            rng=rng,
+        )
+        return {pair.pair_id: result for pair, result in zip(pairs, results)}

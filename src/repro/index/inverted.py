@@ -21,7 +21,10 @@ Two physical layouts implement the same logical index:
   contiguous ``int32`` doc-id array, probed with ``np.searchsorted`` +
   ``np.bincount`` and top-``k``-selected with ``np.argpartition``. Its
   :meth:`~ColumnarPostings.top_overlap` returns exactly the scalar
-  result, including the ``(−overlap, sketch_id)`` tie-break.
+  result, including the ``(−overlap, sketch_id)`` tie-break; the
+  multi-query :meth:`~ColumnarPostings.top_overlap_batch` answers a
+  whole query batch from one stacked probe over the concatenated query
+  hashes (the retrieval phase of ``JoinCorrelationEngine.query_batch``).
 """
 
 from __future__ import annotations
@@ -30,6 +33,17 @@ from collections import defaultdict
 from typing import Iterable
 
 import numpy as np
+
+#: Posting entries gathered per chunk of the stacked batch probe — keeps
+#: the per-entry int64 temporaries around 1 MB (L2-resident) however
+#: large the query batch grows.
+_PROBE_CHUNK_ENTRIES = 131_072
+
+#: Cells of the dense (queries x docs) ScanCount matrix a single
+#: top_overlap_batch selection round is allowed to hold (~32 MB of
+#: int64) — query batches are processed in row chunks under this bound,
+#: so batch memory never scales with batch_size x corpus_size.
+_PROBE_MATRIX_CELLS = 4_194_304
 
 
 class InvertedIndex:
@@ -244,25 +258,21 @@ class ColumnarPostings:
             self.doc_ids[flat], weights=weights, minlength=n_docs
         ).astype(np.int64)
 
-    def top_overlap(
+    def _select_top(
         self,
-        key_hashes,
+        counts: np.ndarray,
         k: int,
-        *,
-        exclude: str | None = None,
-        min_overlap: int = 1,
+        exclude: str | None,
+        min_overlap: int,
     ) -> list[tuple[str, int]]:
-        """Top-``k`` sketches by key-hash overlap; scalar-parity output.
+        """Top-``k`` selection over one per-document ScanCount row.
 
-        Same contract and same result as
-        :meth:`InvertedIndex.top_overlap` — descending overlap, sketch id
-        as tie-break — computed columnarly: one ScanCount via
-        :meth:`overlap_counts_array`, then an ``np.argpartition``
-        selection on a composite ``(overlap, doc)`` key.
+        The shared tail of :meth:`top_overlap` and
+        :meth:`top_overlap_batch`: zero the excluded doc, threshold, then
+        ``np.argpartition`` on a composite ``(overlap, doc)`` key that
+        reproduces the scalar ``(−overlap, sketch_id)`` tie-break.
+        Mutates ``counts`` (callers pass a fresh probe result).
         """
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        counts = self.overlap_counts_array(key_hashes)
         if exclude is not None:
             excl = self._doc_index.get(exclude)
             if excl is not None:
@@ -287,3 +297,165 @@ class ColumnarPostings:
             order = np.lexsort((cand, -counts[cand]))
             cand = cand[order]
         return [(self.docs[int(d)], int(counts[d])) for d in cand]
+
+    def top_overlap(
+        self,
+        key_hashes,
+        k: int,
+        *,
+        exclude: str | None = None,
+        min_overlap: int = 1,
+    ) -> list[tuple[str, int]]:
+        """Top-``k`` sketches by key-hash overlap; scalar-parity output.
+
+        Same contract and same result as
+        :meth:`InvertedIndex.top_overlap` — descending overlap, sketch id
+        as tie-break — computed columnarly: one ScanCount via
+        :meth:`overlap_counts_array`, then an ``np.argpartition``
+        selection on a composite ``(overlap, doc)`` key.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        return self._select_top(
+            self.overlap_counts_array(key_hashes), k, exclude, min_overlap
+        )
+
+    def overlap_counts_batch(
+        self, concat_hashes: np.ndarray, q_indptr: np.ndarray
+    ) -> np.ndarray:
+        """Stacked ScanCount: per-document overlaps for many queries at once.
+
+        Args:
+            concat_hashes: the queries' key hashes concatenated CSR-style
+                (``uint64``-compatible). Each query's hashes must be
+                duplicate-free — sketch hash *sets* always are; this is
+                the one contract :meth:`overlap_counts_array`'s
+                ``np.unique`` multiplicity handling relaxes.
+            q_indptr: ``int64`` of length ``n_queries + 1`` delimiting
+                each query's slice.
+
+        Returns:
+            ``int64`` matrix of shape ``(n_queries, len(self))``; row
+            ``q`` is bit-identical to
+            ``overlap_counts_array(concat_hashes[q_indptr[q]:q_indptr[q+1]])``.
+            The matrix is dense — callers with large batches against
+            large corpora should go through :meth:`top_overlap_batch`,
+            which bounds the live matrix by processing query row chunks.
+
+        The whole batch costs one ``np.searchsorted`` over the
+        concatenated hashes, one gather of every matched posting slice
+        and a single ``np.bincount`` keyed on the composite
+        ``query · n_docs + doc`` bin — this is the "single stacked CSR
+        probe" behind :meth:`JoinCorrelationEngine.query_batch
+        <repro.index.engine.JoinCorrelationEngine.query_batch>`.
+        """
+        q_indptr = np.asarray(q_indptr, dtype=np.int64)
+        n_queries = q_indptr.shape[0] - 1
+        n_docs = len(self.docs)
+        q_arr = np.asarray(concat_hashes).astype(np.uint64, copy=False)
+        out = np.zeros((n_queries, n_docs), dtype=np.int64)
+        if q_arr.size == 0 or self.vocab.size == 0:
+            return out
+        rows = np.repeat(
+            np.arange(n_queries, dtype=np.int64), np.diff(q_indptr)
+        )
+        pos = np.searchsorted(self.vocab, q_arr)
+        pos_clipped = np.minimum(pos, self.vocab.size - 1)
+        matched = (pos < self.vocab.size) & (self.vocab[pos_clipped] == q_arr)
+        pos = pos_clipped[matched]
+        rows = rows[matched]
+        starts = self.indptr[pos]
+        lens = self.indptr[pos + 1] - starts
+        total = int(lens.sum())
+        if total == 0:
+            return out
+        # Same repeat/cumsum slice gather as overlap_counts_array, with
+        # the owning query riding along so bincount fills the matrix.
+        # Processed in query-aligned chunks of bounded posting entries:
+        # the per-entry temporaries (shifts / flat / bins) stay
+        # cache-sized, and each chunk's bincount covers only its own
+        # queries' rows of `out` — total cost stays proportional to the
+        # entries gathered plus one pass over `out`, whatever the batch
+        # and catalog sizes. A single query exceeding the budget forms
+        # its own chunk (no worse than its standalone probe).
+        per_query_entries = np.bincount(rows, weights=lens, minlength=n_queries)
+        query_entry_ends = np.cumsum(per_query_entries)
+        # Query boundaries where the cumulative entry count crosses each
+        # budget multiple; dedup collapses over-budget queries into
+        # singleton chunks.
+        cuts = np.searchsorted(
+            query_entry_ends,
+            np.arange(0, total, _PROBE_CHUNK_ENTRIES)[1:],
+            side="left",
+        )
+        q_bounds = np.unique(np.concatenate(([0], cuts + 1, [n_queries])))
+        entry_csum = np.concatenate(([0], np.cumsum(lens)))
+        row_csum = np.searchsorted(rows, np.arange(n_queries + 1))
+        for q_lo, q_hi in zip(q_bounds[:-1], q_bounds[1:]):
+            a, b = int(row_csum[q_lo]), int(row_csum[q_hi])
+            if a >= b:
+                continue
+            c_lens = lens[a:b]
+            c_starts = starts[a:b]
+            shifts = np.repeat(
+                c_starts - (entry_csum[a:b] - entry_csum[a]), c_lens
+            )
+            flat = np.arange(int(entry_csum[b] - entry_csum[a]), dtype=np.int64) + shifts
+            bins = (rows[a:b] - q_lo).repeat(c_lens) * np.int64(n_docs) + self.doc_ids[
+                flat
+            ]
+            out[q_lo:q_hi] += np.bincount(
+                bins, minlength=int(q_hi - q_lo) * n_docs
+            ).reshape(int(q_hi - q_lo), n_docs)
+        return out
+
+    def top_overlap_batch(
+        self,
+        queries,
+        k: int,
+        *,
+        excludes=None,
+        min_overlap: int = 1,
+    ) -> list[list[tuple[str, int]]]:
+        """:meth:`top_overlap` for many queries off one stacked probe.
+
+        Args:
+            queries: per-query key-hash arrays (duplicate-free, as sketch
+                hash sets are).
+            k: candidates per query.
+            excludes: optional per-query exclude ids (None entries allowed).
+            min_overlap: joinability floor, shared by all queries.
+
+        Returns:
+            One :meth:`top_overlap`-identical result list per query.
+
+        Memory stays bounded for any batch size: queries are probed in
+        row chunks holding at most :data:`_PROBE_MATRIX_CELLS` dense
+        ScanCount cells at a time, and only the selected top-``k`` per
+        query survives a chunk.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = [np.asarray(q).astype(np.uint64, copy=False) for q in queries]
+        if excludes is None:
+            excludes = [None] * len(queries)
+        if len(excludes) != len(queries):
+            raise ValueError(
+                f"{len(queries)} queries but {len(excludes)} excludes"
+            )
+        rows_per_chunk = max(1, _PROBE_MATRIX_CELLS // max(1, len(self.docs)))
+        out: list[list[tuple[str, int]]] = []
+        for lo in range(0, len(queries), rows_per_chunk):
+            chunk = queries[lo : lo + rows_per_chunk]
+            q_indptr = np.zeros(len(chunk) + 1, dtype=np.int64)
+            sizes = np.asarray([q.size for q in chunk], dtype=np.int64)
+            np.cumsum(sizes, out=q_indptr[1:])
+            concat = (
+                np.concatenate(chunk) if chunk else np.empty(0, dtype=np.uint64)
+            )
+            counts = self.overlap_counts_batch(concat, q_indptr)
+            out.extend(
+                self._select_top(counts[i], k, excludes[lo + i], min_overlap)
+                for i in range(len(chunk))
+            )
+        return out

@@ -4,8 +4,9 @@ Section 4 of the paper notes that the candidate-retrieval step — find
 sketches whose key sets overlap the query's — can be served by any set
 similarity search method (inverted indexes, JOSIE, ppjoin+, Lazo/LSH
 Ensemble). :mod:`repro.index.inverted` is the exact ScanCount baseline;
-this module adds the sub-linear *approximate* alternative: banded
-one-permutation MinHash LSH.
+this module is the sub-linear *approximate* alternative: banded
+one-permutation MinHash LSH, pluggable into the query engine as
+``JoinCorrelationEngine(..., retrieval_backend="lsh")``.
 
 Two facts make this work directly on the sketches:
 
@@ -21,7 +22,17 @@ Two facts make this work directly on the sketches:
 
 Signatures are split into ``b`` bands of ``r`` rows; two sketches become
 candidates when any band matches exactly. Key sets with Jaccard
-similarity ``s`` collide with probability ``≈ 1 − (1 − s^r)^b``.
+similarity ``s`` collide with probability ``≈ 1 − (1 − s^r)^b``. Bands
+in which *no* slot is filled are skipped at both index and query time —
+an all-empty band says "this sketch is too sparse to populate this hash
+range", which every other sparse sketch also says, so bucketing it
+would make all sparse sketches spuriously collide (with estimated
+similarity 0) regardless of their actual keys.
+
+Signatures are built by the vectorized one-permutation kernels in
+:mod:`repro.hashing.vectorized` (one ``np.minimum.at`` scatter for the
+whole catalog via :meth:`LshIndex.add_batch`); the scalar
+:meth:`MinHashSignature.from_key_hashes` is the bit-parity reference.
 
 Trade-off vs the exact inverted index: probing costs O(b) dictionary
 lookups independent of posting-list lengths, at the price of missing
@@ -32,14 +43,33 @@ low-overlap candidates — quantified in
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.hashing.vectorized import (
+    one_permutation_signature,
+    one_permutation_signatures_batch,
+)
 
 #: Sentinel slot value for an empty bucket (no retained hash fell in it).
 _EMPTY = -1
 
+#: Default banding used when a caller does not choose one: 16 bands of 4
+#: rows (64 slots) — the collision threshold ``(1/b)^(1/r) ≈ 0.5``
+#: Jaccard, matching the ">=50% overlap candidates must be found" bar
+#: the retrieval ablation enforces.
+DEFAULT_BANDS = 16
+DEFAULT_ROWS = 4
+
 
 class MinHashSignature:
-    """One-permutation MinHash signature over retained key hashes."""
+    """One-permutation MinHash signature over retained key hashes.
+
+    Scalar reference implementation: the vectorized kernels in
+    :mod:`repro.hashing.vectorized` must reproduce these slots exactly
+    (pinned by the parity tests).
+    """
 
     __slots__ = ("slots",)
 
@@ -63,12 +93,28 @@ class MinHashSignature:
         return cls(tuple(slots))
 
     def similarity(self, other: "MinHashSignature") -> float:
-        """Estimated Jaccard similarity: fraction of agreeing informative
-        slots (slots empty on both sides carry no information)."""
+        """Estimated Jaccard similarity: fraction of agreeing slots among
+        those filled on *both* sides.
+
+        One-sided empties are excluded, not counted as disagreements: a
+        slot empty in only one signature reflects the size skew between
+        the two key sets (the sparser one retained nothing in that hash
+        range), not evidence about their overlap — counting it as a
+        mismatch biased the estimate toward 0 for size-skewed pairs.
+        Slots empty on both sides carry no information either way.
+
+        Operating regime: the estimator is accurate when signatures are
+        mostly filled — key sets at least as large as the slot count,
+        which sketches in this system always are (they retain 256–1024
+        keys against the default 64 slots). For key sets much smaller
+        than the slot count the both-filled conditioning enriches for
+        shared keys and overestimates; the property suite pins the dense
+        regime.
+        """
         agree = 0
         informative = 0
         for a, b in zip(self.slots, other.slots):
-            if a == _EMPTY and b == _EMPTY:
+            if a == _EMPTY or b == _EMPTY:
                 continue
             informative += 1
             if a == b:
@@ -79,69 +125,195 @@ class MinHashSignature:
 class LshIndex:
     """Banded MinHash-LSH index over sketch key sets.
 
+    Signatures are stored columnar (one ``uint64`` slot row plus a
+    boolean filled mask per sketch); buckets map a band's byte-packed
+    slot values to integer doc positions. Sketch ids are kept in a
+    lexicographically *unordered* insertion list — candidate output is
+    sorted by id where determinism matters.
+
     Args:
         bands: number of bands ``b``.
         rows: rows per band ``r``. The signature has ``b·r`` slots.
         bits: width of the key-hash space (the catalog hasher's ``bits``).
     """
 
-    def __init__(self, bands: int = 16, rows: int = 4, bits: int = 32) -> None:
+    def __init__(
+        self,
+        bands: int = DEFAULT_BANDS,
+        rows: int = DEFAULT_ROWS,
+        bits: int = 32,
+    ) -> None:
         if bands <= 0 or rows <= 0:
             raise ValueError(f"bands and rows must be positive, got {bands}x{rows}")
         self.bands = bands
         self.rows = rows
         self.bits = bits
-        self._buckets: list[dict[tuple[int, ...], list[str]]] = [
+        self._buckets: list[dict[bytes, list[int]]] = [
             defaultdict(list) for _ in range(bands)
         ]
-        self._signatures: dict[str, MinHashSignature] = {}
+        self._ids: list[str] = []
+        self._id_index: dict[str, int] = {}
+        self._slots: list[np.ndarray] = []
+        self._filled: list[np.ndarray] = []
 
     @property
     def n_slots(self) -> int:
         return self.bands * self.rows
 
+    @property
+    def ids(self) -> list[str]:
+        """Indexed sketch ids in insertion order (read-only use)."""
+        return self._ids
+
     def __len__(self) -> int:
-        return len(self._signatures)
+        return len(self._ids)
 
     def __contains__(self, sketch_id: str) -> bool:
-        return sketch_id in self._signatures
+        return sketch_id in self._id_index
 
-    def signature_of(self, key_hashes: Iterable[int]) -> MinHashSignature:
-        return MinHashSignature.from_key_hashes(key_hashes, self.n_slots, self.bits)
+    # -- signatures ----------------------------------------------------------
 
-    def _band_keys(self, signature: MinHashSignature):
+    def _signature_arrays(self, key_hashes) -> tuple[np.ndarray, np.ndarray]:
+        """``(slots, filled)`` arrays for one key-hash set (any iterable
+        of ints or an integer array; order never matters)."""
+        if not isinstance(key_hashes, np.ndarray):
+            key_hashes = np.fromiter(key_hashes, dtype=np.uint64)
+        return one_permutation_signature(key_hashes, self.n_slots, self.bits)
+
+    def signature_of(self, key_hashes) -> MinHashSignature:
+        """Scalar-view signature (``_EMPTY`` sentinel tuple) of a key set."""
+        slots, filled = self._signature_arrays(key_hashes)
+        return MinHashSignature(
+            tuple(
+                int(v) if f else _EMPTY
+                for v, f in zip(slots.tolist(), filled.tolist())
+            )
+        )
+
+    def _band_payloads(self, slots: np.ndarray, filled: np.ndarray):
+        """Yield ``(band, key_bytes)`` for every band with ≥1 filled slot.
+
+        The byte key packs the band's slot values *and* its filled mask,
+        so an empty slot never equals a filled slot holding the
+        placeholder value. All-empty bands are skipped — the empty-band
+        collision fix described in the module docs.
+        """
+        r = self.rows
         for band in range(self.bands):
-            start = band * self.rows
-            yield band, signature.slots[start : start + self.rows]
+            start = band * r
+            filled_band = filled[start : start + r]
+            if not filled_band.any():
+                continue
+            yield band, (
+                slots[start : start + r].tobytes() + filled_band.tobytes()
+            )
 
-    def add(self, sketch_id: str, key_hashes: Iterable[int]) -> None:
+    # -- population ----------------------------------------------------------
+
+    def _append(self, sketch_id: str, slots: np.ndarray, filled: np.ndarray) -> None:
+        doc = len(self._ids)
+        self._ids.append(sketch_id)
+        self._id_index[sketch_id] = doc
+        self._slots.append(slots)
+        self._filled.append(filled)
+        for band, key in self._band_payloads(slots, filled):
+            self._buckets[band][key].append(doc)
+
+    def add(self, sketch_id: str, key_hashes) -> None:
         """Index a sketch by its retained key hashes.
 
         Raises:
             ValueError: if ``sketch_id`` is already indexed.
         """
-        if sketch_id in self._signatures:
+        if sketch_id in self._id_index:
             raise ValueError(f"sketch id {sketch_id!r} is already indexed")
-        signature = self.signature_of(key_hashes)
-        self._signatures[sketch_id] = signature
-        for band, key in self._band_keys(signature):
-            self._buckets[band][key].append(sketch_id)
+        slots, filled = self._signature_arrays(key_hashes)
+        self._append(sketch_id, slots, filled)
+
+    def add_batch(
+        self,
+        sketch_ids: Sequence[str],
+        concat_hashes: np.ndarray,
+        indptr: np.ndarray,
+    ) -> None:
+        """Bulk :meth:`add` from CSR-concatenated key-hash arrays.
+
+        All signatures are built by one vectorized
+        :func:`~repro.hashing.vectorized.one_permutation_signatures_batch`
+        scatter — the catalog's lazy LSH build
+        (:meth:`repro.index.catalog.SketchCatalog.lsh_index`) feeds the
+        concatenated ``SketchColumns.key_hashes`` straight in. Validates
+        every id before mutating anything, like the catalog's bulk add.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        if indptr.shape[0] != len(sketch_ids) + 1:
+            raise ValueError(
+                f"{len(sketch_ids)} ids need indptr of length "
+                f"{len(sketch_ids) + 1}, got {indptr.shape[0]}"
+            )
+        seen: set[str] = set()
+        for sid in sketch_ids:
+            if sid in self._id_index:
+                raise ValueError(f"sketch id {sid!r} is already indexed")
+            if sid in seen:
+                raise ValueError(f"duplicate sketch id {sid!r} in batch")
+            seen.add(sid)
+        slots, filled = one_permutation_signatures_batch(
+            concat_hashes, indptr, self.n_slots, self.bits
+        )
+        for i, sid in enumerate(sketch_ids):
+            self._append(sid, slots[i], filled[i])
+
+    # -- probing -------------------------------------------------------------
+
+    def _collect(self, slots: np.ndarray, filled: np.ndarray) -> list[int]:
+        docs: set[int] = set()
+        for band, key in self._band_payloads(slots, filled):
+            docs.update(self._buckets[band].get(key, ()))
+        return sorted(docs)
+
+    def candidate_ids(self, key_hashes, *, exclude: str | None = None) -> list[str]:
+        """Sketch ids colliding with the query in ≥1 band, sorted by id.
+
+        The retrieval-backend probe: similarity estimates are skipped —
+        the engine ranks candidates by exact key overlap downstream, so
+        collision membership is all it needs.
+        """
+        slots, filled = self._signature_arrays(key_hashes)
+        ids = [self._ids[d] for d in self._collect(slots, filled)]
+        if exclude is not None:
+            ids = [sid for sid in ids if sid != exclude]
+        return sorted(ids)
 
     def candidates(
-        self, key_hashes: Iterable[int], *, exclude: str | None = None
+        self, key_hashes, *, exclude: str | None = None
     ) -> dict[str, float]:
-        """Return colliding sketch ids with estimated Jaccard similarity."""
-        signature = self.signature_of(key_hashes)
-        hits: set[str] = set()
-        for band, key in self._band_keys(signature):
-            hits.update(self._buckets[band].get(key, ()))
+        """Return colliding sketch ids with estimated Jaccard similarity.
+
+        Similarities are computed in one vectorized pass over the hit
+        set, bit-identical to :meth:`MinHashSignature.similarity` on the
+        corresponding scalar signatures (integer counts, one division).
+        """
+        slots, filled = self._signature_arrays(key_hashes)
+        docs = self._collect(slots, filled)
         if exclude is not None:
-            hits.discard(exclude)
-        return {sid: signature.similarity(self._signatures[sid]) for sid in hits}
+            excl = self._id_index.get(exclude)
+            docs = [d for d in docs if d != excl]
+        if not docs:
+            return {}
+        cand_slots = np.stack([self._slots[d] for d in docs])
+        cand_filled = np.stack([self._filled[d] for d in docs])
+        informative = cand_filled & filled[None, :]
+        agree = informative & (cand_slots == slots[None, :])
+        n_inf = informative.sum(axis=1)
+        n_agree = agree.sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            sims = np.where(n_inf > 0, n_agree / np.maximum(n_inf, 1), 0.0)
+        return {self._ids[d]: float(s) for d, s in zip(docs, sims)}
 
     def top_candidates(
         self,
-        key_hashes: Iterable[int],
+        key_hashes,
         k: int,
         *,
         exclude: str | None = None,
@@ -152,3 +324,45 @@ class LshIndex:
         scored = self.candidates(key_hashes, exclude=exclude)
         ranked = sorted(scored.items(), key=lambda t: (-t[1], t[0]))
         return ranked[:k]
+
+    # -- persistence (binary catalog snapshots) ------------------------------
+
+    def export_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(slots, filled)`` as dense ``(n, n_slots)`` matrices.
+
+        The snapshot representation: together with :attr:`ids` and the
+        ``(bands, rows, bits)`` config they rebuild the index exactly
+        (:meth:`from_arrays`); buckets are derived state.
+        """
+        if not self._ids:
+            return (
+                np.empty((0, self.n_slots), dtype=np.uint64),
+                np.empty((0, self.n_slots), dtype=bool),
+            )
+        return np.stack(self._slots), np.stack(self._filled)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        sketch_ids: Sequence[str],
+        slots: np.ndarray,
+        filled: np.ndarray,
+        *,
+        bands: int,
+        rows: int,
+        bits: int,
+    ) -> "LshIndex":
+        """Rebuild an index from :meth:`export_arrays` output."""
+        index = cls(bands=bands, rows=rows, bits=bits)
+        slots = np.asarray(slots, dtype=np.uint64)
+        filled = np.asarray(filled, dtype=bool)
+        if slots.shape != (len(sketch_ids), index.n_slots) or filled.shape != slots.shape:
+            raise ValueError(
+                f"signature arrays of shape {slots.shape}/{filled.shape} do not "
+                f"match {len(sketch_ids)} ids x {index.n_slots} slots"
+            )
+        for i, sid in enumerate(sketch_ids):
+            if sid in index._id_index:
+                raise ValueError(f"duplicate sketch id {sid!r}")
+            index._append(str(sid), slots[i], filled[i])
+        return index

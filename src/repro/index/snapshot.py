@@ -14,7 +14,13 @@ members) holding
   min/max, names);
 * the **frozen CSR postings** of the inverted index
   (:class:`repro.index.inverted.ColumnarPostings` — vocabulary,
-  ``indptr``, doc ids, doc table), persisted verbatim.
+  ``indptr``, doc ids, doc table), persisted verbatim;
+* since version 2, the **LSH signature arrays** — the catalog's
+  MinHash-LSH index (:class:`repro.index.lsh.LshIndex`), when one was
+  built before saving: per-sketch slot/filled matrices plus the
+  ``(bands, rows, bits)`` config. Catalogs that never probed the LSH
+  backend write no LSH members and rebuild lazily after load, exactly
+  like the JSON reference format always does.
 
 Loading therefore does no per-entry work at all: each array is one
 contiguous read, every sketch rehydrates as a zero-copy slice view
@@ -28,8 +34,11 @@ scalar reference path asks for them.
 
 Format contract:
 
-* ``version`` (currently 1) gates compatibility — loading a snapshot
-  with an unknown version raises ``ValueError`` rather than guessing;
+* ``version`` (currently 2) gates compatibility — loading a snapshot
+  with an unknown version raises ``ValueError`` rather than guessing.
+  Version-1 snapshots (pre-LSH layout) still load: every version-1
+  member kept its name and meaning, version 2 only *adds* the optional
+  LSH members;
 * array-level equality with the JSON round trip: a catalog saved to both
   formats loads back with identical per-sketch entries, columnar views
   and postings (the snapshot test suite pins this);
@@ -53,9 +62,14 @@ from repro.index.catalog import (
     _LazySketch,
 )
 from repro.index.inverted import ColumnarPostings
+from repro.index.lsh import LshIndex
 
 #: Bump on any layout change; load_snapshot refuses unknown versions.
-SNAPSHOT_VERSION = 1
+#: v1: sketch arrays + frozen postings. v2: adds optional LSH members.
+SNAPSHOT_VERSION = 2
+
+#: Versions this build can read (v2 is a strict superset of v1).
+_READABLE_VERSIONS = (1, 2)
 
 
 def detect_format(path: str | Path) -> str:
@@ -95,6 +109,20 @@ def save_snapshot(catalog: SketchCatalog, path: str | Path) -> None:
         return np.concatenate(arrays).astype(dtype, copy=False)
 
     bits, seed = catalog.hasher.scheme_id
+    # The LSH index rides along only when the catalog actually built one
+    # (and it still covers exactly the current sketch set — any mutation
+    # since the build would have invalidated it to None).
+    lsh = catalog._lsh_index
+    lsh_members = {}
+    if lsh is not None and list(lsh.ids) == ids:
+        lsh_slots, lsh_filled = lsh.export_arrays()
+        lsh_members = {
+            "lsh_config": np.asarray(
+                [lsh.bands, lsh.rows, lsh.bits], dtype=np.int64
+            ),
+            "lsh_slots": lsh_slots,
+            "lsh_filled": lsh_filled,
+        }
     # A file handle (not a path) keeps np.savez from appending ".npz"
     # behind the caller's back — the snapshot lands exactly where asked,
     # whatever the extension (load sniffs the zip magic anyway).
@@ -125,6 +153,7 @@ def save_snapshot(catalog: SketchCatalog, path: str | Path) -> None:
             postings_doc_ids=postings.doc_ids,
             postings_docs=np.asarray(postings.docs, dtype=str),
             postings_doc_lengths=postings.doc_lengths,
+            **lsh_members,
         )
 
 
@@ -136,10 +165,10 @@ def load_snapshot(path: str | Path) -> SketchCatalog:
     """
     with np.load(path, allow_pickle=False) as payload:
         version = int(payload["version"][0])
-        if version != SNAPSHOT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(
                 f"unsupported catalog snapshot version {version} "
-                f"(this build reads version {SNAPSHOT_VERSION})"
+                f"(this build reads versions {_READABLE_VERSIONS})"
             )
         sketch_size, bits, seed, vectorized = (
             int(v) for v in payload["catalog_config"]
@@ -197,4 +226,16 @@ def load_snapshot(path: str | Path) -> SketchCatalog:
             payload["postings_docs"].tolist(),
             payload["postings_doc_lengths"],
         )
+        if "lsh_slots" in payload:
+            lsh_bands, lsh_rows, lsh_bits = (
+                int(v) for v in payload["lsh_config"]
+            )
+            catalog._lsh_index = LshIndex.from_arrays(
+                [str(sid) for sid in ids],
+                payload["lsh_slots"],
+                payload["lsh_filled"],
+                bands=lsh_bands,
+                rows=lsh_rows,
+                bits=lsh_bits,
+            )
     return catalog

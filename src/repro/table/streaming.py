@@ -87,7 +87,8 @@ def stream_sketch_csv(
                 continue  # blank line — common in hand-edited CSV files
             if len(row) != width:
                 raise ValueError(
-                    f"CSV {path.name!r}: expected {width} fields, got {len(row)}"
+                    f"CSV {path.name!r} line {reader.line_num}: expected "
+                    f"{width} fields, got {len(row)}"
                 )
             prefix.append(row)
             if len(prefix) >= type_inference_rows:
@@ -123,13 +124,19 @@ def stream_sketch_csv(
 
         for row in prefix:
             feed(row)
-        for line_no, row in enumerate(reader, start=len(prefix) + 2):
+        # Error positions come from reader.line_num — the *physical* line
+        # of the last row parsed. Deriving them from the logical row count
+        # (enumerate over the reader seeded with len(prefix)) undercounts
+        # whenever blank lines were skipped inside the prefix region
+        # (blank rows never enter `prefix` but do advance the file), and
+        # whenever a quoted field spans multiple lines.
+        for row in reader:
             if not row:
                 continue
             if len(row) != width:
                 raise ValueError(
-                    f"CSV {path.name!r} line {line_no}: expected {width} "
-                    f"fields, got {len(row)}"
+                    f"CSV {path.name!r} line {reader.line_num}: expected "
+                    f"{width} fields, got {len(row)}"
                 )
             feed(row)
     return sketches

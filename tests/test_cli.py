@@ -229,6 +229,106 @@ def test_query_rng_mode_flag(portal, tmp_path, capsys):
               "--rng-mode", "magic"])
 
 
+def test_query_lsh_backend_matches_inverted(portal, tmp_path, capsys):
+    """--retrieval lsh runs the approximate backend; on this tiny
+    full-overlap portal its recall is 1, so rankings match exactly."""
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    query = ["query", str(catalog), str(portal / "query.csv"), "--scorer", "rp"]
+
+    def ranking(extra):
+        assert main(query + extra) == 0
+        out = capsys.readouterr().out
+        return out, [l.split() for l in out.splitlines() if l and l[0].isdigit()]
+
+    inverted_out, inverted_ranked = ranking([])
+    assert "retrieval  : inverted" in inverted_out
+    lsh_out, lsh_ranked = ranking(["--retrieval", "lsh", "--bands", "32", "--rows", "2"])
+    assert "retrieval  : lsh" in lsh_out
+    assert lsh_ranked == inverted_ranked
+
+
+def test_query_queries_dir_batch(portal, tmp_path, capsys):
+    """--queries-dir evaluates every pair in the directory as one batch
+    and reports per-query result blocks."""
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    rc = main(
+        ["query", str(catalog), "--queries-dir", str(portal), "--scorer", "rp", "-k", "1"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "queries    : 3 column pair(s)" in out
+    assert "batch time :" in out
+    # The query pair's own block must rank its planted match first.
+    block = out[out.index("query.csv::date->target"):]
+    first_row = [l for l in block.splitlines() if l and l[0].isdigit()][0]
+    assert first_row.split()[1].startswith("good.csv")
+
+
+def test_query_csv_and_queries_dir_mutually_exclusive(portal, tmp_path):
+    catalog = _index(portal, tmp_path)
+    with pytest.raises(SystemExit, match="either a query CSV or --queries-dir"):
+        main(["query", str(catalog), str(portal / "query.csv"),
+              "--queries-dir", str(portal)])
+
+
+def test_queries_dir_rejects_pair_selection_flags(portal, tmp_path):
+    """--key/--value select one pair of one CSV; silently ignoring them
+    in batch mode would answer a different question than asked."""
+    catalog = _index(portal, tmp_path)
+    with pytest.raises(SystemExit, match="every column pair"):
+        main(["query", str(catalog), "--queries-dir", str(portal),
+              "--key", "date"])
+
+
+def test_queries_dir_profile_prints_phase_split(portal, tmp_path, capsys):
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    rc = main(["query", str(catalog), "--queries-dir", str(portal),
+               "--scorer", "rp", "-k", "1", "--profile"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "profile    : retrieval" in out
+    assert "re-rank" in out
+
+
+def test_index_lsh_flag_ships_warm_snapshot(portal, tmp_path, capsys):
+    """index --lsh builds the LSH index before saving, so the .npz
+    snapshot serves --retrieval lsh without a per-process rebuild."""
+    npz = tmp_path / "warm.npz"
+    assert main(["index", str(portal), "-o", str(npz), "--lsh",
+                 "--lsh-bands", "32", "--lsh-rows", "2"]) == 0
+    capsys.readouterr()
+    assert main(["catalog", "info", str(npz)]) == 0
+    assert "lsh index    : warm (bands=32 rows=2)" in capsys.readouterr().out
+    rc = main(["query", str(npz), str(portal / "query.csv"),
+               "--retrieval", "lsh", "--bands", "32", "--rows", "2",
+               "--scorer", "rp", "-k", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+    assert lines[0].split()[1].startswith("good.csv")
+
+
+def test_catalog_info_reports_lsh_state(portal, tmp_path, capsys):
+    """catalog info says whether the snapshot ships a warm LSH index."""
+    from repro.index.catalog import SketchCatalog
+
+    npz = tmp_path / "catalog.npz"
+    assert main(["index", str(portal), "-o", str(npz)]) == 0
+    capsys.readouterr()
+    assert main(["catalog", "info", str(npz)]) == 0
+    assert "lsh index    : none" in capsys.readouterr().out
+
+    catalog = SketchCatalog.load(npz)
+    catalog.lsh_index(bands=32, rows=2)
+    warm = tmp_path / "warm.npz"
+    catalog.save(warm)
+    assert main(["catalog", "info", str(warm)]) == 0
+    assert "lsh index    : warm (bands=32 rows=2)" in capsys.readouterr().out
+
+
 def test_query_seed_controls_random_scorer(portal, tmp_path, capsys):
     """Same seed -> same ranking; the stochastic scorer makes differing
     seeds overwhelmingly likely to produce different orders."""
@@ -247,3 +347,17 @@ def test_query_seed_controls_random_scorer(portal, tmp_path, capsys):
     assert run(["--seed", "3"]) == run(["--seed", "3"])
     runs = {tuple(run(["--seed", str(s)])) for s in range(8)}
     assert len(runs) > 1
+
+
+def test_query_requires_some_input(portal, tmp_path):
+    catalog = _index(portal, tmp_path)
+    with pytest.raises(SystemExit, match="provide a query CSV"):
+        main(["query", str(catalog)])
+
+
+def test_index_lsh_with_json_output_warns_and_skips(portal, tmp_path, capsys):
+    """JSON persists no LSH members, so --lsh must not silently pretend."""
+    out = tmp_path / "catalog.json"
+    assert main(["index", str(portal), "-o", str(out), "--lsh"]) == 0
+    captured = capsys.readouterr()
+    assert "only .npz snapshots persist the LSH index" in captured.err

@@ -82,3 +82,80 @@ def test_scales_to_many_documents():
     hits = idx.top_overlap(range(100, 110), k=3)
     assert hits[0] == ("doc100", 10)
     assert hits[1][1] == 9  # doc099 / doc101 overlap by 9
+
+
+# -- batched (stacked) columnar probe ----------------------------------------
+
+
+def _frozen_random(seed=0, n_docs=60, universe=400):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    idx = InvertedIndex()
+    for d in range(n_docs):
+        size = int(rng.integers(1, 60))
+        hashes = rng.choice(universe, size=size, replace=False)
+        idx.add(f"doc{d:03d}", (int(h) for h in hashes))
+    return idx.freeze(), rng
+
+
+def test_overlap_counts_batch_rows_match_single_probe():
+    import numpy as np
+
+    frozen, rng = _frozen_random()
+    queries = [
+        np.unique(rng.choice(400, size=int(rng.integers(0, 80)), replace=False))
+        for _ in range(12)
+    ]
+    q_indptr = np.zeros(len(queries) + 1, dtype=np.int64)
+    np.cumsum(np.asarray([q.size for q in queries]), out=q_indptr[1:])
+    concat = np.concatenate(queries).astype(np.uint64)
+    counts = frozen.overlap_counts_batch(concat, q_indptr)
+    assert counts.shape == (len(queries), len(frozen))
+    for q, query in enumerate(queries):
+        assert (counts[q] == frozen.overlap_counts_array(query)).all()
+
+
+def test_top_overlap_batch_matches_single_calls():
+    import numpy as np
+
+    frozen, rng = _frozen_random(seed=3)
+    queries = [
+        np.unique(rng.choice(400, size=int(rng.integers(0, 80)), replace=False))
+        for _ in range(10)
+    ]
+    excludes = [None, "doc001", None, "doc999", None, "doc010", None, None, None, None]
+    batch = frozen.top_overlap_batch(queries, 7, excludes=excludes, min_overlap=2)
+    for q, query in enumerate(queries):
+        single = frozen.top_overlap(query, 7, exclude=excludes[q], min_overlap=2)
+        assert batch[q] == single
+
+
+def test_top_overlap_batch_empty_and_validation():
+    import numpy as np
+
+    frozen, _ = _frozen_random(seed=5)
+    assert frozen.top_overlap_batch([], 5) == []
+    empty = np.empty(0, dtype=np.uint64)
+    assert frozen.top_overlap_batch([empty], 5) == [[]]
+    with pytest.raises(ValueError, match="k must be positive"):
+        frozen.top_overlap_batch([empty], 0)
+    with pytest.raises(ValueError, match="excludes"):
+        frozen.top_overlap_batch([empty, empty], 3, excludes=["x"])
+
+
+def test_top_overlap_batch_row_chunking_parity(monkeypatch):
+    """Tiny row-chunk budgets (forcing one query per selection round)
+    must not change any result — batch memory is bounded, output isn't."""
+    import numpy as np
+
+    import repro.index.inverted as inverted_mod
+
+    frozen, rng = _frozen_random(seed=7)
+    queries = [
+        np.unique(rng.choice(400, size=int(rng.integers(0, 80)), replace=False))
+        for _ in range(9)
+    ]
+    expected = frozen.top_overlap_batch(queries, 6, min_overlap=2)
+    monkeypatch.setattr(inverted_mod, "_PROBE_MATRIX_CELLS", 1)
+    assert frozen.top_overlap_batch(queries, 6, min_overlap=2) == expected

@@ -189,6 +189,32 @@ def test_unknown_snapshot_version_rejected(tmp_path):
         load_snapshot(path)
 
 
+def test_version1_snapshot_still_loads(tmp_path):
+    """Version 2 only *added* the optional LSH members, so a snapshot
+    rewritten with the version-1 layout (no LSH arrays) must load."""
+    catalog, query = _world(seed=4, n_tables=3)
+    catalog.lsh_index()  # v2 save would persist LSH members
+    path = tmp_path / "c.npz"
+    save_snapshot(catalog, path)
+    payload = dict(np.load(path))
+    for key in ("lsh_config", "lsh_slots", "lsh_filled"):
+        payload.pop(key)
+    payload["version"] = np.asarray([1], dtype=np.int64)
+    np.savez(path, **payload)
+    loaded = load_snapshot(path)
+    assert len(loaded) == len(catalog)
+    assert loaded.lsh_params is None  # rebuilt lazily, like JSON catalogs
+    for sid in catalog:
+        _assert_columns_equal(
+            catalog.sketch_columns(sid), loaded.sketch_columns(sid)
+        )
+    a = JoinCorrelationEngine(catalog).query(query, k=5)
+    b = JoinCorrelationEngine(loaded).query(query, k=5)
+    assert [(e.candidate_id, e.score) for e in a.ranked] == [
+        (e.candidate_id, e.score) for e in b.ranked
+    ]
+
+
 def test_format_detection(tmp_path):
     catalog, _ = _world(seed=5, n_tables=2)
     npz_path = tmp_path / "c.npz"

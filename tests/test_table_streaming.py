@@ -88,6 +88,37 @@ def test_ragged_row_after_prefix_rejected(tmp_path):
         stream_sketch_csv(path, 16, type_inference_rows=10)
 
 
+def test_error_line_number_is_physical(tmp_path):
+    """A ragged row is reported at its true file line (here 53: header +
+    50 good rows + 1 trailing blank + the bad row)."""
+    rows = ["k,v"] + [f"a{i},1" for i in range(50)] + ["", "broken"]
+    path = tmp_path / "bad3.csv"
+    path.write_text("\n".join(rows) + "\n")
+    with pytest.raises(ValueError, match="line 53"):
+        stream_sketch_csv(path, 16, type_inference_rows=10)
+
+
+def test_error_line_number_with_blank_lines_in_prefix(tmp_path):
+    """Regression: blank lines inside the type-inference prefix advance
+    the file but never enter the buffered prefix, so counting from
+    ``len(prefix)`` undercounted every later error position. Here the
+    bad row sits on physical line 9 (header + 5 rows + 2 blanks + 1)."""
+    rows = ["k,v", "a,1", "", "b,2", "", "c,3", "d,4", "e,5", "broken"]
+    path = tmp_path / "bad4.csv"
+    path.write_text("\n".join(rows) + "\n")
+    with pytest.raises(ValueError, match="line 9"):
+        stream_sketch_csv(path, 16, type_inference_rows=3)
+
+
+def test_error_line_number_in_prefix_region(tmp_path):
+    """Ragged rows inside the prefix region also report their line."""
+    rows = ["k,v", "a,1", "", "broken,x,y"]
+    path = tmp_path / "bad5.csv"
+    path.write_text("\n".join(rows) + "\n")
+    with pytest.raises(ValueError, match="line 4"):
+        stream_sketch_csv(path, 16)
+
+
 def test_catalog_streaming_integration(csv_file, tmp_path):
     eager = SketchCatalog(sketch_size=64)
     eager.add_table(read_csv(csv_file))
