@@ -34,6 +34,8 @@ Subpackages
     Typed tables, CSV with type detection, ground-truth joins.
 ``repro.index``
     Inverted index, sketch catalog, the top-k query engine.
+``repro.serving``
+    Sharded catalogs and scatter-gather query routing (horizontal scale).
 ``repro.data``
     Synthetic data generators (SBN, NYC-like, WBF-like).
 ``repro.evalharness``
@@ -61,6 +63,7 @@ from repro.correlation import (
 from repro.index import InvertedIndex, JoinCorrelationEngine, QueryResult, SketchCatalog
 from repro.kmv import KMVSynopsis
 from repro.ranking import SCORER_NAMES, rank_candidates
+from repro.serving import ShardRouter, ShardedCatalog
 from repro.table import Table, read_csv, read_csv_text
 
 __version__ = "1.0.0"
@@ -77,6 +80,8 @@ __all__ = [
     "MultiColumnSketch",
     "QueryResult",
     "SCORER_NAMES",
+    "ShardRouter",
+    "ShardedCatalog",
     "SketchCatalog",
     "Table",
     "estimate",

@@ -18,6 +18,16 @@ The operations of a join-correlation deployment, as subcommands:
   CSV column pairs directly from freshly built sketches.
 * ``catalog``  — catalog management; ``catalog info <path>`` reports
   statistics, format and on-disk size (``info <path>`` is the shorthand).
+* ``shard``    — sharded-catalog management: ``shard build`` partitions a
+  CSV collection across N shards into a manifest directory
+  (:mod:`repro.serving`); ``shard info`` reports the layout from the
+  manifest alone, without materializing any shard. ``query
+  --catalog-dir <dir>`` serves queries from such a directory
+  scatter-gather (``--workers`` fans the shard probes out on threads),
+  with results bit-identical to a monolithic catalog.
+
+Missing or corrupt catalog/CSV inputs print a one-line ``error:`` and
+exit with status 2 instead of a traceback.
 
 Examples::
 
@@ -28,6 +38,9 @@ Examples::
     repro-sketch query catalog.npz taxi.csv --retrieval lsh --bands 32 --rows 2
     repro-sketch estimate left.csv right.csv --left-key date --right-key day
     repro-sketch catalog info catalog.npz
+    repro-sketch shard build data/portal/ -o catalog-dir/ --shards 4
+    repro-sketch shard info catalog-dir/
+    repro-sketch query --catalog-dir catalog-dir/ taxi.csv --workers 4
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -48,6 +62,62 @@ from repro.index.snapshot import detect_format
 from repro.ranking.scoring import RNG_MODES, SCORER_NAMES
 from repro.table.csv_io import read_csv
 from repro.table.table import ColumnPair, Table
+
+
+class _CliError(Exception):
+    """One-line operational failure: printed to stderr, exit status 2.
+
+    Distinct from argparse usage errors (SystemExit) — this is the "your
+    inputs were well-formed but the files they name are missing or
+    corrupt" path the serving scripts match on.
+    """
+
+
+def _fail(message: str) -> "_CliError":
+    return _CliError(message)
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer, clear message otherwise."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _load_catalog(path: str | Path) -> SketchCatalog:
+    """Load a single-file catalog, mapping failures to one-line errors."""
+    path = Path(path)
+    if path.is_dir():
+        raise _fail(
+            f"{path} is a directory — sharded catalogs are served with "
+            "--catalog-dir (or inspected with `shard info`)"
+        )
+    try:
+        return SketchCatalog.load(path)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise _fail(f"cannot load catalog {path}: {exc}") from exc
+
+
+def _load_sharded(directory: str | Path):
+    """Load a sharded-catalog manifest directory (lazy shards)."""
+    from repro.serving import ShardedCatalog
+
+    try:
+        return ShardedCatalog.load(directory)
+    except (OSError, ValueError, KeyError) as exc:
+        raise _fail(f"cannot load sharded catalog {directory}: {exc}") from exc
+
+
+def _read_csv_table(path: str | Path) -> Table:
+    """Read one CSV, mapping missing/corrupt files to one-line errors."""
+    try:
+        return read_csv(path)
+    except (OSError, ValueError) as exc:
+        raise _fail(f"cannot read {path}: {exc}") from exc
 
 
 def _resolve_pair(table: Table, key: str | None, value: str | None) -> ColumnPair:
@@ -84,6 +154,25 @@ def _build_query_sketch(
     return sketch
 
 
+def _ingest_csvs(catalog, csv_files, verbose: bool) -> int:
+    """Sketch every CSV into ``catalog`` (monolithic or sharded —
+    ``add_table`` is the shared ingest surface); returns the pair count.
+    Unparseable files are skipped with a warning, as a portal crawl
+    must tolerate junk files."""
+    n_pairs = 0
+    for path in csv_files:
+        try:
+            table = read_csv(path)
+        except ValueError as exc:
+            print(f"skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        ids = catalog.add_table(table)
+        n_pairs += len(ids)
+        if verbose:
+            print(f"  {path.name}: {len(ids)} column pair(s)")
+    return n_pairs
+
+
 def cmd_index(args: argparse.Namespace) -> int:
     directory = Path(args.directory)
     csv_files = sorted(directory.glob("*.csv"))
@@ -96,17 +185,7 @@ def cmd_index(args: argparse.Namespace) -> int:
         vectorized=not args.no_vectorized,
     )
     t0 = time.perf_counter()
-    n_pairs = 0
-    for path in csv_files:
-        try:
-            table = read_csv(path)
-        except ValueError as exc:
-            print(f"skipping {path.name}: {exc}", file=sys.stderr)
-            continue
-        ids = catalog.add_table(table)
-        n_pairs += len(ids)
-        if args.verbose:
-            print(f"  {path.name}: {len(ids)} column pair(s)")
+    n_pairs = _ingest_csvs(catalog, csv_files, args.verbose)
     if args.lsh:
         if Path(args.output).suffix == ".npz":
             # Build the LSH index now so the snapshot ships it warm — the
@@ -153,7 +232,46 @@ def _build_engine(catalog: SketchCatalog, args: argparse.Namespace):
     )
 
 
+def _build_router(catalog, args: argparse.Namespace):
+    from repro.serving import ShardRouter
+
+    return ShardRouter(
+        catalog,
+        retrieval_depth=args.depth,
+        min_overlap=args.min_overlap,
+        rng_mode=args.rng_mode,
+        retrieval_backend=args.retrieval,
+        lsh_bands=args.bands,
+        lsh_rows=args.rows,
+        workers=args.workers,
+    )
+
+
 def cmd_query(args: argparse.Namespace) -> int:
+    if args.catalog_dir is not None and args.catalog is not None:
+        # `query --catalog-dir DIR some.csv` parses the CSV into the
+        # catalog positional; reinterpret it as the query CSV.
+        if args.query_csv is None:
+            args.query_csv = args.catalog
+            args.catalog = None
+        else:
+            raise SystemExit(
+                "error: provide either a catalog file or --catalog-dir, "
+                "not both"
+            )
+    if args.catalog is None and args.catalog_dir is None:
+        raise SystemExit(
+            "error: provide a catalog file or --catalog-dir"
+        )
+    if args.workers is not None and args.catalog_dir is None:
+        raise SystemExit(
+            "error: --workers fans shard probes out and needs --catalog-dir"
+        )
+    if args.no_vectorized_query and args.catalog_dir is not None:
+        raise SystemExit(
+            "error: --no-vectorized-query selects the single-catalog "
+            "reference executor; the sharded router is columnar-only"
+        )
     if args.query_csv is not None and args.queries_dir is not None:
         raise SystemExit(
             "error: provide either a query CSV or --queries-dir, not both"
@@ -168,23 +286,32 @@ def cmd_query(args: argparse.Namespace) -> int:
             "error: --key/--value select one pair of a single query CSV; "
             "--queries-dir always evaluates every column pair"
         )
-    catalog = SketchCatalog.load(args.catalog)
+    if args.catalog_dir is not None:
+        catalog = _load_sharded(args.catalog_dir)
+        engine = _build_router(catalog, args)
+        executor_label = (
+            f"sharded ({catalog.n_shards} shards, "
+            f"workers={args.workers if args.workers is not None else 1})"
+        )
+    else:
+        catalog = _load_catalog(args.catalog)
+        engine = _build_engine(catalog, args)
+        executor_label = "scalar" if args.no_vectorized_query else "columnar"
     rng = np.random.default_rng(args.seed) if args.seed is not None else None
     if args.queries_dir is not None:
-        return _run_query_batch(catalog, args, rng)
+        return _run_query_batch(catalog, engine, executor_label, args, rng)
 
-    table = read_csv(args.query_csv)
+    table = _read_csv_table(args.query_csv)
     pair = _resolve_pair(table, args.key, args.value)
     sketch = _build_query_sketch(table, pair, catalog)
 
-    engine = _build_engine(catalog, args)
     result = engine.query(
         sketch, k=args.k, scorer=args.scorer, exclude_id=pair.pair_id, rng=rng
     )
 
     print(f"query pair : {pair.pair_id}")
     print(f"scorer     : {args.scorer}")
-    print(f"executor   : {'scalar' if args.no_vectorized_query else 'columnar'}")
+    print(f"executor   : {executor_label}")
     print(f"retrieval  : {args.retrieval}")
     print(
         f"candidates : {result.candidates_considered} joinable "
@@ -209,7 +336,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def _run_query_batch(
-    catalog: SketchCatalog, args: argparse.Namespace, rng
+    catalog, engine, executor_label: str, args: argparse.Namespace, rng
 ) -> int:
     """``query --queries-dir``: every column pair of every CSV in the
     directory becomes one query of a single ``query_batch`` round."""
@@ -233,7 +360,6 @@ def _run_query_batch(
         print(f"error: no sketchable column pairs under {directory}", file=sys.stderr)
         return 1
 
-    engine = _build_engine(catalog, args)
     t0 = time.perf_counter()
     results = engine.query_batch(
         sketches, k=args.k, scorer=args.scorer, exclude_ids=pair_ids, rng=rng
@@ -242,6 +368,7 @@ def _run_query_batch(
 
     print(f"queries    : {len(sketches)} column pair(s) from {len(csv_files)} file(s)")
     print(f"scorer     : {args.scorer}")
+    print(f"executor   : {executor_label}")
     print(f"retrieval  : {args.retrieval}")
     print(
         f"batch time : {elapsed * 1000:.1f} ms "
@@ -274,8 +401,8 @@ def _run_query_batch(
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
-    left_table = read_csv(args.left_csv)
-    right_table = read_csv(args.right_csv)
+    left_table = _read_csv_table(args.left_csv)
+    right_table = _read_csv_table(args.right_csv)
     left_pair = _resolve_pair(left_table, args.left_key, args.left_value)
     right_pair = _resolve_pair(right_table, args.right_key, args.right_value)
 
@@ -301,7 +428,11 @@ def cmd_estimate(args: argparse.Namespace) -> int:
 
 def cmd_info(args: argparse.Namespace) -> int:
     path = Path(args.catalog)
-    catalog = SketchCatalog.load(path)
+    if path.is_dir():
+        # A manifest directory: report the sharded layout instead of
+        # failing on a directory read.
+        return _print_shard_info(path)
+    catalog = _load_catalog(path)
     # sketch_columns serves snapshot-loaded sketches from their stored
     # array views, so info on a binary catalog materializes nothing.
     sizes = [catalog.sketch_columns(sid).size for sid in catalog]
@@ -325,6 +456,91 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard_build(args: argparse.Namespace) -> int:
+    from repro.serving import ShardedCatalog
+
+    directory = Path(args.directory)
+    csv_files = sorted(directory.glob("*.csv"))
+    if not csv_files:
+        print(f"error: no CSV files under {directory}", file=sys.stderr)
+        return 1
+    catalog = ShardedCatalog(
+        args.shards,
+        sketch_size=args.sketch_size,
+        aggregate=args.aggregate,
+        vectorized=not args.no_vectorized,
+    )
+    t0 = time.perf_counter()
+    n_pairs = _ingest_csvs(catalog, csv_files, args.verbose)
+    if args.lsh:
+        # Build every shard's LSH index now so the snapshots ship warm
+        # for `query --catalog-dir --retrieval lsh`.
+        for index in range(catalog.n_shards):
+            catalog.shard(index).lsh_index(
+                bands=args.lsh_bands, rows=args.lsh_rows
+            )
+    catalog.save(args.output)
+    elapsed = time.perf_counter() - t0
+    sizes = "/".join(str(n) for n in catalog.shard_sizes())
+    print(
+        f"sharded {n_pairs} column pairs from {len(csv_files)} files across "
+        f"{catalog.n_shards} shards ({sizes}) in {elapsed:.2f}s "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _print_shard_info(directory: Path) -> int:
+    """Report a sharded catalog's layout from the manifest alone."""
+    from repro.serving import MANIFEST_NAME, read_manifest
+
+    try:
+        manifest = read_manifest(directory)
+    except (OSError, ValueError, KeyError) as exc:
+        raise _fail(f"cannot read sharded catalog {directory}: {exc}") from exc
+    try:
+        shard_entries = manifest["shards"]
+        bits, seed = manifest["scheme"]
+        header = [
+            f"catalog dir  : {directory}",
+            f"manifest     : version {manifest['version']}",
+            f"shards       : {manifest['n_shards']}",
+            f"sketches     : {sum(e['sketches'] for e in shard_entries)}",
+            f"sketch size  : {manifest['sketch_size']} "
+            f"(aggregate: {manifest['aggregate']})",
+            f"hash scheme  : bits={bits} seed={seed}",
+        ]
+        files = [entry["file"] for entry in shard_entries]
+        counts = [entry["sketches"] for entry in shard_entries]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _fail(
+            f"cannot read sharded catalog {directory}: corrupt manifest "
+            f"({exc!r})"
+        ) from exc
+    disk = (directory / MANIFEST_NAME).stat().st_size
+    missing = []
+    for name in files:
+        shard_path = directory / name
+        if shard_path.is_file():
+            disk += shard_path.stat().st_size
+        else:
+            missing.append(name)
+    for line in header:
+        print(line)
+    print(f"on-disk bytes: {disk:,}")
+    for index, (count, name) in enumerate(zip(counts, files)):
+        print(f"  shard {index:>4} : {count:>6} sketches  {name}")
+    if missing:
+        raise _fail(
+            f"manifest references missing shard file(s): {', '.join(missing)}"
+        )
+    return 0
+
+
+def cmd_shard_info(args: argparse.Namespace) -> int:
+    return _print_shard_info(Path(args.catalog_dir))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sketch",
@@ -342,7 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="catalog path; a .npz extension writes the binary columnar "
         "snapshot (fast cold starts), anything else portable JSON",
     )
-    p_index.add_argument("--sketch-size", type=int, default=256)
+    p_index.add_argument("--sketch-size", type=_positive_int, default=256)
     p_index.add_argument("--aggregate", default="mean")
     p_index.add_argument(
         "--no-vectorized",
@@ -358,14 +574,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_index.add_argument(
         "--lsh-bands",
-        type=int,
+        type=_positive_int,
         default=DEFAULT_BANDS,
         help="LSH bands for --lsh (collision threshold is roughly "
         "(1/bands)**(1/rows) Jaccard)",
     )
     p_index.add_argument(
         "--lsh-rows",
-        type=int,
+        type=_positive_int,
         default=DEFAULT_ROWS,
         help="LSH rows per band for --lsh",
     )
@@ -373,7 +589,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_index.set_defaults(func=cmd_index)
 
     p_query = sub.add_parser("query", help="top-k join-correlation query")
-    p_query.add_argument("catalog", help="catalog file from `index` (JSON or .npz)")
+    p_query.add_argument(
+        "catalog",
+        nargs="?",
+        default=None,
+        help="catalog file from `index` (JSON or .npz); omit with "
+        "--catalog-dir",
+    )
+    p_query.add_argument(
+        "--catalog-dir",
+        default=None,
+        help="sharded catalog directory from `shard build`; queries are "
+        "served scatter-gather with results bit-identical to a monolithic "
+        "catalog",
+    )
+    p_query.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="thread workers for the per-shard fan-out (with --catalog-dir; "
+        "default: sequential scatter)",
+    )
     p_query.add_argument(
         "query_csv",
         nargs="?",
@@ -388,9 +624,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument("--key", help="join-key column (default: first categorical)")
     p_query.add_argument("--value", help="numeric column (default: first numeric)")
-    p_query.add_argument("-k", type=int, default=10, help="result-list size")
+    p_query.add_argument(
+        "-k", type=_positive_int, default=10, help="result-list size"
+    )
     p_query.add_argument("--scorer", default="rp_cih", choices=SCORER_NAMES)
-    p_query.add_argument("--depth", type=int, default=100, help="overlap retrieval depth")
+    p_query.add_argument(
+        "--depth", type=_positive_int, default=100, help="overlap retrieval depth"
+    )
     p_query.add_argument(
         "--retrieval",
         default="inverted",
@@ -401,7 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--bands",
-        type=int,
+        type=_positive_int,
         default=None,
         help="LSH bands (with --retrieval lsh); collision threshold is "
         "roughly (1/bands)**(1/rows) Jaccard. Default: the banding of a "
@@ -409,7 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--rows",
-        type=int,
+        type=_positive_int,
         default=None,
         help="LSH rows per band (with --retrieval lsh); default: the warm "
         f"snapshot index's if present, else {DEFAULT_ROWS}",
@@ -457,7 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument("--left-value")
     p_est.add_argument("--right-key")
     p_est.add_argument("--right-value")
-    p_est.add_argument("--sketch-size", type=int, default=256)
+    p_est.add_argument("--sketch-size", type=_positive_int, default=256)
     p_est.add_argument("--aggregate", default="mean")
     p_est.add_argument(
         "--estimator",
@@ -478,13 +718,71 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="catalog statistics (alias of `catalog info`)")
     p_info.add_argument("catalog")
     p_info.set_defaults(func=cmd_info)
+
+    p_shard = sub.add_parser("shard", help="sharded catalog management")
+    shard_sub = p_shard.add_subparsers(dest="shard_command", required=True)
+    p_shard_build = shard_sub.add_parser(
+        "build",
+        help="shard-index every CSV in a directory into a manifest dir",
+    )
+    p_shard_build.add_argument("directory", help="directory containing CSV files")
+    p_shard_build.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="output catalog directory (manifest.json + per-shard .npz "
+        "snapshots); serve it with `query --catalog-dir`",
+    )
+    p_shard_build.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=4,
+        help="number of shards (default 4); each table routes to the "
+        "least-loaded shard",
+    )
+    p_shard_build.add_argument("--sketch-size", type=_positive_int, default=256)
+    p_shard_build.add_argument("--aggregate", default="mean")
+    p_shard_build.add_argument(
+        "--no-vectorized",
+        action="store_true",
+        help="build sketches row-at-a-time instead of the (identical but "
+        "much faster) columnar fast path",
+    )
+    p_shard_build.add_argument(
+        "--lsh",
+        action="store_true",
+        help="also build every shard's MinHash-LSH index before saving, so "
+        "the snapshots ship warm for `query --catalog-dir --retrieval lsh`",
+    )
+    p_shard_build.add_argument(
+        "--lsh-bands", type=_positive_int, default=DEFAULT_BANDS,
+        help="LSH bands for --lsh",
+    )
+    p_shard_build.add_argument(
+        "--lsh-rows", type=_positive_int, default=DEFAULT_ROWS,
+        help="LSH rows per band for --lsh",
+    )
+    p_shard_build.add_argument("-v", "--verbose", action="store_true")
+    p_shard_build.set_defaults(func=cmd_shard_build)
+
+    p_shard_info = shard_sub.add_parser(
+        "info",
+        help="layout, per-shard sizes and on-disk bytes, from the manifest "
+        "alone (no shard is materialized)",
+    )
+    p_shard_info.add_argument("catalog_dir", help="catalog directory from `shard build`")
+    p_shard_info.set_defaults(func=cmd_shard_info)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -11,11 +11,14 @@ estimated correlation under a risk-averse scoring function).
 from repro.index.catalog import SketchCatalog, SketchMeta
 from repro.index.engine import (
     RETRIEVAL_BACKENDS,
+    CandidatePage,
     ColumnarQueryExecutor,
     JoinCorrelationEngine,
     QueryExecutor,
     QueryResult,
     ScalarQueryExecutor,
+    retrieve_candidates,
+    retrieve_candidates_batch,
 )
 from repro.index.inverted import ColumnarPostings, InvertedIndex
 from repro.index.lsh import LshIndex, MinHashSignature
@@ -27,6 +30,7 @@ from repro.index.snapshot import (
 )
 
 __all__ = [
+    "CandidatePage",
     "ColumnarPostings",
     "ColumnarQueryExecutor",
     "InvertedIndex",
@@ -42,5 +46,7 @@ __all__ = [
     "SketchMeta",
     "detect_format",
     "load_snapshot",
+    "retrieve_candidates",
+    "retrieve_candidates_batch",
     "save_snapshot",
 ]

@@ -247,6 +247,61 @@ class SketchCatalog:
         )
         return self.add_sketches(sketches.items())
 
+    # -- removal -------------------------------------------------------------
+
+    def _entry_key_hashes(self, entry: CorrelationSketch | _LazySketch):
+        """A catalog entry's key hashes, without materializing lazy ones."""
+        if isinstance(entry, _LazySketch):
+            return entry.columns.key_hashes.tolist()
+        return entry.key_hashes()
+
+    def remove_sketch(self, sketch_id: str) -> None:
+        """Delete a sketch and every index trace of it.
+
+        The full invalidation chain: the live inverted index drops the
+        sketch's postings (unless it is still stale from a snapshot load,
+        in which case the eventual lazy rebuild simply never sees the
+        entry), and the frozen CSR postings and the LSH index are
+        invalidated wholesale — both rebuild lazily on next access, the
+        same contract mutation via :meth:`add_sketch` follows. The id is
+        free for re-registration immediately.
+
+        Raises:
+            KeyError: if ``sketch_id`` is not in the catalog.
+        """
+        try:
+            entry = self._sketches[sketch_id]
+        except KeyError:
+            raise KeyError(
+                f"no sketch {sketch_id!r} in catalog ({len(self)} sketches)"
+            ) from None
+        if not self._index_stale:
+            self._index.remove(sketch_id, self._entry_key_hashes(entry))
+        del self._sketches[sketch_id]
+        self._frozen_postings = None
+        self._lsh_index = None
+
+    def remove_sketches(self, sketch_ids: Iterable[str]) -> list[str]:
+        """Bulk :meth:`remove_sketch`: validate everything, then commit.
+
+        All ids are checked up front so an unknown (or duplicated) id
+        rejects the whole batch before any mutation; the frozen-postings
+        and LSH invalidation happens once, via the per-entry removals.
+        """
+        ids = list(sketch_ids)
+        seen: set[str] = set()
+        for sid in ids:
+            if sid not in self._sketches:
+                raise KeyError(
+                    f"no sketch {sid!r} in catalog ({len(self)} sketches)"
+                )
+            if sid in seen:
+                raise ValueError(f"duplicate sketch id {sid!r} in batch")
+            seen.add(sid)
+        for sid in ids:
+            self.remove_sketch(sid)
+        return ids
+
     # -- access --------------------------------------------------------------
 
     def __len__(self) -> int:

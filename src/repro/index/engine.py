@@ -106,12 +106,16 @@ class QueryResult:
         candidates_considered: sketches retrieved by the overlap phase.
         retrieval_seconds: wall time of the index-probe phase.
         rerank_seconds: wall time of the join/score/sort phase.
+        shards_probed: how many catalog partitions served the retrieval
+            phase — 1 for a monolithic catalog, the shard count when a
+            :class:`repro.serving.ShardRouter` merged the result.
     """
 
     ranked: list[RankedCandidate]
     candidates_considered: int
     retrieval_seconds: float
     rerank_seconds: float
+    shards_probed: int = 1
 
     @property
     def total_seconds(self) -> float:
@@ -544,9 +548,14 @@ def _apply_compat_bootstrap(
 
 
 def _lsh_hits_columnar(
-    engine: "JoinCorrelationEngine",
+    catalog: SketchCatalog,
     query_cols: SketchColumns,
-    exclude_id: str | None,
+    *,
+    depth: int,
+    min_overlap: int,
+    exclude: str | None,
+    lsh_bands: int | None,
+    lsh_rows: int | None,
 ) -> list[tuple[str, int]]:
     """LSH candidate retrieval with exact-overlap ranking (columnar).
 
@@ -559,19 +568,166 @@ def _lsh_hits_columnar(
     collides with are missing here, everything retrieved is ranked
     identically.
     """
-    index = engine.catalog.lsh_index(
-        bands=engine.lsh_bands, rows=engine.lsh_rows
-    )
-    threshold = max(1, engine.min_overlap)
+    index = catalog.lsh_index(bands=lsh_bands, rows=lsh_rows)
+    threshold = max(1, min_overlap)
     hits: list[tuple[str, int]] = []
-    for sid in index.candidate_ids(query_cols.key_hashes, exclude=exclude_id):
-        candidate_cols = engine.catalog.sketch_columns(sid)
+    for sid in index.candidate_ids(query_cols.key_hashes, exclude=exclude):
+        candidate_cols = catalog.sketch_columns(sid)
         in_query, _ = _candidate_membership(query_cols, candidate_cols)
         overlap = int(np.count_nonzero(in_query))
         if overlap >= threshold:
             hits.append((sid, overlap))
     hits.sort(key=lambda t: (-t[1], t[0]))
-    return hits[: engine.retrieval_depth]
+    return hits[:depth]
+
+
+def retrieve_candidates(
+    catalog: SketchCatalog,
+    query_cols: SketchColumns,
+    *,
+    depth: int,
+    min_overlap: int = 1,
+    exclude: str | None = None,
+    backend: str = "inverted",
+    lsh_bands: int | None = None,
+    lsh_rows: int | None = None,
+) -> list[tuple[str, int]]:
+    """Columnar candidate retrieval against one catalog, either backend.
+
+    The retrieval phase of :class:`ColumnarQueryExecutor`, factored out
+    so a :class:`repro.serving.ShardRouter` can run the identical probe
+    per shard: ``(sketch_id, overlap)`` pairs sorted by
+    ``(−overlap, id)``, floored at ``min_overlap``, truncated to
+    ``depth``. Because that ordering is a total order over candidates,
+    per-shard lists merged under the same key and re-truncated to
+    ``depth`` reproduce the single-catalog hits list exactly.
+    """
+    if depth <= 0:
+        raise ValueError(f"depth must be positive, got {depth}")
+    if backend == "lsh":
+        return _lsh_hits_columnar(
+            catalog,
+            query_cols,
+            depth=depth,
+            min_overlap=min_overlap,
+            exclude=exclude,
+            lsh_bands=lsh_bands,
+            lsh_rows=lsh_rows,
+        )
+    return catalog.frozen_postings().top_overlap(
+        query_cols.key_hashes, depth, exclude=exclude, min_overlap=min_overlap
+    )
+
+
+def retrieve_candidates_batch(
+    catalog: SketchCatalog,
+    query_cols_list: list[SketchColumns],
+    *,
+    depth: int,
+    min_overlap: int = 1,
+    excludes: list[str | None] | None = None,
+    backend: str = "inverted",
+    lsh_bands: int | None = None,
+    lsh_rows: int | None = None,
+) -> list[list[tuple[str, int]]]:
+    """:func:`retrieve_candidates` for many queries at once.
+
+    The inverted backend answers the whole batch from one stacked CSR
+    probe (:meth:`~repro.index.inverted.ColumnarPostings.top_overlap_batch`);
+    LSH probes per query (its cost is already O(bands) each). Row ``q``
+    is bit-identical to the single-query call.
+    """
+    if depth <= 0:
+        raise ValueError(f"depth must be positive, got {depth}")
+    if excludes is None:
+        excludes = [None] * len(query_cols_list)
+    if backend == "lsh":
+        return [
+            _lsh_hits_columnar(
+                catalog,
+                cols,
+                depth=depth,
+                min_overlap=min_overlap,
+                exclude=excl,
+                lsh_bands=lsh_bands,
+                lsh_rows=lsh_rows,
+            )
+            for cols, excl in zip(query_cols_list, excludes)
+        ]
+    return catalog.frozen_postings().top_overlap_batch(
+        [cols.key_hashes for cols in query_cols_list],
+        depth,
+        excludes=excludes,
+        min_overlap=min_overlap,
+    )
+
+
+@dataclass(frozen=True)
+class CandidatePage:
+    """One query's assembled candidate page: everything re-ranking needs.
+
+    The merge seam between retrieval and scoring. Each field is aligned
+    with ``ids``; every per-candidate value depends only on the query and
+    that candidate (never on the rest of the page), so pages assembled in
+    shard-sized groups and re-interleaved into the global hit order are
+    bit-identical to one monolithic assembly — the property the
+    scatter-gather router relies on.
+    """
+
+    ids: list[str]
+    overlaps: list[int]
+    samples: list[JoinedSample]
+    union_stats: list[_UnionStats]
+
+    @classmethod
+    def assemble(
+        cls,
+        catalog: SketchCatalog,
+        query_cols: SketchColumns,
+        hits: list[tuple[str, int]],
+    ) -> "CandidatePage":
+        """Join + union statistics for a hits list, in page-level passes.
+
+        One :func:`_membership_batch` probe, one :func:`_union_stats_page`
+        pass and one :func:`_join_page` materialization for the whole
+        page — per-candidate outputs bit-identical to the per-candidate
+        helpers (their documented contract).
+        """
+        page_cols = [catalog.sketch_columns(sid) for sid, _ in hits]
+        in_query_all, positions_all, offsets, cat_hashes = _membership_batch(
+            query_cols, page_cols
+        )
+        if page_cols:
+            cat_ranks = np.concatenate([c.ranks for c in page_cols])
+            cat_values = np.concatenate([c.values for c in page_cols])
+        else:
+            cat_ranks = np.empty(0, dtype=np.float64)
+            cat_values = np.empty(0, dtype=np.float64)
+        union_stats = _union_stats_page(
+            query_cols, page_cols, in_query_all, offsets, all_ranks=cat_ranks
+        )
+        samples = _join_page(
+            query_cols,
+            page_cols,
+            cat_hashes,
+            cat_ranks,
+            cat_values,
+            in_query_all,
+            positions_all,
+            offsets,
+        )
+        return cls(
+            ids=[sid for sid, _ in hits],
+            overlaps=[overlap for _, overlap in hits],
+            samples=samples,
+            union_stats=union_stats,
+        )
+
+    def containments(self, d_query: float) -> list[float]:
+        """Vectorized Eq. 1 containment estimates for the page."""
+        return _containment_estimates_batch(
+            d_query, self.overlaps, self.union_stats
+        )
 
 
 class QueryExecutor:
@@ -726,42 +882,24 @@ class ColumnarQueryExecutor(QueryExecutor):
         engine = self.engine
         t0 = time.perf_counter()
         query_cols = query_sketch.columnar()
-        if engine.retrieval_backend == "lsh":
-            hits = _lsh_hits_columnar(engine, query_cols, exclude_id)
-        else:
-            hits = engine.catalog.frozen_postings().top_overlap(
-                query_cols.key_hashes,
-                engine.retrieval_depth,
-                exclude=exclude_id,
-                min_overlap=engine.min_overlap,
-            )
+        hits = retrieve_candidates(
+            engine.catalog,
+            query_cols,
+            depth=engine.retrieval_depth,
+            min_overlap=engine.min_overlap,
+            exclude=exclude_id,
+            backend=engine.retrieval_backend,
+            lsh_bands=engine.lsh_bands,
+            lsh_rows=engine.lsh_rows,
+        )
         t1 = time.perf_counter()
 
         needs_bootstrap = scorer == "rb_cib"
 
-        ids: list[str] = []
-        samples: list[JoinedSample] = []
-        union_stats: list[_UnionStats] = []
-        overlaps: list[int] = []
-        for sid, overlap in hits:
-            candidate_cols = engine.catalog.sketch_columns(sid)
-            in_query, positions = _candidate_membership(query_cols, candidate_cols)
-            ids.append(sid)
-            samples.append(
-                _join_from_membership(
-                    query_cols, candidate_cols, in_query, positions
-                ).drop_nan()
-            )
-            union_stats.append(
-                _union_stats_from_membership(query_cols, candidate_cols, in_query)
-            )
-            overlaps.append(overlap)
-
-        containments = _containment_estimates_batch(
-            query_sketch.distinct_keys(), overlaps, union_stats
-        )
+        page = CandidatePage.assemble(engine.catalog, query_cols, hits)
+        containments = page.containments(query_sketch.distinct_keys())
         stats = candidate_scores_batch(
-            samples,
+            page.samples,
             containment_ests=containments,
             rng=rng,
             with_bootstrap=needs_bootstrap,
@@ -769,8 +907,8 @@ class ColumnarQueryExecutor(QueryExecutor):
         )
 
         ranked = rank_candidates(
-            ids, stats, scorer,
-            true_correlations=self._truths(ids, true_correlations),
+            page.ids, stats, scorer,
+            true_correlations=self._truths(page.ids, true_correlations),
             rng=rng,
         )[:k]
         t2 = time.perf_counter()
@@ -821,18 +959,16 @@ class ColumnarQueryExecutor(QueryExecutor):
             return []
         t0 = time.perf_counter()
         query_cols = [sketch.columnar() for sketch in query_sketches]
-        if engine.retrieval_backend == "lsh":
-            hits_per_query = [
-                _lsh_hits_columnar(engine, cols, excl)
-                for cols, excl in zip(query_cols, exclude_ids)
-            ]
-        else:
-            hits_per_query = engine.catalog.frozen_postings().top_overlap_batch(
-                [cols.key_hashes for cols in query_cols],
-                engine.retrieval_depth,
-                excludes=exclude_ids,
-                min_overlap=engine.min_overlap,
-            )
+        hits_per_query = retrieve_candidates_batch(
+            engine.catalog,
+            query_cols,
+            depth=engine.retrieval_depth,
+            min_overlap=engine.min_overlap,
+            excludes=exclude_ids,
+            backend=engine.retrieval_backend,
+            lsh_bands=engine.lsh_bands,
+            lsh_rows=engine.lsh_rows,
+        )
         t1 = time.perf_counter()
 
         needs_bootstrap = scorer == "rb_cib"
@@ -843,41 +979,10 @@ class ColumnarQueryExecutor(QueryExecutor):
         all_containments: list[float] = []
         for sketch, cols, hits in zip(query_sketches, query_cols, hits_per_query):
             start = len(all_samples)
-            page_cols = [
-                engine.catalog.sketch_columns(sid) for sid, _ in hits
-            ]
-            in_query_all, positions_all, offsets, cat_hashes = (
-                _membership_batch(cols, page_cols)
-            )
-            if page_cols:
-                cat_ranks = np.concatenate([c.ranks for c in page_cols])
-                cat_values = np.concatenate([c.values for c in page_cols])
-            else:
-                cat_ranks = np.empty(0, dtype=np.float64)
-                cat_values = np.empty(0, dtype=np.float64)
-            union_stats = _union_stats_page(
-                cols, page_cols, in_query_all, offsets, all_ranks=cat_ranks
-            )
-            all_samples.extend(
-                _join_page(
-                    cols,
-                    page_cols,
-                    cat_hashes,
-                    cat_ranks,
-                    cat_values,
-                    in_query_all,
-                    positions_all,
-                    offsets,
-                )
-            )
-            all_containments.extend(
-                _containment_estimates_batch(
-                    sketch.distinct_keys(),
-                    [overlap for _sid, overlap in hits],
-                    union_stats,
-                )
-            )
-            ids_per_query.append([sid for sid, _ in hits])
+            page = CandidatePage.assemble(engine.catalog, cols, hits)
+            all_samples.extend(page.samples)
+            all_containments.extend(page.containments(sketch.distinct_keys()))
+            ids_per_query.append(page.ids)
             spans.append((start, len(all_samples)))
 
         base_stats = candidate_scores_batch(

@@ -70,9 +70,8 @@ class InvertedIndex:
 
         Raises:
             ValueError: if ``sketch_id`` is already indexed (re-indexing
-                would duplicate postings; remove support is intentionally
-                omitted — rebuild the index for catalog churn, as batch
-                dataset-search systems do).
+                would duplicate postings; :meth:`remove` first for
+                catalog churn).
         """
         if sketch_id in self._doc_keys:
             raise ValueError(f"sketch id {sketch_id!r} is already indexed")
@@ -81,6 +80,37 @@ class InvertedIndex:
             self._postings[kh].append(sketch_id)
             count += 1
         self._doc_keys[sketch_id] = count
+
+    def remove(self, sketch_id: str, key_hashes: Iterable[int]) -> None:
+        """Drop a sketch's postings (the catalog deletion path).
+
+        Args:
+            sketch_id: the indexed sketch to remove.
+            key_hashes: exactly the key hashes the sketch was added
+                under — the catalog owns the sketch, so it always has
+                them; passing them in keeps the index from storing a
+                per-document hash copy.
+
+        Posting lists that become empty are deleted so
+        :attr:`vocabulary_size` reflects live postings only; after
+        removal the same id can be re-indexed with :meth:`add`.
+
+        Raises:
+            KeyError: if ``sketch_id`` is not indexed.
+        """
+        if sketch_id not in self._doc_keys:
+            raise KeyError(f"sketch id {sketch_id!r} is not indexed")
+        for kh in key_hashes:
+            postings = self._postings.get(kh)
+            if postings is None:
+                continue
+            try:
+                postings.remove(sketch_id)
+            except ValueError:
+                continue
+            if not postings:
+                del self._postings[kh]
+        del self._doc_keys[sketch_id]
 
     def overlap_counts(
         self, key_hashes: Iterable[int], *, exclude: str | None = None

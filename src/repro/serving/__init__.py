@@ -1,0 +1,38 @@
+"""Sharded catalog + scatter-gather serving subsystem.
+
+The horizontal-scaling layer over :mod:`repro.index`: a
+:class:`ShardedCatalog` partitions sketches across independent
+:class:`~repro.index.catalog.SketchCatalog` shards (deterministic
+hash-by-id placement, least-loaded table routing, incremental add and
+remove with per-shard index invalidation), a :class:`ShardRouter`
+evaluates top-k queries scatter-gather with results bit-identical to a
+monolithic catalog, and :mod:`repro.serving.manifest` persists the whole
+thing as one directory of per-shard binary snapshots under a versioned
+``manifest.json`` with lazy per-shard rehydration. Worker pools
+(:mod:`repro.serving.workers`) supply shard-level thread fan-out and
+query-level process parallelism.
+"""
+
+from repro.serving.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    load_sharded,
+    read_manifest,
+    save_sharded,
+)
+from repro.serving.router import ShardRouter, merge_shard_hits
+from repro.serving.shards import ShardedCatalog
+from repro.serving.workers import QueryWorkerPool, ShardWorkerPool
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "QueryWorkerPool",
+    "ShardRouter",
+    "ShardWorkerPool",
+    "ShardedCatalog",
+    "load_sharded",
+    "merge_shard_hits",
+    "read_manifest",
+    "save_sharded",
+]

@@ -1,0 +1,161 @@
+"""Manifest persistence for sharded catalogs.
+
+A sharded catalog on disk is one directory:
+
+.. code-block:: text
+
+    catalog-dir/
+        manifest.json     # layout + config + placement (versioned)
+        shard-0000.npz    # per-shard v2 binary snapshots
+        shard-0001.npz    #   (repro.index.snapshot format, one per shard)
+        ...
+
+``manifest.json`` is the small, human-inspectable source of truth for
+everything that must be known *before* touching a shard file:
+
+* ``version`` — manifest format version; unknown versions are refused
+  (same contract as the snapshot loader);
+* catalog config — ``n_shards``, ``sketch_size``, ``aggregate``, the
+  hashing ``scheme`` pair and the ``vectorized`` flag;
+* per shard: its snapshot ``file`` name, its ``sketches`` count and its
+  ``ids`` in insertion order — the placement map.
+
+Carrying the placement in the manifest is what makes cold starts lazy:
+:func:`load_sharded` rebuilds the full ``sketch_id → shard`` map and all
+shard sizes without opening a single ``.npz``, so lookups route directly
+and a shard snapshot is only materialized when an operation actually
+probes that shard. Consistency between manifest and shard files is
+checked at materialization time (scheme and sketch count), so a stale or
+swapped shard snapshot fails loudly instead of silently serving the
+wrong corpus.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.hashing import KeyHasher
+from repro.serving.shards import ShardedCatalog
+
+#: Bump on any manifest layout change; load_sharded refuses unknown
+#: versions rather than guessing.
+MANIFEST_VERSION = 1
+
+#: File name of the manifest inside a sharded-catalog directory.
+MANIFEST_NAME = "manifest.json"
+
+
+def shard_file_name(index: int) -> str:
+    """Canonical snapshot file name for shard ``index``."""
+    return f"shard-{index:04d}.npz"
+
+
+def save_sharded(catalog: ShardedCatalog, directory: str | Path) -> Path:
+    """Write ``catalog`` as a manifest directory; returns the manifest path.
+
+    Every shard is persisted as a v2 binary snapshot (warm frozen
+    postings, LSH signatures when built — see
+    :mod:`repro.index.snapshot`); the manifest is written last so a
+    crash mid-save never leaves a manifest pointing at missing shards.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    shards_payload = []
+    for index in range(catalog.n_shards):
+        name = shard_file_name(index)
+        shard = catalog.shard(index)
+        shard.save(directory / name)
+        shards_payload.append(
+            {"file": name, "sketches": len(shard), "ids": list(shard)}
+        )
+    bits, seed = catalog.hasher.scheme_id
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "n_shards": catalog.n_shards,
+        "sketch_size": catalog.sketch_size,
+        "aggregate": catalog.aggregate,
+        "scheme": [bits, seed],
+        "vectorized": catalog.vectorized,
+        "shards": shards_payload,
+    }
+    path = directory / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def read_manifest(directory: str | Path) -> dict:
+    """Parse and version-check a manifest directory's ``manifest.json``.
+
+    Raises:
+        FileNotFoundError: when the directory has no manifest.
+        ValueError: for malformed JSON, unknown versions or a shard list
+            inconsistent with ``n_shards``.
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no {MANIFEST_NAME} under {directory} — not a sharded catalog "
+            "directory"
+        )
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"corrupt manifest {path}: {exc}") from exc
+    version = manifest.get("version")
+    if version != MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported manifest version {version!r} in {path} "
+            f"(this build reads version {MANIFEST_VERSION})"
+        )
+    shards = manifest.get("shards")
+    if not isinstance(shards, list) or len(shards) != manifest.get("n_shards"):
+        raise ValueError(
+            f"corrupt manifest {path}: shard list does not match n_shards"
+        )
+    return manifest
+
+
+def load_sharded(
+    directory: str | Path, *, lazy: bool = True
+) -> ShardedCatalog:
+    """Load a sharded catalog from its manifest directory.
+
+    With ``lazy`` (the default) only the manifest is read: every shard
+    starts cold and materializes from its snapshot on first access
+    (:meth:`ShardedCatalog.shard`), so a cold start pays for exactly the
+    shards the workload touches. ``lazy=False`` materializes everything
+    up front (and therefore surfaces any stale shard file immediately).
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    bits, seed = manifest["scheme"]
+    catalog = ShardedCatalog(
+        manifest["n_shards"],
+        sketch_size=manifest["sketch_size"],
+        aggregate=manifest["aggregate"],
+        hasher=KeyHasher(bits=bits, seed=seed),
+        vectorized=manifest["vectorized"],
+    )
+    catalog._shards = [None] * catalog.n_shards
+    for index, entry in enumerate(manifest["shards"]):
+        catalog._shard_paths[index] = directory / entry["file"]
+        catalog._counts[index] = int(entry["sketches"])
+        if len(entry["ids"]) != int(entry["sketches"]):
+            raise ValueError(
+                f"corrupt manifest {directory / MANIFEST_NAME}: shard "
+                f"{index} lists {len(entry['ids'])} ids but records "
+                f"{entry['sketches']} sketches"
+            )
+        for sid in entry["ids"]:
+            if sid in catalog._placement:
+                raise ValueError(
+                    f"corrupt manifest {directory / MANIFEST_NAME}: sketch "
+                    f"id {sid!r} appears in more than one shard"
+                )
+            catalog._placement[sid] = index
+    if not lazy:
+        for index in range(catalog.n_shards):
+            catalog.shard(index)
+    return catalog

@@ -1,0 +1,391 @@
+"""Scatter-gather query routing over a sharded catalog.
+
+A :class:`ShardRouter` evaluates top-k join-correlation queries against
+a :class:`~repro.serving.shards.ShardedCatalog` with **exact result
+semantics**: for every scorer, rng mode and retrieval backend, the
+merged result is bit-identical — ids, scores and order — to running the
+same query against one monolithic catalog holding the union of the
+shards. That guarantee decomposes into three facts the rest of the
+stack already pins:
+
+* **retrieval merges exactly.** Each shard's candidate probe returns
+  its hits sorted under the total order ``(−overlap, sketch_id)`` and
+  truncated to ``retrieval_depth``. Any candidate in the global
+  top-``depth`` is, within its own shard, among that shard's
+  top-``depth`` under the same order — so a deterministic heap merge of
+  the per-shard lists, re-truncated to ``depth``, reproduces the
+  monolithic hits list exactly. This holds for the LSH backend too:
+  band collisions are a pairwise (query, candidate) predicate, so the
+  union of per-shard collision sets equals the single-index collision
+  set, and survivors are ranked by the same exact overlap either way.
+* **page assembly is per-candidate pure.** Join samples, union
+  statistics and containment inputs depend only on the query and one
+  candidate (never on the rest of the page), so each shard assembles
+  its own candidates (:meth:`repro.index.engine.CandidatePage.assemble`)
+  and the router re-interleaves them into the merged global hit order,
+  bit-identical to a monolithic assembly.
+* **scoring and rng stay global.** Everything page-shaped — the
+  ``rp_cih`` min-max normalization over the candidate list, the
+  ``random`` scorer's draws, both PM1 bootstrap rng disciplines — runs
+  once at the router over the merged page, consuming the query's rng
+  exactly as :class:`~repro.index.engine.ColumnarQueryExecutor` would.
+  Scattering the *scoring* would break bit-parity; scattering retrieval
+  and assembly cannot.
+
+Shard fan-out runs sequentially or on a persistent
+:class:`~repro.serving.workers.ShardWorkerPool` (``workers=N``); for
+query-level parallelism across cores, wrap the router in a
+:class:`~repro.serving.workers.QueryWorkerPool`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from itertools import islice
+
+import numpy as np
+
+from repro.core.sketch import CorrelationSketch
+from repro.index.engine import (
+    RETRIEVAL_BACKENDS,
+    CandidatePage,
+    QueryResult,
+    QueryExecutor,
+    _apply_batched_bootstrap,
+    _apply_compat_bootstrap,
+    retrieve_candidates_batch,
+)
+from repro.ranking.ranker import RankedCandidate, rank_candidates
+from repro.ranking.scoring import RNG_MODES, candidate_scores_batch
+from repro.serving.shards import ShardedCatalog
+from repro.serving.workers import ShardWorkerPool
+
+
+def merge_shard_hits(
+    per_shard_hits: list[list[tuple[str, int]]], depth: int
+) -> list[tuple[str, int]]:
+    """Merge per-shard hits lists into the global top-``depth``.
+
+    A deterministic heap merge under the shared ``(−overlap, id)`` total
+    order: inputs are already sorted (each shard's probe contract), so
+    ``heapq.merge`` recovers the global order without re-sorting, and
+    truncation to ``depth`` reproduces the monolithic probe's cutoff.
+    """
+    return list(
+        islice(
+            heapq.merge(*per_shard_hits, key=lambda t: (-t[1], t[0])),
+            depth,
+        )
+    )
+
+
+class ShardRouter:
+    """Top-k query evaluation, scatter-gathered across catalog shards.
+
+    Mirrors the :class:`~repro.index.engine.JoinCorrelationEngine` query
+    surface (``query`` / ``query_batch``, same defaults, same
+    :class:`~repro.index.engine.QueryResult` output with
+    ``shards_probed`` set) so callers can swap a monolithic engine for a
+    sharded one without touching call sites.
+
+    Args:
+        catalog: the sharded catalog to serve.
+        retrieval_depth: candidates fetched by key overlap before
+            re-ranking (applied globally after the merge; each shard is
+            probed to the same depth).
+        min_overlap: joinability floor, applied inside every shard.
+        rng_mode: PM1 bootstrap execution contract for ``rb_cib``
+            (see :data:`repro.ranking.scoring.RNG_MODES`).
+        retrieval_backend: per-shard candidate retrieval strategy
+            (see :data:`repro.index.engine.RETRIEVAL_BACKENDS`).
+        lsh_bands / lsh_rows: LSH banding overrides (``"lsh"`` backend),
+            same ``None`` semantics as the engine, applied per shard.
+        workers: thread count for the shard fan-out; ``None``/``1``
+            scatter sequentially. The pool is persistent for the
+            router's life — :meth:`close` (or use as a context manager)
+            releases it.
+    """
+
+    def __init__(
+        self,
+        catalog: ShardedCatalog,
+        retrieval_depth: int = 100,
+        min_overlap: int = 1,
+        *,
+        rng_mode: str = "batched",
+        retrieval_backend: str = "inverted",
+        lsh_bands: int | None = None,
+        lsh_rows: int | None = None,
+        workers: int | None = None,
+    ) -> None:
+        if retrieval_depth <= 0:
+            raise ValueError(
+                f"retrieval_depth must be positive, got {retrieval_depth}"
+            )
+        if rng_mode not in RNG_MODES:
+            raise ValueError(
+                f"unknown rng_mode {rng_mode!r}; expected one of {RNG_MODES}"
+            )
+        if retrieval_backend not in RETRIEVAL_BACKENDS:
+            raise ValueError(
+                f"unknown retrieval_backend {retrieval_backend!r}; "
+                f"expected one of {RETRIEVAL_BACKENDS}"
+            )
+        for name, value in (("lsh_bands", lsh_bands), ("lsh_rows", lsh_rows)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        self.catalog = catalog
+        self.retrieval_depth = retrieval_depth
+        self.min_overlap = min_overlap
+        self.rng_mode = rng_mode
+        self.retrieval_backend = retrieval_backend
+        self.lsh_bands = lsh_bands
+        self.lsh_rows = lsh_rows
+        self._pool = ShardWorkerPool(workers)
+
+    @property
+    def workers(self) -> int | None:
+        return self._pool.workers
+
+    def close(self) -> None:
+        """Release the shard worker pool (idempotent)."""
+        self._pool.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- scatter phases ------------------------------------------------------
+
+    def _check_scheme(self, query_sketch: CorrelationSketch) -> None:
+        if query_sketch.hasher.scheme_id != self.catalog.hasher.scheme_id:
+            raise ValueError(
+                "query sketch hashing scheme "
+                f"{query_sketch.hasher!r} differs from catalog scheme "
+                f"{self.catalog.hasher!r}"
+            )
+
+    def _scatter_retrieve(
+        self, query_cols: list, exclude_ids: list[str | None]
+    ) -> list[list[tuple[str, int]]]:
+        """Probe every shard for every query; merge per query."""
+
+        def probe(index: int) -> list[list[tuple[str, int]]]:
+            return retrieve_candidates_batch(
+                self.catalog.shard(index),
+                query_cols,
+                depth=self.retrieval_depth,
+                min_overlap=self.min_overlap,
+                excludes=exclude_ids,
+                backend=self.retrieval_backend,
+                lsh_bands=self.lsh_bands,
+                lsh_rows=self.lsh_rows,
+            )
+
+        per_shard = self._pool.map(probe, range(self.catalog.n_shards))
+        return [
+            merge_shard_hits(
+                [per_shard[s][q] for s in range(self.catalog.n_shards)],
+                self.retrieval_depth,
+            )
+            for q in range(len(query_cols))
+        ]
+
+    def _scatter_assemble(
+        self,
+        query_cols: list,
+        hits_per_query: list[list[tuple[str, int]]],
+    ) -> list[CandidatePage]:
+        """Assemble every query's candidate page, shard-locally.
+
+        Each query's merged hits are split by owning shard; every shard
+        assembles its own candidates in one page-level pass, and the
+        results are re-interleaved into the merged global hit order —
+        bit-identical to a monolithic assembly because every
+        per-candidate value depends only on (query, candidate).
+        """
+        n_shards = self.catalog.n_shards
+        #: shard -> list of (query index, page positions, hits subset)
+        shard_tasks: list[list[tuple[int, list[int], list[tuple[str, int]]]]] = [
+            [] for _ in range(n_shards)
+        ]
+        for q, hits in enumerate(hits_per_query):
+            buckets: dict[int, tuple[list[int], list[tuple[str, int]]]] = {}
+            for pos, hit in enumerate(hits):
+                owner = self.catalog.owner_of(hit[0])
+                positions, subset = buckets.setdefault(owner, ([], []))
+                positions.append(pos)
+                subset.append(hit)
+            for owner, (positions, subset) in buckets.items():
+                shard_tasks[owner].append((q, positions, subset))
+
+        def assemble(index: int):
+            shard = self.catalog.shard(index)
+            return [
+                (q, positions, CandidatePage.assemble(shard, query_cols[q], subset))
+                for q, positions, subset in shard_tasks[index]
+            ]
+
+        pages = [
+            CandidatePage(
+                ids=[sid for sid, _ in hits],
+                overlaps=[overlap for _, overlap in hits],
+                samples=[None] * len(hits),
+                union_stats=[None] * len(hits),
+            )
+            for hits in hits_per_query
+        ]
+        for shard_result in self._pool.map(assemble, range(n_shards)):
+            for q, positions, sub_page in shard_result:
+                page = pages[q]
+                for j, pos in enumerate(positions):
+                    page.samples[pos] = sub_page.samples[j]
+                    page.union_stats[pos] = sub_page.union_stats[j]
+        return pages
+
+    # -- gather / scoring ----------------------------------------------------
+
+    def _execute(
+        self,
+        query_sketches: list[CorrelationSketch],
+        k: int,
+        scorer: str,
+        exclude_ids: list[str | None],
+        true_correlations: list[dict[str, float] | None],
+        rng: np.random.Generator | None,
+    ) -> list[QueryResult]:
+        """The shared scatter-gather pipeline (single query = batch of 1).
+
+        The gather tail mirrors
+        :meth:`~repro.index.engine.ColumnarQueryExecutor.execute_batch`
+        statement for statement — one global scoring pass, then
+        per-query bootstrap and ranking consuming each query's rng in
+        order — so results inherit that method's parity contract with
+        looped single-catalog queries.
+        """
+        n_queries = len(query_sketches)
+        if n_queries == 0:
+            return []
+        t0 = time.perf_counter()
+        query_cols = [sketch.columnar() for sketch in query_sketches]
+        hits_per_query = self._scatter_retrieve(query_cols, exclude_ids)
+        t1 = time.perf_counter()
+
+        pages = self._scatter_assemble(query_cols, hits_per_query)
+        spans: list[tuple[int, int]] = []
+        all_samples = []
+        all_containments: list[float] = []
+        for sketch, page in zip(query_sketches, pages):
+            start = len(all_samples)
+            all_samples.extend(page.samples)
+            all_containments.extend(page.containments(sketch.distinct_keys()))
+            spans.append((start, len(all_samples)))
+
+        base_stats = candidate_scores_batch(
+            all_samples,
+            containment_ests=all_containments,
+            with_bootstrap=False,
+        )
+
+        needs_bootstrap = scorer == "rb_cib"
+        ranked_per_query: list[tuple[list[RankedCandidate], int]] = []
+        for q in range(n_queries):
+            start, end = spans[q]
+            samples = all_samples[start:end]
+            stats = base_stats[start:end]
+            query_rng = np.random.default_rng(7) if rng is None else rng
+            if needs_bootstrap:
+                if self.rng_mode == "batched":
+                    stats = _apply_batched_bootstrap(samples, stats, query_rng)
+                else:
+                    stats = _apply_compat_bootstrap(samples, stats, query_rng)
+            ranked = rank_candidates(
+                pages[q].ids, stats, scorer,
+                true_correlations=QueryExecutor._truths(
+                    pages[q].ids, true_correlations[q]
+                ),
+                rng=query_rng,
+            )[:k]
+            ranked_per_query.append((ranked, len(hits_per_query[q])))
+        t2 = time.perf_counter()
+
+        retrieval_share = (t1 - t0) / n_queries
+        rerank_share = (t2 - t1) / n_queries
+        return [
+            QueryResult(
+                ranked=ranked,
+                candidates_considered=considered,
+                retrieval_seconds=retrieval_share,
+                rerank_seconds=rerank_share,
+                shards_probed=self.catalog.n_shards,
+            )
+            for ranked, considered in ranked_per_query
+        ]
+
+    # -- public query surface ------------------------------------------------
+
+    def query(
+        self,
+        query_sketch: CorrelationSketch,
+        k: int = 10,
+        scorer: str = "rp_cih",
+        *,
+        exclude_id: str | None = None,
+        true_correlations: dict[str, float] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> QueryResult:
+        """Evaluate one top-``k`` query across all shards.
+
+        Same signature, defaults and rng semantics as
+        :meth:`JoinCorrelationEngine.query
+        <repro.index.engine.JoinCorrelationEngine.query>`; the result is
+        bit-identical to that method on a monolithic catalog holding the
+        union of the shards.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self._check_scheme(query_sketch)
+        return self._execute(
+            [query_sketch], k, scorer, [exclude_id], [true_correlations], rng
+        )[0]
+
+    def query_batch(
+        self,
+        query_sketches,
+        k: int = 10,
+        scorer: str = "rp_cih",
+        *,
+        exclude_ids: list[str | None] | None = None,
+        true_correlations: list[dict[str, float] | None] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> list[QueryResult]:
+        """Evaluate many queries with one scatter-gather round per phase.
+
+        Retrieval scatters once (every shard answers all queries from
+        one stacked probe), assembly scatters once, and the scoring
+        gather mirrors :meth:`JoinCorrelationEngine.query_batch
+        <repro.index.engine.JoinCorrelationEngine.query_batch>` — so the
+        batch inherits both parity contracts: bit-identical to looping
+        :meth:`query`, and bit-identical to the monolithic engine.
+        """
+        query_sketches = list(query_sketches)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        n_queries = len(query_sketches)
+        if exclude_ids is None:
+            exclude_ids = [None] * n_queries
+        if true_correlations is None:
+            true_correlations = [None] * n_queries
+        if len(exclude_ids) != n_queries or len(true_correlations) != n_queries:
+            raise ValueError(
+                f"{n_queries} query sketches but {len(exclude_ids)} exclude "
+                f"ids and {len(true_correlations)} truth dicts"
+            )
+        for sketch in query_sketches:
+            self._check_scheme(sketch)
+        return self._execute(
+            query_sketches, k, scorer, exclude_ids, true_correlations, rng
+        )

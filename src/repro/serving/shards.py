@@ -1,0 +1,305 @@
+"""Horizontally partitioned sketch catalogs.
+
+A :class:`ShardedCatalog` splits one logical catalog across ``n_shards``
+independent :class:`~repro.index.catalog.SketchCatalog` partitions, all
+sharing one hashing scheme. Shards are the unit of everything the
+serving layer scales over: each has its own inverted index, frozen CSR
+postings and LSH index (built, cached and invalidated independently),
+its own ``.npz`` snapshot in the manifest directory, and its own slot in
+the router's scatter-gather fan-out.
+
+Placement is two-tier, trading determinism against locality:
+
+* **hash-by-sketch-id** (``add_sketch`` / ``add_sketches``): the owning
+  shard is ``murmur3_32(sketch_id) % n_shards`` — deterministic across
+  processes and runs, so independently built catalogs agree on layout;
+* **least-loaded routing** (``add_table`` / ``add_tables`` /
+  ``add_csv_streaming``): a whole table's sketches land together on the
+  currently smallest shard (ties to the lowest index), so incremental
+  ingest invalidates exactly one shard's indexes per table while keeping
+  shards balanced.
+
+Either way the catalog tracks ``sketch_id → shard`` in an in-memory
+placement map (persisted in the manifest), so lookups, removals and the
+router's page assembly never scan shards.
+
+Shards rehydrate lazily after :meth:`ShardedCatalog.load`: the manifest
+carries enough metadata (ids, counts, config) that only the shards an
+operation actually touches are materialized from their snapshots — a
+targeted ``get`` loads one shard; per-shard stats (``shard info``) load
+none.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.sketch import CorrelationSketch, SketchColumns
+from repro.hashing import KeyHasher
+from repro.hashing.murmur3 import murmur3_32
+from repro.index.catalog import SketchCatalog, SketchMeta
+from repro.table.table import Table
+
+
+class ShardedCatalog:
+    """``n_shards`` independent :class:`SketchCatalog` partitions behind
+    one catalog-shaped interface.
+
+    Args:
+        n_shards: number of partitions (fixed for the catalog's life —
+            resharding is a rebuild, as for any hash-partitioned store).
+        sketch_size / aggregate / hasher / vectorized: shared
+            :class:`SketchCatalog` configuration, applied to every shard.
+
+    Raises:
+        ValueError: if ``n_shards`` is not positive.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        sketch_size: int = 256,
+        aggregate: str = "mean",
+        hasher: KeyHasher | None = None,
+        vectorized: bool = True,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        self.n_shards = n_shards
+        self.sketch_size = sketch_size
+        self.aggregate = aggregate
+        self.hasher = hasher if hasher is not None else KeyHasher()
+        self.vectorized = vectorized
+        self._shards: list[SketchCatalog | None] = [
+            self._new_shard() for _ in range(n_shards)
+        ]
+        #: Snapshot path per shard; set by the manifest loader, consumed
+        #: by lazy materialization.
+        self._shard_paths: list[Path | None] = [None] * n_shards
+        #: sketch_id -> shard index, for every sketch in the catalog.
+        self._placement: dict[str, int] = {}
+        self._counts: list[int] = [0] * n_shards
+
+    def _new_shard(self) -> SketchCatalog:
+        return SketchCatalog(
+            sketch_size=self.sketch_size,
+            aggregate=self.aggregate,
+            hasher=self.hasher,
+            vectorized=self.vectorized,
+        )
+
+    # -- shard access --------------------------------------------------------
+
+    def shard(self, index: int) -> SketchCatalog:
+        """The shard at ``index``, materializing it from its snapshot if
+        the catalog was manifest-loaded and this shard is still cold.
+
+        Raises:
+            ValueError: when a lazily loaded shard's snapshot disagrees
+                with the manifest (stale or swapped file).
+        """
+        shard = self._shards[index]
+        if shard is None:
+            path = self._shard_paths[index]
+            shard = SketchCatalog.load(path)
+            if shard.hasher.scheme_id != self.hasher.scheme_id:
+                raise ValueError(
+                    f"shard snapshot {path} hashing scheme {shard.hasher!r} "
+                    f"differs from manifest scheme {self.hasher!r}"
+                )
+            if len(shard) != self._counts[index]:
+                raise ValueError(
+                    f"shard snapshot {path} holds {len(shard)} sketches but "
+                    f"the manifest records {self._counts[index]} — stale "
+                    "shard file; rebuild the manifest directory"
+                )
+            self._shards[index] = shard
+        return shard
+
+    @property
+    def loaded_shards(self) -> list[bool]:
+        """Which shards are materialized (cold shards cost no memory)."""
+        return [shard is not None for shard in self._shards]
+
+    def shard_sizes(self) -> list[int]:
+        """Sketch count per shard, without materializing any shard."""
+        return list(self._counts)
+
+    def shard_of(self, sketch_id: str) -> int:
+        """Deterministic hash placement for ``sketch_id`` (murmur3)."""
+        return murmur3_32(sketch_id) % self.n_shards
+
+    def least_loaded(self) -> int:
+        """Smallest shard (ties to the lowest index) — the ingest target."""
+        return min(range(self.n_shards), key=lambda i: (self._counts[i], i))
+
+    def owner_of(self, sketch_id: str) -> int:
+        """The shard index holding ``sketch_id``.
+
+        Raises:
+            KeyError: if the id is not in the catalog.
+        """
+        try:
+            return self._placement[sketch_id]
+        except KeyError:
+            raise KeyError(
+                f"no sketch {sketch_id!r} in catalog ({len(self)} sketches)"
+            ) from None
+
+    # -- population ----------------------------------------------------------
+
+    def _check_new_ids(self, sketch_ids: Iterable[str]) -> list[str]:
+        ids = list(sketch_ids)
+        seen: set[str] = set()
+        for sid in ids:
+            if sid in self._placement:
+                raise ValueError(f"sketch id {sid!r} already in catalog")
+            if sid in seen:
+                raise ValueError(f"duplicate sketch id {sid!r} in batch")
+            seen.add(sid)
+        return ids
+
+    def _record(self, shard_index: int, sketch_ids: Iterable[str]) -> list[str]:
+        ids = list(sketch_ids)
+        for sid in ids:
+            self._placement[sid] = shard_index
+        self._counts[shard_index] += len(ids)
+        return ids
+
+    def add_sketch(self, sketch_id: str, sketch: CorrelationSketch) -> int:
+        """Register one sketch on its hash-placed shard; returns the
+        shard index (only that shard's indexes are invalidated)."""
+        self._check_new_ids([sketch_id])
+        index = self.shard_of(sketch_id)
+        self.shard(index).add_sketch(sketch_id, sketch)
+        self._record(index, [sketch_id])
+        return index
+
+    def add_sketches(
+        self, sketches: Iterable[tuple[str, CorrelationSketch]]
+    ) -> list[str]:
+        """Bulk hash-placed registration: validate across every shard,
+        then one bulk add per touched shard."""
+        batch = list(sketches)
+        self._check_new_ids(sid for sid, _ in batch)
+        by_shard: dict[int, list[tuple[str, CorrelationSketch]]] = {}
+        for sid, sketch in batch:
+            by_shard.setdefault(self.shard_of(sid), []).append((sid, sketch))
+        for index, group in sorted(by_shard.items()):
+            self.shard(index).add_sketches(group)
+            self._record(index, (sid for sid, _ in group))
+        return [sid for sid, _ in batch]
+
+    def add_table(self, table: Table) -> list[str]:
+        """Sketch every column pair of ``table`` onto the least-loaded
+        shard (one shard invalidated, sketches kept together)."""
+        self._check_new_ids(pair.pair_id for pair in table.column_pairs())
+        index = self.least_loaded()
+        return self._record(index, self.shard(index).add_table(table))
+
+    def add_tables(self, tables: Iterable[Table]) -> list[str]:
+        """Route each table, in order, to the then-least-loaded shard."""
+        out: list[str] = []
+        for table in tables:
+            out.extend(self.add_table(table))
+        return out
+
+    def add_csv_streaming(self, path: str | Path, **kwargs) -> list[str]:
+        """Stream-sketch a CSV and register it on the least-loaded shard.
+
+        The streaming pass runs before any placement decision so the
+        resulting ids can be validated against the whole catalog (not
+        just one shard) without partial mutation on failure.
+        """
+        from repro.table.streaming import stream_sketch_csv
+
+        sketches = stream_sketch_csv(
+            path,
+            self.sketch_size,
+            aggregate=self.aggregate,
+            hasher=self.hasher,
+            **kwargs,
+        )
+        self._check_new_ids(sketches.keys())
+        index = self.least_loaded()
+        return self._record(index, self.shard(index).add_sketches(sketches.items()))
+
+    # -- removal -------------------------------------------------------------
+
+    def remove_sketch(self, sketch_id: str) -> int:
+        """Delete one sketch from its owning shard; returns the shard
+        index. Only that shard's indexes are invalidated.
+
+        Raises:
+            KeyError: if the id is not in the catalog.
+        """
+        index = self.owner_of(sketch_id)
+        self.shard(index).remove_sketch(sketch_id)
+        del self._placement[sketch_id]
+        self._counts[index] -= 1
+        return index
+
+    def remove_sketches(self, sketch_ids: Iterable[str]) -> list[str]:
+        """Bulk removal: validate every id first, then remove per shard."""
+        ids = list(sketch_ids)
+        seen: set[str] = set()
+        for sid in ids:
+            self.owner_of(sid)  # raises KeyError with context if absent
+            if sid in seen:
+                raise ValueError(f"duplicate sketch id {sid!r} in batch")
+            seen.add(sid)
+        by_shard: dict[int, list[str]] = {}
+        for sid in ids:
+            by_shard.setdefault(self.owner_of(sid), []).append(sid)
+        for index, group in sorted(by_shard.items()):
+            self.shard(index).remove_sketches(group)
+            for sid in group:
+                del self._placement[sid]
+            self._counts[index] -= len(group)
+        return ids
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(self._counts)
+
+    def __contains__(self, sketch_id: str) -> bool:
+        return sketch_id in self._placement
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._placement)
+
+    def get(self, sketch_id: str) -> CorrelationSketch:
+        """Fetch a sketch, materializing only its owning shard."""
+        return self.shard(self.owner_of(sketch_id)).get(sketch_id)
+
+    def sketch_columns(self, sketch_id: str) -> SketchColumns:
+        """Columnar view of a sketch, from its owning shard."""
+        return self.shard(self.owner_of(sketch_id)).sketch_columns(sketch_id)
+
+    def sketch_meta(self, sketch_id: str) -> SketchMeta:
+        """Persisted per-sketch scalars, from the owning shard."""
+        return self.shard(self.owner_of(sketch_id)).sketch_meta(sketch_id)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the manifest directory: one v2 ``.npz`` snapshot per
+        shard plus a versioned ``manifest.json``
+        (:func:`repro.serving.manifest.save_sharded`)."""
+        from repro.serving.manifest import save_sharded
+
+        return save_sharded(self, directory)
+
+    @classmethod
+    def load(cls, directory: str | Path, *, lazy: bool = True) -> "ShardedCatalog":
+        """Load a manifest directory written by :meth:`save`.
+
+        With ``lazy`` (default) shards stay cold until first touched —
+        see :func:`repro.serving.manifest.load_sharded`.
+        """
+        from repro.serving.manifest import load_sharded
+
+        return load_sharded(directory, lazy=lazy)

@@ -1,0 +1,202 @@
+"""Worker pools behind the scatter-gather serving subsystem.
+
+Two axes of parallelism, matching the two ways a sharded deployment
+spends its cores:
+
+* :class:`ShardWorkerPool` — a persistent ``concurrent.futures`` thread
+  pool that fans *one* query's (or one batch round's) shard work out
+  across shards. Threads are the right tool here: the per-shard probe
+  and page assembly are NumPy-dominated (searchsorted / bincount /
+  reduceat release the GIL for their hot loops), and shards share the
+  parent's memory, so there is nothing to pickle.
+* :class:`QueryWorkerPool` — persistent *forked* process workers that
+  partition a multi-query batch across full CPU cores. Each worker
+  inherits the parent's :class:`~repro.serving.router.ShardRouter`
+  (and every shard) copy-on-write at fork time — no catalog
+  serialization — and evaluates its query slice end to end, returning
+  only the small ranked-result objects. This is query-level
+  parallelism: per-query results are bit-identical to the sequential
+  router because each query's rng is the same fresh fixed-seed
+  generator ``query_batch(rng=None)`` would hand it.
+
+Platforms without the ``fork`` start method (and ``workers=1`` pools)
+degrade to sequential execution with identical results — the pools gate
+the capability instead of assuming it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _validate_workers(workers: int | None) -> int | None:
+    if workers is not None and workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    return workers
+
+
+class ShardWorkerPool:
+    """Persistent thread pool for per-shard fan-out (``map`` semantics).
+
+    Args:
+        workers: thread count. ``None`` or ``1`` runs tasks sequentially
+            on the calling thread — same results, no pool overhead —
+            so callers can treat the pool as always present.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = _validate_workers(workers)
+        self._executor: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(max_workers=workers)
+            if workers is not None and workers > 1
+            else None
+        )
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        Exceptions propagate to the caller exactly as a plain loop's
+        would (the first failing task's, re-raised on gather).
+        """
+        if self._executor is None:
+            return [fn(item) for item in items]
+        return list(self._executor.map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Worker-process state: the pool's router, installed by
+#: :func:`_init_query_worker` (run in each worker, including respawns).
+#: Never set in the parent, so concurrent pools cannot cross-talk and
+#: closing a pool leaves nothing pinned.
+_WORKER_ROUTER = None
+
+
+def _init_query_worker(router) -> None:
+    """Pool initializer: bind this worker to its pool's router.
+
+    Under the ``fork`` start method the router arrives by memory
+    inheritance (never pickled), and a worker the pool respawns re-runs
+    this initializer with the same router — per-pool state, not shared.
+    """
+    global _WORKER_ROUTER
+    _WORKER_ROUTER = router
+
+
+def _run_query_chunk(task):
+    """Worker-side entry: evaluate one contiguous query slice."""
+    chunk_index, sketches, k, scorer, exclude_ids = task
+    results = _WORKER_ROUTER.query_batch(
+        sketches, k=k, scorer=scorer, exclude_ids=exclude_ids
+    )
+    return chunk_index, results
+
+
+class QueryWorkerPool:
+    """Persistent forked workers partitioning query batches across cores.
+
+    Args:
+        router: the :class:`~repro.serving.router.ShardRouter` (or any
+            object with a compatible ``query_batch``) each worker
+            inherits at fork time. Probe it once before constructing the
+            pool (any query) so lazily-loaded shards and frozen postings
+            are warm in the inherited memory image.
+        workers: process count. ``None``/``1`` — or a platform without
+            the ``fork`` start method — evaluates sequentially through
+            ``router.query_batch`` with identical results.
+
+    Results are bit-identical to ``router.query_batch(..., rng=None)``:
+    queries are split into contiguous chunks and every query's bootstrap
+    / stochastic-scorer rng is the fresh fixed-seed generator the
+    sequential path would create, so chunk boundaries cannot shift any
+    rng stream. A caller-supplied shared generator is therefore not
+    supported here — that contract is inherently sequential.
+    """
+
+    def __init__(self, router, workers: int | None = None) -> None:
+        self.router = router
+        self.workers = _validate_workers(workers)
+        self._pool = None
+
+    @property
+    def parallel(self) -> bool:
+        """True when batches actually fan out across processes."""
+        return (
+            self.workers is not None
+            and self.workers > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    def _ensure_pool(self):
+        if self._pool is None and self.parallel:
+            self._pool = multiprocessing.get_context("fork").Pool(
+                processes=self.workers,
+                initializer=_init_query_worker,
+                initargs=(self.router,),
+            )
+        return self._pool
+
+    def query_batch(
+        self,
+        query_sketches: Sequence,
+        k: int = 10,
+        scorer: str = "rp_cih",
+        *,
+        exclude_ids: list[str | None] | None = None,
+    ):
+        """Evaluate the batch, partitioned across the worker processes."""
+        query_sketches = list(query_sketches)
+        if exclude_ids is None:
+            exclude_ids = [None] * len(query_sketches)
+        if len(exclude_ids) != len(query_sketches):
+            raise ValueError(
+                f"{len(query_sketches)} query sketches but "
+                f"{len(exclude_ids)} exclude ids"
+            )
+        pool = self._ensure_pool()
+        if pool is None or len(query_sketches) <= 1:
+            return self.router.query_batch(
+                query_sketches, k=k, scorer=scorer, exclude_ids=exclude_ids
+            )
+        n_chunks = min(self.workers, len(query_sketches))
+        bounds = [
+            round(i * len(query_sketches) / n_chunks) for i in range(n_chunks + 1)
+        ]
+        tasks = [
+            (
+                i,
+                query_sketches[bounds[i] : bounds[i + 1]],
+                k,
+                scorer,
+                exclude_ids[bounds[i] : bounds[i + 1]],
+            )
+            for i in range(n_chunks)
+        ]
+        gathered = sorted(pool.map(_run_query_chunk, tasks))
+        return [result for _, results in gathered for result in results]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "QueryWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -361,3 +361,224 @@ def test_index_lsh_with_json_output_warns_and_skips(portal, tmp_path, capsys):
     assert main(["index", str(portal), "-o", str(out), "--lsh"]) == 0
     captured = capsys.readouterr()
     assert "only .npz snapshots persist the LSH index" in captured.err
+
+
+# -- hardening: missing/corrupt inputs exit 2 with one-line errors -----------
+
+
+def test_query_missing_catalog_exits_2(portal, tmp_path, capsys):
+    rc = main(["query", str(tmp_path / "nope.json"), str(portal / "query.csv")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot load catalog")
+    assert "Traceback" not in err
+
+
+def test_query_corrupt_catalog_exits_2(portal, tmp_path, capsys):
+    bad = tmp_path / "bad.npz"
+    bad.write_bytes(b"PK\x03\x04 this is not a real zip")
+    rc = main(["query", str(bad), str(portal / "query.csv")])
+    assert rc == 2
+    assert "error: cannot load catalog" in capsys.readouterr().err
+
+
+def test_info_missing_catalog_exits_2(tmp_path, capsys):
+    rc = main(["catalog", "info", str(tmp_path / "nope.npz")])
+    assert rc == 2
+    assert "error: cannot load catalog" in capsys.readouterr().err
+
+
+def test_info_corrupt_json_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{definitely not json")
+    rc = main(["catalog", "info", str(bad)])
+    assert rc == 2
+    assert "error: cannot load catalog" in capsys.readouterr().err
+
+
+def test_estimate_missing_csv_exits_2(portal, tmp_path, capsys):
+    rc = main(["estimate", str(tmp_path / "nope.csv"), str(portal / "good.csv")])
+    assert rc == 2
+    assert "error: cannot read" in capsys.readouterr().err
+
+
+def test_query_directory_as_catalog_suggests_catalog_dir(portal, tmp_path, capsys):
+    rc = main(["query", str(tmp_path), str(portal / "query.csv")])
+    assert rc == 2
+    assert "--catalog-dir" in capsys.readouterr().err
+
+
+# -- validation: positive-integer arguments ----------------------------------
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["query", "c.json", "q.csv", "-k", "0"],
+        ["query", "c.json", "q.csv", "--depth", "-3"],
+        ["query", "c.json", "q.csv", "--bands", "0"],
+        ["query", "c.json", "q.csv", "--rows", "0"],
+        ["query", "--catalog-dir", "d", "q.csv", "--workers", "0"],
+        ["index", "p", "-o", "c.json", "--sketch-size", "0"],
+        ["shard", "build", "p", "-o", "d", "--shards", "0"],
+        ["shard", "build", "p", "-o", "d", "--shards", "-2"],
+    ],
+)
+def test_nonpositive_arguments_rejected(argv, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2
+    assert "must be positive" in capsys.readouterr().err
+
+
+# -- sharded serving surface -------------------------------------------------
+
+
+def _shard_build(portal, tmp_path, shards=3, extra=()):
+    catalog_dir = tmp_path / "catalog-dir"
+    rc = main(
+        ["shard", "build", str(portal), "-o", str(catalog_dir),
+         "--shards", str(shards), *extra]
+    )
+    assert rc == 0
+    return catalog_dir
+
+
+def test_shard_build_creates_manifest_directory(portal, tmp_path, capsys):
+    catalog_dir = _shard_build(portal, tmp_path)
+    out = capsys.readouterr().out
+    assert "sharded 3 column pairs" in out
+    assert (catalog_dir / "manifest.json").exists()
+    assert (catalog_dir / "shard-0000.npz").exists()
+
+
+def test_shard_info_reports_layout(portal, tmp_path, capsys):
+    catalog_dir = _shard_build(portal, tmp_path)
+    capsys.readouterr()
+    rc = main(["shard", "info", str(catalog_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "shards       : 3" in out
+    assert "sketches     : 3" in out
+    assert "shard-0002.npz" in out
+
+
+def test_shard_info_missing_directory_exits_2(tmp_path, capsys):
+    rc = main(["shard", "info", str(tmp_path / "nope")])
+    assert rc == 2
+    assert "error: cannot read sharded catalog" in capsys.readouterr().err
+
+
+def test_catalog_info_on_manifest_directory(portal, tmp_path, capsys):
+    """`catalog info` on a sharded directory reports the sharded layout
+    instead of failing on a directory read."""
+    catalog_dir = _shard_build(portal, tmp_path)
+    capsys.readouterr()
+    rc = main(["catalog", "info", str(catalog_dir)])
+    assert rc == 0
+    assert "shards       : 3" in capsys.readouterr().out
+
+
+def test_query_catalog_dir_matches_single_catalog(portal, tmp_path, capsys):
+    """The acceptance check at CLI level: sharded scatter-gather output
+    ranks identically to the monolithic catalog."""
+    catalog = _index(portal, tmp_path)
+    catalog_dir = _shard_build(portal, tmp_path)
+    capsys.readouterr()
+
+    def ranking(argv):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        return [l.split()[1:3] for l in out.splitlines() if l and l[0].isdigit()]
+
+    mono = ranking(["query", str(catalog), str(portal / "query.csv"), "--scorer", "rp"])
+    shard = ranking(
+        ["query", "--catalog-dir", str(catalog_dir), str(portal / "query.csv"),
+         "--scorer", "rp"]
+    )
+    shard_workers = ranking(
+        ["query", "--catalog-dir", str(catalog_dir), str(portal / "query.csv"),
+         "--scorer", "rp", "--workers", "2"]
+    )
+    assert shard == mono
+    assert shard_workers == mono
+
+
+def test_query_catalog_dir_batch(portal, tmp_path, capsys):
+    catalog_dir = _shard_build(portal, tmp_path)
+    capsys.readouterr()
+    rc = main(
+        ["query", "--catalog-dir", str(catalog_dir), "--queries-dir",
+         str(portal), "--scorer", "rp", "-k", "1"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "queries    : 3 column pair(s)" in out
+    assert "sharded (3 shards" in out
+
+
+def test_query_catalog_and_dir_mutually_exclusive(portal, tmp_path):
+    catalog = _index(portal, tmp_path)
+    catalog_dir = _shard_build(portal, tmp_path)
+    with pytest.raises(SystemExit, match="not both"):
+        main(["query", str(catalog), str(portal / "query.csv"),
+              "--catalog-dir", str(catalog_dir)])
+
+
+def test_query_requires_catalog_or_dir(portal):
+    with pytest.raises(SystemExit, match="catalog file or --catalog-dir"):
+        main(["query", "--queries-dir", str(portal)])
+
+
+def test_query_workers_requires_catalog_dir(portal, tmp_path):
+    catalog = _index(portal, tmp_path)
+    with pytest.raises(SystemExit, match="--workers"):
+        main(["query", str(catalog), str(portal / "query.csv"),
+              "--workers", "2"])
+
+
+def test_query_catalog_dir_rejects_scalar_executor(portal, tmp_path):
+    catalog_dir = _shard_build(portal, tmp_path)
+    with pytest.raises(SystemExit, match="columnar-only"):
+        main(["query", "--catalog-dir", str(catalog_dir),
+              str(portal / "query.csv"), "--no-vectorized-query"])
+
+
+def test_shard_build_lsh_and_query(portal, tmp_path, capsys):
+    catalog_dir = _shard_build(
+        portal, tmp_path, extra=["--lsh", "--lsh-bands", "32", "--lsh-rows", "2"]
+    )
+    capsys.readouterr()
+    rc = main(
+        ["query", "--catalog-dir", str(catalog_dir), str(portal / "query.csv"),
+         "--retrieval", "lsh", "--bands", "32", "--rows", "2",
+         "--scorer", "rp", "-k", "1"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+    assert lines[0].split()[1].startswith("good.csv")
+
+
+def test_shard_build_empty_directory_fails(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    rc = main(["shard", "build", str(empty), "-o", str(tmp_path / "d")])
+    assert rc == 1
+    assert "no CSV files" in capsys.readouterr().err
+
+
+def test_shard_info_manifest_missing_keys_exits_2(tmp_path, capsys):
+    """A version-valid manifest missing config keys is a one-line exit-2
+    error, not a KeyError traceback."""
+    import json
+
+    (tmp_path / "manifest.json").write_text(
+        json.dumps(
+            {"version": 1, "n_shards": 1,
+             "shards": [{"file": "x.npz", "sketches": 0, "ids": []}]}
+        )
+    )
+    rc = main(["shard", "info", str(tmp_path)])
+    assert rc == 2
+    assert "corrupt manifest" in capsys.readouterr().err

@@ -145,3 +145,76 @@ def test_sketch_columns_matches_sketch():
     entries = sketch.entries()
     for kh, value in zip(cols.key_hashes, cols.values):
         assert entries[int(kh)] == value
+
+
+# -- removal (satellite: deletion path with full invalidation) ---------------
+
+
+def test_remove_sketch_full_invalidation():
+    catalog = _catalog()
+    frozen = catalog.frozen_postings()
+    lsh = catalog.lsh_index(bands=8, rows=2)
+    vocab_before = catalog.vocabulary_size
+    catalog.remove_sketch("t1::key->value")
+    assert "t1::key->value" not in catalog
+    assert len(catalog) == 1
+    # Inverted postings dropped immediately...
+    assert catalog.index.vocabulary_size < vocab_before
+    assert "t1::key->value" not in catalog.index
+    # ...frozen postings and LSH invalidated, rebuilt lazily.
+    assert catalog._frozen_postings is None
+    assert catalog._lsh_index is None
+    refrozen = catalog.frozen_postings()
+    assert refrozen is not frozen
+    assert len(refrozen) == 1
+    rebuilt = catalog.lsh_index(bands=8, rows=2)
+    assert rebuilt is not lsh
+    assert "t1::key->value" not in rebuilt
+
+
+def test_remove_unknown_sketch_raises():
+    catalog = _catalog()
+    with pytest.raises(KeyError, match="no sketch"):
+        catalog.remove_sketch("missing")
+    assert len(catalog) == 2
+
+
+def test_remove_then_readd_same_id():
+    catalog = _catalog()
+    sketch = catalog.get("t1::key->value")
+    catalog.remove_sketch("t1::key->value")
+    catalog.add_sketch("t1::key->value", sketch)
+    assert len(catalog) == 2
+    hits = catalog.frozen_postings().top_overlap(
+        list(sketch.key_hashes()), 5
+    )
+    assert hits[0][0] == "t1::key->value"
+
+
+def test_remove_sketches_validates_batch():
+    catalog = _catalog()
+    with pytest.raises(KeyError, match="no sketch"):
+        catalog.remove_sketches(["t1::key->value", "missing"])
+    assert len(catalog) == 2
+    with pytest.raises(ValueError, match="duplicate"):
+        catalog.remove_sketches(["t1::key->value", "t1::key->value"])
+    assert len(catalog) == 2
+    removed = catalog.remove_sketches(["t1::key->value", "t2::key->value"])
+    assert removed == ["t1::key->value", "t2::key->value"]
+    assert len(catalog) == 0
+    assert catalog.frozen_postings().vocabulary_size == 0
+
+
+def test_remove_from_snapshot_loaded_catalog(tmp_path):
+    """Removal on a lazily rehydrated catalog: the stale live index is
+    simply rebuilt later from the surviving entries."""
+    path = tmp_path / "c.npz"
+    _catalog().save(path)
+    loaded = SketchCatalog.load(path)
+    loaded.remove_sketch("t1::key->value")
+    assert len(loaded) == 1
+    assert "t1::key->value" not in loaded.index
+    assert "t2::key->value" in loaded.index
+    sketch = loaded.get("t2::key->value")
+    hits = loaded.frozen_postings().top_overlap(list(sketch.key_hashes()), 5)
+    assert [sid for sid, _ in hits] == ["t2::key->value"]

@@ -159,3 +159,39 @@ def test_top_overlap_batch_row_chunking_parity(monkeypatch):
     expected = frozen.top_overlap_batch(queries, 6, min_overlap=2)
     monkeypatch.setattr(inverted_mod, "_PROBE_MATRIX_CELLS", 1)
     assert frozen.top_overlap_batch(queries, 6, min_overlap=2) == expected
+
+
+# -- removal (the catalog deletion path) -------------------------------------
+
+
+def test_remove_drops_postings_and_allows_readd():
+    idx = _index()
+    idx.remove("s2", [3, 4, 5])
+    assert "s2" not in idx
+    assert len(idx) == 2
+    assert idx.top_overlap([3, 4, 5], 5) == [("s1", 2)]
+    # Empty posting lists are deleted, shrinking the vocabulary.
+    assert 5 not in idx._postings
+    assert idx.vocabulary_size == 6
+    idx.add("s2", [3, 4, 5])
+    assert idx.top_overlap([3, 4, 5], 5) == [("s2", 3), ("s1", 2)]
+
+
+def test_remove_unknown_id_raises():
+    idx = _index()
+    with pytest.raises(KeyError, match="not indexed"):
+        idx.remove("missing", [1, 2])
+    assert len(idx) == 3
+
+
+def test_remove_then_freeze_matches_fresh_index():
+    idx = _index()
+    idx.remove("s1", [1, 2, 3, 4])
+    frozen = idx.freeze()
+    fresh = InvertedIndex()
+    fresh.add("s2", [3, 4, 5])
+    fresh.add("s3", [100, 101])
+    expected = fresh.freeze()
+    assert frozen.docs == expected.docs
+    assert (frozen.vocab == expected.vocab).all()
+    assert (frozen.doc_ids == expected.doc_ids).all()

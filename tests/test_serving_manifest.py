@@ -1,0 +1,195 @@
+"""Manifest persistence: round trips, lazy rehydration, stale shards."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import CorrelationSketch
+from repro.index.engine import JoinCorrelationEngine
+from repro.index.catalog import SketchCatalog
+from repro.serving import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    ShardRouter,
+    ShardedCatalog,
+)
+
+
+def _populate(catalog, n=12, seed=5):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for i in range(n):
+        keys = rng.choice(800, 120, replace=False)
+        sid = f"pair{i:03d}"
+        pairs.append(
+            (
+                sid,
+                CorrelationSketch.from_columns(
+                    keys,
+                    rng.standard_normal(120),
+                    48,
+                    hasher=catalog.hasher,
+                    name=sid,
+                ),
+            )
+        )
+    catalog.add_sketches(pairs)
+    return pairs
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    catalog = ShardedCatalog(3, sketch_size=48)
+    pairs = _populate(catalog)
+    directory = tmp_path / "catalog-dir"
+    manifest_path = catalog.save(directory)
+    return catalog, pairs, directory, manifest_path
+
+
+def test_round_trip_preserves_every_sketch(saved):
+    catalog, pairs, directory, _ = saved
+    loaded = ShardedCatalog.load(directory)
+    assert len(loaded) == len(catalog)
+    assert loaded.n_shards == catalog.n_shards
+    assert loaded.hasher.scheme_id == catalog.hasher.scheme_id
+    assert sorted(loaded) == sorted(catalog)
+    for sid, _ in pairs:
+        a = catalog.sketch_columns(sid)
+        b = loaded.sketch_columns(sid)
+        assert (a.key_hashes == b.key_hashes).all()
+        assert (a.ranks == b.ranks).all()
+        assert (a.values == b.values).all()
+        assert loaded.owner_of(sid) == catalog.owner_of(sid)
+
+
+def test_round_trip_preserves_query_results(saved):
+    catalog, pairs, directory, _ = saved
+    rng = np.random.default_rng(9)
+    keys = rng.choice(800, 200, replace=False)
+    query = CorrelationSketch.from_columns(
+        keys, rng.standard_normal(200), 48, hasher=catalog.hasher, name="q"
+    )
+    before = ShardRouter(catalog, retrieval_depth=8).query(query, k=5)
+    after = ShardRouter(ShardedCatalog.load(directory), retrieval_depth=8).query(
+        query, k=5
+    )
+    assert [(e.candidate_id, e.score) for e in before.ranked] == [
+        (e.candidate_id, e.score) for e in after.ranked
+    ]
+
+
+def test_lazy_load_materializes_only_probed_shards(saved):
+    catalog, pairs, directory, _ = saved
+    loaded = ShardedCatalog.load(directory)
+    # Manifest-only cold start: nothing materialized, but placement,
+    # sizes and membership are all answerable.
+    assert loaded.loaded_shards == [False] * 3
+    assert loaded.shard_sizes() == catalog.shard_sizes()
+    assert pairs[0][0] in loaded
+    assert loaded.loaded_shards == [False] * 3
+    # A targeted get touches exactly the owning shard.
+    loaded.get(pairs[0][0])
+    assert sum(loaded.loaded_shards) == 1
+    assert loaded.loaded_shards[loaded.owner_of(pairs[0][0])]
+
+
+def test_eager_load_materializes_everything(saved):
+    _, _, directory, _ = saved
+    loaded = ShardedCatalog.load(directory, lazy=False)
+    assert loaded.loaded_shards == [True] * 3
+
+
+def test_loaded_shards_start_with_warm_postings(saved):
+    """Per-shard v2 snapshots ship frozen postings, so a loaded shard
+    answers its first probe without a freeze."""
+    _, _, directory, _ = saved
+    loaded = ShardedCatalog.load(directory, lazy=False)
+    for i in range(3):
+        assert loaded.shard(i)._frozen_postings is not None
+
+
+def test_mutation_after_load_invalidates_only_target_shard(saved):
+    """Stale-shard invalidation: incremental maintenance on a loaded
+    catalog re-freezes exactly the mutated shard."""
+    _, _, directory, _ = saved
+    loaded = ShardedCatalog.load(directory, lazy=False)
+    from repro.table.table import table_from_arrays
+
+    loaded.add_table(
+        table_from_arrays("new", [f"n{i}" for i in range(40)], np.arange(40.0))
+    )
+    target = loaded.owner_of("new::key->value")
+    for i in range(3):
+        warm = loaded.shard(i)._frozen_postings is not None
+        assert warm == (i != target)
+
+
+def test_unknown_manifest_version_refused(saved):
+    _, _, directory, manifest_path = saved
+    payload = json.loads(manifest_path.read_text())
+    payload["version"] = MANIFEST_VERSION + 1
+    manifest_path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="unsupported manifest version"):
+        ShardedCatalog.load(directory)
+
+
+def test_corrupt_manifest_json_refused(saved):
+    _, _, directory, manifest_path = saved
+    manifest_path.write_text("{not json")
+    with pytest.raises(ValueError, match="corrupt manifest"):
+        ShardedCatalog.load(directory)
+
+
+def test_missing_manifest_refused(tmp_path):
+    with pytest.raises(FileNotFoundError, match=MANIFEST_NAME):
+        ShardedCatalog.load(tmp_path)
+
+
+def test_stale_shard_snapshot_detected(saved):
+    """A shard file inconsistent with the manifest (here: swapped for a
+    snapshot with a different sketch count) fails loudly on
+    materialization instead of serving the wrong corpus."""
+    catalog, _, directory, manifest_path = saved
+    payload = json.loads(manifest_path.read_text())
+    # Overwrite shard 0's snapshot with an empty catalog of the same
+    # scheme — count disagrees with the manifest.
+    empty = SketchCatalog(sketch_size=48, hasher=catalog.hasher)
+    empty.save(directory / payload["shards"][0]["file"])
+    loaded = ShardedCatalog.load(directory)
+    with pytest.raises(ValueError, match="stale shard"):
+        loaded.shard(0)
+
+
+def test_duplicate_id_across_shards_refused(saved):
+    _, _, directory, manifest_path = saved
+    payload = json.loads(manifest_path.read_text())
+    dup = payload["shards"][0]["ids"][0]
+    payload["shards"][1]["ids"][0] = dup
+    manifest_path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="more than one shard"):
+        ShardedCatalog.load(directory)
+
+
+def test_sharded_vs_monolithic_snapshot_same_results(saved, tmp_path):
+    """A sharded manifest and a monolithic npz of the same corpus serve
+    identical rankings — the persistence formats agree end to end."""
+    catalog, pairs, directory, _ = saved
+    mono = SketchCatalog(sketch_size=48, hasher=catalog.hasher)
+    mono.add_sketches(pairs)
+    mono_path = tmp_path / "mono.npz"
+    mono.save(mono_path)
+    rng = np.random.default_rng(21)
+    keys = rng.choice(800, 200, replace=False)
+    query = CorrelationSketch.from_columns(
+        keys, rng.standard_normal(200), 48, hasher=catalog.hasher, name="q"
+    )
+    a = JoinCorrelationEngine(
+        SketchCatalog.load(mono_path), retrieval_depth=8
+    ).query(query, k=5)
+    b = ShardRouter(ShardedCatalog.load(directory), retrieval_depth=8).query(
+        query, k=5
+    )
+    assert [(e.candidate_id, e.score) for e in a.ranked] == [
+        (e.candidate_id, e.score) for e in b.ranked
+    ]
