@@ -17,11 +17,14 @@ The operations of a join-correlation deployment, as subcommands:
 * ``estimate`` — one-off: estimate the after-join correlation between two
   CSV column pairs directly from freshly built sketches.
 * ``catalog``  — catalog management; ``catalog info <path>`` reports
-  statistics, format and on-disk size (``info <path>`` is the shorthand).
+  statistics, format, on-disk size and pending delta/tombstone state
+  (``info <path>`` is the shorthand); ``catalog compact <path>`` folds
+  the delta layer into fresh frozen structures and re-saves.
 * ``shard``    — sharded-catalog management: ``shard build`` partitions a
   CSV collection across N shards into a manifest directory
-  (:mod:`repro.serving`); ``shard info`` reports the layout from the
-  manifest alone, without materializing any shard. ``query
+  (:mod:`repro.serving`); ``shard info`` reports the layout and per-shard
+  delta state from the manifest alone, without materializing any shard;
+  ``shard compact`` compacts every shard in place. ``query
   --catalog-dir <dir>`` serves queries from such a directory
   scatter-gather (``--workers`` fans the shard probes out on threads),
   with results bit-identical to a monolithic catalog.
@@ -445,6 +448,11 @@ def cmd_info(args: argparse.Namespace) -> int:
     if sizes:
         print(f"entries      : min={min(sizes)} max={max(sizes)} total={sum(sizes)}")
     print(f"posting keys : {catalog.vocabulary_size}")
+    print(
+        f"delta layer  : {catalog.delta_size} pending sketch(es), "
+        f"{catalog.tombstone_count} tombstone(s)"
+    )
+    print(f"index version: {catalog.index_version} (compactions folded in)")
     lsh = catalog.lsh_params
     if lsh is not None:
         print(f"lsh index    : warm (bands={lsh[0]} rows={lsh[1]})")
@@ -453,6 +461,55 @@ def cmd_info(args: argparse.Namespace) -> int:
             "lsh index    : none (index --lsh persists one; otherwise each "
             "--retrieval lsh process rebuilds it)"
         )
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """``catalog compact``: fold the delta layer into fresh frozen
+    structures and persist the result (in place unless ``-o``)."""
+    path = Path(args.catalog)
+    catalog = _load_catalog(path)
+    delta, tombstones = catalog.delta_size, catalog.tombstone_count
+    t0 = time.perf_counter()
+    version = catalog.compact()
+    output = Path(args.output) if args.output is not None else path
+    try:
+        catalog.save(output)
+    except OSError as exc:
+        raise _fail(f"cannot write catalog {output}: {exc}") from exc
+    elapsed = time.perf_counter() - t0
+    print(
+        f"compacted {path}: folded {delta} delta sketch(es) and "
+        f"{tombstones} tombstone(s) in {elapsed:.2f}s -> {output} "
+        f"(index version {version})"
+    )
+    return 0
+
+
+def cmd_shard_compact(args: argparse.Namespace) -> int:
+    """``shard compact``: compact every shard of a manifest directory and
+    rewrite its snapshots + manifest."""
+    directory = Path(args.catalog_dir)
+    catalog = _load_sharded(directory)
+    # Materialize every shard up front so the pre-compaction delta and
+    # tombstone totals count loaded state, not cold-shard zeros.
+    deltas = sum(
+        catalog.shard(i).delta_size for i in range(catalog.n_shards)
+    )
+    tombstones = sum(catalog.tombstone_counts())
+    t0 = time.perf_counter()
+    versions = catalog.compact()
+    try:
+        catalog.save(directory)
+    except OSError as exc:
+        raise _fail(f"cannot write sharded catalog {directory}: {exc}") from exc
+    elapsed = time.perf_counter() - t0
+    print(
+        f"compacted {catalog.n_shards} shard(s): folded {deltas} delta "
+        f"sketch(es) and {tombstones} tombstone(s) in {elapsed:.2f}s "
+        f"-> {directory} (index versions "
+        f"{'/'.join(str(v) for v in versions)})"
+    )
     return 0
 
 
@@ -512,6 +569,15 @@ def _print_shard_info(directory: Path) -> int:
         ]
         files = [entry["file"] for entry in shard_entries]
         counts = [entry["sketches"] for entry in shard_entries]
+        # v2 manifests carry per-shard maintenance state; v1 has none.
+        maintenance = [
+            (
+                entry.get("index_version"),
+                entry.get("delta", 0),
+                entry.get("tombstones", 0),
+            )
+            for entry in shard_entries
+        ]
     except (KeyError, TypeError, ValueError) as exc:
         raise _fail(
             f"cannot read sharded catalog {directory}: corrupt manifest "
@@ -528,8 +594,19 @@ def _print_shard_info(directory: Path) -> int:
     for line in header:
         print(line)
     print(f"on-disk bytes: {disk:,}")
-    for index, (count, name) in enumerate(zip(counts, files)):
-        print(f"  shard {index:>4} : {count:>6} sketches  {name}")
+    deltas = sum(delta for _, delta, _ in maintenance)
+    tombstones = sum(tombs for _, _, tombs in maintenance)
+    print(
+        f"delta layer  : {deltas} pending sketch(es), "
+        f"{tombstones} tombstone(s) across shards"
+    )
+    for index, (count, name, (version, delta, tombs)) in enumerate(
+        zip(counts, files, maintenance)
+    ):
+        state = ""
+        if version is not None:
+            state = f"  [v{version} delta={delta} tombstones={tombs}]"
+        print(f"  shard {index:>4} : {count:>6} sketches  {name}{state}")
     if missing:
         raise _fail(
             f"manifest references missing shard file(s): {', '.join(missing)}"
@@ -713,6 +790,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_catalog_info.add_argument("catalog", help="catalog file (JSON or .npz)")
     p_catalog_info.set_defaults(func=cmd_info)
+    p_catalog_compact = catalog_sub.add_parser(
+        "compact",
+        help="fold the pending delta layer (appended sketches + "
+        "tombstones) into fresh frozen structures and re-save",
+    )
+    p_catalog_compact.add_argument("catalog", help="catalog file (JSON or .npz)")
+    p_catalog_compact.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the compacted catalog here instead of in place",
+    )
+    p_catalog_compact.set_defaults(func=cmd_compact)
 
     # Shorthand kept for compatibility with earlier releases.
     p_info = sub.add_parser("info", help="catalog statistics (alias of `catalog info`)")
@@ -772,6 +862,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_shard_info.add_argument("catalog_dir", help="catalog directory from `shard build`")
     p_shard_info.set_defaults(func=cmd_shard_info)
+
+    p_shard_compact = shard_sub.add_parser(
+        "compact",
+        help="compact every shard's delta layer and rewrite the manifest "
+        "directory in place",
+    )
+    p_shard_compact.add_argument(
+        "catalog_dir", help="catalog directory from `shard build`"
+    )
+    p_shard_compact.set_defaults(func=cmd_shard_compact)
     return parser
 
 

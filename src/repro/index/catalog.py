@@ -24,6 +24,20 @@ content sniff on load):
   Python-object sketches at all, while :meth:`get` materializes on first
   access; the live :class:`InvertedIndex` is rebuilt only when something
   actually needs it (scalar retrieval, or a mutation).
+
+Index maintenance is LSM-style. The frozen CSR postings and the
+frozen-layer LSH index are immutable between compactions: appends land
+in a small mutable **delta** (:class:`InvertedIndex` plus an LSH delta
+ring), removals of frozen entries go to a **tombstone** set, and the
+layered probes (:meth:`SketchCatalog.probe_top_overlap`,
+:meth:`SketchCatalog.probe_top_overlap_batch`,
+:meth:`SketchCatalog.lsh_candidate_ids`) answer from
+``frozen + delta − tombstones``, merging per-layer hits under the shared
+``(−overlap, id)`` total order — bit-identical to a freshly rebuilt
+monolithic index. :meth:`SketchCatalog.compact` folds the delta and
+tombstones into new frozen structures and bumps
+:attr:`SketchCatalog.index_version`; it runs on demand, at the
+``compact_threshold`` delta size, or via the CLI's ``catalog compact``.
 """
 
 from __future__ import annotations
@@ -37,7 +51,7 @@ import numpy as np
 
 from repro.core.sketch import CorrelationSketch, SketchColumns
 from repro.hashing import KeyHasher
-from repro.index.inverted import ColumnarPostings, InvertedIndex
+from repro.index.inverted import ColumnarPostings, InvertedIndex, merge_hits
 from repro.index.lsh import DEFAULT_BANDS, DEFAULT_ROWS, LshIndex
 from repro.table.table import ColumnPair, Table
 
@@ -108,6 +122,10 @@ class SketchCatalog:
             path (default). The result is identical to the streaming path;
             disable only to benchmark or debug against the row-at-a-time
             reference implementation.
+        compact_threshold: fold the delta layer into the frozen
+            structures automatically once it holds this many sketches
+            (``None``, the default, compacts only on demand — see
+            :meth:`compact`).
     """
 
     def __init__(
@@ -117,11 +135,17 @@ class SketchCatalog:
         hasher: KeyHasher | None = None,
         *,
         vectorized: bool = True,
+        compact_threshold: int | None = None,
     ) -> None:
+        if compact_threshold is not None and compact_threshold <= 0:
+            raise ValueError(
+                f"compact_threshold must be positive, got {compact_threshold}"
+            )
         self.sketch_size = sketch_size
         self.aggregate = aggregate
         self.hasher = hasher if hasher is not None else KeyHasher()
         self.vectorized = vectorized
+        self.compact_threshold = compact_threshold
         #: id -> CorrelationSketch | _LazySketch (insertion-ordered).
         self._sketches: dict[str, CorrelationSketch | _LazySketch] = {}
         self._index = InvertedIndex()
@@ -130,6 +154,23 @@ class SketchCatalog:
         self._index_stale = False
         self._frozen_postings: ColumnarPostings | None = None
         self._lsh_index: LshIndex | None = None
+        #: Monotone compaction counter: bumped whenever :meth:`compact`
+        #: folds actual work (non-empty delta or tombstones) into the
+        #: frozen layer. Persisted by snapshots and manifests; the
+        #: sharded-catalog loader uses it for stale-shard detection.
+        self.index_version = 0
+        #: The mutable delta layer: every append since the last
+        #: compaction. Probed alongside the frozen CSR, never instead
+        #: of it.
+        self._delta_index = InvertedIndex()
+        self._delta_frozen: ColumnarPostings | None = None
+        self._delta_lsh: LshIndex | None = None
+        #: Frozen-layer ids removed since the last compaction. Their
+        #: postings stay physically present in the frozen CSR (and
+        #: possibly the frozen-layer LSH) until compaction; probes ban
+        #: them instead.
+        self._tombstones: set[str] = set()
+        self._banned_cache: np.ndarray | None = None
 
     # -- population ---------------------------------------------------------
 
@@ -149,13 +190,19 @@ class SketchCatalog:
             ValueError: on duplicate ids or hashing-scheme mismatch.
         """
         self._validate_new(sketch_id, sketch)
-        self._ensure_index()
         self._sketches[sketch_id] = sketch
-        self._index.add(sketch_id, sketch.key_hashes())
-        # Any mutation invalidates the frozen columnar snapshot and the
-        # LSH index; each is rebuilt lazily on its next accessor call.
-        self._frozen_postings = None
-        self._lsh_index = None
+        # Appends land in the mutable delta layer; the frozen CSR and the
+        # frozen-layer LSH stay warm, and the layered probes merge
+        # frozen + delta − tombstones until the next compaction. The live
+        # index tracks the mutation too unless it is still stale from a
+        # snapshot load (the eventual lazy rebuild sees the new entry in
+        # ``_sketches`` anyway).
+        if not self._index_stale:
+            self._index.add(sketch_id, sketch.key_hashes())
+        self._delta_index.add(sketch_id, sketch.key_hashes())
+        self._delta_frozen = None
+        self._delta_lsh = None
+        self._maybe_autocompact()
 
     def add_sketches(
         self, sketches: Iterable[tuple[str, CorrelationSketch]]
@@ -164,11 +211,11 @@ class SketchCatalog:
 
         All ``(sketch_id, sketch)`` pairs are validated up front (so a
         bad entry rejects the whole batch before any mutation), the
-        inverted-index updates run in one pass, and the frozen-postings
-        snapshot is invalidated a single time — instead of per sketch, as
-        a loop over :meth:`add_sketch` would. This is the registration
-        path of :meth:`add_tables`, :meth:`add_csv_streaming` and the
-        JSON loader.
+        index updates run in one pass, and the delta caches are
+        invalidated (and the compaction threshold consulted) a single
+        time — instead of per sketch, as a loop over :meth:`add_sketch`
+        would. This is the registration path of :meth:`add_tables`,
+        :meth:`add_csv_streaming` and the JSON loader.
         """
         batch = list(sketches)
         seen: set[str] = set()
@@ -179,12 +226,14 @@ class SketchCatalog:
             seen.add(sid)
         if not batch:
             return []
-        self._ensure_index()
         for sid, sketch in batch:
             self._sketches[sid] = sketch
-            self._index.add(sid, sketch.key_hashes())
-        self._frozen_postings = None
-        self._lsh_index = None
+            if not self._index_stale:
+                self._index.add(sid, sketch.key_hashes())
+            self._delta_index.add(sid, sketch.key_hashes())
+        self._delta_frozen = None
+        self._delta_lsh = None
+        self._maybe_autocompact()
         return [sid for sid, _ in batch]
 
     def _build_pair_sketch(
@@ -256,15 +305,19 @@ class SketchCatalog:
         return entry.key_hashes()
 
     def remove_sketch(self, sketch_id: str) -> None:
-        """Delete a sketch and every index trace of it.
+        """Delete a sketch; the frozen structures stay warm.
 
-        The full invalidation chain: the live inverted index drops the
-        sketch's postings (unless it is still stale from a snapshot load,
-        in which case the eventual lazy rebuild simply never sees the
-        entry), and the frozen CSR postings and the LSH index are
-        invalidated wholesale — both rebuild lazily on next access, the
-        same contract mutation via :meth:`add_sketch` follows. The id is
-        free for re-registration immediately.
+        The live inverted index drops the sketch's postings immediately
+        (unless it is still stale from a snapshot load, in which case the
+        eventual lazy rebuild simply never sees the entry). What happens
+        to the layered indexes depends on where the sketch lives: an
+        entry still in the delta is erased from it outright, while a
+        frozen-layer entry is *tombstoned* — its CSR/LSH postings remain
+        physically present but every probe bans it, until the next
+        :meth:`compact` drops it for real. Either way nothing frozen is
+        invalidated, and the id is free for re-registration immediately
+        (a re-add lands in the delta; the kept tombstone keeps banning
+        the old frozen copy).
 
         Raises:
             KeyError: if ``sketch_id`` is not in the catalog.
@@ -277,16 +330,21 @@ class SketchCatalog:
             ) from None
         if not self._index_stale:
             self._index.remove(sketch_id, self._entry_key_hashes(entry))
+        if sketch_id in self._delta_index:
+            self._delta_index.remove(sketch_id, self._entry_key_hashes(entry))
+            self._delta_frozen = None
+            self._delta_lsh = None
+        else:
+            self._tombstones.add(sketch_id)
+            self._banned_cache = None
         del self._sketches[sketch_id]
-        self._frozen_postings = None
-        self._lsh_index = None
 
     def remove_sketches(self, sketch_ids: Iterable[str]) -> list[str]:
         """Bulk :meth:`remove_sketch`: validate everything, then commit.
 
         All ids are checked up front so an unknown (or duplicated) id
-        rejects the whole batch before any mutation; the frozen-postings
-        and LSH invalidation happens once, via the per-entry removals.
+        rejects the whole batch before any mutation; each entry then
+        takes its per-entry delta-erase or tombstone path.
         """
         ids = list(sketch_ids)
         seen: set[str] = set()
@@ -359,68 +417,42 @@ class SketchCatalog:
 
     @property
     def vocabulary_size(self) -> int:
-        """Distinct key hashes with postings, from whichever index
-        representation is already built — never forces a freeze or a
-        stale-index rebuild (snapshot-loaded catalogs answer from the
-        stored postings, JSON-loaded ones from the live index)."""
-        if self._frozen_postings is not None:
+        """Distinct key hashes with postings over the *live* sketch set.
+
+        A clean catalog (no pending delta or tombstones) answers from
+        the frozen CSR without forcing a freeze; a dirty one falls back
+        to the live index (rebuilding it first if a snapshot load left
+        it stale), since the frozen vocabulary may count tombstoned-only
+        hashes or miss delta-only ones."""
+        if (
+            self._frozen_postings is not None
+            and not self._tombstones
+            and len(self._delta_index) == 0
+        ):
             return self._frozen_postings.vocabulary_size
         return self.index.vocabulary_size
 
     def frozen_postings(self) -> ColumnarPostings:
-        """The frozen CSR snapshot of the inverted index.
+        """The *monolithic* frozen CSR over every live sketch.
 
-        Built lazily from the live index and cached; any
-        :meth:`add_sketch` invalidates the cache, so a catalog that
-        alternates mutation and querying re-freezes automatically while a
-        stable catalog (the online-serving case) pays the freeze cost
-        exactly once — :meth:`JoinCorrelationEngine.query_table
-        <repro.index.engine.JoinCorrelationEngine.query_table>` reuses
-        one snapshot across its whole query batch. Binary snapshots
+        Compacts first (:meth:`compact` is a no-op on a clean catalog),
+        so the returned snapshot always covers exactly the live sketch
+        set — a stable catalog keeps returning the same cached object
+        while a mutated one folds and re-freezes. Binary snapshots
         persist the frozen arrays, so a loaded catalog starts with this
-        cache already warm.
+        cache already warm. The serving path never calls this: the
+        layered :meth:`probe_top_overlap` / :meth:`probe_top_overlap_batch`
+        answer from frozen + delta − tombstones without folding.
         """
-        if self._frozen_postings is None:
-            self._ensure_index()
-            self._frozen_postings = self._index.freeze()
+        self.compact()
+        assert self._frozen_postings is not None
         return self._frozen_postings
 
-    def lsh_index(
-        self, *, bands: int | None = None, rows: int | None = None
-    ) -> LshIndex:
-        """The catalog-wide MinHash-LSH index (approximate retrieval).
-
-        Same lifecycle contract as :meth:`frozen_postings`: built lazily
-        on first access and cached; any mutation (:meth:`add_sketch` /
-        :meth:`add_sketches`) invalidates the cache, so it rebuilds on
-        the next call while a stable serving catalog pays the build
-        exactly once. Binary snapshots persist the signature arrays, so
-        a loaded catalog that had an LSH index starts with this cache
-        warm.
-
-        ``bands``/``rows`` semantics: ``None`` (the default) means "use
-        whatever index is cached, else build with the module defaults" —
-        so a serving process that loaded a warm snapshot keeps its
-        persisted banding whatever shape it was built with. Passing
-        explicit values pins the shape: a cached index of a different
-        ``(bands, rows)`` is discarded and rebuilt (and re-cached).
-
-        The build is fully vectorized: every sketch's columnar
-        ``key_hashes`` view is concatenated CSR-style and bucketed by
-        one :meth:`LshIndex.add_batch` scatter.
-        """
-        cached = self._lsh_index
-        if cached is not None:
-            want = (
-                bands if bands is not None else cached.bands,
-                rows if rows is not None else cached.rows,
-            )
-            if (cached.bands, cached.rows) == want:
-                return cached
-        bands = DEFAULT_BANDS if bands is None else bands
-        rows = DEFAULT_ROWS if rows is None else rows
+    def _build_lsh(self, ids: list[str], *, bands: int, rows: int) -> LshIndex:
+        """Vectorized LSH build over ``ids``: every sketch's columnar
+        ``key_hashes`` view is concatenated CSR-style and bucketed by one
+        :meth:`LshIndex.add_batch` scatter."""
         index = LshIndex(bands=bands, rows=rows, bits=self.hasher.bits)
-        ids = list(self)
         columns = [self.sketch_columns(sid) for sid in ids]
         lengths = np.asarray([c.size for c in columns], dtype=np.int64)
         indptr = np.zeros(len(ids) + 1, dtype=np.int64)
@@ -432,15 +464,50 @@ class SketchCatalog:
         else:
             concat = np.empty(0, dtype=np.uint64)
         index.add_batch(ids, concat, indptr)
+        return index
+
+    def lsh_index(
+        self, *, bands: int | None = None, rows: int | None = None
+    ) -> LshIndex:
+        """The *monolithic* MinHash-LSH index over every live sketch.
+
+        Same lifecycle contract as :meth:`frozen_postings`: compacts
+        first (a no-op on a clean catalog), so the returned index covers
+        exactly the live sketch set — mutations fold into it at the next
+        call instead of forcing a from-scratch rebuild. Binary snapshots
+        persist the signature arrays, so a loaded catalog that had an
+        LSH index starts with this cache warm. The serving path never
+        calls this: the layered :meth:`lsh_candidate_ids` probes
+        frozen-layer and delta signatures without folding.
+
+        ``bands``/``rows`` semantics: ``None`` (the default) means "use
+        whatever index is cached, else build with the module defaults" —
+        so a serving process that loaded a warm snapshot keeps its
+        persisted banding whatever shape it was built with. Passing
+        explicit values pins the shape: a cached index of a different
+        ``(bands, rows)`` is discarded and rebuilt (and re-cached).
+        """
+        self.compact()
+        cached = self._lsh_index
+        if cached is not None:
+            want = (
+                bands if bands is not None else cached.bands,
+                rows if rows is not None else cached.rows,
+            )
+            if (cached.bands, cached.rows) == want:
+                return cached
+        bands = DEFAULT_BANDS if bands is None else bands
+        rows = DEFAULT_ROWS if rows is None else rows
+        index = self._build_lsh(list(self), bands=bands, rows=rows)
         self._lsh_index = index
         return index
 
     @property
     def lsh_params(self) -> tuple[int, int] | None:
-        """``(bands, rows)`` of the cached LSH index, or None when the
-        index has not been built (or was invalidated by a mutation).
-        Never triggers a build — ``catalog info`` uses this to report
-        whether a snapshot shipped a warm LSH index."""
+        """``(bands, rows)`` of the cached frozen-layer LSH index, or
+        None when none has been built yet. Never triggers a build or a
+        compaction — ``catalog info`` uses this to report whether a
+        snapshot shipped a warm LSH index."""
         if self._lsh_index is None:
             return None
         return (self._lsh_index.bands, self._lsh_index.rows)
@@ -478,6 +545,368 @@ class SketchCatalog:
             overflowed=not entry.saw_all_keys,
             value_min=entry.value_min,
             value_max=entry.value_max,
+        )
+
+    # -- delta layer (LSM-style incremental maintenance) ----------------------
+
+    @property
+    def delta_size(self) -> int:
+        """Sketches in the mutable delta layer (appends since the last
+        compaction)."""
+        return len(self._delta_index)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Frozen-layer ids banned since the last compaction."""
+        return len(self._tombstones)
+
+    def _delta_postings(self) -> ColumnarPostings:
+        """Frozen CSR view of the delta layer (cached per delta state)."""
+        if self._delta_frozen is None:
+            self._delta_frozen = self._delta_index.freeze()
+        return self._delta_frozen
+
+    def _banned_doc_indices(self) -> np.ndarray | None:
+        """Frozen-layer doc indices of the tombstoned ids (sorted), or
+        None when there is nothing to ban — the ``banned`` argument of
+        the frozen-layer CSR probes."""
+        if not self._tombstones or self._frozen_postings is None:
+            return None
+        if self._banned_cache is None:
+            doc_index = self._frozen_postings._doc_index
+            self._banned_cache = np.asarray(
+                sorted(
+                    doc_index[sid]
+                    for sid in self._tombstones
+                    if sid in doc_index
+                ),
+                dtype=np.int64,
+            )
+        return self._banned_cache
+
+    def probe_top_overlap(
+        self,
+        key_hashes,
+        depth: int,
+        *,
+        exclude: str | None = None,
+        min_overlap: int = 1,
+    ) -> list[tuple[str, int]]:
+        """Layered top-``depth`` overlap probe: frozen + delta − tombstones.
+
+        Bit-identical to :meth:`frozen_postings`'s
+        :meth:`~repro.index.inverted.ColumnarPostings.top_overlap` on a
+        freshly rebuilt monolithic index, without folding anything: each
+        live sketch lives in exactly one layer (appends in the delta,
+        frozen survivors behind the tombstone ban), each layer's probe is
+        already sorted under the ``(−overlap, id)`` total order, and any
+        candidate in the global top-``depth`` is necessarily in its own
+        layer's top-``depth`` — so
+        :func:`~repro.index.inverted.merge_hits` over the per-layer
+        lists reproduces the monolithic cutoff exactly. This is the
+        inverted-backend retrieval probe of
+        :func:`repro.index.engine.retrieve_candidates`.
+        """
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        if not isinstance(key_hashes, np.ndarray):
+            key_hashes = np.fromiter(key_hashes, dtype=np.uint64)
+        parts: list[list[tuple[str, int]]] = []
+        frozen = self._frozen_postings
+        if frozen is not None and len(frozen):
+            parts.append(
+                frozen.top_overlap(
+                    key_hashes,
+                    depth,
+                    exclude=exclude,
+                    min_overlap=min_overlap,
+                    banned=self._banned_doc_indices(),
+                )
+            )
+        if len(self._delta_index):
+            parts.append(
+                self._delta_postings().top_overlap(
+                    key_hashes, depth, exclude=exclude, min_overlap=min_overlap
+                )
+            )
+        if not parts:
+            return []
+        if len(parts) == 1:
+            return parts[0]
+        return merge_hits(parts, depth)
+
+    def probe_top_overlap_batch(
+        self,
+        queries,
+        depth: int,
+        *,
+        excludes=None,
+        min_overlap: int = 1,
+    ) -> list[list[tuple[str, int]]]:
+        """:meth:`probe_top_overlap` for many queries at once.
+
+        Each layer answers the whole batch from its own stacked CSR
+        probe; the per-query layer lists are then merged under the
+        shared total order. Row ``q`` is bit-identical to the
+        single-query call, and to the monolithic
+        :meth:`~repro.index.inverted.ColumnarPostings.top_overlap_batch`.
+        """
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        queries = list(queries)
+        if excludes is not None and len(excludes) != len(queries):
+            raise ValueError(
+                f"{len(queries)} queries but {len(excludes)} excludes"
+            )
+        frozen = self._frozen_postings
+        frozen_part = None
+        if frozen is not None and len(frozen):
+            frozen_part = frozen.top_overlap_batch(
+                queries,
+                depth,
+                excludes=excludes,
+                min_overlap=min_overlap,
+                banned=self._banned_doc_indices(),
+            )
+        delta_part = None
+        if len(self._delta_index):
+            delta_part = self._delta_postings().top_overlap_batch(
+                queries, depth, excludes=excludes, min_overlap=min_overlap
+            )
+        if frozen_part is None and delta_part is None:
+            return [[] for _ in queries]
+        if delta_part is None:
+            return frozen_part
+        if frozen_part is None:
+            return delta_part
+        return [
+            merge_hits([f, d], depth)
+            for f, d in zip(frozen_part, delta_part)
+        ]
+
+    def lsh_candidate_ids(
+        self,
+        key_hashes,
+        *,
+        exclude: str | None = None,
+        bands: int | None = None,
+        rows: int | None = None,
+    ) -> list[str]:
+        """Layered LSH probe: frozen-layer ∪ delta collisions − tombstones.
+
+        Identical to :meth:`lsh_index`'s
+        :meth:`~repro.index.lsh.LshIndex.candidate_ids` on a monolithic
+        rebuild, without folding: band collision is a pairwise predicate
+        between the query signature and one sketch signature, so the
+        union of per-layer collision sets *is* the monolithic collision
+        set, and the sorted-ids output order is recovered by sorting the
+        union. Tombstoned ids are filtered from the frozen-layer hits
+        only (the frozen signatures may still physically contain them);
+        a tombstoned-then-re-added id surfaces from its live delta copy.
+
+        ``bands``/``rows``: same pinning contract as :meth:`lsh_index` —
+        ``None`` keeps whichever shape is already built (frozen layer
+        first, then delta, then the module defaults); explicit values
+        discard mismatching cached layers.
+        """
+        cached = self._lsh_index
+        anchor = cached if cached is not None else self._delta_lsh
+        if anchor is not None:
+            want = (
+                bands if bands is not None else anchor.bands,
+                rows if rows is not None else anchor.rows,
+            )
+        else:
+            want = (
+                DEFAULT_BANDS if bands is None else bands,
+                DEFAULT_ROWS if rows is None else rows,
+            )
+        bands, rows = want
+        if cached is not None and (cached.bands, cached.rows) != want:
+            self._lsh_index = None
+        delta_lsh = self._delta_lsh
+        if delta_lsh is not None and (delta_lsh.bands, delta_lsh.rows) != want:
+            self._delta_lsh = None
+        hits: set[str] = set()
+        frozen = self._frozen_postings
+        if frozen is not None and len(frozen):
+            if self._lsh_index is None:
+                # Lazy frozen-layer build covers the frozen survivors
+                # only — tombstoned sketches are gone from the catalog,
+                # so their signatures cannot be (re)built; later
+                # tombstones are handled by the hit filter below.
+                self._lsh_index = self._build_lsh(
+                    [
+                        sid
+                        for sid in frozen.docs
+                        if sid not in self._tombstones
+                    ],
+                    bands=bands,
+                    rows=rows,
+                )
+            frozen_hits = self._lsh_index.candidate_ids(
+                key_hashes, exclude=exclude
+            )
+            # Tombstones ban *frozen* hits only: a tombstoned-then-re-added
+            # id is live again in the delta, and that copy must surface.
+            if self._tombstones:
+                frozen_hits = [
+                    sid for sid in frozen_hits
+                    if sid not in self._tombstones
+                ]
+            hits.update(frozen_hits)
+        if len(self._delta_index):
+            if self._delta_lsh is None:
+                self._delta_lsh = self._build_lsh(
+                    list(self._delta_postings().docs), bands=bands, rows=rows
+                )
+            hits.update(
+                self._delta_lsh.candidate_ids(key_hashes, exclude=exclude)
+            )
+        return sorted(hits)
+
+    def _maybe_autocompact(self) -> None:
+        if (
+            self.compact_threshold is not None
+            and len(self._delta_index) >= self.compact_threshold
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Fold the delta and tombstones into new frozen structures.
+
+        Three cases:
+
+        * **clean** (warm frozen CSR, empty delta, no tombstones) — a
+          no-op; the version does not move;
+        * **promotion** (no frozen CSR yet — a fresh or JSON-loaded
+          catalog) — the delta freeze *becomes* the frozen layer (this
+          is exactly the old lazy full-freeze cost, paid once);
+        * **fold** — surviving frozen postings and the delta postings
+          are merged array-wise into a fresh canonical CSR (ascending
+          vocabulary, ascending doc id per slice — bit-identical to
+          freezing a from-scratch rebuild), and the frozen-layer LSH, if
+          one is built, absorbs the delta signatures row-wise with the
+          tombstoned rows dropped.
+
+        Afterwards the delta and tombstone set are empty and
+        :attr:`index_version` has been bumped iff anything was folded.
+        Returns the resulting version.
+        """
+        dirty = len(self._delta_index) > 0 or bool(self._tombstones)
+        if self._frozen_postings is None:
+            self._frozen_postings = self._delta_postings()
+            if self._lsh_index is None:
+                self._lsh_index = self._delta_lsh
+        elif dirty:
+            new_frozen = self._fold_postings()
+            if self._lsh_index is not None:
+                self._lsh_index = self._fold_lsh()
+            self._frozen_postings = new_frozen
+        else:
+            return self.index_version
+        self._delta_index = InvertedIndex()
+        self._delta_frozen = None
+        self._delta_lsh = None
+        self._tombstones.clear()
+        self._banned_cache = None
+        if dirty:
+            self.index_version += 1
+        return self.index_version
+
+    def _fold_postings(self) -> ColumnarPostings:
+        """Merge the frozen CSR (minus tombstones) with the delta freeze.
+
+        Pure array surgery: both layers expand to ``(hash, doc)`` pairs,
+        tombstoned pairs drop, and one lexsort on ``(hash, doc)``
+        rebuilds the canonical CSR — the same layout
+        :meth:`InvertedIndex.freeze` produces from a from-scratch
+        rebuild, so the fold is bit-identical to one.
+        """
+        old = self._frozen_postings
+        delta = self._delta_postings()
+        tombs = self._tombstones
+        survivors = [sid for sid in old.docs if sid not in tombs]
+        new_docs = sorted(survivors + list(delta.docs))
+        new_index = {sid: i for i, sid in enumerate(new_docs)}
+        old_map = np.full(len(old.docs), -1, dtype=np.int64)
+        for i, sid in enumerate(old.docs):
+            # A tombstoned id may have been re-added (its live copy is in
+            # the delta): the frozen copy still folds to "dropped".
+            if sid not in tombs:
+                old_map[i] = new_index[sid]
+        delta_map = np.asarray(
+            [new_index[sid] for sid in delta.docs], dtype=np.int64
+        )
+        old_rep = np.repeat(
+            np.arange(old.vocab.size, dtype=np.int64), np.diff(old.indptr)
+        )
+        old_docs = old_map[old.doc_ids]
+        keep = old_docs >= 0
+        d_rep = np.repeat(
+            np.arange(delta.vocab.size, dtype=np.int64), np.diff(delta.indptr)
+        )
+        all_hashes = np.concatenate(
+            [old.vocab[old_rep][keep], delta.vocab[d_rep]]
+        )
+        all_docs = np.concatenate([old_docs[keep], delta_map[delta.doc_ids]])
+        order = np.lexsort((all_docs, all_hashes))
+        all_hashes = all_hashes[order]
+        all_docs = all_docs[order]
+        new_vocab, counts = np.unique(all_hashes, return_counts=True)
+        indptr = np.zeros(new_vocab.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        lengths = np.zeros(len(new_docs), dtype=np.int64)
+        lengths[old_map[old_map >= 0]] = old.doc_lengths[old_map >= 0]
+        if len(delta.docs):
+            lengths[delta_map] = delta.doc_lengths
+        return ColumnarPostings(
+            new_vocab,
+            indptr,
+            all_docs.astype(np.int32),
+            new_docs,
+            lengths,
+            new_index,
+        )
+
+    def _fold_lsh(self) -> LshIndex:
+        """Merge the frozen-layer LSH with the delta signatures.
+
+        Row surgery on the exported signature matrices: tombstoned rows
+        drop, delta rows append (reusing the cached delta ring when its
+        shape matches, else re-signing the delta), and
+        :meth:`LshIndex.from_arrays` rebuilds the buckets. Collision
+        sets are unchanged versus a from-scratch build — bucketing is
+        per-row and order-free.
+        """
+        lsh = self._lsh_index
+        tombs = self._tombstones
+        surviving = [i for i, sid in enumerate(lsh.ids) if sid not in tombs]
+        slots, filled = lsh.export_arrays()
+        new_ids = [lsh.ids[i] for i in surviving]
+        new_slots = slots[surviving]
+        new_filled = filled[surviving]
+        delta_ids = list(self._delta_postings().docs)
+        if delta_ids:
+            delta_lsh = self._delta_lsh
+            if delta_lsh is None or (delta_lsh.bands, delta_lsh.rows) != (
+                lsh.bands,
+                lsh.rows,
+            ):
+                delta_lsh = self._build_lsh(
+                    delta_ids, bands=lsh.bands, rows=lsh.rows
+                )
+            d_slots, d_filled = delta_lsh.export_arrays()
+            new_ids = new_ids + list(delta_lsh.ids)
+            new_slots = np.concatenate([new_slots, d_slots])
+            new_filled = np.concatenate([new_filled, d_filled])
+        return LshIndex.from_arrays(
+            new_ids,
+            new_slots,
+            new_filled,
+            bands=lsh.bands,
+            rows=lsh.rows,
+            bits=lsh.bits,
         )
 
     # -- persistence ----------------------------------------------------------

@@ -29,8 +29,9 @@ which is bit-identical to streaming construction.
 Two interchangeable :class:`QueryExecutor` strategies evaluate the plan:
 
 * :class:`ColumnarQueryExecutor` (default) — the whole pipeline runs on
-  arrays: the retrieval probe hits the catalog's frozen CSR postings
-  (:meth:`SketchCatalog.frozen_postings`), every candidate join is a
+  arrays: the retrieval probe answers from the catalog's layered
+  indexes — frozen CSR + delta − tombstones
+  (:meth:`SketchCatalog.probe_top_overlap`), every candidate join is a
   sorted-array merge of cached :class:`~repro.core.sketch.SketchColumns`
   views, containment estimates come from one vectorized DV-estimator
   call, and the scoring statistics are computed for all candidates at
@@ -568,10 +569,11 @@ def _lsh_hits_columnar(
     collides with are missing here, everything retrieved is ranked
     identically.
     """
-    index = catalog.lsh_index(bands=lsh_bands, rows=lsh_rows)
     threshold = max(1, min_overlap)
     hits: list[tuple[str, int]] = []
-    for sid in index.candidate_ids(query_cols.key_hashes, exclude=exclude):
+    for sid in catalog.lsh_candidate_ids(
+        query_cols.key_hashes, exclude=exclude, bands=lsh_bands, rows=lsh_rows
+    ):
         candidate_cols = catalog.sketch_columns(sid)
         in_query, _ = _candidate_membership(query_cols, candidate_cols)
         overlap = int(np.count_nonzero(in_query))
@@ -614,7 +616,7 @@ def retrieve_candidates(
             lsh_bands=lsh_bands,
             lsh_rows=lsh_rows,
         )
-    return catalog.frozen_postings().top_overlap(
+    return catalog.probe_top_overlap(
         query_cols.key_hashes, depth, exclude=exclude, min_overlap=min_overlap
     )
 
@@ -654,7 +656,7 @@ def retrieve_candidates_batch(
             )
             for cols, excl in zip(query_cols_list, excludes)
         ]
-    return catalog.frozen_postings().top_overlap_batch(
+    return catalog.probe_top_overlap_batch(
         [cols.key_hashes for cols in query_cols_list],
         depth,
         excludes=excludes,
@@ -782,12 +784,14 @@ class ScalarQueryExecutor(QueryExecutor):
         overlaps (set intersection vs sorted membership)."""
         engine = self.engine
         q_hashes = query_sketch.key_hashes()
-        index = engine.catalog.lsh_index(
-            bands=engine.lsh_bands, rows=engine.lsh_rows
-        )
         threshold = max(1, engine.min_overlap)
         hits: list[tuple[str, int]] = []
-        for sid in index.candidate_ids(q_hashes, exclude=exclude_id):
+        for sid in engine.catalog.lsh_candidate_ids(
+            q_hashes,
+            exclude=exclude_id,
+            bands=engine.lsh_bands,
+            rows=engine.lsh_rows,
+        ):
             overlap = len(q_hashes & engine.catalog.get(sid).key_hashes())
             if overlap >= threshold:
                 hits.append((sid, overlap))

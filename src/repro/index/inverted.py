@@ -29,7 +29,9 @@ Two physical layouts implement the same logical index:
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
+from itertools import islice
 from typing import Iterable
 
 import numpy as np
@@ -221,9 +223,15 @@ class ColumnarPostings:
         np.cumsum(lengths, out=indptr[1:])
         doc_ids = np.empty(int(indptr[-1]), dtype=np.int32)
         pos = 0
+        # Postings are stored in canonical order: ascending doc id within
+        # each vocabulary slice. Probes are order-insensitive (bincount),
+        # but the canonical layout makes a freeze reproducible from *any*
+        # insertion history — a compaction fold of frozen + delta layers
+        # (repro.index.catalog.SketchCatalog.compact) is bit-identical to
+        # freezing a from-scratch rebuild.
         for _, postings in items:
-            for sid in postings:
-                doc_ids[pos] = doc_index[sid]
+            for did in sorted(doc_index[sid] for sid in postings):
+                doc_ids[pos] = did
                 pos += 1
         return cls(vocab, indptr, doc_ids, docs, doc_lengths, doc_index)
 
@@ -294,19 +302,23 @@ class ColumnarPostings:
         k: int,
         exclude: str | None,
         min_overlap: int,
+        banned: np.ndarray | None = None,
     ) -> list[tuple[str, int]]:
         """Top-``k`` selection over one per-document ScanCount row.
 
         The shared tail of :meth:`top_overlap` and
-        :meth:`top_overlap_batch`: zero the excluded doc, threshold, then
-        ``np.argpartition`` on a composite ``(overlap, doc)`` key that
-        reproduces the scalar ``(−overlap, sketch_id)`` tie-break.
+        :meth:`top_overlap_batch`: zero the excluded doc and any banned
+        docs (tombstoned entries of a delta-layered catalog), threshold,
+        then ``np.argpartition`` on a composite ``(overlap, doc)`` key
+        that reproduces the scalar ``(−overlap, sketch_id)`` tie-break.
         Mutates ``counts`` (callers pass a fresh probe result).
         """
         if exclude is not None:
             excl = self._doc_index.get(exclude)
             if excl is not None:
                 counts[excl] = 0
+        if banned is not None and banned.size:
+            counts[banned] = 0
         threshold = max(1, min_overlap)
         cand = np.nonzero(counts >= threshold)[0]
         if cand.size == 0:
@@ -335,6 +347,7 @@ class ColumnarPostings:
         *,
         exclude: str | None = None,
         min_overlap: int = 1,
+        banned: np.ndarray | None = None,
     ) -> list[tuple[str, int]]:
         """Top-``k`` sketches by key-hash overlap; scalar-parity output.
 
@@ -342,12 +355,15 @@ class ColumnarPostings:
         :meth:`InvertedIndex.top_overlap` — descending overlap, sketch id
         as tie-break — computed columnarly: one ScanCount via
         :meth:`overlap_counts_array`, then an ``np.argpartition``
-        selection on a composite ``(overlap, doc)`` key.
+        selection on a composite ``(overlap, doc)`` key. ``banned``
+        optionally drops a set of doc indices from consideration (the
+        catalog's tombstone filter).
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         return self._select_top(
-            self.overlap_counts_array(key_hashes), k, exclude, min_overlap
+            self.overlap_counts_array(key_hashes), k, exclude, min_overlap,
+            banned,
         )
 
     def overlap_counts_batch(
@@ -446,6 +462,7 @@ class ColumnarPostings:
         *,
         excludes=None,
         min_overlap: int = 1,
+        banned: np.ndarray | None = None,
     ) -> list[list[tuple[str, int]]]:
         """:meth:`top_overlap` for many queries off one stacked probe.
 
@@ -455,6 +472,8 @@ class ColumnarPostings:
             k: candidates per query.
             excludes: optional per-query exclude ids (None entries allowed).
             min_overlap: joinability floor, shared by all queries.
+            banned: optional doc indices dropped for every query (the
+                catalog's tombstone filter).
 
         Returns:
             One :meth:`top_overlap`-identical result list per query.
@@ -485,7 +504,35 @@ class ColumnarPostings:
             )
             counts = self.overlap_counts_batch(concat, q_indptr)
             out.extend(
-                self._select_top(counts[i], k, excludes[lo + i], min_overlap)
+                self._select_top(
+                    counts[i], k, excludes[lo + i], min_overlap, banned
+                )
                 for i in range(len(chunk))
             )
         return out
+
+
+def merge_hits(
+    per_layer_hits: list[list[tuple[str, int]]], depth: int
+) -> list[tuple[str, int]]:
+    """Merge sorted hits lists into the global top-``depth``.
+
+    A deterministic heap merge under the shared ``(−overlap, id)`` total
+    order: inputs are already sorted (the probe contract of
+    :meth:`ColumnarPostings.top_overlap` and friends), so ``heapq.merge``
+    recovers the global order without re-sorting, and truncation to
+    ``depth`` reproduces the monolithic probe's cutoff. This is the one
+    merge primitive behind both horizontal partitioning (shard
+    scatter-gather, :func:`repro.serving.router.merge_shard_hits`) and
+    vertical layering (frozen + delta probes,
+    :meth:`repro.index.catalog.SketchCatalog.probe_top_overlap`): any
+    candidate in the global top-``depth`` is in its own layer's
+    top-``depth`` under the same total order, so merging per-layer lists
+    and re-truncating is exact.
+    """
+    return list(
+        islice(
+            heapq.merge(*per_layer_hits, key=lambda t: (-t[1], t[0])),
+            depth,
+        )
+    )

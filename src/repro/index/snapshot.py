@@ -20,7 +20,15 @@ members) holding
   built before saving: per-sketch slot/filled matrices plus the
   ``(bands, rows, bits)`` config. Catalogs that never probed the LSH
   backend write no LSH members and rebuild lazily after load, exactly
-  like the JSON reference format always does.
+  like the JSON reference format always does;
+* since version 3, the **delta-layer state** — the catalog's
+  ``index_version`` compaction counter, the ids still in the mutable
+  delta layer, the tombstone set, and (``lsh_ids``) the exact id list
+  the persisted LSH signatures cover (which, between compactions, is
+  the frozen layer rather than the whole catalog). The frozen CSR is
+  persisted verbatim, tombstoned postings included — a snapshot save is
+  never an implicit compaction; the delta inverted index is rebuilt
+  from the stored key-hash slices on load (O(delta), not O(catalog)).
 
 Loading therefore does no per-entry work at all: each array is one
 contiguous read, every sketch rehydrates as a zero-copy slice view
@@ -34,11 +42,12 @@ scalar reference path asks for them.
 
 Format contract:
 
-* ``version`` (currently 2) gates compatibility — loading a snapshot
+* ``version`` (currently 3) gates compatibility — loading a snapshot
   with an unknown version raises ``ValueError`` rather than guessing.
-  Version-1 snapshots (pre-LSH layout) still load: every version-1
-  member kept its name and meaning, version 2 only *adds* the optional
-  LSH members;
+  Version-1 (pre-LSH) and version-2 (pre-delta) snapshots still load:
+  every older member kept its name and meaning, each newer version only
+  *adds* members (older snapshots load with an empty delta, no
+  tombstones and ``index_version`` 0);
 * array-level equality with the JSON round trip: a catalog saved to both
   formats loads back with identical per-sketch entries, columnar views
   and postings (the snapshot test suite pins this);
@@ -66,10 +75,12 @@ from repro.index.lsh import LshIndex
 
 #: Bump on any layout change; load_snapshot refuses unknown versions.
 #: v1: sketch arrays + frozen postings. v2: adds optional LSH members.
-SNAPSHOT_VERSION = 2
+#: v3: adds delta-layer state (index_version, delta ids, tombstones,
+#: lsh_ids).
+SNAPSHOT_VERSION = 3
 
-#: Versions this build can read (v2 is a strict superset of v1).
-_READABLE_VERSIONS = (1, 2)
+#: Versions this build can read (each is a strict superset of the last).
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def detect_format(path: str | Path) -> str:
@@ -87,16 +98,21 @@ def detect_format(path: str | Path) -> str:
 def save_snapshot(catalog: SketchCatalog, path: str | Path) -> None:
     """Write ``catalog`` as a versioned binary snapshot.
 
-    The frozen postings are built here if not already cached — freezing
-    is an offline (save-time) cost in this format, never an online one.
-    Works on any catalog, including one that was itself snapshot-loaded
-    and never materialized (lazy entries are persisted from their array
-    views directly).
+    A catalog that has never frozen (fresh or JSON-loaded) is compacted
+    here — freezing is an offline (save-time) cost in this format, never
+    an online one. A catalog that *has* a frozen layer is persisted
+    exactly as layered: the frozen CSR verbatim (tombstoned postings
+    included), plus the delta ids and tombstone set — saving never
+    forces a fold. Works on any catalog, including one that was itself
+    snapshot-loaded and never materialized (lazy entries are persisted
+    from their array views directly).
     """
+    if catalog._frozen_postings is None:
+        catalog.compact()
     ids = list(catalog)
     metas = [catalog.sketch_meta(sid) for sid in ids]
     columns = [catalog.sketch_columns(sid) for sid in ids]
-    postings = catalog.frozen_postings()
+    postings = catalog._frozen_postings
 
     lengths = np.asarray([c.size for c in columns], dtype=np.int64)
     entry_indptr = np.zeros(len(ids) + 1, dtype=np.int64)
@@ -109,12 +125,13 @@ def save_snapshot(catalog: SketchCatalog, path: str | Path) -> None:
         return np.concatenate(arrays).astype(dtype, copy=False)
 
     bits, seed = catalog.hasher.scheme_id
-    # The LSH index rides along only when the catalog actually built one
-    # (and it still covers exactly the current sketch set — any mutation
-    # since the build would have invalidated it to None).
+    # The LSH index rides along whenever the catalog built one. Between
+    # compactions it covers the frozen layer rather than the whole
+    # catalog (and may still physically contain tombstoned rows), so the
+    # exact id list it covers is persisted alongside the signatures.
     lsh = catalog._lsh_index
     lsh_members = {}
-    if lsh is not None and list(lsh.ids) == ids:
+    if lsh is not None:
         lsh_slots, lsh_filled = lsh.export_arrays()
         lsh_members = {
             "lsh_config": np.asarray(
@@ -122,7 +139,9 @@ def save_snapshot(catalog: SketchCatalog, path: str | Path) -> None:
             ),
             "lsh_slots": lsh_slots,
             "lsh_filled": lsh_filled,
+            "lsh_ids": np.asarray(list(lsh.ids), dtype=str),
         }
+    delta_ids = sorted(sid for sid in ids if sid in catalog._delta_index)
     # A file handle (not a path) keeps np.savez from appending ".npz"
     # behind the caller's back — the snapshot lands exactly where asked,
     # whatever the extension (load sniffs the zip magic anyway).
@@ -153,6 +172,9 @@ def save_snapshot(catalog: SketchCatalog, path: str | Path) -> None:
             postings_doc_ids=postings.doc_ids,
             postings_docs=np.asarray(postings.docs, dtype=str),
             postings_doc_lengths=postings.doc_lengths,
+            index_version=np.asarray([catalog.index_version], dtype=np.int64),
+            delta_ids=np.asarray(delta_ids, dtype=str),
+            tombstones=np.asarray(sorted(catalog._tombstones), dtype=str),
             **lsh_members,
         )
 
@@ -226,12 +248,31 @@ def load_snapshot(path: str | Path) -> SketchCatalog:
             payload["postings_docs"].tolist(),
             payload["postings_doc_lengths"],
         )
+        if version >= 3:
+            catalog.index_version = int(payload["index_version"][0])
+            catalog._tombstones = {str(sid) for sid in payload["tombstones"]}
+            # The delta inverted index is derived state: rebuild it from
+            # the stored key-hash slices of the delta sketches alone —
+            # O(delta size), never O(catalog).
+            id_pos = {str(ids[i]): i for i in range(ids.shape[0])}
+            for sid in payload["delta_ids"]:
+                sid = str(sid)
+                i = id_pos[sid]
+                start, end = int(entry_indptr[i]), int(entry_indptr[i + 1])
+                catalog._delta_index.add(sid, key_hashes[start:end].tolist())
         if "lsh_slots" in payload:
             lsh_bands, lsh_rows, lsh_bits = (
                 int(v) for v in payload["lsh_config"]
             )
+            # v2 snapshots persisted the LSH only when it covered the
+            # whole catalog; v3 records the covered ids explicitly (the
+            # frozen layer, between compactions).
+            if "lsh_ids" in payload:
+                lsh_ids = [str(sid) for sid in payload["lsh_ids"]]
+            else:
+                lsh_ids = [str(sid) for sid in ids]
             catalog._lsh_index = LshIndex.from_arrays(
-                [str(sid) for sid in ids],
+                lsh_ids,
                 payload["lsh_slots"],
                 payload["lsh_filled"],
                 bands=lsh_bands,

@@ -6,7 +6,7 @@ A sharded catalog on disk is one directory:
 
     catalog-dir/
         manifest.json     # layout + config + placement (versioned)
-        shard-0000.npz    # per-shard v2 binary snapshots
+        shard-0000.npz    # per-shard binary snapshots
         shard-0001.npz    #   (repro.index.snapshot format, one per shard)
         ...
 
@@ -14,11 +14,17 @@ A sharded catalog on disk is one directory:
 everything that must be known *before* touching a shard file:
 
 * ``version`` — manifest format version; unknown versions are refused
-  (same contract as the snapshot loader);
+  (same contract as the snapshot loader). Version 1 manifests
+  (pre-delta) still load — version 2 only adds per-shard fields;
 * catalog config — ``n_shards``, ``sketch_size``, ``aggregate``, the
   hashing ``scheme`` pair and the ``vectorized`` flag;
-* per shard: its snapshot ``file`` name, its ``sketches`` count and its
-  ``ids`` in insertion order — the placement map.
+* per shard: its snapshot ``file`` name, its ``sketches`` count, its
+  ``ids`` in insertion order — the placement map — and, since version
+  2, its ``index_version`` compaction counter plus the pending
+  ``delta`` / ``tombstones`` counts (so ``shard info`` reports delta
+  state without opening a single shard file, and a recompacted shard
+  snapshot that no longer matches its manifest fails loudly at
+  materialization).
 
 Carrying the placement in the manifest is what makes cold starts lazy:
 :func:`load_sharded` rebuilds the full ``sketch_id → shard`` map and all
@@ -39,8 +45,12 @@ from repro.hashing import KeyHasher
 from repro.serving.shards import ShardedCatalog
 
 #: Bump on any manifest layout change; load_sharded refuses unknown
-#: versions rather than guessing.
-MANIFEST_VERSION = 1
+#: versions rather than guessing. v1: layout + config + placement.
+#: v2: adds per-shard index_version / delta / tombstones.
+MANIFEST_VERSION = 2
+
+#: Versions this build can read (v2 is a strict superset of v1).
+_READABLE_VERSIONS = (1, 2)
 
 #: File name of the manifest inside a sharded-catalog directory.
 MANIFEST_NAME = "manifest.json"
@@ -54,8 +64,8 @@ def shard_file_name(index: int) -> str:
 def save_sharded(catalog: ShardedCatalog, directory: str | Path) -> Path:
     """Write ``catalog`` as a manifest directory; returns the manifest path.
 
-    Every shard is persisted as a v2 binary snapshot (warm frozen
-    postings, LSH signatures when built — see
+    Every shard is persisted as a binary snapshot (warm frozen postings,
+    LSH signatures when built, pending delta/tombstone state — see
     :mod:`repro.index.snapshot`); the manifest is written last so a
     crash mid-save never leaves a manifest pointing at missing shards.
     """
@@ -66,8 +76,17 @@ def save_sharded(catalog: ShardedCatalog, directory: str | Path) -> Path:
         name = shard_file_name(index)
         shard = catalog.shard(index)
         shard.save(directory / name)
+        # Recorded after shard.save: a never-frozen shard is promoted by
+        # the snapshot writer, so the manifest sees the persisted state.
         shards_payload.append(
-            {"file": name, "sketches": len(shard), "ids": list(shard)}
+            {
+                "file": name,
+                "sketches": len(shard),
+                "ids": list(shard),
+                "index_version": shard.index_version,
+                "delta": shard.delta_size,
+                "tombstones": shard.tombstone_count,
+            }
         )
     bits, seed = catalog.hasher.scheme_id
     manifest = {
@@ -104,10 +123,10 @@ def read_manifest(directory: str | Path) -> dict:
     except json.JSONDecodeError as exc:
         raise ValueError(f"corrupt manifest {path}: {exc}") from exc
     version = manifest.get("version")
-    if version != MANIFEST_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported manifest version {version!r} in {path} "
-            f"(this build reads version {MANIFEST_VERSION})"
+            f"(this build reads versions {_READABLE_VERSIONS})"
         )
     shards = manifest.get("shards")
     if not isinstance(shards, list) or len(shards) != manifest.get("n_shards"):
@@ -142,6 +161,10 @@ def load_sharded(
     for index, entry in enumerate(manifest["shards"]):
         catalog._shard_paths[index] = directory / entry["file"]
         catalog._counts[index] = int(entry["sketches"])
+        version = entry.get("index_version")
+        catalog._shard_versions[index] = (
+            int(version) if version is not None else None
+        )
         if len(entry["ids"]) != int(entry["sketches"]):
             raise ValueError(
                 f"corrupt manifest {directory / MANIFEST_NAME}: shard "

@@ -40,9 +40,7 @@ query-level parallelism across cores, wrap the router in a
 
 from __future__ import annotations
 
-import heapq
 import time
-from itertools import islice
 
 import numpy as np
 
@@ -56,6 +54,7 @@ from repro.index.engine import (
     _apply_compat_bootstrap,
     retrieve_candidates_batch,
 )
+from repro.index.inverted import merge_hits
 from repro.ranking.ranker import RankedCandidate, rank_candidates
 from repro.ranking.scoring import RNG_MODES, candidate_scores_batch
 from repro.serving.shards import ShardedCatalog
@@ -67,17 +66,15 @@ def merge_shard_hits(
 ) -> list[tuple[str, int]]:
     """Merge per-shard hits lists into the global top-``depth``.
 
-    A deterministic heap merge under the shared ``(−overlap, id)`` total
-    order: inputs are already sorted (each shard's probe contract), so
-    ``heapq.merge`` recovers the global order without re-sorting, and
-    truncation to ``depth`` reproduces the monolithic probe's cutoff.
+    The horizontal-partitioning face of the one merge primitive,
+    :func:`repro.index.inverted.merge_hits`: inputs are already sorted
+    under the shared ``(−overlap, id)`` total order (each shard's probe
+    contract), so the heap merge plus truncation to ``depth``
+    reproduces the monolithic probe's cutoff. The same primitive merges
+    a single catalog's frozen and delta layers — shard scatter over
+    delta-layered shards composes both without further argument.
     """
-    return list(
-        islice(
-            heapq.merge(*per_shard_hits, key=lambda t: (-t[1], t[0])),
-            depth,
-        )
-    )
+    return merge_hits(per_shard_hits, depth)
 
 
 class ShardRouter:

@@ -4,9 +4,11 @@ A :class:`ShardedCatalog` splits one logical catalog across ``n_shards``
 independent :class:`~repro.index.catalog.SketchCatalog` partitions, all
 sharing one hashing scheme. Shards are the unit of everything the
 serving layer scales over: each has its own inverted index, frozen CSR
-postings and LSH index (built, cached and invalidated independently),
-its own ``.npz`` snapshot in the manifest directory, and its own slot in
-the router's scatter-gather fan-out.
+postings, LSH index and LSM delta layer (maintained and compacted
+independently — one ingest dirties exactly one shard's delta and
+invalidates no frozen structure anywhere), its own ``.npz`` snapshot in
+the manifest directory, and its own slot in the router's scatter-gather
+fan-out.
 
 Placement is two-tier, trading determinism against locality:
 
@@ -16,7 +18,7 @@ Placement is two-tier, trading determinism against locality:
 * **least-loaded routing** (``add_table`` / ``add_tables`` /
   ``add_csv_streaming``): a whole table's sketches land together on the
   currently smallest shard (ties to the lowest index), so incremental
-  ingest invalidates exactly one shard's indexes per table while keeping
+  ingest touches exactly one shard's delta per table while keeping
   shards balanced.
 
 Either way the catalog tracks ``sketch_id → shard`` in an in-memory
@@ -51,6 +53,9 @@ class ShardedCatalog:
             resharding is a rebuild, as for any hash-partitioned store).
         sketch_size / aggregate / hasher / vectorized: shared
             :class:`SketchCatalog` configuration, applied to every shard.
+        compact_threshold: per-shard delta-size compaction trigger,
+            passed through to every :class:`SketchCatalog` partition
+            (``None`` compacts only on demand).
 
     Raises:
         ValueError: if ``n_shards`` is not positive.
@@ -64,6 +69,7 @@ class ShardedCatalog:
         aggregate: str = "mean",
         hasher: KeyHasher | None = None,
         vectorized: bool = True,
+        compact_threshold: int | None = None,
     ) -> None:
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
@@ -72,6 +78,7 @@ class ShardedCatalog:
         self.aggregate = aggregate
         self.hasher = hasher if hasher is not None else KeyHasher()
         self.vectorized = vectorized
+        self.compact_threshold = compact_threshold
         self._shards: list[SketchCatalog | None] = [
             self._new_shard() for _ in range(n_shards)
         ]
@@ -81,6 +88,10 @@ class ShardedCatalog:
         #: sketch_id -> shard index, for every sketch in the catalog.
         self._placement: dict[str, int] = {}
         self._counts: list[int] = [0] * n_shards
+        #: Manifest-recorded compaction version per shard (None when the
+        #: manifest predates versioning, or the catalog was built in
+        #: memory); checked against each materialized snapshot.
+        self._shard_versions: list[int | None] = [None] * n_shards
 
     def _new_shard(self) -> SketchCatalog:
         return SketchCatalog(
@@ -88,6 +99,7 @@ class ShardedCatalog:
             aggregate=self.aggregate,
             hasher=self.hasher,
             vectorized=self.vectorized,
+            compact_threshold=self.compact_threshold,
         )
 
     # -- shard access --------------------------------------------------------
@@ -114,6 +126,14 @@ class ShardedCatalog:
                     f"shard snapshot {path} holds {len(shard)} sketches but "
                     f"the manifest records {self._counts[index]} — stale "
                     "shard file; rebuild the manifest directory"
+                )
+            recorded = self._shard_versions[index]
+            if recorded is not None and shard.index_version != recorded:
+                raise ValueError(
+                    f"shard snapshot {path} is at compaction version "
+                    f"{shard.index_version} but the manifest records "
+                    f"{recorded} — stale shard file; rebuild the manifest "
+                    "directory"
                 )
             self._shards[index] = shard
         return shard
@@ -170,7 +190,7 @@ class ShardedCatalog:
 
     def add_sketch(self, sketch_id: str, sketch: CorrelationSketch) -> int:
         """Register one sketch on its hash-placed shard; returns the
-        shard index (only that shard's indexes are invalidated)."""
+        shard index (only that shard's delta layer is touched)."""
         self._check_new_ids([sketch_id])
         index = self.shard_of(sketch_id)
         self.shard(index).add_sketch(sketch_id, sketch)
@@ -194,7 +214,7 @@ class ShardedCatalog:
 
     def add_table(self, table: Table) -> list[str]:
         """Sketch every column pair of ``table`` onto the least-loaded
-        shard (one shard invalidated, sketches kept together)."""
+        shard (one shard's delta touched, sketches kept together)."""
         self._check_new_ids(pair.pair_id for pair in table.column_pairs())
         index = self.least_loaded()
         return self._record(index, self.shard(index).add_table(table))
@@ -230,7 +250,7 @@ class ShardedCatalog:
 
     def remove_sketch(self, sketch_id: str) -> int:
         """Delete one sketch from its owning shard; returns the shard
-        index. Only that shard's indexes are invalidated.
+        index. Only that shard's delta/tombstone state is touched.
 
         Raises:
             KeyError: if the id is not in the catalog.
@@ -282,6 +302,32 @@ class ShardedCatalog:
     def sketch_meta(self, sketch_id: str) -> SketchMeta:
         """Persisted per-sketch scalars, from the owning shard."""
         return self.shard(self.owner_of(sketch_id)).sketch_meta(sketch_id)
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def compact(self) -> list[int]:
+        """Fold every shard's delta layer
+        (:meth:`SketchCatalog.compact`); returns the per-shard
+        compaction versions. Materializes every shard — compaction is a
+        maintenance operation, not a serving-path one."""
+        return [self.shard(i).compact() for i in range(self.n_shards)]
+
+    def delta_sizes(self) -> list[int]:
+        """Per-shard delta-layer sketch counts (materialized shards
+        only answer live; cold shards answer 0 — a cold shard's pending
+        delta, if any, is whatever its snapshot persisted)."""
+        return [
+            0 if shard is None else shard.delta_size
+            for shard in self._shards
+        ]
+
+    def tombstone_counts(self) -> list[int]:
+        """Per-shard tombstone counts (cold shards report 0, as for
+        :meth:`delta_sizes`)."""
+        return [
+            0 if shard is None else shard.tombstone_count
+            for shard in self._shards
+        ]
 
     # -- persistence ---------------------------------------------------------
 

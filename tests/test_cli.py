@@ -582,3 +582,81 @@ def test_shard_info_manifest_missing_keys_exits_2(tmp_path, capsys):
     rc = main(["shard", "info", str(tmp_path)])
     assert rc == 2
     assert "corrupt manifest" in capsys.readouterr().err
+
+
+# -- incremental maintenance (compact / delta reporting) ----------------------
+
+
+def test_catalog_info_reports_delta_state(portal, tmp_path, capsys):
+    catalog = _index(portal, tmp_path, extra=["-o", str(tmp_path / "c.npz")])
+    catalog = tmp_path / "c.npz"
+    from repro.index.catalog import SketchCatalog
+
+    loaded = SketchCatalog.load(catalog)
+    loaded.frozen_postings()  # compact: empty the build-time delta
+    loaded.remove_sketch("noise.csv::date->junk")
+    loaded.save(catalog)
+    capsys.readouterr()
+    rc = main(["catalog", "info", str(catalog)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "delta layer  : 0 pending sketch(es), 1 tombstone(s)" in out
+    assert "index version: 1" in out
+
+
+def test_catalog_compact_folds_and_bumps_version(portal, tmp_path, capsys):
+    _index(portal, tmp_path, extra=["-o", str(tmp_path / "c.npz")])
+    catalog = tmp_path / "c.npz"
+    from repro.index.catalog import SketchCatalog
+
+    loaded = SketchCatalog.load(catalog)
+    loaded.frozen_postings()
+    loaded.remove_sketch("noise.csv::date->junk")
+    loaded.save(catalog)
+    capsys.readouterr()
+    out_path = tmp_path / "compacted.npz"
+    rc = main(["catalog", "compact", str(catalog), "-o", str(out_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "folded 0 delta sketch(es) and 1 tombstone(s)" in out
+    compacted = SketchCatalog.load(out_path)
+    assert compacted.tombstone_count == 0
+    assert compacted.index_version == 2
+    assert "noise.csv::date->junk" not in compacted
+    # The original is untouched when -o is given.
+    assert SketchCatalog.load(catalog).tombstone_count == 1
+
+
+def test_catalog_compact_missing_file_exits_2(tmp_path, capsys):
+    rc = main(["catalog", "compact", str(tmp_path / "nope.npz")])
+    assert rc == 2
+    assert "cannot load catalog" in capsys.readouterr().err
+
+
+def test_shard_info_and_compact_report_delta(portal, tmp_path, capsys):
+    catalog_dir = _shard_build(portal, tmp_path)
+    from repro.serving import ShardedCatalog
+    from repro.table.csv_io import read_csv
+
+    late = tmp_path / "late.csv"
+    late.write_text(
+        (portal / "query.csv").read_text()
+    )
+    loaded = ShardedCatalog.load(catalog_dir)
+    loaded.add_table(read_csv(late))
+    loaded.save(catalog_dir)
+    capsys.readouterr()
+    rc = main(["shard", "info", str(catalog_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "delta layer  : 1 pending sketch(es), 0 tombstone(s)" in out
+    assert "delta=1" in out
+    rc = main(["shard", "compact", str(catalog_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "folded 1 delta sketch(es)" in out
+    rc = main(["shard", "info", str(catalog_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "delta layer  : 0 pending sketch(es), 0 tombstone(s)" in out
+    assert "v2 delta=0" in out

@@ -147,10 +147,10 @@ def test_sketch_columns_matches_sketch():
         assert entries[int(kh)] == value
 
 
-# -- removal (satellite: deletion path with full invalidation) ---------------
+# -- removal (deletion path: delta erase / frozen-layer tombstone) -----------
 
 
-def test_remove_sketch_full_invalidation():
+def test_remove_sketch_tombstones_frozen_entry():
     catalog = _catalog()
     frozen = catalog.frozen_postings()
     lsh = catalog.lsh_index(bands=8, rows=2)
@@ -161,12 +161,25 @@ def test_remove_sketch_full_invalidation():
     # Inverted postings dropped immediately...
     assert catalog.index.vocabulary_size < vocab_before
     assert "t1::key->value" not in catalog.index
-    # ...frozen postings and LSH invalidated, rebuilt lazily.
-    assert catalog._frozen_postings is None
-    assert catalog._lsh_index is None
+    # ...while the frozen structures stay warm: the removed id was in
+    # the frozen layer, so it is banned via a tombstone, not rebuilt
+    # away.
+    assert catalog._frozen_postings is frozen
+    assert catalog._lsh_index is lsh
+    assert catalog.tombstone_count == 1
+    # Layered probes never surface the tombstoned id.
+    query = catalog.get("t2::key->value")
+    hits = catalog.probe_top_overlap(list(query.key_hashes()), 5)
+    assert [sid for sid, _ in hits] == ["t2::key->value"]
+    assert "t1::key->value" not in catalog.lsh_candidate_ids(
+        query.key_hashes()
+    )
+    # The monolithic accessors compact: the fold drops the entry for
+    # real and returns fresh structures.
     refrozen = catalog.frozen_postings()
     assert refrozen is not frozen
     assert len(refrozen) == 1
+    assert catalog.tombstone_count == 0
     rebuilt = catalog.lsh_index(bands=8, rows=2)
     assert rebuilt is not lsh
     assert "t1::key->value" not in rebuilt

@@ -132,7 +132,7 @@ def test_unknown_backend_rejected():
 # -- catalog-managed lifecycle ----------------------------------------------
 
 
-def test_catalog_lsh_cached_and_invalidated_on_mutation():
+def test_catalog_lsh_cached_and_folded_on_mutation():
     catalog, query = _high_containment_world(seed=2, n_tables=4)
     index = catalog.lsh_index()
     assert catalog.lsh_index() is index  # cached
@@ -143,7 +143,16 @@ def test_catalog_lsh_cached_and_invalidated_on_mutation():
     catalog.add_table(
         table_from_arrays("late", keys, np.random.default_rng(0).standard_normal(n))
     )
-    assert catalog.lsh_params is None  # invalidated by the mutation
+    # The mutation lands in the delta layer: the frozen-layer LSH stays
+    # warm (not invalidated), and the layered probe already sees the
+    # late sketch before any compaction.
+    assert catalog.lsh_params == (index.bands, index.rows)
+    assert any(
+        sid.startswith("late")
+        for sid in catalog.lsh_candidate_ids(query.columnar().key_hashes)
+    )
+    # The monolithic accessor folds the delta in: a new index covering
+    # the late sketch.
     rebuilt = catalog.lsh_index()
     assert rebuilt is not index
     assert any(sid.startswith("late") for sid in rebuilt.ids)
@@ -231,14 +240,25 @@ def test_snapshot_without_lsh_has_no_lsh(tmp_path):
     assert loaded.lsh_params is None
 
 
-def test_snapshot_drops_stale_lsh_after_mutation(tmp_path):
-    """A mutation invalidates the LSH cache; the following save must not
-    persist the stale index."""
+def test_snapshot_persists_layered_lsh_after_mutation(tmp_path):
+    """A mutation after an LSH build lands in the delta layer; the save
+    persists the still-valid frozen-layer LSH alongside the delta, and
+    the loaded catalog's layered probe sees the late sketch."""
     catalog, _ = _high_containment_world(seed=10, n_tables=2, n_rows=300)
-    catalog.lsh_index()
+    built = catalog.lsh_index()
     catalog.add_table(
         table_from_arrays("late", ["a", "b"], np.asarray([1.0, 2.0]))
     )
     path = tmp_path / "c.npz"
     catalog.save(path)
-    assert SketchCatalog.load(path).lsh_params is None
+    loaded = SketchCatalog.load(path)
+    # The frozen-layer LSH came back warm (its shape, not None)...
+    assert loaded.lsh_params == (built.bands, built.rows)
+    assert loaded.delta_size == catalog.delta_size > 0
+    # ...and covers the frozen layer only; the delta rides along and the
+    # layered probe surfaces the late sketch exactly like the in-memory
+    # catalog does.
+    late_id = "late::key->value"
+    late_cols = loaded.sketch_columns(late_id)
+    assert late_id in loaded.lsh_candidate_ids(late_cols.key_hashes)
+    assert late_id not in loaded._lsh_index.ids

@@ -62,16 +62,24 @@ def test_tables_route_to_least_loaded_shard(catalog):
     assert catalog.owner_of("t4::key->value") == 0
 
 
-def test_table_mutation_invalidates_only_its_shard(catalog):
+def test_table_mutation_lands_in_only_its_shards_delta(catalog):
     catalog.add_tables([_table(f"t{i}", 30 * i) for i in range(3)])
-    # Warm every shard's frozen postings.
+    # Warm every shard's frozen postings (compacts: empties the deltas).
     for i in range(3):
         catalog.shard(i).frozen_postings()
+    assert catalog.delta_sizes() == [0, 0, 0]
     catalog.add_table(_table("t9", 200))
     target = catalog.owner_of("t9::key->value")
+    # Every shard's frozen layer stays warm; the mutation is a delta
+    # entry on exactly the owning shard.
     for i in range(3):
-        warm = catalog.shard(i)._frozen_postings is not None
-        assert warm == (i != target)
+        assert catalog.shard(i)._frozen_postings is not None
+        assert catalog.shard(i).delta_size == (1 if i == target else 0)
+    # Shard-level compaction folds it in and empties the deltas again.
+    versions = catalog.compact()
+    assert len(versions) == 3
+    assert catalog.delta_sizes() == [0, 0, 0]
+    assert "t9::key->value" in catalog.shard(target).frozen_postings().docs
 
 
 def test_duplicate_ids_rejected_across_shards(catalog):
