@@ -24,6 +24,7 @@ import time
 import numpy as np
 
 from conftest import write_result
+from memprof import current_rss_bytes, fmt_bytes, peak_rss_bytes
 from repro.core.sketch import CorrelationSketch
 from repro.index.catalog import SketchCatalog
 from repro.index.engine import JoinCorrelationEngine
@@ -96,12 +97,17 @@ def test_catalog_io_speedup(tmp_path_factory, quick):
     catalog.save(npz_path)
     npz_save = time.perf_counter() - t0
 
+    rss0 = current_rss_bytes()
     t0 = time.perf_counter()
     from_json = SketchCatalog.load(json_path)
     json_load = time.perf_counter() - t0
+    rss1 = current_rss_bytes()
     t0 = time.perf_counter()
     from_npz = SketchCatalog.load(npz_path)
     npz_load = time.perf_counter() - t0
+    rss2 = current_rss_bytes()
+    json_rss = None if rss0 is None or rss1 is None else rss1 - rss0
+    npz_rss = None if rss1 is None or rss2 is None else rss2 - rss1
 
     # Sanity: both loads serve the same corpus.
     assert len(from_json) == len(from_npz) == n_sketches
@@ -133,6 +139,12 @@ def test_catalog_io_speedup(tmp_path_factory, quick):
         f"json first query          : {json_first_query:9.1f} ms (freeze on demand)",
         f"npz  first query          : {npz_first_query:9.1f} ms (postings pre-frozen)",
         f"cold-start-to-first-query : {cold_start_speedup:9.1f}x",
+        f"json load RSS growth      : {fmt_bytes(json_rss)} "
+        "(per-entry Python objects + index)",
+        f"npz  load RSS growth      : {fmt_bytes(npz_rss)} (heap array copies)",
+        f"process peak RSS          : {fmt_bytes(peak_rss_bytes())} "
+        "(build + both formats resident; see mmap_serving for the "
+        "per-process arena numbers)",
     ]
     if quick:
         lines.append("(quick mode: CI smoke scale, speedup assertion skipped)")

@@ -1,0 +1,325 @@
+"""Zero-copy arena serving: cold starts and shared-page multi-process RSS.
+
+The mmap tentpole's acceptance benchmark, at the 4096-sketch scale the
+catalog-io bench established. Two claims are measured:
+
+* **cold-start-to-first-query** — ``load + one top-k query``, npz vs
+  arena. The npz load reads and copies every catalog byte; the arena
+  load parses a small JSON header and ``mmap``'s the file, so its
+  cost is O(metadata) and the first query faults in only the pages it
+  actually touches. Cycles are paired (one load + one query timed as
+  a unit), interleaved between the two layouts, taken best-of-N with
+  the GC paused, and :func:`memprof.trim_heap` runs before every
+  cycle so a cycle cannot dodge first-load page faults by recycling
+  the previous cycle's freed pages (see the helper's docstring) —
+  single-core containers schedule noisily and the bar is a ratio of
+  two small quantities. Bar (full run): arena ≥ 5x faster. (The
+  forked workers below measure the fresh-process variant of the same
+  story: their per-worker load times land in the results file too.)
+* **multi-process resident memory** — N forked workers each *load the
+  snapshot themselves* and serve one query (the N-serving-processes
+  deployment). Each worker reports the PSS growth of loading + fully
+  touching its catalog (PSS divides shared pages among their sharers —
+  exactly the accounting that can see page sharing; RSS would count
+  every shared page N times, see :mod:`memprof`). npz workers each
+  hold a private heap copy, so combined cost grows ~linearly; arena
+  workers map the same file through the page cache, so combined cost
+  stays ~flat. Bar (full run): 2 arena workers combined ≤ 1.2x one.
+
+A third bar — forked-worker batch **throughput** over an arena-layout
+sharded catalog (:class:`~repro.serving.workers.QueryWorkerPool`, which
+warms/maps every shard before forking) — needs real parallelism, so it
+is measured and asserted only when the host schedules ≥ 2 cores, the
+same gating the shard-scaling bench uses.
+
+Results land in ``benchmarks/results/mmap_serving.txt``; ``--quick``
+shrinks to a CI smoke (256 sketches, no assertions).
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import time
+
+from bench_catalog_io import _build_catalog, _first_query_ms
+from bench_shard_scaling import _schedulable_cores
+from conftest import write_result
+from memprof import fmt_bytes, peak_rss_bytes, pss_bytes, trim_heap
+from repro.index.catalog import SketchCatalog
+
+CATALOG_SKETCHES = 4096
+QUICK_SKETCHES = 256
+COLD_START_REPEATS = 8
+WORKER_COUNTS = (1, 2, 4)
+QUICK_WORKER_COUNTS = (1, 2)
+
+
+def _cold_starts_ms(paths: dict, query) -> dict:
+    """Best-of-N ``load + first query`` cycles per layout.
+
+    The two phases run as one timed unit (independent best-of-N per
+    phase would pair a lucky load with a lucky query), the layouts
+    interleave cycle-by-cycle so a burst of host interference hits
+    both rather than sinking whichever ran second, the GC is paused
+    so a collection triggered by one cycle's garbage is not billed to
+    the next, and freed allocator pages go back to the OS between
+    cycles so every load pays the page faults a fresh process would.
+    Returns ``{name: (total, load, query)}`` ms for each layout's
+    best cycle.
+    """
+    best = {name: (float("inf"), 0.0, 0.0) for name in paths}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(COLD_START_REPEATS):
+            for name, path in paths.items():
+                trim_heap()
+                t0 = time.perf_counter()
+                catalog = SketchCatalog.load(path)
+                load_ms = (time.perf_counter() - t0) * 1000
+                query_ms = _first_query_ms(catalog, query)
+                del catalog
+                total = load_ms + query_ms
+                if total < best[name][0]:
+                    best[name] = (total, load_ms, query_ms)
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def _touch_catalog(catalog) -> float:
+    """Fault in every catalog array page (returns a checksum so the
+    reads cannot be optimized away).
+
+    Reads the snapshot's shared entry-source arrays directly rather
+    than materializing per-sketch views: the point is to charge each
+    worker for every *page* of catalog data, not to allocate thousands
+    of private entry objects whose heap cost would blur the
+    shared-vs-private page accounting this bench exists to show.
+    """
+    total = 0.0
+    source = getattr(catalog._sketches, "_source", None)
+    if source is not None:
+        total += float(source.key_hashes.sum())
+        total += float(source.ranks.sum()) + float(source.values.sum())
+    else:
+        for sid in catalog:
+            columns = catalog.sketch_columns(sid)
+            total += float(columns.key_hashes.sum())
+            total += float(columns.ranks.sum()) + float(columns.values.sum())
+    postings = catalog._frozen_postings
+    if postings is not None:
+        total += float(postings.vocab.sum()) + float(postings.indptr.sum())
+        total += float(postings.doc_ids.sum())
+        total += float(postings.doc_lengths.sum())
+    if catalog._lsh_pending is not None:
+        total += float(catalog._lsh_pending[1].sum())
+        total += float(catalog._lsh_pending[2].sum())
+    return total
+
+
+def _serving_worker(path, query, barrier, results, index):
+    """One forked serving process: load, serve one query, touch all
+    pages, report PSS growth while every sibling is still resident."""
+    # First barrier: every sibling exists before any baseline is read.
+    # PSS divides each inherited page among its sharers, so a worker
+    # whose pss0 was read at 2 live processes but whose pss1 was read
+    # at N+1 would see its inherited-interpreter share shrink and
+    # report negative growth that has nothing to do with the catalog.
+    barrier.wait()
+    pss0 = pss_bytes()
+    t0 = time.perf_counter()
+    catalog = SketchCatalog.load(path)
+    load_ms = (time.perf_counter() - t0) * 1000
+    first_query_ms = _first_query_ms(catalog, query)
+    _touch_catalog(catalog)
+    # Steady-state reading: a serving process's resident cost is the
+    # catalog plus live machinery, not whatever freed query temporaries
+    # glibc happens to retain — hand those pages back first. Trim only:
+    # a gc.collect here would walk every inherited object, dirtying
+    # CoW pages by an amount that varies with the sibling count and
+    # skewing the x1-vs-x2 comparison.
+    trim_heap()
+    # All workers hold their catalogs at both barriers, so the kernel's
+    # per-page sharing counts — and therefore every PSS reading — see
+    # the full N-process deployment, not a staggered teardown.
+    barrier.wait()
+    pss1 = pss_bytes()
+    grown = None if pss0 is None or pss1 is None else pss1 - pss0
+    results.put((index, grown, load_ms, first_query_ms))
+    barrier.wait()
+
+
+def _measure_workers(path, query, n_workers):
+    """Fork ``n_workers`` independent serving processes over ``path``.
+
+    Returns ``(combined_pss_growth, per_worker_growths, mean_load_ms)``;
+    growth entries are None when the kernel exposes no PSS.
+    """
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(n_workers)
+    results = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_serving_worker, args=(path, query, barrier, results, i)
+        )
+        for i in range(n_workers)
+    ]
+    for proc in procs:
+        proc.start()
+    readings = [results.get() for _ in range(n_workers)]
+    for proc in procs:
+        proc.join()
+    growths = [g for _, g, _, _ in readings]
+    loads = [load for _, _, load, _ in readings]
+    combined = None if any(g is None for g in growths) else sum(growths)
+    return combined, growths, sum(loads) / len(loads)
+
+
+def test_mmap_serving(tmp_path_factory, quick):
+    n_sketches = QUICK_SKETCHES if quick else CATALOG_SKETCHES
+    worker_counts = QUICK_WORKER_COUNTS if quick else WORKER_COUNTS
+    cores = _schedulable_cores()
+    catalog, query = _build_catalog(n_sketches)
+    catalog.frozen_postings()
+
+    out_dir = tmp_path_factory.mktemp("mmap_serving")
+    npz_path = out_dir / "catalog.npz"
+    arena_path = out_dir / "catalog.arena"
+    t0 = time.perf_counter()
+    catalog.save(npz_path)
+    npz_save_ms = (time.perf_counter() - t0) * 1000
+    t0 = time.perf_counter()
+    catalog.save(arena_path)
+    arena_save_ms = (time.perf_counter() - t0) * 1000
+
+    # The parent's build heap (~400MB at full scale) must not ride into
+    # the forked workers: inherited pages whose sharing count shifts as
+    # siblings start and exit would contaminate every PSS delta below.
+    del catalog
+    gc.collect()
+
+    # -- cold start to first query ------------------------------------------
+    cold = _cold_starts_ms({"npz": npz_path, "arena": arena_path}, query)
+    npz_total_ms, npz_load_ms, npz_query_ms = cold["npz"]
+    arena_total_ms, arena_load_ms, arena_query_ms = cold["arena"]
+    cold_speedup = npz_total_ms / arena_total_ms
+    from_arena = SketchCatalog.load(arena_path)
+    assert from_arena.storage == "mmap"
+    # Parent must not keep the arena mapped through the worker phase: a
+    # lingering mapping would share pages with the 1-worker run and
+    # halve its PSS, understating the single-process baseline.
+    del from_arena
+    gc.collect()
+    # Hand freed build/cold-start heap back to the OS before forking:
+    # workers trim their own heaps before their steady-state reading,
+    # and any retained freed pages they inherit from the parent would
+    # be released then — a negative PSS offset whose size varies with
+    # the sibling count. Trim here so there is nothing to inherit.
+    trim_heap()
+
+    lines = [
+        f"sketches                  : {n_sketches}",
+        f"npz   save                : {npz_save_ms:9.1f} ms "
+        f"({npz_path.stat().st_size:>12,} bytes)",
+        f"arena save                : {arena_save_ms:9.1f} ms "
+        f"({arena_path.stat().st_size:>12,} bytes)",
+        f"npz   cold start          : {npz_total_ms:9.1f} ms "
+        f"(load {npz_load_ms:.1f} + first query {npz_query_ms:.1f}; "
+        "fresh allocator pages each cycle, reads + copies every catalog byte)",
+        f"arena cold start          : {arena_total_ms:9.1f} ms "
+        f"(load {arena_load_ms:.1f} + first query {arena_query_ms:.1f}; "
+        "O(metadata) map, faults pages on demand)",
+        f"cold-start-to-first-query : {cold_speedup:9.1f}x (arena vs npz)",
+        f"schedulable cores         : {cores}",
+    ]
+
+    # -- per-process resident cost vs worker count --------------------------
+    combined = {}
+    for layout, path in (("npz", npz_path), ("arena", arena_path)):
+        for n_workers in worker_counts:
+            total, growths, mean_load = _measure_workers(
+                path, query, n_workers
+            )
+            combined[layout, n_workers] = total
+            per_worker = "/".join(fmt_bytes(g).strip() for g in growths)
+            lines.append(
+                f"{layout:5} x{n_workers} workers         : "
+                f"{fmt_bytes(total)} combined PSS growth "
+                f"({per_worker}; mean load {mean_load:7.1f} ms)"
+            )
+
+    arena_one = combined.get(("arena", 1))
+    arena_two = combined.get(("arena", 2))
+    if arena_one and arena_two:
+        lines.append(
+            f"arena 2-worker overhead   : {arena_two / arena_one:9.2f}x "
+            "one worker's resident cost (shared pages)"
+        )
+    npz_two = combined.get(("npz", 2))
+    if npz_two and arena_two:
+        lines.append(
+            f"arena vs npz, 2 workers   : {npz_two / arena_two:9.1f}x "
+            "less combined resident growth"
+        )
+    lines.append(
+        f"parent peak RSS           : {fmt_bytes(peak_rss_bytes())}"
+    )
+
+    if quick:
+        lines.append("(quick mode: CI smoke scale, assertions skipped)")
+    elif cores < 2:
+        lines.append(
+            "(single-core host: forked-worker throughput is unmeasurable "
+            "here, so only the load-time and RSS bars are asserted)"
+        )
+    write_result("mmap_serving.txt", "\n".join(lines))
+
+    if quick:
+        return
+    assert n_sketches >= 4096
+    # Bar 1: arena cold start >=5x faster than npz.
+    assert cold_speedup >= 5.0
+    # Bar 2: two arena serving processes cost <=1.2x one process's
+    # resident memory (PSS accounting; skipped only if the kernel hides
+    # smaps_rollup).
+    if arena_one is not None and arena_two is not None:
+        assert arena_two <= 1.2 * arena_one
+    # Bar 3 (multi-core only): forked QueryWorkerPool throughput over an
+    # arena-layout sharded catalog.
+    if cores >= 2:
+        _assert_throughput_bar(n_sketches, out_dir)
+
+
+def _assert_throughput_bar(n_sketches, out_dir) -> None:
+    """2-worker forked batch throughput over arena-mapped shards."""
+    import numpy as np
+
+    from bench_shard_scaling import (
+        _best_batch_seconds,
+        _build,
+        _queries,
+        _ranking_key,
+    )
+    from repro.serving import QueryWorkerPool, ShardRouter, ShardedCatalog
+
+    sharded = _build(n_sketches, 4)
+    sharded.save(out_dir / "sharded", layout="arena")
+    del sharded
+    catalog = ShardedCatalog.load(out_dir / "sharded")
+    queries = _queries(catalog, 32)
+    router = ShardRouter(catalog, retrieval_depth=100)
+    baseline = router.query_batch(queries, k=10)
+    seq_seconds = _best_batch_seconds(
+        lambda: router.query_batch(queries, k=10)
+    )
+    with QueryWorkerPool(router, workers=2) as pool:
+        parallel = pool.query_batch(queries, k=10)
+        assert _ranking_key(parallel) == _ranking_key(baseline)
+        par_seconds = _best_batch_seconds(
+            lambda: pool.query_batch(queries, k=10)
+        )
+    assert seq_seconds / par_seconds >= 1.2

@@ -34,6 +34,7 @@ import time
 import numpy as np
 
 from conftest import write_result
+from memprof import fmt_bytes, peak_rss_bytes
 from repro.core.sketch import CorrelationSketch
 from repro.serving import QueryWorkerPool, ShardRouter, ShardedCatalog
 
@@ -178,6 +179,11 @@ def test_shard_scaling(quick):
             f"({qps:8.1f} q/s, {speedups[workers]:4.2f}x, forked workers)"
         )
 
+    lines.append(
+        f"router peak RSS           : {fmt_bytes(peak_rss_bytes())} "
+        "(parent process; forked workers inherit the catalog "
+        "copy-on-write — per-process numbers are in mmap_serving.txt)"
+    )
     if quick:
         lines.append("(quick mode: CI smoke scale, speedup assertion skipped)")
     elif cores < 2:

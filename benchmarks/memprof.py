@@ -1,0 +1,95 @@
+"""Process-memory readings for the benchmarks (no dependencies).
+
+Everything reads Linux's ``/proc/self`` accounting, with a
+``resource.getrusage`` fallback where one exists, and returns ``None``
+where the platform offers nothing — callers degrade to reporting "n/a"
+instead of failing.
+
+Three measures, because shared mappings make "memory use" ambiguous:
+
+* :func:`current_rss_bytes` / :func:`peak_rss_bytes` — resident set
+  size (``VmRSS`` / ``VmHWM``): every resident page counts fully, so
+  pages of a file-backed arena mapping shared by N processes are
+  counted N times. Right for "how big is this one process".
+* :func:`pss_bytes` — proportional set size (``Pss`` from
+  ``smaps_rollup``): each shared page counts 1/N per sharing process,
+  so summing PSS across processes measures actual physical memory.
+  This is the number the zero-copy serving claims are asserted on —
+  plain RSS would double-count the whole point of the arena.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def _status_kb(field: str) -> int | None:
+    """A ``VmXXX`` field of ``/proc/self/status``, in bytes."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return None
+
+
+def current_rss_bytes() -> int | None:
+    """Resident set size right now (``VmRSS``)."""
+    return _status_kb("VmRSS")
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process (``VmHWM``, the
+    high-water mark; falls back to ``getrusage`` where /proc is absent)."""
+    peak = _status_kb("VmHWM")
+    if peak is not None:
+        return peak
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # Linux reports ru_maxrss in KiB (macOS in bytes; /proc exists
+        # on every Linux, so reaching here implies the KiB unit rarely
+        # matters — kept for completeness).
+        return int(usage.ru_maxrss) * 1024
+    except (ImportError, ValueError, OSError):
+        return None
+
+
+def pss_bytes() -> int | None:
+    """Proportional set size (``Pss`` from ``smaps_rollup``), or None
+    when the kernel doesn't expose it."""
+    try:
+        with open(f"/proc/{os.getpid()}/smaps_rollup") as handle:
+            for line in handle:
+                if line.startswith("Pss:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return None
+
+
+def trim_heap() -> bool:
+    """Return freed allocator pages to the OS (``malloc_trim``).
+
+    glibc retains pages of freed allocations for reuse, so a benchmark
+    loop that loads and drops a 30MB catalog per cycle stops paying
+    page faults after the first cycle — unlike the fresh process the
+    cycle stands in for. Trimming between cycles restores first-load
+    cost. True when a trim ran; False (and harmless) off glibc.
+    """
+    try:
+        import ctypes
+
+        return bool(ctypes.CDLL("libc.so.6").malloc_trim(0))
+    except (OSError, AttributeError):
+        return False
+
+
+def fmt_bytes(n: int | None) -> str:
+    """Human-readable MiB rendering (``"n/a"`` for missing readings)."""
+    if n is None:
+        return "      n/a"
+    return f"{n / (1024 * 1024):7.1f}MB"

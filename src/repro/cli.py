@@ -439,9 +439,21 @@ def cmd_info(args: argparse.Namespace) -> int:
     # sketch_columns serves snapshot-loaded sketches from their stored
     # array views, so info on a binary catalog materializes nothing.
     sizes = [catalog.sketch_columns(sid).size for sid in catalog]
+    storage = catalog.storage_info()
     print(f"catalog      : {path}")
     print(f"format       : {detect_format(path)}")
     print(f"on-disk bytes: {path.stat().st_size:,}")
+    print(f"storage      : {storage['backend']}")
+    print(
+        f"array bytes  : {storage['mapped_bytes']:,} mapped, "
+        f"{storage['materialized_bytes']:,} materialized"
+    )
+    if storage["arena"] is not None:
+        arena = storage["arena"]
+        print(
+            f"arena        : {arena['arrays']} arrays, "
+            f"{arena['header_bytes']:,} header bytes"
+        )
     print(f"sketches     : {len(catalog)}")
     print(f"sketch size  : {catalog.sketch_size} (aggregate: {catalog.aggregate})")
     print(f"hash scheme  : bits={catalog.hasher.bits} seed={catalog.hasher.seed}")
@@ -486,10 +498,41 @@ def cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_convert(args: argparse.Namespace) -> int:
+    """``catalog convert``: rewrite a catalog in another format/layout.
+
+    The output format follows the output extension exactly as
+    ``catalog.save`` dispatches it: ``.npz`` the binary snapshot,
+    ``.arena`` the zero-copy mmap arena, anything else portable JSON.
+    The write is atomic, so converting onto an existing file (including
+    the input itself) either fully succeeds or leaves it untouched.
+    """
+    path = Path(args.catalog)
+    output = Path(args.output)
+    catalog = _load_catalog(path)
+    t0 = time.perf_counter()
+    try:
+        catalog.save(output)
+    except OSError as exc:
+        raise _fail(f"cannot write catalog {output}: {exc}") from exc
+    elapsed = time.perf_counter() - t0
+    print(
+        f"converted {path} ({detect_format(path)}) -> {output} "
+        f"({detect_format(output)}) in {elapsed:.2f}s "
+        f"[{output.stat().st_size:,} bytes, {len(catalog)} sketches]"
+    )
+    return 0
+
+
 def cmd_shard_compact(args: argparse.Namespace) -> int:
     """``shard compact``: compact every shard of a manifest directory and
     rewrite its snapshots + manifest."""
+    from repro.serving import read_manifest
+
     directory = Path(args.catalog_dir)
+    # Rewrite in whatever layout the directory already uses — compacting
+    # an arena-layout catalog must not silently convert it to npz.
+    layout = read_manifest(directory).get("layout", "npz")
     catalog = _load_sharded(directory)
     # Materialize every shard up front so the pre-compaction delta and
     # tombstone totals count loaded state, not cold-shard zeros.
@@ -500,7 +543,7 @@ def cmd_shard_compact(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     versions = catalog.compact()
     try:
-        catalog.save(directory)
+        catalog.save(directory, layout=layout)
     except OSError as exc:
         raise _fail(f"cannot write sharded catalog {directory}: {exc}") from exc
     elapsed = time.perf_counter() - t0
@@ -536,7 +579,7 @@ def cmd_shard_build(args: argparse.Namespace) -> int:
             catalog.shard(index).lsh_index(
                 bands=args.lsh_bands, rows=args.lsh_rows
             )
-    catalog.save(args.output)
+    catalog.save(args.output, layout=args.layout)
     elapsed = time.perf_counter() - t0
     sizes = "/".join(str(n) for n in catalog.shard_sizes())
     print(
@@ -561,6 +604,9 @@ def _print_shard_info(directory: Path) -> int:
         header = [
             f"catalog dir  : {directory}",
             f"manifest     : version {manifest['version']}",
+            # v3 manifests record the shard snapshot layout; older ones
+            # predate the arena and are npz by construction.
+            f"shard layout : {manifest.get('layout', 'npz')}",
             f"shards       : {manifest['n_shards']}",
             f"sketches     : {sum(e['sketches'] for e in shard_entries)}",
             f"sketch size  : {manifest['sketch_size']} "
@@ -633,7 +679,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         required=True,
         help="catalog path; a .npz extension writes the binary columnar "
-        "snapshot (fast cold starts), anything else portable JSON",
+        "snapshot (fast cold starts), .arena the zero-copy mmap arena "
+        "(O(metadata) cold starts, pages shared across processes), "
+        "anything else portable JSON",
     )
     p_index.add_argument("--sketch-size", type=_positive_int, default=256)
     p_index.add_argument("--aggregate", default="mean")
@@ -803,6 +851,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the compacted catalog here instead of in place",
     )
     p_catalog_compact.set_defaults(func=cmd_compact)
+    p_catalog_convert = catalog_sub.add_parser(
+        "convert",
+        help="rewrite a catalog in another format: .npz snapshot, "
+        ".arena mmap arena, or JSON (chosen by the output extension)",
+    )
+    p_catalog_convert.add_argument(
+        "catalog", help="input catalog file (JSON, .npz or .arena)"
+    )
+    p_catalog_convert.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="output catalog path; the extension picks the format",
+    )
+    p_catalog_convert.set_defaults(func=cmd_convert)
 
     # Shorthand kept for compatibility with earlier releases.
     p_info = sub.add_parser("info", help="catalog statistics (alias of `catalog info`)")
@@ -820,8 +883,16 @@ def build_parser() -> argparse.ArgumentParser:
         "-o",
         "--output",
         required=True,
-        help="output catalog directory (manifest.json + per-shard .npz "
+        help="output catalog directory (manifest.json + per-shard "
         "snapshots); serve it with `query --catalog-dir`",
+    )
+    p_shard_build.add_argument(
+        "--layout",
+        choices=("npz", "arena"),
+        default="npz",
+        help="shard snapshot layout: npz (default) or the zero-copy "
+        "mmap arena (O(metadata) shard loads; forked query workers "
+        "share one set of physical pages)",
     )
     p_shard_build.add_argument(
         "--shards",

@@ -8,6 +8,13 @@ query plan of Section 5.5 (retrieve top-100 by overlap, re-rank by
 estimated correlation under a risk-averse scoring function).
 """
 
+from repro.index.arena import (
+    ArenaReader,
+    atomic_write,
+    atomic_write_text,
+    backing_storage,
+    write_arena,
+)
 from repro.index.catalog import SketchCatalog, SketchMeta
 from repro.index.engine import (
     RETRIEVAL_BACKENDS,
@@ -23,6 +30,7 @@ from repro.index.engine import (
 from repro.index.inverted import ColumnarPostings, InvertedIndex
 from repro.index.lsh import LshIndex, MinHashSignature
 from repro.index.snapshot import (
+    ARENA_VERSION,
     SNAPSHOT_VERSION,
     detect_format,
     load_snapshot,
@@ -30,6 +38,8 @@ from repro.index.snapshot import (
 )
 
 __all__ = [
+    "ARENA_VERSION",
+    "ArenaReader",
     "CandidatePage",
     "ColumnarPostings",
     "ColumnarQueryExecutor",
@@ -44,9 +54,13 @@ __all__ = [
     "ScalarQueryExecutor",
     "SketchCatalog",
     "SketchMeta",
+    "atomic_write",
+    "atomic_write_text",
+    "backing_storage",
     "detect_format",
     "load_snapshot",
     "retrieve_candidates",
     "retrieve_candidates_batch",
     "save_snapshot",
+    "write_arena",
 ]

@@ -81,16 +81,66 @@ class _LazySketch:
     full :class:`CorrelationSketch` on demand. The columnar query path
     consumes :attr:`columns` directly and never triggers
     :meth:`materialize`.
+
+    Two degrees of laziness: the eager constructor receives its columns
+    and meta up front (one slice + one ``SketchMeta`` per entry — the
+    npz loader's O(1)-per-sketch rehydration), while :meth:`deferred`
+    entries hold only an ``(entry source, position)`` pair and build
+    both on first touch — the arena loader's O(metadata) path, where a
+    catalog load does *zero* per-entry work and a query builds views for
+    exactly the sketches it touches.
     """
 
-    __slots__ = ("columns", "meta", "hasher")
+    __slots__ = ("_columns", "_meta", "hasher", "_source", "_position")
 
     def __init__(
         self, columns: SketchColumns, meta: SketchMeta, hasher: KeyHasher
     ) -> None:
-        self.columns = columns
-        self.meta = meta
+        self._columns = columns
+        self._meta = meta
         self.hasher = hasher
+        self._source = None
+        self._position = -1
+
+    @classmethod
+    def deferred(cls, source, position: int, hasher: KeyHasher) -> "_LazySketch":
+        """An entry that builds its columns/meta from ``source`` (an
+        object with ``columns_of(i)`` / ``meta_of(i)``) on first use."""
+        entry = cls.__new__(cls)
+        entry._columns = None
+        entry._meta = None
+        entry.hasher = hasher
+        entry._source = source
+        entry._position = position
+        return entry
+
+    @property
+    def columns(self) -> SketchColumns:
+        if self._columns is None:
+            self._columns = self._source.columns_of(self._position)
+        return self._columns
+
+    @property
+    def meta(self) -> SketchMeta:
+        if self._meta is None:
+            self._meta = self._source.meta_of(self._position)
+        return self._meta
+
+    def detach(self, arena) -> None:
+        """Replace arena-backed column views with private heap copies
+        (and drop the deferred source, pinning the entry to the heap)."""
+        columns = self.columns
+        self._meta = self.meta
+        if arena.owns(columns.key_hashes):
+            self._columns = SketchColumns(
+                key_hashes=np.array(columns.key_hashes),
+                ranks=np.array(columns.ranks),
+                values=np.array(columns.values),
+                value_range=columns.value_range,
+                saw_all_keys=columns.saw_all_keys,
+            )
+        self._source = None
+        self._position = -1
 
     def materialize(self) -> CorrelationSketch:
         """Rebuild the full sketch (bottom-k heap, aggregator objects)."""
@@ -107,6 +157,54 @@ class _LazySketch:
             value_min=self.meta.value_min,
             value_max=self.meta.value_max,
         )
+
+
+class _DeferredEntryDict(dict):
+    """Entry map for snapshot-loaded catalogs: values start as integer
+    positions into an entry source and wake into :class:`_LazySketch`
+    on first access.
+
+    Populating a plain dict with one entry object per sketch is the
+    only O(n) step left in an arena load; seeding integer placeholders
+    instead is a single C-speed ``dict(zip(...))``, so load cost stays
+    O(metadata) and a query allocates entries for exactly the sketches
+    it touches. Every value read goes through the overridden accessors
+    below, so callers only ever see entry objects; key-only operations
+    (``len``/``in``/``iter``/``del``) need no override. Mutations
+    (``add_sketch``, ``get``'s materialization cache) assign real
+    entries over the placeholders and behave exactly as on a plain
+    dict.
+    """
+
+    __slots__ = ("_source", "_hasher")
+
+    def __init__(self, ids, source, hasher: KeyHasher) -> None:
+        super().__init__(zip(ids, range(len(ids))))
+        self._source = source
+        self._hasher = hasher
+
+    def _wake(self, sketch_id: str, position: int) -> _LazySketch:
+        entry = _LazySketch.deferred(self._source, position, self._hasher)
+        dict.__setitem__(self, sketch_id, entry)
+        return entry
+
+    def __getitem__(self, sketch_id: str):
+        entry = dict.__getitem__(self, sketch_id)
+        if type(entry) is int:
+            entry = self._wake(sketch_id, entry)
+        return entry
+
+    def get(self, sketch_id: str, default=None):
+        entry = dict.get(self, sketch_id, default)
+        if type(entry) is int:
+            entry = self._wake(sketch_id, entry)
+        return entry
+
+    def values(self):
+        return [self[sid] for sid in self]
+
+    def items(self):
+        return [(sid, self[sid]) for sid in self]
 
 
 class SketchCatalog:
@@ -154,6 +252,19 @@ class SketchCatalog:
         self._index_stale = False
         self._frozen_postings: ColumnarPostings | None = None
         self._lsh_index: LshIndex | None = None
+        #: Frozen-layer LSH signatures restored by a snapshot load but
+        #: not yet expanded into bucket state:
+        #: ``(ids, slots, filled, bands, rows, bits)``. The expansion is
+        #: O(n·bands) Python work, so it is deferred until something
+        #: actually probes the LSH — a cold start of the inverted
+        #: backend never pays it. Exactly one of ``_lsh_index`` /
+        #: ``_lsh_pending`` is non-None at a time.
+        self._lsh_pending: tuple | None = None
+        #: The arena mapping backing this catalog's arrays after a
+        #: ``layout="arena"`` snapshot load
+        #: (:class:`repro.index.arena.ArenaReader`); None for heap
+        #: catalogs. Held so the mapping outlives any view handed out.
+        self._arena = None
         #: Monotone compaction counter: bumped whenever :meth:`compact`
         #: folds actual work (non-empty delta or tombstones) into the
         #: frozen layer. Persisted by snapshots and manifests; the
@@ -488,29 +599,58 @@ class SketchCatalog:
         ``(bands, rows)`` is discarded and rebuilt (and re-cached).
         """
         self.compact()
-        cached = self._lsh_index
-        if cached is not None:
+        cached_params = self.lsh_params
+        if cached_params is not None:
             want = (
-                bands if bands is not None else cached.bands,
-                rows if rows is not None else cached.rows,
+                bands if bands is not None else cached_params[0],
+                rows if rows is not None else cached_params[1],
             )
-            if (cached.bands, cached.rows) == want:
-                return cached
+            if cached_params == want:
+                return self._lsh_cached()
         bands = DEFAULT_BANDS if bands is None else bands
         rows = DEFAULT_ROWS if rows is None else rows
         index = self._build_lsh(list(self), bands=bands, rows=rows)
         self._lsh_index = index
+        self._lsh_pending = None
         return index
+
+    def _lsh_cached(self) -> LshIndex | None:
+        """The frozen-layer LSH index, expanding deferred snapshot
+        signatures into bucket state on first use (see
+        :attr:`_lsh_pending`)."""
+        if self._lsh_index is None and self._lsh_pending is not None:
+            ids, slots, filled, bands, rows, bits = self._lsh_pending
+            self._lsh_index = LshIndex.from_arrays(
+                ids, slots, filled, bands=bands, rows=rows, bits=bits
+            )
+            self._lsh_pending = None
+        return self._lsh_index
+
+    def _lsh_arrays(self) -> tuple | None:
+        """``(ids, slots, filled, bands, rows, bits)`` of the
+        frozen-layer LSH without expanding bucket state — what the
+        snapshot writer persists and :meth:`_fold_lsh` folds. None when
+        no frozen-layer LSH exists in either form."""
+        if self._lsh_index is not None:
+            lsh = self._lsh_index
+            slots, filled = lsh.export_arrays()
+            return (
+                list(lsh.ids), slots, filled, lsh.bands, lsh.rows, lsh.bits
+            )
+        return self._lsh_pending
 
     @property
     def lsh_params(self) -> tuple[int, int] | None:
-        """``(bands, rows)`` of the cached frozen-layer LSH index, or
-        None when none has been built yet. Never triggers a build or a
+        """``(bands, rows)`` of the cached frozen-layer LSH index
+        (materialized or still deferred from a snapshot load), or None
+        when none has been built yet. Never triggers a build or a
         compaction — ``catalog info`` uses this to report whether a
         snapshot shipped a warm LSH index."""
-        if self._lsh_index is None:
-            return None
-        return (self._lsh_index.bands, self._lsh_index.rows)
+        if self._lsh_index is not None:
+            return (self._lsh_index.bands, self._lsh_index.rows)
+        if self._lsh_pending is not None:
+            return (self._lsh_pending[3], self._lsh_pending[4])
+        return None
 
     def sketch_columns(self, sketch_id: str) -> SketchColumns:
         """Columnar (sorted key-hash / rank / value / range) view of a sketch.
@@ -709,12 +849,17 @@ class SketchCatalog:
         first, then delta, then the module defaults); explicit values
         discard mismatching cached layers.
         """
-        cached = self._lsh_index
-        anchor = cached if cached is not None else self._delta_lsh
+        frozen_params = self.lsh_params
+        if frozen_params is not None:
+            anchor = frozen_params
+        elif self._delta_lsh is not None:
+            anchor = (self._delta_lsh.bands, self._delta_lsh.rows)
+        else:
+            anchor = None
         if anchor is not None:
             want = (
-                bands if bands is not None else anchor.bands,
-                rows if rows is not None else anchor.rows,
+                bands if bands is not None else anchor[0],
+                rows if rows is not None else anchor[1],
             )
         else:
             want = (
@@ -722,15 +867,16 @@ class SketchCatalog:
                 DEFAULT_ROWS if rows is None else rows,
             )
         bands, rows = want
-        if cached is not None and (cached.bands, cached.rows) != want:
+        if frozen_params is not None and frozen_params != want:
             self._lsh_index = None
+            self._lsh_pending = None
         delta_lsh = self._delta_lsh
         if delta_lsh is not None and (delta_lsh.bands, delta_lsh.rows) != want:
             self._delta_lsh = None
         hits: set[str] = set()
         frozen = self._frozen_postings
         if frozen is not None and len(frozen):
-            if self._lsh_index is None:
+            if self._lsh_cached() is None:
                 # Lazy frozen-layer build covers the frozen survivors
                 # only — tombstoned sketches are gone from the catalog,
                 # so their signatures cannot be (re)built; later
@@ -800,8 +946,9 @@ class SketchCatalog:
                 self._lsh_index = self._delta_lsh
         elif dirty:
             new_frozen = self._fold_postings()
-            if self._lsh_index is not None:
+            if self._lsh_index is not None or self._lsh_pending is not None:
                 self._lsh_index = self._fold_lsh()
+                self._lsh_pending = None
             self._frozen_postings = new_frozen
         else:
             return self.index_version
@@ -879,23 +1026,23 @@ class SketchCatalog:
         sets are unchanged versus a from-scratch build — bucketing is
         per-row and order-free.
         """
-        lsh = self._lsh_index
+        ids, slots, filled, bands, rows, bits = self._lsh_arrays()
         tombs = self._tombstones
-        surviving = [i for i, sid in enumerate(lsh.ids) if sid not in tombs]
-        slots, filled = lsh.export_arrays()
-        new_ids = [lsh.ids[i] for i in surviving]
+        surviving = [i for i, sid in enumerate(ids) if sid not in tombs]
+        new_ids = [ids[i] for i in surviving]
+        # Fancy indexing copies — the fold's output is always fresh heap
+        # arrays, even when the inputs are read-only arena views (the
+        # copy-on-mutation rule for the LSH layer).
         new_slots = slots[surviving]
         new_filled = filled[surviving]
         delta_ids = list(self._delta_postings().docs)
         if delta_ids:
             delta_lsh = self._delta_lsh
             if delta_lsh is None or (delta_lsh.bands, delta_lsh.rows) != (
-                lsh.bands,
-                lsh.rows,
+                bands,
+                rows,
             ):
-                delta_lsh = self._build_lsh(
-                    delta_ids, bands=lsh.bands, rows=lsh.rows
-                )
+                delta_lsh = self._build_lsh(delta_ids, bands=bands, rows=rows)
             d_slots, d_filled = delta_lsh.export_arrays()
             new_ids = new_ids + list(delta_lsh.ids)
             new_slots = np.concatenate([new_slots, d_slots])
@@ -904,10 +1051,135 @@ class SketchCatalog:
             new_ids,
             new_slots,
             new_filled,
-            bands=lsh.bands,
-            rows=lsh.rows,
-            bits=lsh.bits,
+            bands=bands,
+            rows=rows,
+            bits=bits,
         )
+
+    # -- storage backend (heap vs mmap arena) ---------------------------------
+
+    @property
+    def storage(self) -> str:
+        """``"mmap"`` while this catalog serves off an arena mapping
+        (``layout="arena"`` snapshot load), ``"heap"`` otherwise.
+
+        A mapped catalog is fully mutable: the copy-on-mutation rules
+        mean appends and removals only ever touch heap-native delta and
+        tombstone structures, and :meth:`compact` folds into fresh heap
+        arrays — nothing ever writes to the mapping. The flag flips to
+        ``"heap"`` only via :meth:`detach`.
+        """
+        return "mmap" if self._arena is not None else "heap"
+
+    def storage_info(self) -> dict:
+        """Storage accounting for ``catalog info`` and the benchmarks.
+
+        Returns a dict with the backend name, ``mapped_bytes`` (the
+        arena's packed array payload; 0 for heap catalogs),
+        ``materialized_bytes`` (heap-resident numeric array bytes across
+        the frozen/delta/LSH structures and every entry whose columnar
+        views exist — an estimate: buffers shared between views count
+        once per view) and, for mapped catalogs, an ``arena`` summary of
+        the header (path, array count, header bytes).
+        """
+        arena = self._arena
+        heap_bytes = 0
+
+        def _add(*arrays) -> None:
+            nonlocal heap_bytes
+            for array in arrays:
+                if array is None or (arena is not None and arena.owns(array)):
+                    continue
+                heap_bytes += array.nbytes
+
+        for postings in (self._frozen_postings, self._delta_frozen):
+            if postings is not None:
+                _add(
+                    postings.vocab,
+                    postings.indptr,
+                    postings.doc_ids,
+                    postings.doc_lengths,
+                )
+        for lsh in (self._lsh_index, self._delta_lsh):
+            if lsh is not None:
+                _add(*lsh._slots, *lsh._filled)
+        if self._lsh_pending is not None:
+            _add(self._lsh_pending[1], self._lsh_pending[2])
+        for entry in self._sketches.values():
+            columns = entry._columns
+            if columns is not None:
+                _add(columns.key_hashes, columns.ranks, columns.values)
+        info = {
+            "backend": self.storage,
+            "mapped_bytes": arena.data_bytes if arena is not None else 0,
+            "materialized_bytes": heap_bytes,
+            "arena": None,
+        }
+        if arena is not None:
+            info["arena"] = {
+                "path": str(arena.path),
+                "arrays": len(arena.extents),
+                "header_bytes": arena.header_bytes,
+            }
+        return info
+
+    def detach(self) -> None:
+        """Copy every arena-backed array to a private heap copy and
+        release the mapping.
+
+        Serving never requires this — queries read the mapping directly
+        and mutations are heap-native by construction (appends land in
+        the delta, removals in the tombstone set, and :meth:`compact`'s
+        folds allocate fresh arrays). Detach exists for processes that
+        want to outlive the snapshot file's *contents*: after it, the
+        catalog holds no reference into the file and :attr:`storage`
+        reports ``"heap"``. Queries are bit-identical before and after.
+        """
+        arena = self._arena
+        if arena is None:
+            return
+        for entry in self._sketches.values():
+            if isinstance(entry, _LazySketch):
+                entry.detach(arena)
+            elif entry._columns is not None and arena.owns(
+                entry._columns.key_hashes
+            ):
+                columns = entry._columns
+                entry._columns = SketchColumns(
+                    key_hashes=np.array(columns.key_hashes),
+                    ranks=np.array(columns.ranks),
+                    values=np.array(columns.values),
+                    value_range=columns.value_range,
+                    saw_all_keys=columns.saw_all_keys,
+                )
+        frozen = self._frozen_postings
+        if frozen is not None and arena.owns(frozen.vocab):
+            self._frozen_postings = ColumnarPostings(
+                np.array(frozen.vocab),
+                np.array(frozen.indptr),
+                np.array(frozen.doc_ids),
+                frozen.docs,
+                np.array(frozen.doc_lengths),
+                frozen._doc_index_cache,
+            )
+            self._banned_cache = None
+        if self._lsh_pending is not None:
+            ids, slots, filled, bands, rows, bits = self._lsh_pending
+            self._lsh_pending = (
+                ids, np.array(slots), np.array(filled), bands, rows, bits
+            )
+        elif self._lsh_index is not None and self._lsh_index.storage == "mmap":
+            lsh = self._lsh_index
+            slots, filled = lsh.export_arrays()  # np.stack: already a copy
+            self._lsh_index = LshIndex.from_arrays(
+                list(lsh.ids),
+                slots,
+                filled,
+                bands=lsh.bands,
+                rows=lsh.rows,
+                bits=lsh.bits,
+            )
+        self._arena = None
 
     # -- persistence ----------------------------------------------------------
 
@@ -916,14 +1188,22 @@ class SketchCatalog:
 
         ``.npz`` writes the binary columnar snapshot
         (:func:`repro.index.snapshot.save_snapshot` — sketch arrays plus
-        the frozen postings); anything else writes the portable JSON
-        reference format (sketches only; the index is rebuilt on load).
+        the frozen postings); ``.arena`` writes the same members as one
+        contiguous mmap-able arena (``layout="arena"`` — zero-copy
+        loads, see :mod:`repro.index.arena`); anything else writes the
+        portable JSON reference format (sketches only; the index is
+        rebuilt on load). All three writes are atomic (temp file +
+        ``os.replace``).
         """
         path = Path(path)
-        if path.suffix == ".npz":
+        if path.suffix in (".npz", ".arena"):
             from repro.index.snapshot import save_snapshot
 
-            save_snapshot(self, path)
+            save_snapshot(
+                self,
+                path,
+                layout="arena" if path.suffix == ".arena" else "npz",
+            )
             return
         payload = {
             "sketch_size": self.sketch_size,
@@ -932,17 +1212,28 @@ class SketchCatalog:
             "vectorized": self.vectorized,
             "sketches": {sid: self.get(sid).to_dict() for sid in self},
         }
-        path.write_text(json.dumps(payload))
+        from repro.index.arena import atomic_write_text
+
+        atomic_write_text(path, json.dumps(payload))
 
     @classmethod
     def load(cls, path: str | Path) -> "SketchCatalog":
-        """Load a catalog written by :meth:`save`, either format.
+        """Load a catalog written by :meth:`save`, any format.
 
-        Binary snapshots are detected by the ``.npz`` extension or the
-        zip magic bytes; everything else parses as JSON.
+        Binary snapshots are detected by the ``.npz``/``.arena``
+        extension, the zip magic bytes or the arena magic bytes;
+        everything else parses as JSON. Arena snapshots come back
+        memory-mapped (``storage == "mmap"``) — read-only views, no
+        array data copied.
         """
         path = Path(path)
-        if path.suffix == ".npz" or _has_zip_magic(path):
+        from repro.index.arena import has_arena_magic
+
+        if (
+            path.suffix in (".npz", ".arena")
+            or _has_zip_magic(path)
+            or has_arena_magic(path)
+        ):
             from repro.index.snapshot import load_snapshot
 
             return load_snapshot(path)

@@ -189,7 +189,14 @@ class ColumnarPostings:
     immutable.
     """
 
-    __slots__ = ("vocab", "indptr", "doc_ids", "docs", "_doc_index", "_doc_lengths")
+    __slots__ = (
+        "vocab",
+        "indptr",
+        "doc_ids",
+        "docs",
+        "_doc_index_cache",
+        "_doc_lengths",
+    )
 
     def __init__(
         self,
@@ -204,10 +211,22 @@ class ColumnarPostings:
         self.indptr = indptr
         self.doc_ids = doc_ids
         self.docs = docs
-        self._doc_index = (
-            doc_index if doc_index is not None else {sid: i for i, sid in enumerate(docs)}
-        )
+        self._doc_index_cache = doc_index
         self._doc_lengths = doc_lengths
+
+    @property
+    def _doc_index(self) -> dict[str, int]:
+        """sketch id -> document position, built on first use.
+
+        Only the reverse lookups need it (exclude-id probes, tombstone
+        bans); plain top-k probes never do, so snapshot loads stay
+        O(metadata) instead of paying an O(docs) dict build up front.
+        """
+        if self._doc_index_cache is None:
+            self._doc_index_cache = {
+                sid: i for i, sid in enumerate(self.docs)
+            }
+        return self._doc_index_cache
 
     @classmethod
     def _from_index(cls, index: InvertedIndex) -> "ColumnarPostings":
@@ -251,6 +270,27 @@ class ColumnarPostings:
         Part of the persisted snapshot layout (:mod:`repro.index.snapshot`).
         """
         return self._doc_lengths
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the numeric CSR arrays (vocab, indptr, doc
+        ids, doc lengths) — the ``docs`` string table is excluded."""
+        return (
+            self.vocab.nbytes
+            + self.indptr.nbytes
+            + self.doc_ids.nbytes
+            + self._doc_lengths.nbytes
+        )
+
+    @property
+    def storage(self) -> str:
+        """``"mmap"`` when the CSR arrays are views into a memory-mapped
+        arena snapshot (:mod:`repro.index.arena`), else ``"heap"``."""
+        from repro.index.arena import backing_storage
+
+        return backing_storage(
+            self.vocab, self.indptr, self.doc_ids, self._doc_lengths
+        )
 
     def overlap_counts_array(self, key_hashes) -> np.ndarray:
         """Per-document shared-key-hash counts for one query (ScanCount).

@@ -171,6 +171,22 @@ class LshIndex:
     def __contains__(self, sketch_id: str) -> bool:
         return sketch_id in self._id_index
 
+    @property
+    def storage(self) -> str:
+        """``"mmap"`` when any signature row is a view into a
+        memory-mapped arena snapshot (:mod:`repro.index.arena`), else
+        ``"heap"``. Buckets and ids are always heap state."""
+        from repro.index.arena import backing_storage
+
+        return backing_storage(*self._slots, *self._filled)
+
+    @property
+    def signature_nbytes(self) -> int:
+        """Total bytes of the stored slot/filled signature rows."""
+        return sum(a.nbytes for a in self._slots) + sum(
+            a.nbytes for a in self._filled
+        )
+
     # -- signatures ----------------------------------------------------------
 
     def _signature_arrays(self, key_hashes) -> tuple[np.ndarray, np.ndarray]:

@@ -1,11 +1,10 @@
-"""Binary catalog snapshots: the offline-build / online-serve format.
+"""Binary catalog snapshots: the offline-build / online-serve formats.
 
 The JSON catalog format (:meth:`repro.index.catalog.SketchCatalog.save`)
 is the portable reference: readable, diffable, and slow — every sketch
 round-trips through per-entry Python lists and the inverted index is
-rebuilt entry by entry on every cold start. This module is the serving
-format: one versioned ``.npz`` file (uncompressed zip of ``.npy``
-members) holding
+rebuilt entry by entry on every cold start. This module holds the two
+serving formats, which persist the same members:
 
 * the **concatenated columnar sketch arrays** — all sketches' sorted
   key hashes, unit-hash ranks and aggregated values laid end to end with
@@ -15,45 +14,63 @@ members) holding
 * the **frozen CSR postings** of the inverted index
   (:class:`repro.index.inverted.ColumnarPostings` — vocabulary,
   ``indptr``, doc ids, doc table), persisted verbatim;
-* since version 2, the **LSH signature arrays** — the catalog's
-  MinHash-LSH index (:class:`repro.index.lsh.LshIndex`), when one was
-  built before saving: per-sketch slot/filled matrices plus the
-  ``(bands, rows, bits)`` config. Catalogs that never probed the LSH
-  backend write no LSH members and rebuild lazily after load, exactly
-  like the JSON reference format always does;
-* since version 3, the **delta-layer state** — the catalog's
-  ``index_version`` compaction counter, the ids still in the mutable
-  delta layer, the tombstone set, and (``lsh_ids``) the exact id list
-  the persisted LSH signatures cover (which, between compactions, is
-  the frozen layer rather than the whole catalog). The frozen CSR is
-  persisted verbatim, tombstoned postings included — a snapshot save is
-  never an implicit compaction; the delta inverted index is rebuilt
-  from the stored key-hash slices on load (O(delta), not O(catalog)).
+* the **LSH signature arrays** — the catalog's MinHash-LSH index
+  (:class:`repro.index.lsh.LshIndex`), when one was built before
+  saving: per-sketch slot/filled matrices plus the ``(bands, rows,
+  bits)`` config and the exact id list they cover. Catalogs that never
+  probed the LSH backend write no LSH members and rebuild lazily after
+  load, exactly like the JSON reference format always does;
+* the **delta-layer state** — the catalog's ``index_version``
+  compaction counter, the ids still in the mutable delta layer, and the
+  tombstone set. The frozen CSR is persisted verbatim, tombstoned
+  postings included — a snapshot save is never an implicit compaction;
+  the delta inverted index is rebuilt from the stored key-hash slices
+  on load (O(delta), not O(catalog)).
 
-Loading therefore does no per-entry work at all: each array is one
-contiguous read, every sketch rehydrates as a zero-copy slice view
-(:class:`repro.index.catalog._LazySketch` wrapping a
-:class:`~repro.core.sketch.SketchColumns`), and the postings snapshot is
-reconstructed directly from its stored arrays — the catalog's
-``frozen_postings`` cache starts warm, so the first query probes the
-index without any freeze or rebuild. Full ``CorrelationSketch`` objects
-(bottom-k heap + aggregators) materialize lazily per sketch, only if the
-scalar reference path asks for them.
+**Layouts** (``save_snapshot(..., layout=...)``):
+
+* ``"npz"`` — one versioned ``.npz`` file (uncompressed zip of ``.npy``
+  members). Loading copies every array into the process heap: cost
+  O(catalog bytes), paid per process.
+* ``"arena"`` — one contiguous 64-byte-aligned arena file
+  (:mod:`repro.index.arena`): a small JSON header of (name, dtype,
+  shape, offset) extents followed by the packed array payloads.
+  Loading ``np.memmap``'s the file read-only and rehydrates the
+  catalog as **zero-copy views into the mapping**: no decompression,
+  no copy, load time O(metadata) — and N processes serving the same
+  arena share one set of physical pages through the page cache.
+
+Loading does no per-entry work at all in either layout: sketches
+rehydrate as deferred :class:`repro.index.catalog._LazySketch` entries
+that build their zero-copy :class:`~repro.core.sketch.SketchColumns`
+views on first touch, the postings snapshot is reconstructed directly
+from its stored arrays (the catalog's ``frozen_postings`` cache starts
+warm), and persisted LSH signatures are kept as a deferred pending
+payload that expands into bucket state only if an LSH probe happens.
+Full ``CorrelationSketch`` objects (bottom-k heap + aggregators)
+materialize lazily per sketch, only if the scalar reference path asks
+for them.
 
 Format contract:
 
-* ``version`` (currently 3) gates compatibility — loading a snapshot
-  with an unknown version raises ``ValueError`` rather than guessing.
-  Version-1 (pre-LSH) and version-2 (pre-delta) snapshots still load:
-  every older member kept its name and meaning, each newer version only
-  *adds* members (older snapshots load with an empty delta, no
-  tombstones and ``index_version`` 0);
-* array-level equality with the JSON round trip: a catalog saved to both
-  formats loads back with identical per-sketch entries, columnar views
-  and postings (the snapshot test suite pins this);
-* mutation after load behaves exactly like a JSON-loaded catalog: the
-  first ``add_sketch`` rebuilds the live inverted index from the stored
-  arrays and invalidates the frozen postings, which re-freeze lazily.
+* ``version`` gates compatibility — loading a snapshot with an unknown
+  version raises ``ValueError`` rather than guessing. The npz layout is
+  version 3 (versions 1–2 still load: every older member kept its name
+  and meaning, each newer version only *adds* members); the arena
+  layout is version 4 (arena files always carry the full v3 member
+  set, so there is nothing older to read);
+* array-level equality across every format: a catalog saved to JSON,
+  npz and arena loads back with identical per-sketch entries, columnar
+  views and postings (the snapshot test suites pin this);
+* writes are **atomic**: both layouts write a temp file in the target
+  directory and ``os.replace`` it into place
+  (:func:`repro.index.arena.atomic_write`), so a crash mid-save can
+  never corrupt an existing catalog;
+* mutation after load behaves exactly like a JSON-loaded catalog:
+  appends and removals land in heap-native delta/tombstone structures,
+  and a compaction folds into fresh heap arrays — an arena-mapped
+  catalog never writes to (and cannot write to — views are read-only)
+  the shared mapping.
 """
 
 from __future__ import annotations
@@ -64,48 +81,64 @@ import numpy as np
 
 from repro.core.sketch import SketchColumns, _value_range_of
 from repro.hashing import KeyHasher
+from repro.index.arena import (
+    ArenaReader,
+    atomic_write,
+    has_arena_magic,
+    write_arena,
+)
 from repro.index.catalog import (
     SketchCatalog,
     SketchMeta,
+    _DeferredEntryDict,
     _has_zip_magic,
-    _LazySketch,
 )
 from repro.index.inverted import ColumnarPostings
-from repro.index.lsh import LshIndex
 
-#: Bump on any layout change; load_snapshot refuses unknown versions.
+#: Bump on any npz layout change; load_snapshot refuses unknown versions.
 #: v1: sketch arrays + frozen postings. v2: adds optional LSH members.
 #: v3: adds delta-layer state (index_version, delta ids, tombstones,
 #: lsh_ids).
 SNAPSHOT_VERSION = 3
 
-#: Versions this build can read (each is a strict superset of the last).
+#: npz versions this build can read (each a strict superset of the last).
 _READABLE_VERSIONS = (1, 2, 3)
+
+#: The arena layout's format version (the v3 member set, packed
+#: mmap-able). Recorded in the arena header; unknown versions refuse.
+ARENA_VERSION = 4
+
+#: Arena versions this build can read.
+_ARENA_READABLE_VERSIONS = (4,)
+
+#: Layouts save_snapshot accepts.
+SNAPSHOT_LAYOUTS = ("npz", "arena")
 
 
 def detect_format(path: str | Path) -> str:
-    """``"binary"`` for npz snapshots, ``"json"`` otherwise.
+    """``"binary"`` for npz snapshots, ``"arena"`` for arena snapshots,
+    ``"json"`` otherwise.
 
-    Decided the same way :meth:`SketchCatalog.load` dispatches: the
-    ``.npz`` extension or the zip magic bytes.
+    Decided the same way :meth:`SketchCatalog.load` dispatches: content
+    magic first (zip or arena bytes), extension as the fallback for
+    paths that cannot be read yet.
     """
     path = Path(path)
+    if has_arena_magic(path):
+        return "arena"
     if path.suffix == ".npz" or _has_zip_magic(path):
         return "binary"
+    if path.suffix == ".arena":
+        return "arena"
     return "json"
 
 
-def save_snapshot(catalog: SketchCatalog, path: str | Path) -> None:
-    """Write ``catalog`` as a versioned binary snapshot.
+def _collect_members(catalog: SketchCatalog):
+    """Gather the persisted member set, shared by both layouts.
 
-    A catalog that has never frozen (fresh or JSON-loaded) is compacted
-    here — freezing is an offline (save-time) cost in this format, never
-    an online one. A catalog that *has* a frozen layer is persisted
-    exactly as layered: the frozen CSR verbatim (tombstoned postings
-    included), plus the delta ids and tombstone set — saving never
-    forces a fold. Works on any catalog, including one that was itself
-    snapshot-loaded and never materialized (lazy entries are persisted
-    from their array views directly).
+    Returns ``(config, strings, numeric, lsh)``: the scalar config
+    values, the string-list members, the numeric-array members, and the
+    optional LSH payload ``(ids, slots, filled, bands, rows, bits)``.
     """
     if catalog._frozen_postings is None:
         catalog.compact()
@@ -125,66 +158,249 @@ def save_snapshot(catalog: SketchCatalog, path: str | Path) -> None:
         return np.concatenate(arrays).astype(dtype, copy=False)
 
     bits, seed = catalog.hasher.scheme_id
-    # The LSH index rides along whenever the catalog built one. Between
-    # compactions it covers the frozen layer rather than the whole
-    # catalog (and may still physically contain tombstoned rows), so the
-    # exact id list it covers is persisted alongside the signatures.
-    lsh = catalog._lsh_index
+    config = {
+        "sketch_size": catalog.sketch_size,
+        "bits": bits,
+        "seed": seed,
+        "vectorized": int(catalog.vectorized),
+        "aggregate": catalog.aggregate,
+        "index_version": catalog.index_version,
+    }
+    strings = {
+        "ids": ids,
+        "names": [m.name or "" for m in metas],
+        "aggregates": [m.aggregate for m in metas],
+        "postings_docs": list(postings.docs),
+        "delta_ids": sorted(
+            sid for sid in ids if sid in catalog._delta_index
+        ),
+        "tombstones": sorted(catalog._tombstones),
+    }
+    numeric = {
+        "has_name": np.asarray([m.name is not None for m in metas], dtype=bool),
+        "capacities": np.asarray([m.n for m in metas], dtype=np.int64),
+        "rows_seen": np.asarray([m.rows_seen for m in metas], dtype=np.int64),
+        "overflowed": np.asarray([m.overflowed for m in metas], dtype=bool),
+        "value_min": np.asarray([m.value_min for m in metas], dtype=np.float64),
+        "value_max": np.asarray([m.value_max for m in metas], dtype=np.float64),
+        "entry_indptr": entry_indptr,
+        "key_hashes": _concat([c.key_hashes for c in columns], np.uint64),
+        "ranks": _concat([c.ranks for c in columns], np.float64),
+        "values": _concat([c.values for c in columns], np.float64),
+        "postings_vocab": postings.vocab,
+        "postings_indptr": postings.indptr,
+        "postings_doc_ids": postings.doc_ids,
+        "postings_doc_lengths": postings.doc_lengths,
+    }
+    # The LSH index rides along whenever the catalog built (or loaded)
+    # one. Between compactions it covers the frozen layer rather than
+    # the whole catalog (and may still physically contain tombstoned
+    # rows), so the exact id list it covers is persisted alongside the
+    # signatures. _lsh_arrays never expands deferred bucket state.
+    return config, strings, numeric, catalog._lsh_arrays()
+
+
+def save_snapshot(
+    catalog: SketchCatalog, path: str | Path, *, layout: str = "npz"
+) -> None:
+    """Write ``catalog`` as a versioned binary snapshot (atomically).
+
+    A catalog that has never frozen (fresh or JSON-loaded) is compacted
+    here — freezing is an offline (save-time) cost in this format, never
+    an online one. A catalog that *has* a frozen layer is persisted
+    exactly as layered: the frozen CSR verbatim (tombstoned postings
+    included), plus the delta ids and tombstone set — saving never
+    forces a fold. Works on any catalog, including one that was itself
+    snapshot-loaded and never materialized (lazy entries are persisted
+    from their array views directly, mapped or not).
+
+    Args:
+        layout: ``"npz"`` (the default) or ``"arena"`` (the zero-copy
+            mmap-able layout, see the module docs).
+    """
+    if layout not in SNAPSHOT_LAYOUTS:
+        raise ValueError(
+            f"unknown snapshot layout {layout!r} (choose from "
+            f"{SNAPSHOT_LAYOUTS})"
+        )
+    config, strings, numeric, lsh = _collect_members(catalog)
+    if layout == "arena":
+        _save_arena(path, config, strings, numeric, lsh)
+    else:
+        _save_npz(path, config, strings, numeric, lsh)
+
+
+def _save_npz(path, config, strings, numeric, lsh) -> None:
     lsh_members = {}
     if lsh is not None:
-        lsh_slots, lsh_filled = lsh.export_arrays()
+        lsh_ids, lsh_slots, lsh_filled, bands, rows, bits = lsh
         lsh_members = {
-            "lsh_config": np.asarray(
-                [lsh.bands, lsh.rows, lsh.bits], dtype=np.int64
-            ),
+            "lsh_config": np.asarray([bands, rows, bits], dtype=np.int64),
             "lsh_slots": lsh_slots,
             "lsh_filled": lsh_filled,
-            "lsh_ids": np.asarray(list(lsh.ids), dtype=str),
+            "lsh_ids": np.asarray(lsh_ids, dtype=str),
         }
-    delta_ids = sorted(sid for sid in ids if sid in catalog._delta_index)
     # A file handle (not a path) keeps np.savez from appending ".npz"
     # behind the caller's back — the snapshot lands exactly where asked,
-    # whatever the extension (load sniffs the zip magic anyway).
-    with open(path, "wb") as handle:
-        np.savez(
+    # whatever the extension (load sniffs the zip magic anyway). The
+    # handle is the atomic-write temp file; os.replace publishes it.
+    atomic_write(
+        path,
+        lambda handle: np.savez(
             handle,
             version=np.asarray([SNAPSHOT_VERSION], dtype=np.int64),
             catalog_config=np.asarray(
-                [catalog.sketch_size, bits, seed, int(catalog.vectorized)],
+                [
+                    config["sketch_size"],
+                    config["bits"],
+                    config["seed"],
+                    config["vectorized"],
+                ],
                 dtype=np.int64,
             ),
-            catalog_aggregate=np.asarray([catalog.aggregate]),
-            ids=np.asarray(ids, dtype=str),
-            names=np.asarray([m.name or "" for m in metas], dtype=str),
-            has_name=np.asarray([m.name is not None for m in metas], dtype=bool),
-            aggregates=np.asarray([m.aggregate for m in metas], dtype=str),
-            capacities=np.asarray([m.n for m in metas], dtype=np.int64),
-            rows_seen=np.asarray([m.rows_seen for m in metas], dtype=np.int64),
-            overflowed=np.asarray([m.overflowed for m in metas], dtype=bool),
-            value_min=np.asarray([m.value_min for m in metas], dtype=np.float64),
-            value_max=np.asarray([m.value_max for m in metas], dtype=np.float64),
-            entry_indptr=entry_indptr,
-            key_hashes=_concat([c.key_hashes for c in columns], np.uint64),
-            ranks=_concat([c.ranks for c in columns], np.float64),
-            values=_concat([c.values for c in columns], np.float64),
-            postings_vocab=postings.vocab,
-            postings_indptr=postings.indptr,
-            postings_doc_ids=postings.doc_ids,
-            postings_docs=np.asarray(postings.docs, dtype=str),
-            postings_doc_lengths=postings.doc_lengths,
-            index_version=np.asarray([catalog.index_version], dtype=np.int64),
-            delta_ids=np.asarray(delta_ids, dtype=str),
-            tombstones=np.asarray(sorted(catalog._tombstones), dtype=str),
+            catalog_aggregate=np.asarray([config["aggregate"]]),
+            ids=np.asarray(strings["ids"], dtype=str),
+            names=np.asarray(strings["names"], dtype=str),
+            aggregates=np.asarray(strings["aggregates"], dtype=str),
+            postings_docs=np.asarray(strings["postings_docs"], dtype=str),
+            index_version=np.asarray(
+                [config["index_version"]], dtype=np.int64
+            ),
+            delta_ids=np.asarray(strings["delta_ids"], dtype=str),
+            tombstones=np.asarray(strings["tombstones"], dtype=str),
+            **numeric,
             **lsh_members,
+        ),
+    )
+
+
+def _save_arena(path, config, strings, numeric, lsh) -> None:
+    meta = {
+        "format": "correlation-sketches-arena",
+        "version": ARENA_VERSION,
+        "catalog_config": [
+            config["sketch_size"],
+            config["bits"],
+            config["seed"],
+            config["vectorized"],
+        ],
+        "catalog_aggregate": config["aggregate"],
+        "index_version": config["index_version"],
+        **strings,
+        "lsh": None,
+    }
+    arrays = dict(numeric)
+    if lsh is not None:
+        lsh_ids, lsh_slots, lsh_filled, bands, rows, bits = lsh
+        meta["lsh"] = {
+            "bands": bands, "rows": rows, "bits": bits, "ids": list(lsh_ids)
+        }
+        arrays["lsh_slots"] = lsh_slots
+        arrays["lsh_filled"] = lsh_filled
+    write_arena(path, meta, arrays)
+
+
+class _EntrySource:
+    """Shared backing store behind deferred snapshot entries.
+
+    One instance per loaded snapshot holds the concatenated arrays (heap
+    arrays for npz, read-only mapped views for arenas) plus the
+    per-sketch scalar columns; each deferred
+    :class:`~repro.index.catalog._LazySketch` keeps only ``(source,
+    position)`` and asks for its slice on first touch. This is what
+    makes snapshot loads O(metadata): no per-entry objects are built at
+    load time at all.
+    """
+
+    __slots__ = (
+        "entry_indptr", "key_hashes", "ranks", "values",
+        "names", "has_name", "aggregates", "capacities",
+        "rows_seen", "overflowed", "value_min", "value_max",
+    )
+
+    def __init__(self, **members) -> None:
+        for name in self.__slots__:
+            setattr(self, name, members[name])
+
+    def columns_of(self, position: int) -> SketchColumns:
+        start = int(self.entry_indptr[position])
+        end = int(self.entry_indptr[position + 1])
+        vmin = float(self.value_min[position])
+        vmax = float(self.value_max[position])
+        return SketchColumns(
+            key_hashes=self.key_hashes[start:end],
+            ranks=self.ranks[start:end],
+            values=self.values[start:end],
+            value_range=_value_range_of(vmin, vmax),
+            saw_all_keys=not bool(self.overflowed[position]),
+        )
+
+    def meta_of(self, position: int) -> SketchMeta:
+        return SketchMeta(
+            n=int(self.capacities[position]),
+            aggregate=str(self.aggregates[position]),
+            name=(
+                str(self.names[position])
+                if bool(self.has_name[position])
+                else None
+            ),
+            rows_seen=int(self.rows_seen[position]),
+            overflowed=bool(self.overflowed[position]),
+            value_min=float(self.value_min[position]),
+            value_max=float(self.value_max[position]),
         )
 
 
+def _rehydrate(
+    catalog: SketchCatalog,
+    ids: list[str],
+    source: _EntrySource,
+    postings: ColumnarPostings,
+    *,
+    index_version: int,
+    delta_ids: list[str],
+    tombstones: list[str],
+    lsh_pending: tuple | None,
+) -> SketchCatalog:
+    """Install the loaded members into ``catalog`` (both layouts)."""
+    catalog._sketches = _DeferredEntryDict(ids, source, catalog.hasher)
+    catalog._index_stale = True
+    catalog._frozen_postings = postings
+    catalog.index_version = index_version
+    catalog._tombstones = set(tombstones)
+    if delta_ids:
+        # The delta inverted index is derived state: rebuild it from
+        # the stored key-hash slices of the delta sketches alone —
+        # O(delta size), never O(catalog).
+        id_position = {sid: i for i, sid in enumerate(ids)}
+        indptr = source.entry_indptr
+        for sid in delta_ids:
+            i = id_position[sid]
+            start, end = int(indptr[i]), int(indptr[i + 1])
+            catalog._delta_index.add(
+                sid, source.key_hashes[start:end].tolist()
+            )
+    catalog._lsh_pending = lsh_pending
+    return catalog
+
+
 def load_snapshot(path: str | Path) -> SketchCatalog:
-    """Load a binary snapshot into a lazily rehydrated catalog.
+    """Load a binary snapshot (either layout) into a lazily rehydrated
+    catalog.
+
+    npz snapshots copy their arrays to the heap; arena snapshots come
+    back memory-mapped (``catalog.storage == "mmap"``) with every array
+    a read-only view into the shared mapping.
 
     Raises:
         ValueError: for snapshots written by an unknown format version.
     """
+    if has_arena_magic(path):
+        return _load_arena(path)
+    return _load_npz(path)
+
+
+def _load_npz(path: str | Path) -> SketchCatalog:
     with np.load(path, allow_pickle=False) as payload:
         version = int(payload["version"][0])
         if version not in _READABLE_VERSIONS:
@@ -201,47 +417,22 @@ def load_snapshot(path: str | Path) -> SketchCatalog:
             hasher=KeyHasher(bits=bits, seed=seed),
             vectorized=bool(vectorized),
         )
-
-        ids = payload["ids"]
-        names = payload["names"]
-        has_name = payload["has_name"]
-        aggregates = payload["aggregates"]
-        capacities = payload["capacities"]
-        rows_seen = payload["rows_seen"]
-        overflowed = payload["overflowed"]
-        value_min = payload["value_min"]
-        value_max = payload["value_max"]
-        entry_indptr = payload["entry_indptr"]
-        key_hashes = payload["key_hashes"]
-        ranks = payload["ranks"]
-        values = payload["values"]
-
-        for i in range(ids.shape[0]):
-            start, end = int(entry_indptr[i]), int(entry_indptr[i + 1])
-            vmin = float(value_min[i])
-            vmax = float(value_max[i])
-            meta = SketchMeta(
-                n=int(capacities[i]),
-                aggregate=str(aggregates[i]),
-                name=str(names[i]) if bool(has_name[i]) else None,
-                rows_seen=int(rows_seen[i]),
-                overflowed=bool(overflowed[i]),
-                value_min=vmin,
-                value_max=vmax,
-            )
-            columns = SketchColumns(
-                key_hashes=key_hashes[start:end],
-                ranks=ranks[start:end],
-                values=values[start:end],
-                value_range=_value_range_of(vmin, vmax),
-                saw_all_keys=not meta.overflowed,
-            )
-            catalog._sketches[str(ids[i])] = _LazySketch(
-                columns, meta, catalog.hasher
-            )
-
-        catalog._index_stale = True
-        catalog._frozen_postings = ColumnarPostings(
+        ids = [str(sid) for sid in payload["ids"]]
+        source = _EntrySource(
+            entry_indptr=payload["entry_indptr"],
+            key_hashes=payload["key_hashes"],
+            ranks=payload["ranks"],
+            values=payload["values"],
+            names=payload["names"].tolist(),
+            has_name=payload["has_name"],
+            aggregates=payload["aggregates"].tolist(),
+            capacities=payload["capacities"],
+            rows_seen=payload["rows_seen"],
+            overflowed=payload["overflowed"],
+            value_min=payload["value_min"],
+            value_max=payload["value_max"],
+        )
+        postings = ColumnarPostings(
             payload["postings_vocab"],
             payload["postings_indptr"],
             payload["postings_doc_ids"],
@@ -249,34 +440,106 @@ def load_snapshot(path: str | Path) -> SketchCatalog:
             payload["postings_doc_lengths"],
         )
         if version >= 3:
-            catalog.index_version = int(payload["index_version"][0])
-            catalog._tombstones = {str(sid) for sid in payload["tombstones"]}
-            # The delta inverted index is derived state: rebuild it from
-            # the stored key-hash slices of the delta sketches alone —
-            # O(delta size), never O(catalog).
-            id_pos = {str(ids[i]): i for i in range(ids.shape[0])}
-            for sid in payload["delta_ids"]:
-                sid = str(sid)
-                i = id_pos[sid]
-                start, end = int(entry_indptr[i]), int(entry_indptr[i + 1])
-                catalog._delta_index.add(sid, key_hashes[start:end].tolist())
+            index_version = int(payload["index_version"][0])
+            delta_ids = [str(sid) for sid in payload["delta_ids"]]
+            tombstones = [str(sid) for sid in payload["tombstones"]]
+        else:
+            index_version, delta_ids, tombstones = 0, [], []
+        lsh_pending = None
         if "lsh_slots" in payload:
             lsh_bands, lsh_rows, lsh_bits = (
                 int(v) for v in payload["lsh_config"]
             )
             # v2 snapshots persisted the LSH only when it covered the
             # whole catalog; v3 records the covered ids explicitly (the
-            # frozen layer, between compactions).
+            # frozen layer, between compactions). Bucket expansion is
+            # deferred until an LSH probe happens.
             if "lsh_ids" in payload:
                 lsh_ids = [str(sid) for sid in payload["lsh_ids"]]
             else:
-                lsh_ids = [str(sid) for sid in ids]
-            catalog._lsh_index = LshIndex.from_arrays(
+                lsh_ids = list(ids)
+            lsh_pending = (
                 lsh_ids,
                 payload["lsh_slots"],
                 payload["lsh_filled"],
-                bands=lsh_bands,
-                rows=lsh_rows,
-                bits=lsh_bits,
+                lsh_bands,
+                lsh_rows,
+                lsh_bits,
             )
+    return _rehydrate(
+        catalog,
+        ids,
+        source,
+        postings,
+        index_version=index_version,
+        delta_ids=delta_ids,
+        tombstones=tombstones,
+        lsh_pending=lsh_pending,
+    )
+
+
+def _load_arena(path: str | Path) -> SketchCatalog:
+    arena = ArenaReader(path)
+    meta = arena.meta
+    version = meta.get("version")
+    if version not in _ARENA_READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported catalog arena version {version!r} "
+            f"(this build reads versions {_ARENA_READABLE_VERSIONS})"
+        )
+    sketch_size, bits, seed, vectorized = meta["catalog_config"]
+    catalog = SketchCatalog(
+        sketch_size=int(sketch_size),
+        aggregate=str(meta["catalog_aggregate"]),
+        hasher=KeyHasher(bits=int(bits), seed=int(seed)),
+        vectorized=bool(vectorized),
+    )
+    ids = list(meta["ids"])
+    source = _EntrySource(
+        entry_indptr=arena.array("entry_indptr"),
+        key_hashes=arena.array("key_hashes"),
+        ranks=arena.array("ranks"),
+        values=arena.array("values"),
+        names=meta["names"],
+        has_name=arena.array("has_name"),
+        aggregates=meta["aggregates"],
+        capacities=arena.array("capacities"),
+        rows_seen=arena.array("rows_seen"),
+        overflowed=arena.array("overflowed"),
+        value_min=arena.array("value_min"),
+        value_max=arena.array("value_max"),
+    )
+    postings = ColumnarPostings(
+        arena.array("postings_vocab"),
+        arena.array("postings_indptr"),
+        arena.array("postings_doc_ids"),
+        list(meta["postings_docs"]),
+        arena.array("postings_doc_lengths"),
+    )
+    lsh_pending = None
+    lsh_meta = meta.get("lsh")
+    if lsh_meta:
+        lsh_pending = (
+            list(lsh_meta["ids"]),
+            arena.array("lsh_slots"),
+            arena.array("lsh_filled"),
+            int(lsh_meta["bands"]),
+            int(lsh_meta["rows"]),
+            int(lsh_meta["bits"]),
+        )
+    _rehydrate(
+        catalog,
+        ids,
+        source,
+        postings,
+        index_version=int(meta["index_version"]),
+        delta_ids=list(meta["delta_ids"]),
+        tombstones=list(meta["tombstones"]),
+        lsh_pending=lsh_pending,
+    )
+    # The reader owns the single read-only mapping every view above
+    # slices into; pinning it on the catalog keeps the mapping (and the
+    # file's inode, even across an os.replace or unlink) alive for the
+    # catalog's lifetime.
+    catalog._arena = arena
     return catalog

@@ -15,9 +15,16 @@ everything that must be known *before* touching a shard file:
 
 * ``version`` — manifest format version; unknown versions are refused
   (same contract as the snapshot loader). Version 1 manifests
-  (pre-delta) still load — version 2 only adds per-shard fields;
+  (pre-delta) and version 2 (pre-arena) still load — each newer
+  version only adds fields;
 * catalog config — ``n_shards``, ``sketch_size``, ``aggregate``, the
   hashing ``scheme`` pair and the ``vectorized`` flag;
+* ``layout`` (since version 3) — the shard snapshot layout, ``"npz"``
+  (the default when absent) or ``"arena"``. Arena-layout directories
+  hold one mmap-able ``shard-NNNN.arena`` per shard
+  (:mod:`repro.index.arena`): every shard materializes zero-copy, and
+  N serving processes mapping the same directory share one set of
+  physical pages;
 * per shard: its snapshot ``file`` name, its ``sketches`` count, its
   ``ids`` in insertion order — the placement map — and, since version
   2, its ``index_version`` compaction counter plus the pending
@@ -42,40 +49,53 @@ import json
 from pathlib import Path
 
 from repro.hashing import KeyHasher
+from repro.index.arena import atomic_write_text
+from repro.index.snapshot import SNAPSHOT_LAYOUTS, save_snapshot
 from repro.serving.shards import ShardedCatalog
 
 #: Bump on any manifest layout change; load_sharded refuses unknown
 #: versions rather than guessing. v1: layout + config + placement.
 #: v2: adds per-shard index_version / delta / tombstones.
-MANIFEST_VERSION = 2
+#: v3: adds the shard snapshot ``layout`` (npz | arena).
+MANIFEST_VERSION = 3
 
-#: Versions this build can read (v2 is a strict superset of v1).
-_READABLE_VERSIONS = (1, 2)
+#: Versions this build can read (each a strict superset of the last).
+_READABLE_VERSIONS = (1, 2, 3)
 
 #: File name of the manifest inside a sharded-catalog directory.
 MANIFEST_NAME = "manifest.json"
 
 
-def shard_file_name(index: int) -> str:
-    """Canonical snapshot file name for shard ``index``."""
-    return f"shard-{index:04d}.npz"
+def shard_file_name(index: int, layout: str = "npz") -> str:
+    """Canonical snapshot file name for shard ``index`` under ``layout``."""
+    suffix = "arena" if layout == "arena" else "npz"
+    return f"shard-{index:04d}.{suffix}"
 
 
-def save_sharded(catalog: ShardedCatalog, directory: str | Path) -> Path:
+def save_sharded(
+    catalog: ShardedCatalog, directory: str | Path, *, layout: str = "npz"
+) -> Path:
     """Write ``catalog`` as a manifest directory; returns the manifest path.
 
     Every shard is persisted as a binary snapshot (warm frozen postings,
     LSH signatures when built, pending delta/tombstone state — see
-    :mod:`repro.index.snapshot`); the manifest is written last so a
-    crash mid-save never leaves a manifest pointing at missing shards.
+    :mod:`repro.index.snapshot`), in the requested ``layout`` (``"npz"``
+    or the zero-copy ``"arena"``); the manifest is written last — and
+    atomically — so a crash mid-save never leaves a manifest pointing at
+    missing shards.
     """
+    if layout not in SNAPSHOT_LAYOUTS:
+        raise ValueError(
+            f"unknown shard layout {layout!r} (choose from "
+            f"{SNAPSHOT_LAYOUTS})"
+        )
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     shards_payload = []
     for index in range(catalog.n_shards):
-        name = shard_file_name(index)
+        name = shard_file_name(index, layout)
         shard = catalog.shard(index)
-        shard.save(directory / name)
+        save_snapshot(shard, directory / name, layout=layout)
         # Recorded after shard.save: a never-frozen shard is promoted by
         # the snapshot writer, so the manifest sees the persisted state.
         shards_payload.append(
@@ -96,10 +116,11 @@ def save_sharded(catalog: ShardedCatalog, directory: str | Path) -> Path:
         "aggregate": catalog.aggregate,
         "scheme": [bits, seed],
         "vectorized": catalog.vectorized,
+        "layout": layout,
         "shards": shards_payload,
     }
     path = directory / MANIFEST_NAME
-    path.write_text(json.dumps(manifest, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(manifest, indent=2) + "\n")
     return path
 
 

@@ -145,6 +145,19 @@ class ShardRouter:
     def workers(self) -> int | None:
         return self._pool.workers
 
+    def warm(self) -> None:
+        """Materialize every catalog shard now, instead of on first probe.
+
+        Delegates to :meth:`ShardedCatalog.warm` when the catalog has it
+        (a monolithic stand-in without shards simply has nothing to
+        warm). :class:`~repro.serving.workers.QueryWorkerPool` calls
+        this before forking so every worker inherits the mapped/loaded
+        shards instead of materializing its own copies.
+        """
+        warm = getattr(self.catalog, "warm", None)
+        if warm is not None:
+            warm()
+
     def close(self) -> None:
         """Release the shard worker pool (idempotent)."""
         self._pool.close()

@@ -143,6 +143,27 @@ class ShardedCatalog:
         """Which shards are materialized (cold shards cost no memory)."""
         return [shard is not None for shard in self._shards]
 
+    def warm(self) -> None:
+        """Materialize every shard now (cold shards load their snapshots).
+
+        For arena-layout directories this maps every shard file — cheap
+        (O(metadata) per shard) and the key step before forking query
+        workers: shards mapped *before* the fork are shared between
+        parent and children (file-backed pages, plus copy-on-write for
+        the Python-object metadata), while shards each worker maps on
+        its own still share physical pages but re-parse headers.
+        """
+        for index in range(self.n_shards):
+            self.shard(index)
+
+    def storage_backends(self) -> list[str | None]:
+        """Per-shard storage backend (``"heap"`` / ``"mmap"``; None for
+        shards not yet materialized)."""
+        return [
+            None if shard is None else shard.storage
+            for shard in self._shards
+        ]
+
     def shard_sizes(self) -> list[int]:
         """Sketch count per shard, without materializing any shard."""
         return list(self._counts)
@@ -331,13 +352,14 @@ class ShardedCatalog:
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, directory: str | Path) -> Path:
-        """Write the manifest directory: one v2 ``.npz`` snapshot per
-        shard plus a versioned ``manifest.json``
+    def save(self, directory: str | Path, *, layout: str = "npz") -> Path:
+        """Write the manifest directory: one binary snapshot per shard
+        (``layout="npz"`` or the zero-copy ``layout="arena"``) plus a
+        versioned ``manifest.json``
         (:func:`repro.serving.manifest.save_sharded`)."""
         from repro.serving.manifest import save_sharded
 
-        return save_sharded(self, directory)
+        return save_sharded(self, directory, layout=layout)
 
     @classmethod
     def load(cls, directory: str | Path, *, lazy: bool = True) -> "ShardedCatalog":

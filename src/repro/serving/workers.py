@@ -112,9 +112,13 @@ class QueryWorkerPool:
     Args:
         router: the :class:`~repro.serving.router.ShardRouter` (or any
             object with a compatible ``query_batch``) each worker
-            inherits at fork time. Probe it once before constructing the
-            pool (any query) so lazily-loaded shards and frozen postings
-            are warm in the inherited memory image.
+            inherits at fork time. The pool warms the router
+            (``router.warm()``, when present) immediately before the
+            first fork, so every lazily-loaded shard materializes in
+            the parent and the workers inherit it: heap catalogs arrive
+            copy-on-write, and arena-mapped catalogs arrive as shared
+            file-backed mappings — N workers reference one set of
+            physical pages, not N private copies.
         workers: process count. ``None``/``1`` — or a platform without
             the ``fork`` start method — evaluates sequentially through
             ``router.query_batch`` with identical results.
@@ -143,6 +147,12 @@ class QueryWorkerPool:
 
     def _ensure_pool(self):
         if self._pool is None and self.parallel:
+            # Fork *after* the shards are materialized: whatever the
+            # parent loaded (heap arrays) or mapped (arena pages) is
+            # inherited by every worker instead of re-built per process.
+            warm = getattr(self.router, "warm", None)
+            if warm is not None:
+                warm()
             self._pool = multiprocessing.get_context("fork").Pool(
                 processes=self.workers,
                 initializer=_init_query_worker,

@@ -660,3 +660,90 @@ def test_shard_info_and_compact_report_delta(portal, tmp_path, capsys):
     out = capsys.readouterr().out
     assert "delta layer  : 0 pending sketch(es), 0 tombstone(s)" in out
     assert "v2 delta=0" in out
+
+
+# -- arena layout (zero-copy snapshots) ---------------------------------------
+
+
+def test_index_arena_output_and_catalog_info(portal, tmp_path, capsys):
+    """-o catalog.arena writes the mmap arena; `catalog info` reports
+    the storage backend and mapped/materialized byte split."""
+    arena = tmp_path / "catalog.arena"
+    assert main(["index", str(portal), "-o", str(arena)]) == 0
+    capsys.readouterr()
+
+    rc = main(["catalog", "info", str(arena)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "format       : arena" in out
+    assert "storage      : mmap" in out
+    assert "arena        :" in out
+    assert "sketches     : 3" in out
+    # Heap-backed catalogs report their storage line too.
+    json_catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    assert main(["catalog", "info", str(json_catalog)]) == 0
+    out = capsys.readouterr().out
+    assert "storage      : heap" in out
+    assert "0 mapped" in out
+
+
+def test_catalog_convert_round_trips_each_format(portal, tmp_path, capsys):
+    json_catalog = _index(portal, tmp_path)
+    arena = tmp_path / "catalog.arena"
+    npz = tmp_path / "catalog.npz"
+    capsys.readouterr()
+
+    assert main(["catalog", "convert", str(json_catalog), "-o", str(arena)]) == 0
+    out = capsys.readouterr().out
+    assert "(json) ->" in out and "(arena)" in out
+    assert main(["catalog", "convert", str(arena), "-o", str(npz)]) == 0
+    assert "(arena) ->" in capsys.readouterr().out
+
+    def ranking(catalog):
+        assert main(
+            ["query", str(catalog), str(portal / "query.csv"), "--scorer", "rp"]
+        ) == 0
+        out = capsys.readouterr().out
+        return [l.split() for l in out.splitlines() if l and l[0].isdigit()]
+
+    assert ranking(arena) == ranking(json_catalog)
+    assert ranking(npz) == ranking(json_catalog)
+
+
+def test_catalog_convert_missing_input_exits_2(tmp_path, capsys):
+    rc = main(
+        ["catalog", "convert", str(tmp_path / "nope.json"),
+         "-o", str(tmp_path / "out.arena")]
+    )
+    assert rc == 2
+    assert "error: cannot load catalog" in capsys.readouterr().err
+
+
+def test_shard_build_arena_layout_and_compact_preserves_it(
+    portal, tmp_path, capsys
+):
+    catalog_dir = _shard_build(portal, tmp_path, extra=["--layout", "arena"])
+    assert (catalog_dir / "shard-0000.arena").exists()
+    capsys.readouterr()
+
+    rc = main(["shard", "info", str(catalog_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "shard layout : arena" in out
+    assert "shard-0002.arena" in out
+
+    rc = main(
+        ["query", "--catalog-dir", str(catalog_dir),
+         str(portal / "query.csv"), "--scorer", "rp"]
+    )
+    assert rc == 0
+    assert "good.csv" in capsys.readouterr().out
+
+    # Compaction rewrites the shards in the layout they already use.
+    assert main(["shard", "compact", str(catalog_dir)]) == 0
+    capsys.readouterr()
+    assert (catalog_dir / "shard-0000.arena").exists()
+    assert not list(catalog_dir.glob("*.npz"))
+    assert main(["shard", "info", str(catalog_dir)]) == 0
+    assert "shard layout : arena" in capsys.readouterr().out

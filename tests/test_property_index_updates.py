@@ -98,8 +98,10 @@ class SketchCatalogMachine(RuleBasedStateMachine):
             self.catalog, retrieval_backend=backend
         ).query_batch(queries, k=k, scorer=scorer, exclude_ids=excludes)
 
-    def _reload(self):
-        path = Path(self._tmp.name) / f"snap-{self._saves}.npz"
+    def _reload(self, layout="npz"):
+        # layout="arena" reloads memory-mapped: subsequent rules mutate
+        # and query a catalog whose frozen arrays are read-only views.
+        path = Path(self._tmp.name) / f"snap-{self._saves}.{layout}"
         self._saves += 1
         self.catalog.save(path)
         return SketchCatalog.load(path)
@@ -141,9 +143,9 @@ class SketchCatalogMachine(RuleBasedStateMachine):
     def compact(self):
         self.catalog.compact()
 
-    @rule()
-    def snapshot_round_trip(self):
-        self.catalog = self._reload()
+    @rule(layout=st.sampled_from(("npz", "arena")))
+    def snapshot_round_trip(self, layout):
+        self.catalog = self._reload(layout)
 
     # -- query rules: every answer checked against the oracle ----------------
 
@@ -217,10 +219,10 @@ class ShardedCatalogMachine(SketchCatalogMachine):
             self.catalog, retrieval_backend=backend
         ).query_batch(queries, k=k, scorer=scorer, exclude_ids=excludes)
 
-    def _reload(self):
+    def _reload(self, layout="npz"):
         directory = Path(self._tmp.name) / f"manifest-{self._saves}"
         self._saves += 1
-        self.catalog.save(directory)
+        self.catalog.save(directory, layout=layout)
         return ShardedCatalog.load(directory)
 
 
