@@ -19,15 +19,20 @@ The operations of a join-correlation deployment, as subcommands:
 * ``catalog``  — catalog management; ``catalog info <path>`` reports
   statistics, format, on-disk size and pending delta/tombstone state
   (``info <path>`` is the shorthand); ``catalog compact <path>`` folds
-  the delta layer into fresh frozen structures and re-saves.
+  the delta layer into fresh frozen structures and re-saves;
+  ``catalog verify <path>`` checksums a snapshot's payload without
+  loading it (exit 1 on mismatch).
 * ``shard``    — sharded-catalog management: ``shard build`` partitions a
   CSV collection across N shards into a manifest directory
   (:mod:`repro.serving`); ``shard info`` reports the layout and per-shard
   delta state from the manifest alone, without materializing any shard;
-  ``shard compact`` compacts every shard in place. ``query
-  --catalog-dir <dir>`` serves queries from such a directory
+  ``shard compact`` compacts every shard in place; ``shard verify``
+  checksums every shard snapshot and lists quarantine candidates.
+  ``query --catalog-dir <dir>`` serves queries from such a directory
   scatter-gather (``--workers`` fans the shard probes out on threads),
-  with results bit-identical to a monolithic catalog.
+  with results bit-identical to a monolithic catalog;
+  ``--deadline-ms``/``--on-shard-error partial`` trade that exactness
+  for availability, serving surviving shards when one is slow or broken.
 
 Missing or corrupt catalog/CSV inputs print a one-line ``error:`` and
 exit with status 2 instead of a traceback.
@@ -89,6 +94,22 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {value}")
     return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float, clear message otherwise."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text}")
+    return value
+
+
+#: Mirrors repro.serving.ON_SHARD_ERROR_POLICIES; kept literal so building
+#: the parser never imports the serving stack (parity is pinned in tests).
+_ON_SHARD_ERROR_CHOICES = ("raise", "partial")
 
 
 def _load_catalog(path: str | Path) -> SketchCatalog:
@@ -250,6 +271,30 @@ def _build_router(catalog, args: argparse.Namespace):
     )
 
 
+def _run_resilient(run, args: argparse.Namespace):
+    """Run a query callable, mapping a missed deadline under the default
+    ``raise`` policy to the one-line-error/exit-2 discipline."""
+    from repro.serving import DeadlineExceeded
+
+    try:
+        return run()
+    except DeadlineExceeded as exc:
+        raise _fail(
+            f"deadline of {args.deadline_ms:g} ms exceeded ({exc}); "
+            "--on-shard-error partial serves the surviving shards instead"
+        ) from exc
+
+
+def _print_degraded(result) -> None:
+    """One line whenever a partial-policy answer lost shards."""
+    if getattr(result, "degraded", False):
+        survived = result.shards_probed - result.shards_failed
+        print(
+            f"degraded   : {survived}/{result.shards_probed} shard(s) "
+            f"answered, {result.shards_failed} dropped"
+        )
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     if args.catalog_dir is not None and args.catalog is not None:
         # `query --catalog-dir DIR some.csv` parses the CSV into the
@@ -289,6 +334,13 @@ def cmd_query(args: argparse.Namespace) -> int:
             "error: --key/--value select one pair of a single query CSV; "
             "--queries-dir always evaluates every column pair"
         )
+    if (
+        args.deadline_ms is not None or args.on_shard_error is not None
+    ) and args.catalog_dir is None:
+        raise SystemExit(
+            "error: --deadline-ms/--on-shard-error bound the sharded "
+            "scatter-gather and need --catalog-dir"
+        )
     if args.catalog_dir is not None:
         catalog = _load_sharded(args.catalog_dir)
         engine = _build_router(catalog, args)
@@ -301,15 +353,28 @@ def cmd_query(args: argparse.Namespace) -> int:
         engine = _build_engine(catalog, args)
         executor_label = "scalar" if args.no_vectorized_query else "columnar"
     rng = np.random.default_rng(args.seed) if args.seed is not None else None
+    # Forward the resilience knobs only when set, so a monolithic engine
+    # (which has no deadline surface) never sees them.
+    resilience = {}
+    if args.deadline_ms is not None:
+        resilience["deadline_ms"] = args.deadline_ms
+    if args.on_shard_error is not None:
+        resilience["on_shard_error"] = args.on_shard_error
     if args.queries_dir is not None:
-        return _run_query_batch(catalog, engine, executor_label, args, rng)
+        return _run_query_batch(
+            catalog, engine, executor_label, args, rng, resilience
+        )
 
     table = _read_csv_table(args.query_csv)
     pair = _resolve_pair(table, args.key, args.value)
     sketch = _build_query_sketch(table, pair, catalog)
 
-    result = engine.query(
-        sketch, k=args.k, scorer=args.scorer, exclude_id=pair.pair_id, rng=rng
+    result = _run_resilient(
+        lambda: engine.query(
+            sketch, k=args.k, scorer=args.scorer, exclude_id=pair.pair_id,
+            rng=rng, **resilience,
+        ),
+        args,
     )
 
     print(f"query pair : {pair.pair_id}")
@@ -320,6 +385,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"candidates : {result.candidates_considered} joinable "
         f"({result.total_seconds * 1000:.1f} ms)"
     )
+    _print_degraded(result)
     if args.profile:
         total = max(result.total_seconds, 1e-12)
         print(
@@ -339,7 +405,8 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def _run_query_batch(
-    catalog, engine, executor_label: str, args: argparse.Namespace, rng
+    catalog, engine, executor_label: str, args: argparse.Namespace, rng,
+    resilience=None,
 ) -> int:
     """``query --queries-dir``: every column pair of every CSV in the
     directory becomes one query of a single ``query_batch`` round."""
@@ -364,8 +431,12 @@ def _run_query_batch(
         return 1
 
     t0 = time.perf_counter()
-    results = engine.query_batch(
-        sketches, k=args.k, scorer=args.scorer, exclude_ids=pair_ids, rng=rng
+    results = _run_resilient(
+        lambda: engine.query_batch(
+            sketches, k=args.k, scorer=args.scorer, exclude_ids=pair_ids,
+            rng=rng, **(resilience or {}),
+        ),
+        args,
     )
     elapsed = time.perf_counter() - t0
 
@@ -396,6 +467,7 @@ def _run_query_batch(
             f"query pair : {pair_id} "
             f"({result.candidates_considered} joinable candidates)"
         )
+        _print_degraded(result)
         if not result.ranked:
             print("no joinable candidates found")
             continue
@@ -521,6 +593,81 @@ def cmd_convert(args: argparse.Namespace) -> int:
         f"({detect_format(output)}) in {elapsed:.2f}s "
         f"[{output.stat().st_size:,} bytes, {len(catalog)} sketches]"
     )
+    return 0
+
+
+def _verify_status(path: Path) -> tuple[str, bool]:
+    """Checksum one snapshot file: (human status, is_failure).
+
+    ``verify_snapshot`` answers True (payload matches), False (bit rot),
+    or None (a format with no checksum: JSON, or a pre-checksum binary);
+    an unreadable/truncated container is itself a failure.
+    """
+    from repro.index.snapshot import verify_snapshot
+
+    try:
+        verdict = verify_snapshot(path)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        return f"FAILED (unreadable: {exc})", True
+    if verdict is True:
+        return "ok", False
+    if verdict is False:
+        return "FAILED (checksum mismatch)", True
+    return f"unchecked (no checksum: {detect_format(path)})", False
+
+
+def cmd_catalog_verify(args: argparse.Namespace) -> int:
+    """``catalog verify``: checksum one snapshot without loading it."""
+    path = Path(args.catalog)
+    if path.is_dir():
+        raise _fail(
+            f"{path} is a directory — sharded catalogs are verified with "
+            "`shard verify`"
+        )
+    if not path.is_file():
+        raise _fail(f"cannot verify catalog {path}: no such file")
+    status, failed = _verify_status(path)
+    print(f"{path}: {status}")
+    if failed:
+        print(
+            "1 file failed verification — loading with "
+            "on_corruption='quarantine' sets the damaged file aside",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+def cmd_shard_verify(args: argparse.Namespace) -> int:
+    """``shard verify``: checksum every shard snapshot a manifest names,
+    reporting quarantine candidates without materializing any shard."""
+    from repro.serving import read_manifest
+
+    directory = Path(args.catalog_dir)
+    try:
+        manifest = read_manifest(directory)
+        files = [entry["file"] for entry in manifest["shards"]]
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise _fail(f"cannot read sharded catalog {directory}: {exc}") from exc
+    bad = []
+    for index, name in enumerate(files):
+        shard_path = directory / name
+        if not shard_path.is_file():
+            status, failed = "FAILED (missing file)", True
+        else:
+            status, failed = _verify_status(shard_path)
+        if failed:
+            bad.append(name)
+        print(f"  shard {index:>4} : {status}  {name}")
+    if bad:
+        print(
+            f"{len(bad)} of {len(files)} shard(s) failed verification — "
+            f"quarantine candidates: {', '.join(bad)}; serving with "
+            "on_corruption='quarantine' sets them aside and degrades "
+            "gracefully",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(files)} shard(s) verified")
     return 0
 
 
@@ -813,6 +960,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the retrieval / re-rank phase split the engine measures",
     )
+    p_query.add_argument(
+        "--deadline-ms",
+        type=_positive_float,
+        default=None,
+        help="per-query wall-clock budget for the shard probe scatter "
+        "(with --catalog-dir); shards that miss it are dropped under "
+        "--on-shard-error partial, or fail the query under raise",
+    )
+    p_query.add_argument(
+        "--on-shard-error",
+        default=None,
+        choices=_ON_SHARD_ERROR_CHOICES,
+        help="what a failed/late shard does to the query (with "
+        "--catalog-dir): 'raise' fails it (default), 'partial' serves "
+        "the surviving shards and flags the result degraded",
+    )
     p_query.set_defaults(func=cmd_query)
 
     p_est = sub.add_parser("estimate", help="estimate one after-join correlation")
@@ -866,6 +1029,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="output catalog path; the extension picks the format",
     )
     p_catalog_convert.set_defaults(func=cmd_convert)
+    p_catalog_verify = catalog_sub.add_parser(
+        "verify",
+        help="checksum a snapshot's payload without loading it; exit 1 "
+        "on mismatch",
+    )
+    p_catalog_verify.add_argument(
+        "catalog", help="catalog file (.npz, .arena or JSON)"
+    )
+    p_catalog_verify.set_defaults(func=cmd_catalog_verify)
 
     # Shorthand kept for compatibility with earlier releases.
     p_info = sub.add_parser("info", help="catalog statistics (alias of `catalog info`)")
@@ -943,6 +1115,16 @@ def build_parser() -> argparse.ArgumentParser:
         "catalog_dir", help="catalog directory from `shard build`"
     )
     p_shard_compact.set_defaults(func=cmd_shard_compact)
+
+    p_shard_verify = shard_sub.add_parser(
+        "verify",
+        help="checksum every shard snapshot the manifest names and list "
+        "quarantine candidates; exit 1 if any fails",
+    )
+    p_shard_verify.add_argument(
+        "catalog_dir", help="catalog directory from `shard build`"
+    )
+    p_shard_verify.set_defaults(func=cmd_shard_verify)
     return parser
 
 

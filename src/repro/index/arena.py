@@ -37,11 +37,17 @@ data start — relative offsets keep the header's own length out of the
 layout computation. What the header *means* is defined by the snapshot
 module; this module only knows how to pack and map arrays.
 
-Writes are atomic (:func:`atomic_write`): the payload lands in a temp
-file in the target directory and ``os.replace`` swaps it in, so a crash
-mid-save can never corrupt an existing snapshot — and replacing an
-arena under a live mapping is safe (POSIX keeps the old inode alive for
-existing mappings; the old catalog keeps serving its old bytes).
+Writes are atomic *and durable* (:func:`atomic_write`): the payload
+lands in a temp file in the target directory, the temp file is
+fsynced, ``os.replace`` swaps it in, and the containing directory
+is fsynced — so a crash mid-save can never corrupt an existing
+snapshot, a power loss after a completed save cannot lose the published
+file, and replacing an arena under a live mapping is safe (POSIX keeps
+the old inode alive for existing mappings; the old catalog keeps
+serving its old bytes). The header additionally carries a CRC32 of the
+packed payload (``payload_crc32``), verified on demand by
+:meth:`ArenaReader.verify_payload` — never on load, which must stay
+O(metadata); files written before checksums load unchecked.
 """
 
 from __future__ import annotations
@@ -51,7 +57,9 @@ import math
 import mmap
 import os
 import struct
+import sys
 import tempfile
+import zlib
 from pathlib import Path
 from typing import Callable
 
@@ -72,6 +80,18 @@ def _align(offset: int) -> int:
     return (offset + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
 
 
+def _fault(site: str, **context) -> None:
+    """Fire an injected fault when the fault module is loaded and armed.
+
+    Checked via ``sys.modules`` so a process that never imports
+    :mod:`repro.serving.faults` pays nothing here — a plan cannot exist
+    without that module being imported first.
+    """
+    faults = sys.modules.get("repro.serving.faults")
+    if faults is not None:
+        faults.maybe_fire(site, **context)
+
+
 def has_arena_magic(path: str | Path) -> bool:
     """True when the file starts with the arena magic bytes."""
     try:
@@ -85,13 +105,16 @@ def has_arena_magic(path: str | Path) -> bool:
 
 
 def atomic_write(path: str | Path, write: Callable) -> None:
-    """Write a file atomically: temp file in the target directory, then
-    ``os.replace`` into place.
+    """Write a file atomically and durably: temp file in the target
+    directory, fsync, ``os.replace`` into place, fsync the directory.
 
     ``write`` receives the open binary file object. On any failure the
     temp file is removed and the original (if any) is untouched — the
     shared crash-safety primitive behind every snapshot, arena, JSON
-    catalog and manifest write.
+    catalog and manifest write. The fsync pair closes the durability
+    gap ``os.replace`` alone leaves open: without it a power loss can
+    publish a rename whose data pages (or directory entry) never
+    reached disk, leaving a torn or missing "committed" file.
     """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
@@ -102,13 +125,37 @@ def atomic_write(path: str | Path, write: Callable) -> None:
     try:
         with os.fdopen(fd, "wb") as handle:
             write(handle)
+            handle.flush()
+            _fault("fsync", path=path, target="file")
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        _fault("fsync", path=path, target="dir")
+        _fsync_directory(path.parent if str(path.parent) else Path("."))
     except BaseException:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
         raise
+
+
+def _fsync_directory(directory: Path) -> None:
+    """fsync a directory so a just-published rename survives power loss.
+
+    Best-effort on platforms/filesystems where directories cannot be
+    opened or synced (``O_DIRECTORY`` is POSIX-only).
+    """
+    flag = getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, os.O_RDONLY | flag)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(path: str | Path, text: str) -> None:
@@ -125,13 +172,16 @@ def write_arena(
     """Pack ``arrays`` into one aligned arena file with ``meta`` as header.
 
     ``meta`` must be JSON-serializable and must not contain an
-    ``"arrays"`` or ``"data_bytes"`` key (both are filled in here). Each
-    array is written C-contiguous at a 64-byte-aligned offset; the
-    header records ``{dtype, shape, offset}`` per array, offsets
-    relative to the (aligned) end of the header. The write is atomic.
+    ``"arrays"``, ``"data_bytes"`` or ``"payload_crc32"`` key (all are
+    filled in here). Each array is written C-contiguous at a
+    64-byte-aligned offset; the header records ``{dtype, shape,
+    offset}`` per array, offsets relative to the (aligned) end of the
+    header, plus a CRC32 over the entire data region (padding
+    included). The write is atomic and durable.
     """
-    if "arrays" in meta or "data_bytes" in meta:
-        raise ValueError("meta must not predefine 'arrays' or 'data_bytes'")
+    reserved = ("arrays", "data_bytes", "payload_crc32")
+    if any(key in meta for key in reserved):
+        raise ValueError(f"meta must not predefine any of {reserved}")
     payload: list[tuple[int, np.ndarray]] = []
     extents: dict[str, dict] = {}
     offset = 0
@@ -145,9 +195,16 @@ def write_arena(
         }
         payload.append((offset, array))
         offset += array.nbytes
+    crc = 0
+    position = 0
+    for rel, array in payload:
+        crc = zlib.crc32(b"\0" * (rel - position), crc)
+        crc = zlib.crc32(memoryview(array).cast("B"), crc)
+        position = rel + array.nbytes
     header = dict(meta)
     header["arrays"] = extents
     header["data_bytes"] = offset
+    header["payload_crc32"] = crc
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     data_start = _align(_PREFIX_BYTES + len(header_bytes))
 
@@ -236,6 +293,27 @@ class ArenaReader:
         start = self._data_start + int(spec["offset"])
         nbytes = dtype.itemsize * math.prod(shape)
         return self._map[start : start + nbytes].view(dtype).reshape(shape)
+
+    @property
+    def payload_crc32(self) -> int | None:
+        """Checksum recorded at write time; ``None`` for pre-checksum files."""
+        value = self.meta.get("payload_crc32")
+        return None if value is None else int(value)
+
+    def verify_payload(self) -> bool | None:
+        """Checksum the mapped data region against the header's CRC32.
+
+        Returns ``True``/``False`` for files carrying a checksum, or
+        ``None`` for files written before checksums existed (those load
+        and serve unchecked — the compatibility contract). This reads
+        every payload page, so it is an explicit verification step
+        (``catalog verify`` / ``shard verify``), never part of load.
+        """
+        recorded = self.payload_crc32
+        if recorded is None:
+            return None
+        region = self._map[self._data_start : self._data_start + self.data_bytes]
+        return zlib.crc32(region) == recorded
 
     def owns(self, array: np.ndarray) -> bool:
         """True when ``array`` is a view into this arena's mapping."""

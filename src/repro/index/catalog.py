@@ -282,6 +282,11 @@ class SketchCatalog:
         #: them instead.
         self._tombstones: set[str] = set()
         self._banned_cache: np.ndarray | None = None
+        #: Recovery report when this catalog came back through the
+        #: ``on_corruption="quarantine"`` fallback chain of :meth:`load`:
+        #: ``{"quarantined": [paths], "errors": [messages],
+        #: "loaded_from": path}``. ``None`` for a clean load.
+        self.load_recovery: dict | None = None
 
     # -- population ---------------------------------------------------------
 
@@ -1216,8 +1221,16 @@ class SketchCatalog:
 
         atomic_write_text(path, json.dumps(payload))
 
+    #: Exceptions the quarantine path treats as a corrupt snapshot file
+    #: (truncation, mangled headers, checksum-shaped parse errors,
+    #: missing members, injected read faults — all surface as one of
+    #: these from the loaders).
+    _CORRUPTION_ERRORS = (OSError, ValueError, KeyError, EOFError)
+
     @classmethod
-    def load(cls, path: str | Path) -> "SketchCatalog":
+    def load(
+        cls, path: str | Path, *, on_corruption: str = "raise"
+    ) -> "SketchCatalog":
         """Load a catalog written by :meth:`save`, any format.
 
         Binary snapshots are detected by the ``.npz``/``.arena``
@@ -1225,8 +1238,66 @@ class SketchCatalog:
         everything else parses as JSON. Arena snapshots come back
         memory-mapped (``storage == "mmap"``) — read-only views, no
         array data copied.
+
+        Args:
+            on_corruption: ``"raise"`` (default) propagates load errors
+                unchanged. ``"quarantine"`` renames an unreadable file
+                to ``*.quarantined`` and walks the fallback chain —
+                sibling ``.arena``, then ``.npz``, then the portable
+                ``.json`` source — returning the first that loads, with
+                :attr:`load_recovery` on the result describing exactly
+                what was skipped. Raises ``ValueError`` only when every
+                candidate fails.
         """
         path = Path(path)
+        if on_corruption not in ("raise", "quarantine"):
+            raise ValueError(
+                f"on_corruption must be 'raise' or 'quarantine', "
+                f"got {on_corruption!r}"
+            )
+        import zipfile
+
+        corruption = cls._CORRUPTION_ERRORS + (zipfile.BadZipFile,)
+        try:
+            return cls._load_file(path)
+        except corruption as exc:
+            if on_corruption != "quarantine":
+                raise
+            from repro.index.snapshot import quarantine_file
+
+            quarantined: list[str] = []
+            errors = [f"{path.name}: {exc}"]
+            try:
+                quarantined.append(str(quarantine_file(path)))
+            except OSError:
+                pass  # e.g. the path never existed — nothing to move
+            for ext in (".arena", ".npz", ".json"):
+                candidate = path.with_suffix(ext)
+                if candidate == path or not candidate.exists():
+                    continue
+                try:
+                    catalog = cls._load_file(candidate)
+                except corruption as sibling_exc:
+                    errors.append(f"{candidate.name}: {sibling_exc}")
+                    try:
+                        quarantined.append(str(quarantine_file(candidate)))
+                    except OSError:
+                        pass
+                    continue
+                catalog.load_recovery = {
+                    "quarantined": quarantined,
+                    "errors": errors,
+                    "loaded_from": str(candidate),
+                }
+                return catalog
+            raise ValueError(
+                f"catalog {path} is corrupt and no fallback candidate "
+                f"loaded: " + "; ".join(errors)
+            ) from exc
+
+    @classmethod
+    def _load_file(cls, path: Path) -> "SketchCatalog":
+        """One load attempt against one concrete file (no fallbacks)."""
         from repro.index.arena import has_arena_magic
 
         if (

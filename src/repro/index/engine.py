@@ -110,6 +110,14 @@ class QueryResult:
         shards_probed: how many catalog partitions served the retrieval
             phase — 1 for a monolithic catalog, the shard count when a
             :class:`repro.serving.ShardRouter` merged the result.
+        shards_failed: partitions that timed out or raised and were
+            dropped from the merge under the router's
+            ``on_shard_error="partial"`` policy. Always 0 on the
+            monolithic engine and on any fault-free routed query.
+        degraded: True when the answer is known-incomplete — at least
+            one shard's candidates are missing (``shards_failed > 0``).
+            Callers that must not act on partial answers check this one
+            flag.
     """
 
     ranked: list[RankedCandidate]
@@ -117,6 +125,8 @@ class QueryResult:
     retrieval_seconds: float
     rerank_seconds: float
     shards_probed: int = 1
+    shards_failed: int = 0
+    degraded: bool = False
 
     @property
     def total_seconds(self) -> float:

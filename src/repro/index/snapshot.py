@@ -75,6 +75,8 @@ Format contract:
 
 from __future__ import annotations
 
+import os
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -83,6 +85,7 @@ from repro.core.sketch import SketchColumns, _value_range_of
 from repro.hashing import KeyHasher
 from repro.index.arena import (
     ArenaReader,
+    _fault,
     atomic_write,
     has_arena_magic,
     write_arena,
@@ -113,6 +116,25 @@ _ARENA_READABLE_VERSIONS = (4,)
 
 #: Layouts save_snapshot accepts.
 SNAPSHOT_LAYOUTS = ("npz", "arena")
+
+#: Suffix appended (to the full file name) when a corrupt snapshot is
+#: quarantined: ``shard-0001.arena`` → ``shard-0001.arena.quarantined``.
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+def quarantine_file(path: str | Path) -> Path:
+    """Move a corrupt snapshot aside as ``<name>.quarantined``.
+
+    The rename keeps the bad bytes around for post-mortem while taking
+    the file out of every load/fallback path (no loader matches the
+    suffix). An existing quarantined file of the same name is
+    overwritten — the freshest corruption is the interesting one.
+    Returns the quarantine path.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + QUARANTINE_SUFFIX)
+    os.replace(path, target)
+    return target
 
 
 def detect_format(path: str | Path) -> str:
@@ -240,38 +262,54 @@ def _save_npz(path, config, strings, numeric, lsh) -> None:
             "lsh_filled": lsh_filled,
             "lsh_ids": np.asarray(lsh_ids, dtype=str),
         }
+    members = {
+        "version": np.asarray([SNAPSHOT_VERSION], dtype=np.int64),
+        "catalog_config": np.asarray(
+            [
+                config["sketch_size"],
+                config["bits"],
+                config["seed"],
+                config["vectorized"],
+            ],
+            dtype=np.int64,
+        ),
+        "catalog_aggregate": np.asarray([config["aggregate"]]),
+        "ids": np.asarray(strings["ids"], dtype=str),
+        "names": np.asarray(strings["names"], dtype=str),
+        "aggregates": np.asarray(strings["aggregates"], dtype=str),
+        "postings_docs": np.asarray(strings["postings_docs"], dtype=str),
+        "index_version": np.asarray([config["index_version"]], dtype=np.int64),
+        "delta_ids": np.asarray(strings["delta_ids"], dtype=str),
+        "tombstones": np.asarray(strings["tombstones"], dtype=str),
+        **numeric,
+        **lsh_members,
+    }
+    members["payload_crc32"] = np.asarray(
+        [_npz_members_crc32(members)], dtype=np.int64
+    )
     # A file handle (not a path) keeps np.savez from appending ".npz"
     # behind the caller's back — the snapshot lands exactly where asked,
     # whatever the extension (load sniffs the zip magic anyway). The
     # handle is the atomic-write temp file; os.replace publishes it.
-    atomic_write(
-        path,
-        lambda handle: np.savez(
-            handle,
-            version=np.asarray([SNAPSHOT_VERSION], dtype=np.int64),
-            catalog_config=np.asarray(
-                [
-                    config["sketch_size"],
-                    config["bits"],
-                    config["seed"],
-                    config["vectorized"],
-                ],
-                dtype=np.int64,
-            ),
-            catalog_aggregate=np.asarray([config["aggregate"]]),
-            ids=np.asarray(strings["ids"], dtype=str),
-            names=np.asarray(strings["names"], dtype=str),
-            aggregates=np.asarray(strings["aggregates"], dtype=str),
-            postings_docs=np.asarray(strings["postings_docs"], dtype=str),
-            index_version=np.asarray(
-                [config["index_version"]], dtype=np.int64
-            ),
-            delta_ids=np.asarray(strings["delta_ids"], dtype=str),
-            tombstones=np.asarray(strings["tombstones"], dtype=str),
-            **numeric,
-            **lsh_members,
-        ),
-    )
+    atomic_write(path, lambda handle: np.savez(handle, **members))
+
+
+def _npz_members_crc32(members: dict) -> int:
+    """CRC32 over every npz member's name + raw bytes, sorted by name.
+
+    ``payload_crc32`` itself is excluded, so the same function computes
+    the checksum at save time and recomputes it at verify time from the
+    loaded members — .npy round-trips preserve dtype and value bytes
+    exactly.
+    """
+    crc = 0
+    for name in sorted(members):
+        if name == "payload_crc32":
+            continue
+        array = np.ascontiguousarray(members[name])
+        crc = zlib.crc32(name.encode("utf-8"), crc)
+        crc = zlib.crc32(array.tobytes(), crc)
+    return crc
 
 
 def _save_arena(path, config, strings, numeric, lsh) -> None:
@@ -384,6 +422,40 @@ def _rehydrate(
     return catalog
 
 
+def verify_snapshot(path: str | Path) -> bool | None:
+    """Checksum a snapshot file against its recorded CRC32.
+
+    Returns ``True`` (checksum matches), ``False`` (payload corrupt),
+    or ``None`` for files written before checksums existed — those load
+    unchecked by contract. Reads every payload byte, so this is the
+    explicit verification step behind ``catalog verify`` /
+    ``shard verify``, never part of load (arena loads stay O(metadata)).
+
+    Raises:
+        ValueError: when the file is too mangled to parse at all (bad
+            header, truncated payload, unreadable zip) — structural
+            corruption, as opposed to the bit-rot ``False`` reports.
+    """
+    path = Path(path)
+    if has_arena_magic(path):
+        return ArenaReader(path).verify_payload()
+    if not _has_zip_magic(path):
+        if path.suffix in (".npz", ".arena"):
+            raise ValueError(
+                f"unreadable snapshot {path}: no recognizable snapshot magic"
+            )
+        return None  # JSON catalogs carry no checksum
+    try:
+        with np.load(path, allow_pickle=False) as payload:
+            members = {name: payload[name] for name in payload.files}
+    except Exception as exc:
+        raise ValueError(f"unreadable snapshot {path}: {exc}") from exc
+    recorded = members.get("payload_crc32")
+    if recorded is None:
+        return None
+    return _npz_members_crc32(members) == int(recorded[0])
+
+
 def load_snapshot(path: str | Path) -> SketchCatalog:
     """Load a binary snapshot (either layout) into a lazily rehydrated
     catalog.
@@ -395,6 +467,7 @@ def load_snapshot(path: str | Path) -> SketchCatalog:
     Raises:
         ValueError: for snapshots written by an unknown format version.
     """
+    _fault("snapshot_read", path=str(path))
     if has_arena_magic(path):
         return _load_arena(path)
     return _load_npz(path)

@@ -11,8 +11,24 @@ thing as one directory of per-shard binary snapshots under a versioned
 ``manifest.json`` with lazy per-shard rehydration. Worker pools
 (:mod:`repro.serving.workers`) supply shard-level thread fan-out and
 query-level process parallelism.
+
+The resilience layer rides on top: per-query deadlines and partial
+scatter-gather on the router (``deadline_ms`` / ``on_shard_error``),
+supervised worker pools that respawn dead forked workers, snapshot
+quarantine with an arena→npz→json fallback chain
+(``on_corruption="quarantine"``), and the deterministic fault-injection
+harness (:mod:`repro.serving.faults`) that drives all of it in tests
+and chaos benchmarks.
 """
 
+from repro.serving.faults import (
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    injected,
+    install,
+    uninstall,
+)
 from repro.serving.manifest import (
     MANIFEST_NAME,
     MANIFEST_VERSION,
@@ -20,19 +36,36 @@ from repro.serving.manifest import (
     read_manifest,
     save_sharded,
 )
-from repro.serving.router import ShardRouter, merge_shard_hits
-from repro.serving.shards import ShardedCatalog
-from repro.serving.workers import QueryWorkerPool, ShardWorkerPool
+from repro.serving.router import (
+    ON_SHARD_ERROR_POLICIES,
+    ShardRouter,
+    merge_shard_hits,
+)
+from repro.serving.shards import ShardUnavailable, ShardedCatalog
+from repro.serving.workers import (
+    DeadlineExceeded,
+    QueryWorkerPool,
+    ShardWorkerPool,
+)
 
 __all__ = [
+    "DeadlineExceeded",
+    "FaultPlan",
+    "InjectedFault",
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
+    "ON_SHARD_ERROR_POLICIES",
     "QueryWorkerPool",
     "ShardRouter",
+    "ShardUnavailable",
     "ShardWorkerPool",
     "ShardedCatalog",
+    "active_plan",
+    "injected",
+    "install",
     "load_sharded",
     "merge_shard_hits",
     "read_manifest",
     "save_sharded",
+    "uninstall",
 ]

@@ -158,7 +158,7 @@ def read_manifest(directory: str | Path) -> dict:
 
 
 def load_sharded(
-    directory: str | Path, *, lazy: bool = True
+    directory: str | Path, *, lazy: bool = True, on_corruption: str = "raise"
 ) -> ShardedCatalog:
     """Load a sharded catalog from its manifest directory.
 
@@ -167,7 +167,20 @@ def load_sharded(
     (:meth:`ShardedCatalog.shard`), so a cold start pays for exactly the
     shards the workload touches. ``lazy=False`` materializes everything
     up front (and therefore surfaces any stale shard file immediately).
+
+    ``on_corruption`` sets the catalog's shard-materialization policy:
+    ``"raise"`` (default) fails on the first unreadable shard snapshot;
+    ``"quarantine"`` renames bad files to ``*.quarantined``, walks each
+    shard's fallback chain, and marks unrecoverable shards unavailable
+    instead of failing the whole load — with ``lazy=False`` the load
+    then succeeds on the remaining shards, and
+    ``catalog.quarantine_events`` reports exactly what was skipped.
     """
+    if on_corruption not in ("raise", "quarantine"):
+        raise ValueError(
+            f"on_corruption must be 'raise' or 'quarantine', "
+            f"got {on_corruption!r}"
+        )
     directory = Path(directory)
     manifest = read_manifest(directory)
     bits, seed = manifest["scheme"]
@@ -178,6 +191,7 @@ def load_sharded(
         hasher=KeyHasher(bits=bits, seed=seed),
         vectorized=manifest["vectorized"],
     )
+    catalog.on_corruption = on_corruption
     catalog._shards = [None] * catalog.n_shards
     for index, entry in enumerate(manifest["shards"]):
         catalog._shard_paths[index] = directory / entry["file"]
@@ -200,6 +214,8 @@ def load_sharded(
                 )
             catalog._placement[sid] = index
     if not lazy:
-        for index in range(catalog.n_shards):
-            catalog.shard(index)
+        # warm() skips quarantined shards under the "quarantine" policy
+        # and propagates the first error under "raise" — exactly the
+        # eager-load semantics each policy wants.
+        catalog.warm()
     return catalog

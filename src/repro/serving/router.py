@@ -36,6 +36,22 @@ Shard fan-out runs sequentially or on a persistent
 :class:`~repro.serving.workers.ShardWorkerPool` (``workers=N``); for
 query-level parallelism across cores, wrap the router in a
 :class:`~repro.serving.workers.QueryWorkerPool`.
+
+**Failure model.** ``query``/``query_batch`` take a per-call
+``deadline_ms`` budget and an ``on_shard_error`` policy. Under
+``"raise"`` (the default) any shard failure — a probe raising, a
+quarantined shard (:class:`~repro.serving.shards.ShardUnavailable`), or
+the deadline expiring — propagates, lowest shard index first. Under
+``"partial"`` failing shards are dropped from the merge and the answer
+is served from the survivors, flagged via ``QueryResult.shards_failed``
+and ``degraded``. A partial answer equals the exact answer over the
+surviving shards' union whenever ``retrieval_depth`` does not truncate
+(every survivor's candidates still fit the depth); when it does
+truncate, the merged cutoff may admit fewer candidates than a pure
+survivors-only catalog would — the dropped shard's hits are unknowable,
+so the router never invents replacements. With no faults firing, both
+policies execute the identical code path and results stay bit-identical
+to the monolithic engine.
 """
 
 from __future__ import annotations
@@ -57,8 +73,12 @@ from repro.index.engine import (
 from repro.index.inverted import merge_hits
 from repro.ranking.ranker import RankedCandidate, rank_candidates
 from repro.ranking.scoring import RNG_MODES, candidate_scores_batch
+from repro.serving.faults import maybe_fire
 from repro.serving.shards import ShardedCatalog
 from repro.serving.workers import ShardWorkerPool
+
+#: Shard-failure policies ``query``/``query_batch`` accept.
+ON_SHARD_ERROR_POLICIES = ("raise", "partial")
 
 
 def merge_shard_hits(
@@ -179,11 +199,25 @@ class ShardRouter:
             )
 
     def _scatter_retrieve(
-        self, query_cols: list, exclude_ids: list[str | None]
-    ) -> list[list[tuple[str, int]]]:
-        """Probe every shard for every query; merge per query."""
+        self,
+        query_cols: list,
+        exclude_ids: list[str | None],
+        *,
+        deadline_at: float | None = None,
+        partial: bool = False,
+    ) -> tuple[list[list[tuple[str, int]]], set[int]]:
+        """Probe every shard for every query; merge per query.
+
+        Returns ``(hits_per_query, failed_shards)``. Without a deadline
+        and under the ``"raise"`` policy this is the plain fan-out —
+        any failure propagates and ``failed_shards`` is empty;
+        otherwise probes run supervised, and shards that raised or
+        missed the deadline are excluded from the merge (``partial``)
+        or re-raised lowest-index-first.
+        """
 
         def probe(index: int) -> list[list[tuple[str, int]]]:
+            maybe_fire("shard_probe", shard=index)
             return retrieve_candidates_batch(
                 self.catalog.shard(index),
                 query_cols,
@@ -195,20 +229,60 @@ class ShardRouter:
                 lsh_rows=self.lsh_rows,
             )
 
-        per_shard = self._pool.map(probe, range(self.catalog.n_shards))
+        n_shards = self.catalog.n_shards
+        per_shard, failed = self._supervised_fanout(
+            probe, n_shards, deadline_at=deadline_at, partial=partial
+        )
+        survivors = [s for s in range(n_shards) if s not in failed]
         return [
             merge_shard_hits(
-                [per_shard[s][q] for s in range(self.catalog.n_shards)],
+                [per_shard[s][q] for s in survivors],
                 self.retrieval_depth,
             )
             for q in range(len(query_cols))
-        ]
+        ], failed
+
+    def _supervised_fanout(
+        self,
+        fn,
+        n_shards: int,
+        *,
+        deadline_at: float | None,
+        partial: bool,
+    ) -> tuple[list, set[int]]:
+        """Run one shard fan-out under the failure policy.
+
+        The fault-free default (no deadline, ``"raise"``) takes the
+        exact pre-resilience code path — ``pool.map`` — so the parity
+        suites exercise byte-for-byte the same execution; the
+        supervised path only engages when a caller opts into deadlines
+        or partial results.
+        """
+        if deadline_at is None and not partial:
+            return self._pool.map(fn, range(n_shards)), set()
+        remaining = (
+            None
+            if deadline_at is None
+            else deadline_at - time.perf_counter()
+        )
+        results, errors = self._pool.map_supervised(
+            fn, range(n_shards), deadline_s=remaining
+        )
+        failed = {s for s, error in enumerate(errors) if error is not None}
+        if failed and not partial:
+            raise errors[min(failed)]
+        return results, failed
 
     def _scatter_assemble(
         self,
         query_cols: list,
         hits_per_query: list[list[tuple[str, int]]],
-    ) -> list[CandidatePage]:
+        *,
+        deadline_at: float | None = None,
+        partial: bool = False,
+    ) -> tuple[
+        list[CandidatePage], list[list[tuple[str, int]]], set[int]
+    ]:
         """Assemble every query's candidate page, shard-locally.
 
         Each query's merged hits are split by owning shard; every shard
@@ -216,6 +290,12 @@ class ShardRouter:
         results are re-interleaved into the merged global hit order —
         bit-identical to a monolithic assembly because every
         per-candidate value depends only on (query, candidate).
+
+        Returns ``(pages, hits_per_query, failed_shards)``: when a
+        shard fails its assembly pass under the ``partial`` policy, its
+        candidates are dropped from both the pages and the hits lists
+        (the page-shaped scoring that follows must only ever see
+        candidates that were actually assembled).
         """
         n_shards = self.catalog.n_shards
         #: shard -> list of (query index, page positions, hits subset)
@@ -233,6 +313,7 @@ class ShardRouter:
                 shard_tasks[owner].append((q, positions, subset))
 
         def assemble(index: int):
+            maybe_fire("shard_assemble", shard=index)
             shard = self.catalog.shard(index)
             return [
                 (q, positions, CandidatePage.assemble(shard, query_cols[q], subset))
@@ -248,13 +329,39 @@ class ShardRouter:
             )
             for hits in hits_per_query
         ]
-        for shard_result in self._pool.map(assemble, range(n_shards)):
+        shard_results, failed = self._supervised_fanout(
+            assemble, n_shards, deadline_at=deadline_at, partial=partial
+        )
+        for shard_result in shard_results:
+            if shard_result is None:
+                continue
             for q, positions, sub_page in shard_result:
                 page = pages[q]
                 for j, pos in enumerate(positions):
                     page.samples[pos] = sub_page.samples[j]
                     page.union_stats[pos] = sub_page.union_stats[j]
-        return pages
+        if failed:
+            drop: list[set[int]] = [set() for _ in hits_per_query]
+            for owner in failed:
+                for q, positions, _subset in shard_tasks[owner]:
+                    drop[q].update(positions)
+            if any(drop):
+                filtered_hits: list[list[tuple[str, int]]] = []
+                filtered_pages: list[CandidatePage] = []
+                for q, hits in enumerate(hits_per_query):
+                    keep = [p for p in range(len(hits)) if p not in drop[q]]
+                    page = pages[q]
+                    filtered_hits.append([hits[p] for p in keep])
+                    filtered_pages.append(
+                        CandidatePage(
+                            ids=[page.ids[p] for p in keep],
+                            overlaps=[page.overlaps[p] for p in keep],
+                            samples=[page.samples[p] for p in keep],
+                            union_stats=[page.union_stats[p] for p in keep],
+                        )
+                    )
+                hits_per_query, pages = filtered_hits, filtered_pages
+        return pages, hits_per_query, failed
 
     # -- gather / scoring ----------------------------------------------------
 
@@ -266,6 +373,9 @@ class ShardRouter:
         exclude_ids: list[str | None],
         true_correlations: list[dict[str, float] | None],
         rng: np.random.Generator | None,
+        *,
+        deadline_ms: float | None = None,
+        on_shard_error: str = "raise",
     ) -> list[QueryResult]:
         """The shared scatter-gather pipeline (single query = batch of 1).
 
@@ -280,11 +390,28 @@ class ShardRouter:
         if n_queries == 0:
             return []
         t0 = time.perf_counter()
+        deadline_at = (
+            None if deadline_ms is None else t0 + deadline_ms / 1000.0
+        )
+        partial = on_shard_error == "partial"
         query_cols = [sketch.columnar() for sketch in query_sketches]
-        hits_per_query = self._scatter_retrieve(query_cols, exclude_ids)
+        hits_per_query, retrieve_failed = self._scatter_retrieve(
+            query_cols, exclude_ids, deadline_at=deadline_at, partial=partial
+        )
         t1 = time.perf_counter()
 
-        pages = self._scatter_assemble(query_cols, hits_per_query)
+        # The deadline bounds the probe scatter — the phase where a
+        # straggler shard can stall the answer indefinitely. Assembly of
+        # the *surviving* shards always runs to completion (it is
+        # bounded work over already-retrieved candidates), so a blown
+        # deadline yields a degraded answer, never an empty late one;
+        # assembly failures still drop their shard under ``partial``.
+        pages, hits_per_query, assemble_failed = self._scatter_assemble(
+            query_cols,
+            hits_per_query,
+            partial=partial,
+        )
+        failed_shards = retrieve_failed | assemble_failed
         spans: list[tuple[int, int]] = []
         all_samples = []
         all_containments: list[float] = []
@@ -331,9 +458,25 @@ class ShardRouter:
                 retrieval_seconds=retrieval_share,
                 rerank_seconds=rerank_share,
                 shards_probed=self.catalog.n_shards,
+                shards_failed=len(failed_shards),
+                degraded=bool(failed_shards),
             )
             for ranked, considered in ranked_per_query
         ]
+
+    @staticmethod
+    def _validate_resilience(
+        deadline_ms: float | None, on_shard_error: str
+    ) -> None:
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive, got {deadline_ms}"
+            )
+        if on_shard_error not in ON_SHARD_ERROR_POLICIES:
+            raise ValueError(
+                f"unknown on_shard_error {on_shard_error!r}; expected one "
+                f"of {ON_SHARD_ERROR_POLICIES}"
+            )
 
     # -- public query surface ------------------------------------------------
 
@@ -346,6 +489,8 @@ class ShardRouter:
         exclude_id: str | None = None,
         true_correlations: dict[str, float] | None = None,
         rng: np.random.Generator | None = None,
+        deadline_ms: float | None = None,
+        on_shard_error: str = "raise",
     ) -> QueryResult:
         """Evaluate one top-``k`` query across all shards.
 
@@ -354,12 +499,22 @@ class ShardRouter:
         <repro.index.engine.JoinCorrelationEngine.query>`; the result is
         bit-identical to that method on a monolithic catalog holding the
         union of the shards.
+
+        Args:
+            deadline_ms: wall-clock budget for the shard fan-out; shards
+                whose probe or assembly has not completed in time count
+                as failed (policy below). ``None`` waits indefinitely.
+            on_shard_error: ``"raise"`` (default) propagates the
+                lowest-index shard failure; ``"partial"`` serves the
+                surviving shards and flags the result ``degraded``.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        self._validate_resilience(deadline_ms, on_shard_error)
         self._check_scheme(query_sketch)
         return self._execute(
-            [query_sketch], k, scorer, [exclude_id], [true_correlations], rng
+            [query_sketch], k, scorer, [exclude_id], [true_correlations], rng,
+            deadline_ms=deadline_ms, on_shard_error=on_shard_error,
         )[0]
 
     def query_batch(
@@ -371,6 +526,8 @@ class ShardRouter:
         exclude_ids: list[str | None] | None = None,
         true_correlations: list[dict[str, float] | None] | None = None,
         rng: np.random.Generator | None = None,
+        deadline_ms: float | None = None,
+        on_shard_error: str = "raise",
     ) -> list[QueryResult]:
         """Evaluate many queries with one scatter-gather round per phase.
 
@@ -380,10 +537,16 @@ class ShardRouter:
         <repro.index.engine.JoinCorrelationEngine.query_batch>` — so the
         batch inherits both parity contracts: bit-identical to looping
         :meth:`query`, and bit-identical to the monolithic engine.
+
+        ``deadline_ms`` / ``on_shard_error`` behave as in :meth:`query`;
+        the deadline budgets the whole batch's fan-out (one scatter
+        serves every query), and a dropped shard degrades every query in
+        the batch — each result reports the same ``shards_failed``.
         """
         query_sketches = list(query_sketches)
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        self._validate_resilience(deadline_ms, on_shard_error)
         n_queries = len(query_sketches)
         if exclude_ids is None:
             exclude_ids = [None] * n_queries
@@ -397,5 +560,6 @@ class ShardRouter:
         for sketch in query_sketches:
             self._check_scheme(sketch)
         return self._execute(
-            query_sketches, k, scorer, exclude_ids, true_correlations, rng
+            query_sketches, k, scorer, exclude_ids, true_correlations, rng,
+            deadline_ms=deadline_ms, on_shard_error=on_shard_error,
         )

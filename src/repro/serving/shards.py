@@ -44,6 +44,17 @@ from repro.index.catalog import SketchCatalog, SketchMeta
 from repro.table.table import Table
 
 
+class ShardUnavailable(RuntimeError):
+    """A shard's snapshot is quarantined with no loadable fallback.
+
+    Raised by :meth:`ShardedCatalog.shard` under
+    ``on_corruption="quarantine"`` once a shard's whole fallback chain
+    failed. Sticky: every later touch of the shard re-raises without
+    re-attempting the load, so the router's ``on_shard_error="partial"``
+    policy can keep dropping the shard at probe cost, not load cost.
+    """
+
+
 class ShardedCatalog:
     """``n_shards`` independent :class:`SketchCatalog` partitions behind
     one catalog-shaped interface.
@@ -92,6 +103,17 @@ class ShardedCatalog:
         #: manifest predates versioning, or the catalog was built in
         #: memory); checked against each materialized snapshot.
         self._shard_versions: list[int | None] = [None] * n_shards
+        #: Corruption policy for lazy shard materialization: ``"raise"``
+        #: (default) or ``"quarantine"`` (see :meth:`shard`); set by the
+        #: manifest loader.
+        self.on_corruption = "raise"
+        #: shard index -> failure message, for shards whose snapshot
+        #: was quarantined with no loadable fallback (sticky).
+        self._unavailable: dict[int, str] = {}
+        #: Audit log of quarantine/fallback events, in occurrence order:
+        #: dicts with ``shard``, ``path`` and either ``error`` (shard
+        #: unavailable) or ``recovery`` (loaded through a fallback).
+        self.quarantine_events: list[dict] = []
 
     def _new_shard(self) -> SketchCatalog:
         return SketchCatalog(
@@ -108,34 +130,73 @@ class ShardedCatalog:
         """The shard at ``index``, materializing it from its snapshot if
         the catalog was manifest-loaded and this shard is still cold.
 
+        Under ``on_corruption="quarantine"`` an unreadable snapshot is
+        renamed to ``*.quarantined`` and the fallback chain is walked
+        (:meth:`SketchCatalog.load`); if nothing loads, the shard is
+        marked unavailable (sticky — recorded in
+        :attr:`quarantine_events`) and :class:`ShardUnavailable` is
+        raised here and on every later touch.
+
         Raises:
             ValueError: when a lazily loaded shard's snapshot disagrees
-                with the manifest (stale or swapped file).
+                with the manifest (stale or swapped file), under the
+                default ``on_corruption="raise"`` policy.
+            ShardUnavailable: under ``"quarantine"``, when the shard's
+                whole fallback chain failed.
         """
         shard = self._shards[index]
         if shard is None:
+            if index in self._unavailable:
+                raise ShardUnavailable(
+                    f"shard {index} is quarantined: "
+                    f"{self._unavailable[index]}"
+                )
             path = self._shard_paths[index]
-            shard = SketchCatalog.load(path)
-            if shard.hasher.scheme_id != self.hasher.scheme_id:
-                raise ValueError(
-                    f"shard snapshot {path} hashing scheme {shard.hasher!r} "
-                    f"differs from manifest scheme {self.hasher!r}"
+            try:
+                shard = self._materialize(index, path)
+            except (OSError, ValueError, KeyError, EOFError) as exc:
+                if self.on_corruption != "quarantine":
+                    raise
+                self._unavailable[index] = str(exc)
+                self.quarantine_events.append(
+                    {"shard": index, "path": str(path), "error": str(exc)}
                 )
-            if len(shard) != self._counts[index]:
-                raise ValueError(
-                    f"shard snapshot {path} holds {len(shard)} sketches but "
-                    f"the manifest records {self._counts[index]} — stale "
-                    "shard file; rebuild the manifest directory"
-                )
-            recorded = self._shard_versions[index]
-            if recorded is not None and shard.index_version != recorded:
-                raise ValueError(
-                    f"shard snapshot {path} is at compaction version "
-                    f"{shard.index_version} but the manifest records "
-                    f"{recorded} — stale shard file; rebuild the manifest "
-                    "directory"
+                raise ShardUnavailable(
+                    f"shard {index} is quarantined: {exc}"
+                ) from exc
+            if shard.load_recovery is not None:
+                self.quarantine_events.append(
+                    {
+                        "shard": index,
+                        "path": str(path),
+                        "recovery": shard.load_recovery,
+                    }
                 )
             self._shards[index] = shard
+        return shard
+
+    def _materialize(self, index: int, path: Path | None) -> SketchCatalog:
+        """One manifest-checked load of a cold shard's snapshot."""
+        shard = SketchCatalog.load(path, on_corruption=self.on_corruption)
+        if shard.hasher.scheme_id != self.hasher.scheme_id:
+            raise ValueError(
+                f"shard snapshot {path} hashing scheme {shard.hasher!r} "
+                f"differs from manifest scheme {self.hasher!r}"
+            )
+        if len(shard) != self._counts[index]:
+            raise ValueError(
+                f"shard snapshot {path} holds {len(shard)} sketches but "
+                f"the manifest records {self._counts[index]} — stale "
+                "shard file; rebuild the manifest directory"
+            )
+        recorded = self._shard_versions[index]
+        if recorded is not None and shard.index_version != recorded:
+            raise ValueError(
+                f"shard snapshot {path} is at compaction version "
+                f"{shard.index_version} but the manifest records "
+                f"{recorded} — stale shard file; rebuild the manifest "
+                "directory"
+            )
         return shard
 
     @property
@@ -152,9 +213,17 @@ class ShardedCatalog:
         parent and children (file-backed pages, plus copy-on-write for
         the Python-object metadata), while shards each worker maps on
         its own still share physical pages but re-parse headers.
+
+        Quarantined shards (:class:`ShardUnavailable`, only possible
+        under ``on_corruption="quarantine"``) are skipped — warming is
+        best-effort over whatever the degraded catalog can still serve;
+        the events log records what was lost.
         """
         for index in range(self.n_shards):
-            self.shard(index)
+            try:
+                self.shard(index)
+            except ShardUnavailable:
+                continue
 
     def storage_backends(self) -> list[str | None]:
         """Per-shard storage backend (``"heap"`` / ``"mmap"``; None for
@@ -362,12 +431,21 @@ class ShardedCatalog:
         return save_sharded(self, directory, layout=layout)
 
     @classmethod
-    def load(cls, directory: str | Path, *, lazy: bool = True) -> "ShardedCatalog":
+    def load(
+        cls,
+        directory: str | Path,
+        *,
+        lazy: bool = True,
+        on_corruption: str = "raise",
+    ) -> "ShardedCatalog":
         """Load a manifest directory written by :meth:`save`.
 
         With ``lazy`` (default) shards stay cold until first touched —
         see :func:`repro.serving.manifest.load_sharded`.
+        ``on_corruption="quarantine"`` makes shard materialization move
+        unreadable snapshots aside and serve degraded (see
+        :meth:`shard`).
         """
         from repro.serving.manifest import load_sharded
 
-        return load_sharded(directory, lazy=lazy)
+        return load_sharded(directory, lazy=lazy, on_corruption=on_corruption)

@@ -19,6 +19,24 @@ spends its cores:
   router because each query's rng is the same fresh fixed-seed
   generator ``query_batch(rng=None)`` would hand it.
 
+Both pools are *supervised*:
+
+* :meth:`ShardWorkerPool.map` fails deterministically — when tasks
+  raise, outstanding futures are cancelled and the **lowest-index**
+  task's error propagates, regardless of thread scheduling;
+  :meth:`ShardWorkerPool.map_supervised` returns per-item outcomes
+  instead of failing fast, with an optional wall-clock deadline that
+  converts late completions into :class:`DeadlineExceeded` entries —
+  the primitive behind the router's partial scatter-gather.
+* :class:`QueryWorkerPool` detects dead forked workers (a worker killed
+  mid-chunk surfaces as ``BrokenProcessPool``), respawns the pool with
+  capped exponential backoff plus seeded jitter, and re-dispatches
+  exactly the chunks whose results were never received — completed
+  chunks are kept, so no query is ever lost or evaluated twice. After
+  :attr:`~QueryWorkerPool.MAX_RESPAWN_FAILURES` consecutive
+  zero-progress respawns it falls back to the sequential router path
+  for the rest of the pool's life.
+
 Platforms without the ``fork`` start method (and ``workers=1`` pools)
 degrade to sequential execution with identical results — the pools gate
 the capability instead of assuming it.
@@ -27,11 +45,27 @@ the capability instead of assuming it.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ThreadPoolExecutor
+import os
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.serving.faults import maybe_fire
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+class DeadlineExceeded(TimeoutError):
+    """A task (or a whole query) overran its wall-clock deadline.
+
+    Raised by the router when ``on_shard_error="raise"`` and recorded
+    per shard (then folded into ``QueryResult.shards_failed``) when the
+    policy is ``"partial"``.
+    """
 
 
 def _validate_workers(workers: int | None) -> int | None:
@@ -60,12 +94,117 @@ class ShardWorkerPool:
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
         """Apply ``fn`` to every item, preserving input order.
 
-        Exceptions propagate to the caller exactly as a plain loop's
-        would (the first failing task's, re-raised on gather).
+        Failure is deterministic: when any task raises, outstanding
+        futures are cancelled and the **lowest-index** failing task's
+        exception propagates — the same error a plain sequential loop
+        would surface, whatever order the threads actually failed in.
         """
         if self._executor is None:
             return [fn(item) for item in items]
-        return list(self._executor.map(fn, items))
+        futures = [self._executor.submit(fn, item) for item in items]
+        results: list[_R] = []
+        error: BaseException | None = None
+        for future in futures:
+            if error is not None:
+                future.cancel()
+                continue
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                error = exc
+        if error is not None:
+            raise error
+        return results
+
+    def map_supervised(
+        self,
+        fn: Callable[[_T], _R],
+        items: Iterable[_T],
+        *,
+        deadline_s: float | None = None,
+    ) -> tuple[list[_R | None], list[BaseException | None]]:
+        """Apply ``fn`` to every item, reporting per-item outcomes.
+
+        Returns ``(results, errors)`` — parallel lists where exactly one
+        of ``results[i]`` / ``errors[i]`` is non-None. A raising task
+        contributes its exception; with ``deadline_s`` set, any task
+        that has not *completed* within the budget (measured from this
+        call) contributes :class:`DeadlineExceeded` instead. Completion
+        time is what counts, in both the threaded and the sequential
+        mode: a task that finishes after the deadline is rejected even
+        if its value is already in hand, so an injected fixed delay
+        produces the same outcome whether or not a pool is attached —
+        threads cannot be preempted, only their results refused.
+        """
+        items = list(items)
+        start = time.perf_counter()
+
+        def expired() -> bool:
+            return (
+                deadline_s is not None
+                and time.perf_counter() - start > deadline_s
+            )
+
+        results: list[_R | None] = []
+        errors: list[BaseException | None] = []
+
+        def record(value: _R | None, error: BaseException | None) -> None:
+            results.append(value)
+            errors.append(error)
+
+        if self._executor is None:
+            for item in items:
+                if expired():
+                    record(None, DeadlineExceeded(f"deadline hit before {item!r}"))
+                    continue
+                try:
+                    value = fn(item)
+                except BaseException as exc:  # noqa: BLE001 — reported per item
+                    record(None, exc)
+                    continue
+                if expired():
+                    record(None, DeadlineExceeded(f"{item!r} finished late"))
+                else:
+                    record(value, None)
+            return results, errors
+
+        def timed(item: _T) -> tuple[_R, float]:
+            value = fn(item)
+            return value, time.perf_counter()
+
+        futures = [self._executor.submit(timed, item) for item in items]
+        for item, future in zip(items, futures):
+            if deadline_s is None:
+                timeout = None
+            else:
+                timeout = max(0.0, deadline_s - (time.perf_counter() - start))
+            try:
+                value, finished = future.result(timeout=timeout)
+            except _FutureTimeout:
+                future.cancel()
+                record(None, DeadlineExceeded(f"{item!r} missed the deadline"))
+            except BaseException as exc:  # noqa: BLE001 — reported per item
+                record(None, exc)
+            else:
+                if deadline_s is not None and finished - start > deadline_s:
+                    record(None, DeadlineExceeded(f"{item!r} finished late"))
+                else:
+                    record(value, None)
+        return results, errors
+
+    def reset(self) -> None:
+        """Swap in a fresh executor whose threads have not started yet.
+
+        Must be called in a process about to ``fork`` (see
+        :meth:`QueryWorkerPool._ensure_pool`): live pool threads do not
+        survive into the child, so a forked copy of a *used* executor
+        would queue probes no thread ever drains — a silent deadlock. A
+        fresh :class:`ThreadPoolExecutor` spawns its threads lazily on
+        first submit, in whichever process ends up using it.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = ThreadPoolExecutor(max_workers=self.workers)
 
     def close(self) -> None:
         if self._executor is not None:
@@ -99,9 +238,10 @@ def _init_query_worker(router) -> None:
 
 def _run_query_chunk(task):
     """Worker-side entry: evaluate one contiguous query slice."""
-    chunk_index, sketches, k, scorer, exclude_ids = task
+    chunk_index, sketches, k, scorer, exclude_ids, extra = task
+    maybe_fire("worker_chunk", chunk=chunk_index)
     results = _WORKER_ROUTER.query_batch(
-        sketches, k=k, scorer=scorer, exclude_ids=exclude_ids
+        sketches, k=k, scorer=scorer, exclude_ids=exclude_ids, **extra
     )
     return chunk_index, results
 
@@ -123,6 +263,17 @@ class QueryWorkerPool:
             the ``fork`` start method — evaluates sequentially through
             ``router.query_batch`` with identical results.
 
+    Supervision: a dead worker (crash, OOM-kill, injected
+    ``worker_chunk`` kill fault) surfaces as ``BrokenProcessPool`` —
+    the executor is torn down and respawned with capped exponential
+    backoff plus seeded jitter, and only the chunks whose results never
+    arrived are re-dispatched. Chunk results received before the crash
+    are kept, so a batch is never partially lost and no query is ever
+    evaluated twice. :attr:`MAX_RESPAWN_FAILURES` consecutive respawns
+    with zero completed chunks flip the pool to the sequential router
+    path permanently (:attr:`sequential_fallback`); the batch in flight
+    still completes.
+
     Results are bit-identical to ``router.query_batch(..., rng=None)``:
     queries are split into contiguous chunks and every query's bootstrap
     / stochastic-scorer rng is the fresh fixed-seed generator the
@@ -131,21 +282,37 @@ class QueryWorkerPool:
     supported here — that contract is inherently sequential.
     """
 
+    #: Backoff before respawn attempt ``n`` (0-based) is
+    #: ``min(CAP, BASE * 2**n)`` seconds, scaled by jitter in [0.5, 1).
+    RESPAWN_BACKOFF_BASE = 0.05
+    RESPAWN_BACKOFF_CAP = 1.0
+    #: Consecutive zero-progress respawns before the sequential fallback.
+    MAX_RESPAWN_FAILURES = 3
+
     def __init__(self, router, workers: int | None = None) -> None:
         self.router = router
         self.workers = _validate_workers(workers)
-        self._pool = None
+        self._pool: ProcessPoolExecutor | None = None
+        #: Total workers-pool respawns over this pool's life (telemetry).
+        self.respawns = 0
+        #: True once supervision gave up on process workers for good.
+        self.sequential_fallback = False
+        self._consecutive_failures = 0
+        self._backoff_rng = random.Random(
+            int(os.environ.get("REPRO_FAULT_SEED", 7))
+        )
 
     @property
     def parallel(self) -> bool:
         """True when batches actually fan out across processes."""
         return (
-            self.workers is not None
+            not self.sequential_fallback
+            and self.workers is not None
             and self.workers > 1
             and "fork" in multiprocessing.get_all_start_methods()
         )
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
         if self._pool is None and self.parallel:
             # Fork *after* the shards are materialized: whatever the
             # parent loaded (heap arrays) or mapped (arena pages) is
@@ -153,12 +320,35 @@ class QueryWorkerPool:
             warm = getattr(self.router, "warm", None)
             if warm is not None:
                 warm()
-            self._pool = multiprocessing.get_context("fork").Pool(
-                processes=self.workers,
+            # A router whose shard thread-pool has already run probes
+            # holds live threads that would not survive the fork; swap
+            # in an unstarted executor so parent and children each
+            # spawn their own threads on first use.
+            reset = getattr(
+                getattr(self.router, "_pool", None), "reset", None
+            )
+            if reset is not None:
+                reset()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
                 initializer=_init_query_worker,
                 initargs=(self.router,),
             )
         return self._pool
+
+    def _discard_broken_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def _backoff(self) -> None:
+        attempt = max(0, self._consecutive_failures - 1)
+        delay = min(
+            self.RESPAWN_BACKOFF_CAP,
+            self.RESPAWN_BACKOFF_BASE * (2**attempt),
+        )
+        time.sleep(delay * (0.5 + self._backoff_rng.random() * 0.5))
 
     def query_batch(
         self,
@@ -167,8 +357,16 @@ class QueryWorkerPool:
         scorer: str = "rp_cih",
         *,
         exclude_ids: list[str | None] | None = None,
+        deadline_ms: float | None = None,
+        on_shard_error: str = "raise",
     ):
-        """Evaluate the batch, partitioned across the worker processes."""
+        """Evaluate the batch, partitioned across the worker processes.
+
+        ``deadline_ms`` / ``on_shard_error`` forward to the router's
+        shard fan-out (each worker applies them to its own chunk); the
+        defaults are never forwarded, so any monolithic engine with a
+        plain ``query_batch`` still works as the pool's router.
+        """
         query_sketches = list(query_sketches)
         if exclude_ids is None:
             exclude_ids = [None] * len(query_sketches)
@@ -177,32 +375,96 @@ class QueryWorkerPool:
                 f"{len(query_sketches)} query sketches but "
                 f"{len(exclude_ids)} exclude ids"
             )
+        extra: dict = {}
+        if deadline_ms is not None:
+            extra["deadline_ms"] = deadline_ms
+        if on_shard_error != "raise":
+            extra["on_shard_error"] = on_shard_error
         pool = self._ensure_pool()
         if pool is None or len(query_sketches) <= 1:
             return self.router.query_batch(
-                query_sketches, k=k, scorer=scorer, exclude_ids=exclude_ids
+                query_sketches, k=k, scorer=scorer, exclude_ids=exclude_ids,
+                **extra,
             )
         n_chunks = min(self.workers, len(query_sketches))
         bounds = [
             round(i * len(query_sketches) / n_chunks) for i in range(n_chunks + 1)
         ]
-        tasks = [
-            (
+        pending = {
+            i: (
                 i,
                 query_sketches[bounds[i] : bounds[i + 1]],
                 k,
                 scorer,
                 exclude_ids[bounds[i] : bounds[i + 1]],
+                extra,
             )
             for i in range(n_chunks)
+        }
+        completed: dict[int, list] = {}
+        while pending:
+            pool = self._ensure_pool()
+            if pool is None:
+                # Sequential fallback engaged mid-batch: drain the
+                # chunks the workers never answered, in index order.
+                for index, task in sorted(pending.items()):
+                    completed[index] = self.router.query_batch(
+                        task[1], k=k, scorer=scorer, exclude_ids=task[4],
+                        **extra,
+                    )
+                pending.clear()
+                break
+            futures: dict[int, object] = {}
+            broken = False
+            try:
+                for index, task in sorted(pending.items()):
+                    futures[index] = pool.submit(_run_query_chunk, task)
+            except BrokenProcessPool:
+                broken = True
+            error: BaseException | None = None
+            progressed = False
+            for index, future in futures.items():
+                if error is not None:
+                    future.cancel()
+                    continue
+                try:
+                    chunk_index, results = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                except BaseException as exc:  # noqa: BLE001 — re-raised
+                    error = exc
+                else:
+                    completed[chunk_index] = results
+                    pending.pop(chunk_index, None)
+                    progressed = True
+            if error is not None:
+                # A task-level error (not a dead worker): deterministic
+                # lowest-index propagation, like ShardWorkerPool.map.
+                raise error
+            if not pending:
+                self._consecutive_failures = 0
+                break
+            # A worker died (broken is necessarily True here): respawn
+            # and re-dispatch only what never completed.
+            assert broken
+            if progressed:
+                self._consecutive_failures = 0
+            self._consecutive_failures += 1
+            self.respawns += 1
+            self._discard_broken_pool()
+            if self._consecutive_failures >= self.MAX_RESPAWN_FAILURES:
+                self.sequential_fallback = True
+                continue
+            self._backoff()
+        return [
+            result
+            for index in sorted(completed)
+            for result in completed[index]
         ]
-        gathered = sorted(pool.map(_run_query_chunk, tasks))
-        return [result for _, results in gathered for result in results]
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
     def __enter__(self) -> "QueryWorkerPool":

@@ -1,5 +1,6 @@
 """Tests for the repro-sketch command-line interface."""
 
+import re
 import numpy as np
 import pytest
 
@@ -747,3 +748,144 @@ def test_shard_build_arena_layout_and_compact_preserves_it(
     assert not list(catalog_dir.glob("*.npz"))
     assert main(["shard", "info", str(catalog_dir)]) == 0
     assert "shard layout : arena" in capsys.readouterr().out
+
+
+# -- resilience surface: verify subcommands + query deadline flags ------------
+
+
+def _truncate(path):
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+
+
+def test_policy_choices_mirror_serving_constant():
+    from repro.cli import _ON_SHARD_ERROR_CHOICES
+    from repro.serving import ON_SHARD_ERROR_POLICIES
+
+    assert _ON_SHARD_ERROR_CHOICES == ON_SHARD_ERROR_POLICIES
+
+
+@pytest.mark.parametrize("extension", ["npz", "arena"])
+def test_catalog_verify_ok_then_mismatch(portal, tmp_path, capsys, extension):
+    catalog = tmp_path / f"catalog.{extension}"
+    assert main(["index", str(portal), "-o", str(catalog)]) == 0
+    capsys.readouterr()
+    assert main(["catalog", "verify", str(catalog)]) == 0
+    assert ": ok" in capsys.readouterr().out
+    _truncate(catalog)
+    assert main(["catalog", "verify", str(catalog)]) == 1
+    captured = capsys.readouterr()
+    assert "FAILED" in captured.out
+    assert "quarantine" in captured.err
+
+
+def test_catalog_verify_json_is_unchecked(portal, tmp_path, capsys):
+    catalog = _index(portal, tmp_path)
+    capsys.readouterr()
+    assert main(["catalog", "verify", str(catalog)]) == 0
+    assert "unchecked" in capsys.readouterr().out
+
+
+def test_catalog_verify_missing_file_exits_2(tmp_path, capsys):
+    assert main(["catalog", "verify", str(tmp_path / "nope.npz")]) == 2
+    assert "error: cannot verify" in capsys.readouterr().err
+
+
+def test_shard_verify_clean_corrupt_and_missing(portal, tmp_path, capsys):
+    catalog_dir = _shard_build(portal, tmp_path, extra=["--layout", "arena"])
+    capsys.readouterr()
+    assert main(["shard", "verify", str(catalog_dir)]) == 0
+    assert "all 3 shard(s) verified" in capsys.readouterr().out
+
+    _truncate(catalog_dir / "shard-0001.arena")
+    (catalog_dir / "shard-0002.arena").unlink()
+    assert main(["shard", "verify", str(catalog_dir)]) == 1
+    captured = capsys.readouterr()
+    assert "FAILED (missing file)" in captured.out
+    assert "quarantine candidates: shard-0001.arena, shard-0002.arena" in (
+        captured.err
+    )
+
+
+def test_query_deadline_flags_require_catalog_dir(portal, tmp_path):
+    catalog = _index(portal, tmp_path)
+    with pytest.raises(SystemExit, match="catalog-dir"):
+        main(
+            ["query", str(catalog), str(portal / "query.csv"),
+             "--deadline-ms", "50"]
+        )
+    with pytest.raises(SystemExit, match="catalog-dir"):
+        main(
+            ["query", str(catalog), str(portal / "query.csv"),
+             "--on-shard-error", "partial"]
+        )
+
+
+def test_query_with_resilience_flags_matches_plain(portal, tmp_path, capsys):
+    catalog_dir = _shard_build(portal, tmp_path)
+    capsys.readouterr()
+    argv = ["query", "--catalog-dir", str(catalog_dir),
+            str(portal / "query.csv"), "--scorer", "rp"]
+    assert main(argv) == 0
+    plain = capsys.readouterr().out
+    assert main(argv + ["--deadline-ms", "60000",
+                        "--on-shard-error", "partial"]) == 0
+    guarded = capsys.readouterr().out
+
+    def stable(text):  # identical modulo the wall-clock timing line
+        return re.sub(r"\(\d+\.\d+ ms\)", "(ms)", text)
+
+    assert stable(guarded) == stable(plain)
+    assert "degraded" not in guarded
+
+
+def test_query_partial_prints_degraded_line(portal, tmp_path, capsys):
+    from repro.serving import injected
+
+    catalog_dir = _shard_build(portal, tmp_path)
+    capsys.readouterr()
+    with injected({"shard_probe": {"shard": 0, "kind": "exception"}}):
+        rc = main(
+            ["query", "--catalog-dir", str(catalog_dir),
+             str(portal / "query.csv"), "--scorer", "rp",
+             "--on-shard-error", "partial"]
+        )
+    assert rc == 0
+    assert "degraded   : 2/3 shard(s) answered, 1 dropped" in (
+        capsys.readouterr().out
+    )
+
+
+def test_query_missed_deadline_exits_2(portal, tmp_path, capsys):
+    from repro.serving import injected
+
+    catalog_dir = _shard_build(portal, tmp_path)
+    capsys.readouterr()
+    with injected({"shard_probe": {"shard": 0, "kind": "delay", "ms": 300}}):
+        rc = main(
+            ["query", "--catalog-dir", str(catalog_dir),
+             str(portal / "query.csv"), "--scorer", "rp",
+             "--deadline-ms", "80"]
+        )
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: deadline of 80 ms exceeded")
+    assert "--on-shard-error partial" in err
+
+
+def test_query_batch_partial_flags_each_degraded(portal, tmp_path, capsys):
+    from repro.serving import injected
+
+    catalog_dir = _shard_build(portal, tmp_path)
+    capsys.readouterr()
+    with injected(
+        {"shard_probe": {"shard": 1, "kind": "exception", "times": None}}
+    ):
+        rc = main(
+            ["query", "--catalog-dir", str(catalog_dir),
+             "--queries-dir", str(portal), "--scorer", "rp",
+             "--on-shard-error", "partial"]
+        )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("degraded   : 2/3 shard(s) answered, 1 dropped") == 3

@@ -33,7 +33,7 @@ from repro.core.sketch import CorrelationSketch
 from repro.hashing import KeyHasher
 from repro.index.catalog import SketchCatalog
 from repro.index.engine import JoinCorrelationEngine
-from repro.serving import ShardedCatalog, ShardRouter
+from repro.serving import ShardedCatalog, ShardRouter, injected
 
 SKETCH_SIZE = 16
 HASHER = KeyHasher(seed=11)
@@ -224,6 +224,39 @@ class ShardedCatalogMachine(SketchCatalogMachine):
         self._saves += 1
         self.catalog.save(directory, layout=layout)
         return ShardedCatalog.load(directory)
+
+    # -- fault rule: degraded answers still track a (survivors) oracle -------
+
+    @rule(
+        sid=st.sampled_from(POOL_IDS),
+        failed=st.integers(min_value=0, max_value=6),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def query_with_shard_fault(self, sid, failed, k):
+        """Inject an exception into one shard probe mid-history and check
+        the partial answer bit-for-bit against a monolithic oracle built
+        from the *surviving* shards' live sketches. Mutation state must
+        be untouched: the very next rules keep using the same catalog."""
+        if not self.live:
+            return
+        failed %= self.catalog.n_shards
+        query = POOL[sid]
+        with injected(
+            {"shard_probe": {"shard": failed, "kind": "exception"}}
+        ):
+            got = ShardRouter(self.catalog).query(
+                query, k=k, scorer="rp", exclude_id=sid,
+                on_shard_error="partial",
+            )
+        assert got.shards_failed == 1 and got.degraded
+        survivors = SketchCatalog(sketch_size=SKETCH_SIZE, hasher=HASHER)
+        for live_id in sorted(self.live):
+            if self.catalog.owner_of(live_id) != failed:
+                survivors.add_sketch(live_id, self.live[live_id])
+        want = JoinCorrelationEngine(survivors).query(
+            query, k=k, scorer="rp", exclude_id=sid
+        )
+        assert _ranking(got) == _ranking(want)
 
 
 _SETTINGS = settings(
