@@ -60,10 +60,16 @@ from repro.correlation import (
     rin,
     spearman,
 )
-from repro.index import InvertedIndex, JoinCorrelationEngine, QueryResult, SketchCatalog
+from repro.index import (
+    InvertedIndex,
+    JoinCorrelationEngine,
+    QueryOptions,
+    QueryResult,
+    SketchCatalog,
+)
 from repro.kmv import KMVSynopsis
 from repro.ranking import SCORER_NAMES, rank_candidates
-from repro.serving import ShardRouter, ShardedCatalog
+from repro.serving import QuerySession, ShardRouter, ShardedCatalog
 from repro.table import Table, read_csv, read_csv_text
 
 __version__ = "1.0.0"
@@ -78,7 +84,9 @@ __all__ = [
     "JoinedSample",
     "KMVSynopsis",
     "MultiColumnSketch",
+    "QueryOptions",
     "QueryResult",
+    "QuerySession",
     "SCORER_NAMES",
     "ShardRouter",
     "ShardedCatalog",

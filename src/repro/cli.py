@@ -14,6 +14,14 @@ The operations of a join-correlation deployment, as subcommands:
   backend (``--bands``/``--rows`` tune it); ``--queries-dir`` evaluates
   every column pair of every CSV in a directory as one batched
   multi-query round trip (:meth:`JoinCorrelationEngine.query_batch`).
+* ``serve``    — a long-lived HTTP query service over a warm catalog
+  (monolithic or ``--catalog-dir`` sharded): ``POST /query`` sketches a
+  client-supplied column pair and answers through a request-coalescing
+  window (``--max-batch``/``--max-wait-ms``) with responses
+  bit-identical to per-request evaluation; ``POST /estimate``,
+  ``GET /catalog/info`` and ``GET /healthz`` ride along. SIGTERM/SIGINT
+  drain gracefully. Shares the ``query`` verb's tuning flags — one
+  options-building helper feeds both, so they cannot diverge.
 * ``estimate`` — one-off: estimate the after-join correlation between two
   CSV column pairs directly from freshly built sketches.
 * ``catalog``  — catalog management; ``catalog info <path>`` reports
@@ -44,6 +52,8 @@ Examples::
     repro-sketch query catalog.npz taxi.csv --scorer rb_cib --profile
     repro-sketch query catalog.npz --queries-dir my_tables/ -k 5
     repro-sketch query catalog.npz taxi.csv --retrieval lsh --bands 32 --rows 2
+    repro-sketch serve catalog.npz --port 8765 --max-batch 16
+    repro-sketch serve --catalog-dir catalog-dir/ --workers 4
     repro-sketch estimate left.csv right.csv --left-key date --right-key day
     repro-sketch catalog info catalog.npz
     repro-sketch shard build data/portal/ -o catalog-dir/ --shards 4
@@ -59,13 +69,12 @@ import time
 import zipfile
 from pathlib import Path
 
-import numpy as np
-
 from repro.core.estimation import estimate as estimate_pair
 from repro.core.sketch import CorrelationSketch
 from repro.index.catalog import SketchCatalog
 from repro.index.engine import RETRIEVAL_BACKENDS, JoinCorrelationEngine
 from repro.index.lsh import DEFAULT_BANDS, DEFAULT_ROWS
+from repro.index.options import QueryOptions
 from repro.index.snapshot import detect_format
 from repro.ranking.scoring import RNG_MODES, SCORER_NAMES
 from repro.table.csv_io import read_csv
@@ -107,9 +116,104 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _non_negative_float(text: str) -> float:
+    """argparse type: a float >= 0, clear message otherwise."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {text}")
+    return value
+
+
 #: Mirrors repro.serving.ON_SHARD_ERROR_POLICIES; kept literal so building
 #: the parser never imports the serving stack (parity is pinned in tests).
 _ON_SHARD_ERROR_CHOICES = ("raise", "partial")
+
+
+def _add_query_tuning_args(parser: argparse.ArgumentParser) -> None:
+    """The query-tuning flags, shared verbatim by ``query`` and ``serve``.
+
+    One helper (feeding one :func:`_options_from_args`) so the two verbs
+    cannot drift: a knob added here reaches both, with the same name,
+    type, default and help text.
+    """
+    parser.add_argument(
+        "-k", type=_positive_int, default=10, help="result-list size"
+    )
+    parser.add_argument("--scorer", default="rp_cih", choices=SCORER_NAMES)
+    parser.add_argument(
+        "--depth", type=_positive_int, default=100, help="overlap retrieval depth"
+    )
+    parser.add_argument(
+        "--retrieval",
+        default="inverted",
+        choices=RETRIEVAL_BACKENDS,
+        help="candidate-retrieval backend: 'inverted' probes the exact "
+        "inverted index (default); 'lsh' the approximate MinHash-LSH "
+        "index — sub-linear probes, recall < 1 on low-overlap candidates",
+    )
+    parser.add_argument(
+        "--bands",
+        type=_positive_int,
+        default=None,
+        help="LSH bands (with --retrieval lsh); collision threshold is "
+        "roughly (1/bands)**(1/rows) Jaccard. Default: the banding of a "
+        f"warm snapshot index if present, else {DEFAULT_BANDS}",
+    )
+    parser.add_argument(
+        "--rows",
+        type=_positive_int,
+        default=None,
+        help="LSH rows per band (with --retrieval lsh); default: the warm "
+        f"snapshot index's if present, else {DEFAULT_ROWS}",
+    )
+    parser.add_argument(
+        "--min-overlap",
+        type=int,
+        default=1,
+        help="minimum shared key hashes for a candidate to be considered "
+        "joinable (default 1)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for the stochastic scorers (random, rb_cib bootstrap); "
+        "default: the engine's fixed seed, so repeated queries match",
+    )
+    parser.add_argument(
+        "--no-vectorized-query",
+        action="store_true",
+        help="evaluate the query with the row-at-a-time reference executor "
+        "instead of the (identical-ranking, much faster) columnar one",
+    )
+    parser.add_argument(
+        "--rng-mode",
+        default="batched",
+        choices=RNG_MODES,
+        help="how rb_cib runs the PM1 bootstrap over the candidate page: "
+        "'batched' resamples all candidates through the cross-candidate "
+        "engine (default, a multiple faster); 'compat' reproduces the "
+        "per-candidate rng stream bit-for-bit",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=_positive_float,
+        default=None,
+        help="per-query wall-clock budget for the shard probe scatter "
+        "(with --catalog-dir); shards that miss it are dropped under "
+        "--on-shard-error partial, or fail the query under raise",
+    )
+    parser.add_argument(
+        "--on-shard-error",
+        default=None,
+        choices=_ON_SHARD_ERROR_CHOICES,
+        help="what a failed/late shard does to the query (with "
+        "--catalog-dir): 'raise' fails it (default), 'partial' serves "
+        "the surviving shards and flags the result degraded",
+    )
 
 
 def _load_catalog(path: str | Path) -> SketchCatalog:
@@ -243,32 +347,55 @@ def _print_ranked(ranked) -> None:
         )
 
 
-def _build_engine(catalog: SketchCatalog, args: argparse.Namespace):
-    return JoinCorrelationEngine(
-        catalog,
-        retrieval_depth=args.depth,
+def _options_from_args(args: argparse.Namespace) -> QueryOptions:
+    """The one place CLI flags become a :class:`QueryOptions` record.
+
+    Shared by ``query`` and ``serve`` (whose flags come from the same
+    :func:`_add_query_tuning_args`), so the two verbs cannot silently
+    diverge on what ``--deadline-ms``/``--on-shard-error``/
+    ``--retrieval``/``--rng-mode`` and friends mean.
+    """
+    return QueryOptions(
+        k=args.k,
+        depth=args.depth,
+        scorer=args.scorer,
         min_overlap=args.min_overlap,
         vectorized=not args.no_vectorized_query,
         rng_mode=args.rng_mode,
         retrieval_backend=args.retrieval,
         lsh_bands=args.bands,
         lsh_rows=args.rows,
+        seed=args.seed,
+        deadline_ms=args.deadline_ms,
+        on_shard_error=(
+            "raise" if args.on_shard_error is None else args.on_shard_error
+        ),
     )
 
 
-def _build_router(catalog, args: argparse.Namespace):
-    from repro.serving import ShardRouter
+def _build_session(catalog_path, catalog_dir, options, workers):
+    """Load a catalog (file or manifest dir) and wrap it in a warm
+    :class:`~repro.serving.session.QuerySession`; returns
+    ``(session, catalog, executor_label)``."""
+    from repro.serving import QuerySession, ShardRouter
 
-    return ShardRouter(
-        catalog,
-        retrieval_depth=args.depth,
-        min_overlap=args.min_overlap,
-        rng_mode=args.rng_mode,
-        retrieval_backend=args.retrieval,
-        lsh_bands=args.bands,
-        lsh_rows=args.rows,
-        workers=args.workers,
-    )
+    if catalog_dir is not None:
+        catalog = _load_sharded(catalog_dir)
+        session = QuerySession(
+            ShardRouter.from_options(catalog, options, workers=workers),
+            options,
+        )
+        label = (
+            f"sharded ({catalog.n_shards} shards, "
+            f"workers={workers if workers is not None else 1})"
+        )
+    else:
+        catalog = _load_catalog(catalog_path)
+        session = QuerySession(
+            JoinCorrelationEngine.from_options(catalog, options), options
+        )
+        label = "scalar" if not options.vectorized else "columnar"
+    return session, catalog, label
 
 
 def _run_resilient(run, args: argparse.Namespace):
@@ -341,39 +468,19 @@ def cmd_query(args: argparse.Namespace) -> int:
             "error: --deadline-ms/--on-shard-error bound the sharded "
             "scatter-gather and need --catalog-dir"
         )
-    if args.catalog_dir is not None:
-        catalog = _load_sharded(args.catalog_dir)
-        engine = _build_router(catalog, args)
-        executor_label = (
-            f"sharded ({catalog.n_shards} shards, "
-            f"workers={args.workers if args.workers is not None else 1})"
-        )
-    else:
-        catalog = _load_catalog(args.catalog)
-        engine = _build_engine(catalog, args)
-        executor_label = "scalar" if args.no_vectorized_query else "columnar"
-    rng = np.random.default_rng(args.seed) if args.seed is not None else None
-    # Forward the resilience knobs only when set, so a monolithic engine
-    # (which has no deadline surface) never sees them.
-    resilience = {}
-    if args.deadline_ms is not None:
-        resilience["deadline_ms"] = args.deadline_ms
-    if args.on_shard_error is not None:
-        resilience["on_shard_error"] = args.on_shard_error
+    options = _options_from_args(args)
+    session, catalog, executor_label = _build_session(
+        args.catalog, args.catalog_dir, options, args.workers
+    )
     if args.queries_dir is not None:
-        return _run_query_batch(
-            catalog, engine, executor_label, args, rng, resilience
-        )
+        return _run_query_batch(catalog, session, executor_label, args)
 
     table = _read_csv_table(args.query_csv)
     pair = _resolve_pair(table, args.key, args.value)
     sketch = _build_query_sketch(table, pair, catalog)
 
     result = _run_resilient(
-        lambda: engine.query(
-            sketch, k=args.k, scorer=args.scorer, exclude_id=pair.pair_id,
-            rng=rng, **resilience,
-        ),
+        lambda: session.submit_one(sketch, exclude_id=pair.pair_id),
         args,
     )
 
@@ -405,8 +512,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def _run_query_batch(
-    catalog, engine, executor_label: str, args: argparse.Namespace, rng,
-    resilience=None,
+    catalog, session, executor_label: str, args: argparse.Namespace
 ) -> int:
     """``query --queries-dir``: every column pair of every CSV in the
     directory becomes one query of a single ``query_batch`` round."""
@@ -432,10 +538,7 @@ def _run_query_batch(
 
     t0 = time.perf_counter()
     results = _run_resilient(
-        lambda: engine.query_batch(
-            sketches, k=args.k, scorer=args.scorer, exclude_ids=pair_ids,
-            rng=rng, **(resilience or {}),
-        ),
+        lambda: session.submit(sketches, exclude_ids=pair_ids),
         args,
     )
     elapsed = time.perf_counter() - t0
@@ -472,6 +575,74 @@ def _run_query_batch(
             print("no joinable candidates found")
             continue
         _print_ranked(result.ranked)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro-sketch serve``: a long-lived coalescing HTTP query service.
+
+    The catalog loads once and stays warm; concurrent ``/query``
+    requests coalesce into batched execution with responses
+    bit-identical to per-request evaluation. SIGTERM/SIGINT drain
+    gracefully: accepted requests finish, then the process exits.
+    """
+    if args.catalog_dir is not None and args.catalog is not None:
+        raise SystemExit(
+            "error: provide either a catalog file or --catalog-dir, "
+            "not both"
+        )
+    if args.catalog is None and args.catalog_dir is None:
+        raise SystemExit(
+            "error: provide a catalog file or --catalog-dir"
+        )
+    if args.workers is not None and args.catalog_dir is None:
+        raise SystemExit(
+            "error: --workers fans shard probes out and needs --catalog-dir"
+        )
+    if args.no_vectorized_query and args.catalog_dir is not None:
+        raise SystemExit(
+            "error: --no-vectorized-query selects the single-catalog "
+            "reference executor; the sharded router is columnar-only"
+        )
+    if (
+        args.deadline_ms is not None or args.on_shard_error is not None
+    ) and args.catalog_dir is None:
+        raise SystemExit(
+            "error: --deadline-ms/--on-shard-error bound the sharded "
+            "scatter-gather and need --catalog-dir"
+        )
+    if args.seed is not None:
+        raise SystemExit(
+            "error: --seed pins one shared rng stream, which would make "
+            "coalesced responses depend on window composition; the "
+            "service always uses the per-query fixed-seed default"
+        )
+    from repro.serving import QueryService
+
+    options = _options_from_args(args)
+    session, catalog, executor_label = _build_session(
+        args.catalog, args.catalog_dir, options, args.workers
+    )
+    service = QueryService(
+        session,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    source = args.catalog_dir if args.catalog_dir is not None else args.catalog
+    print(f"serving    : {source} ({len(catalog)} sketches, {executor_label})")
+    print(f"scorer     : {options.scorer} (k={options.k})")
+    print(f"retrieval  : {options.retrieval_backend}")
+    print(
+        f"window     : max_batch={args.max_batch} "
+        f"max_wait_ms={args.max_wait_ms:g}"
+    )
+    service.start()
+    host, port = service.address
+    print(f"listening  : http://{host}:{port}", flush=True)
+    service.wait_for_shutdown()
+    print("drained    : all accepted requests served", flush=True)
     return 0
 
 
@@ -896,87 +1067,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument("--key", help="join-key column (default: first categorical)")
     p_query.add_argument("--value", help="numeric column (default: first numeric)")
-    p_query.add_argument(
-        "-k", type=_positive_int, default=10, help="result-list size"
-    )
-    p_query.add_argument("--scorer", default="rp_cih", choices=SCORER_NAMES)
-    p_query.add_argument(
-        "--depth", type=_positive_int, default=100, help="overlap retrieval depth"
-    )
-    p_query.add_argument(
-        "--retrieval",
-        default="inverted",
-        choices=RETRIEVAL_BACKENDS,
-        help="candidate-retrieval backend: 'inverted' probes the exact "
-        "inverted index (default); 'lsh' the approximate MinHash-LSH "
-        "index — sub-linear probes, recall < 1 on low-overlap candidates",
-    )
-    p_query.add_argument(
-        "--bands",
-        type=_positive_int,
-        default=None,
-        help="LSH bands (with --retrieval lsh); collision threshold is "
-        "roughly (1/bands)**(1/rows) Jaccard. Default: the banding of a "
-        f"warm snapshot index if present, else {DEFAULT_BANDS}",
-    )
-    p_query.add_argument(
-        "--rows",
-        type=_positive_int,
-        default=None,
-        help="LSH rows per band (with --retrieval lsh); default: the warm "
-        f"snapshot index's if present, else {DEFAULT_ROWS}",
-    )
-    p_query.add_argument(
-        "--min-overlap",
-        type=int,
-        default=1,
-        help="minimum shared key hashes for a candidate to be considered "
-        "joinable (default 1)",
-    )
-    p_query.add_argument(
-        "--seed",
-        type=int,
-        default=None,
-        help="seed for the stochastic scorers (random, rb_cib bootstrap); "
-        "default: the engine's fixed seed, so repeated queries match",
-    )
-    p_query.add_argument(
-        "--no-vectorized-query",
-        action="store_true",
-        help="evaluate the query with the row-at-a-time reference executor "
-        "instead of the (identical-ranking, much faster) columnar one",
-    )
-    p_query.add_argument(
-        "--rng-mode",
-        default="batched",
-        choices=RNG_MODES,
-        help="how rb_cib runs the PM1 bootstrap over the candidate page: "
-        "'batched' resamples all candidates through the cross-candidate "
-        "engine (default, a multiple faster); 'compat' reproduces the "
-        "per-candidate rng stream bit-for-bit",
-    )
+    _add_query_tuning_args(p_query)
     p_query.add_argument(
         "--profile",
         action="store_true",
         help="print the retrieval / re-rank phase split the engine measures",
     )
-    p_query.add_argument(
-        "--deadline-ms",
-        type=_positive_float,
-        default=None,
-        help="per-query wall-clock budget for the shard probe scatter "
-        "(with --catalog-dir); shards that miss it are dropped under "
-        "--on-shard-error partial, or fail the query under raise",
-    )
-    p_query.add_argument(
-        "--on-shard-error",
-        default=None,
-        choices=_ON_SHARD_ERROR_CHOICES,
-        help="what a failed/late shard does to the query (with "
-        "--catalog-dir): 'raise' fails it (default), 'partial' serves "
-        "the surviving shards and flags the result degraded",
-    )
     p_query.set_defaults(func=cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived HTTP query service with request coalescing",
+        description="Serve a catalog over HTTP (POST /query, "
+        "POST /estimate, GET /catalog/info, GET /healthz). The catalog "
+        "loads once and stays warm; concurrent queries coalesce into "
+        "batched execution with responses bit-identical to per-request "
+        "evaluation. SIGTERM/SIGINT drain gracefully.",
+    )
+    p_serve.add_argument(
+        "catalog",
+        nargs="?",
+        default=None,
+        help="catalog file from `index` (JSON or .npz); omit with "
+        "--catalog-dir",
+    )
+    p_serve.add_argument(
+        "--catalog-dir",
+        default=None,
+        help="sharded catalog directory from `shard build`, served "
+        "scatter-gather",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="thread workers for the per-shard fan-out (with --catalog-dir; "
+        "default: sequential scatter)",
+    )
+    _add_query_tuning_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (0 picks a free one, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=16,
+        help="coalescing window size: flush as soon as this many requests "
+        "are pending (default 16)",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms",
+        type=_non_negative_float,
+        default=0.0,
+        help="coalescing window time: flush once the oldest pending "
+        "request has waited this long. Default 0: idle requests execute "
+        "immediately and batches form only under load",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_est = sub.add_parser("estimate", help="estimate one after-join correlation")
     p_est.add_argument("left_csv")

@@ -28,6 +28,7 @@ from repro.index.engine import (
     retrieve_candidates_batch,
 )
 from repro.index.inverted import ColumnarPostings, InvertedIndex
+from repro.index.options import QueryOptions
 from repro.index.lsh import LshIndex, MinHashSignature
 from repro.index.snapshot import (
     ARENA_VERSION,
@@ -48,6 +49,7 @@ __all__ = [
     "LshIndex",
     "MinHashSignature",
     "QueryExecutor",
+    "QueryOptions",
     "QueryResult",
     "RETRIEVAL_BACKENDS",
     "SNAPSHOT_VERSION",

@@ -78,24 +78,27 @@ from repro.core.joined_sample import JoinedSample, join_sketches
 from repro.core.sketch import CorrelationSketch, SketchColumns
 from repro.correlation.bootstrap import pm1_interval, pm1_interval_batch
 from repro.index.catalog import SketchCatalog
+from repro.index.options import RETRIEVAL_BACKENDS, QueryOptions
 from repro.kmv.estimators import unbiased_dv_estimate, unbiased_dv_estimate_batch
 from repro.ranking.ranker import RankedCandidate, rank_candidates
 from repro.ranking.scoring import (
-    RNG_MODES,
     CandidateScores,
     candidate_scores,
     candidate_scores_batch,
     cib_factor,
 )
 
-
-#: Candidate-retrieval strategies the engine can plug in (Section 4 lists
-#: the family): ``"inverted"`` — exact ScanCount over the inverted index
-#: (the paper's experimental setup); ``"lsh"`` — approximate banded
-#: MinHash-LSH (:mod:`repro.index.lsh`), O(bands) probe cost independent
-#: of posting lengths, recall < 1 on low-overlap candidates. Re-ranking
-#: is shared, so the backends differ only in which candidates enter it.
-RETRIEVAL_BACKENDS = ("inverted", "lsh")
+__all__ = [
+    "RETRIEVAL_BACKENDS",  # re-exported from repro.index.options
+    "CandidatePage",
+    "ColumnarQueryExecutor",
+    "JoinCorrelationEngine",
+    "QueryExecutor",
+    "QueryResult",
+    "ScalarQueryExecutor",
+    "retrieve_candidates",
+    "retrieve_candidates_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -131,6 +134,43 @@ class QueryResult:
     @property
     def total_seconds(self) -> float:
         return self.retrieval_seconds + self.rerank_seconds
+
+    def to_dict(self) -> dict:
+        """Strict-JSON representation of the full result.
+
+        The serialization seam the HTTP query service responds with —
+        the server never hand-serializes result fields, so anything a
+        query can report (score breakdowns, shard accounting, the
+        ``degraded`` flag) reaches clients through this one method.
+        Floats round-trip bit-for-bit through ``json.dumps``/``loads``
+        (JSON carries ``repr``); NaN is encoded as ``null`` and restored
+        by :meth:`from_dict`.
+        """
+        return {
+            "ranked": [entry.to_dict() for entry in self.ranked],
+            "candidates_considered": self.candidates_considered,
+            "retrieval_seconds": self.retrieval_seconds,
+            "rerank_seconds": self.rerank_seconds,
+            "shards_probed": self.shards_probed,
+            "shards_failed": self.shards_failed,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryResult":
+        """Rebuild a result from :meth:`to_dict` output (client side)."""
+        return cls(
+            ranked=[
+                RankedCandidate.from_dict(entry)
+                for entry in payload["ranked"]
+            ],
+            candidates_considered=int(payload["candidates_considered"]),
+            retrieval_seconds=float(payload["retrieval_seconds"]),
+            rerank_seconds=float(payload["rerank_seconds"]),
+            shards_probed=int(payload["shards_probed"]),
+            shards_failed=int(payload["shards_failed"]),
+            degraded=bool(payload["degraded"]),
+        )
 
 
 def _containment_estimate(
@@ -1091,31 +1131,116 @@ class JoinCorrelationEngine:
         lsh_bands: int | None = None,
         lsh_rows: int | None = None,
     ) -> None:
-        if retrieval_depth <= 0:
-            raise ValueError(f"retrieval_depth must be positive, got {retrieval_depth}")
-        if rng_mode not in RNG_MODES:
-            raise ValueError(
-                f"unknown rng_mode {rng_mode!r}; expected one of {RNG_MODES}"
-            )
-        if retrieval_backend not in RETRIEVAL_BACKENDS:
-            raise ValueError(
-                f"unknown retrieval_backend {retrieval_backend!r}; "
-                f"expected one of {RETRIEVAL_BACKENDS}"
-            )
-        for name, value in (("lsh_bands", lsh_bands), ("lsh_rows", lsh_rows)):
-            if value is not None and value <= 0:
-                raise ValueError(f"{name} must be positive, got {value}")
+        # All tuning state lives in one validated QueryOptions record —
+        # the same seam every other query entry point (router, worker
+        # pool, CLI, HTTP service) construct themselves from, so the
+        # validation rules and messages cannot drift between layers.
         self.catalog = catalog
-        self.retrieval_depth = retrieval_depth
-        self.min_overlap = min_overlap
-        self.vectorized = vectorized
-        self.rng_mode = rng_mode
-        self.retrieval_backend = retrieval_backend
-        self.lsh_bands = lsh_bands
-        self.lsh_rows = lsh_rows
+        self._options = QueryOptions(
+            depth=retrieval_depth,
+            min_overlap=min_overlap,
+            vectorized=vectorized,
+            rng_mode=rng_mode,
+            retrieval_backend=retrieval_backend,
+            lsh_bands=lsh_bands,
+            lsh_rows=lsh_rows,
+        )
         self.executor: QueryExecutor = (
             ColumnarQueryExecutor(self) if vectorized else ScalarQueryExecutor(self)
         )
+
+    @classmethod
+    def from_options(
+        cls, catalog: SketchCatalog, options: QueryOptions
+    ) -> "JoinCorrelationEngine":
+        """Build an engine from one :class:`QueryOptions` record.
+
+        Per-query fields (``k``, ``scorer``, ``seed``) stay on the
+        options record for the caller's ``query``/``submit`` calls;
+        the resilience fields (``deadline_ms``/``on_shard_error``) have
+        no monolithic surface and are ignored here — a
+        :class:`~repro.serving.session.QuerySession` rejects forwarding
+        them to an engine backend.
+        """
+        return cls(
+            catalog,
+            retrieval_depth=options.depth,
+            min_overlap=options.min_overlap,
+            vectorized=options.vectorized,
+            rng_mode=options.rng_mode,
+            retrieval_backend=options.retrieval_backend,
+            lsh_bands=options.lsh_bands,
+            lsh_rows=options.lsh_rows,
+        )
+
+    @property
+    def options(self) -> QueryOptions:
+        """The engine's tuning state as one frozen record."""
+        return self._options
+
+    def _replace_options(self, **changes) -> None:
+        # dataclasses.replace re-runs __post_init__, so attribute
+        # assignment keeps the constructor's validation.
+        self._options = replace(self._options, **changes)
+
+    @property
+    def retrieval_depth(self) -> int:
+        return self._options.depth
+
+    @retrieval_depth.setter
+    def retrieval_depth(self, value: int) -> None:
+        self._replace_options(depth=value)
+
+    @property
+    def min_overlap(self) -> int:
+        return self._options.min_overlap
+
+    @min_overlap.setter
+    def min_overlap(self, value: int) -> None:
+        self._replace_options(min_overlap=value)
+
+    @property
+    def vectorized(self) -> bool:
+        return self._options.vectorized
+
+    @vectorized.setter
+    def vectorized(self, value: bool) -> None:
+        self._replace_options(vectorized=value)
+        self.executor = (
+            ColumnarQueryExecutor(self) if value else ScalarQueryExecutor(self)
+        )
+
+    @property
+    def rng_mode(self) -> str:
+        return self._options.rng_mode
+
+    @rng_mode.setter
+    def rng_mode(self, value: str) -> None:
+        self._replace_options(rng_mode=value)
+
+    @property
+    def retrieval_backend(self) -> str:
+        return self._options.retrieval_backend
+
+    @retrieval_backend.setter
+    def retrieval_backend(self, value: str) -> None:
+        self._replace_options(retrieval_backend=value)
+
+    @property
+    def lsh_bands(self) -> int | None:
+        return self._options.lsh_bands
+
+    @lsh_bands.setter
+    def lsh_bands(self, value: int | None) -> None:
+        self._replace_options(lsh_bands=value)
+
+    @property
+    def lsh_rows(self) -> int | None:
+        return self._options.lsh_rows
+
+    @lsh_rows.setter
+    def lsh_rows(self, value: int | None) -> None:
+        self._replace_options(lsh_rows=value)
 
     def query(
         self,

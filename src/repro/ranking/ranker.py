@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ranking.scoring import CandidateScores, score_candidates
+from repro.ranking.scoring import (
+    CandidateScores,
+    json_float,
+    score_candidates,
+    unjson_float,
+)
 
 
 @dataclass(frozen=True)
@@ -33,6 +38,25 @@ class RankedCandidate:
     score: float
     stats: CandidateScores
     true_correlation: float
+
+    def to_dict(self) -> dict:
+        """Strict-JSON representation (inverse of :meth:`from_dict`);
+        floats round-trip bit-for-bit, NaN encodes as ``null``."""
+        return {
+            "candidate_id": self.candidate_id,
+            "score": json_float(self.score),
+            "stats": self.stats.to_dict(),
+            "true_correlation": json_float(self.true_correlation),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RankedCandidate":
+        return cls(
+            candidate_id=payload["candidate_id"],
+            score=unjson_float(payload["score"]),
+            stats=CandidateScores.from_dict(payload["stats"]),
+            true_correlation=unjson_float(payload["true_correlation"]),
+        )
 
 
 def rank_candidates(

@@ -97,6 +97,49 @@ class CandidateScores:
     containment_est: float
     containment_true: float
 
+    def to_dict(self) -> dict:
+        """Strict-JSON representation (inverse of :meth:`from_dict`).
+
+        Floats survive bit-for-bit (JSON carries ``repr``, which
+        round-trips every finite float exactly); NaN — which strict JSON
+        cannot express — is encoded as ``null``. Infinities (a legal
+        ``hfd_ci_length`` on degenerate samples) pass through unchanged:
+        Python's encoder/decoder pair handles them natively.
+        """
+        return {
+            "r_pearson": json_float(self.r_pearson),
+            "r_bootstrap": json_float(self.r_bootstrap),
+            "sample_size": self.sample_size,
+            "sez_factor": json_float(self.sez_factor),
+            "cib_factor": json_float(self.cib_factor),
+            "hfd_ci_length": json_float(self.hfd_ci_length),
+            "containment_est": json_float(self.containment_est),
+            "containment_true": json_float(self.containment_true),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CandidateScores":
+        return cls(
+            r_pearson=unjson_float(payload["r_pearson"]),
+            r_bootstrap=unjson_float(payload["r_bootstrap"]),
+            sample_size=int(payload["sample_size"]),
+            sez_factor=unjson_float(payload["sez_factor"]),
+            cib_factor=unjson_float(payload["cib_factor"]),
+            hfd_ci_length=unjson_float(payload["hfd_ci_length"]),
+            containment_est=unjson_float(payload["containment_est"]),
+            containment_true=unjson_float(payload["containment_true"]),
+        )
+
+
+def json_float(value: float) -> float | None:
+    """NaN → ``None``; every other float unchanged (strict-JSON safe)."""
+    return None if math.isnan(value) else float(value)
+
+
+def unjson_float(value: float | None) -> float:
+    """Inverse of :func:`json_float`: ``None`` → NaN."""
+    return math.nan if value is None else float(value)
+
 
 def _abs_or_zero(r: float) -> float:
     return 0.0 if math.isnan(r) else abs(r)

@@ -19,8 +19,18 @@ quarantine with an arena→npz→json fallback chain
 (``on_corruption="quarantine"``), and the deterministic fault-injection
 harness (:mod:`repro.serving.faults`) that drives all of it in tests
 and chaos benchmarks.
+
+The service layer sits at the top: a :class:`QuerySession` unifies the
+engine/router/worker-pool query surfaces behind one warm backend plus
+one frozen :class:`~repro.index.options.QueryOptions` record, a
+:class:`QueryCoalescer` micro-batches concurrent requests into the
+amortized ``query_batch`` path with bit-identical responses, and a
+:class:`QueryService` exposes the whole stack over stdlib HTTP
+(``repro-sketch serve``).
 """
 
+from repro.index.options import QueryOptions
+from repro.serving.coalescer import QueryCoalescer
 from repro.serving.faults import (
     FaultPlan,
     InjectedFault,
@@ -41,6 +51,8 @@ from repro.serving.router import (
     ShardRouter,
     merge_shard_hits,
 )
+from repro.serving.server import QueryService
+from repro.serving.session import QuerySession
 from repro.serving.shards import ShardUnavailable, ShardedCatalog
 from repro.serving.workers import (
     DeadlineExceeded,
@@ -55,6 +67,10 @@ __all__ = [
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
     "ON_SHARD_ERROR_POLICIES",
+    "QueryCoalescer",
+    "QueryOptions",
+    "QueryService",
+    "QuerySession",
     "QueryWorkerPool",
     "ShardRouter",
     "ShardUnavailable",

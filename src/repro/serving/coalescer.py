@@ -1,0 +1,257 @@
+"""Micro-batching front door for concurrent query clients.
+
+The batched query path amortizes the index probe and the scoring pass
+across queries (``benchmarks/results/batch_query.txt``), but a real
+service receives *concurrent single queries*, not pre-assembled batches.
+:class:`QueryCoalescer` closes that gap: callers block on
+:meth:`submit` while a flusher thread collects whatever arrived into a
+bounded time/size window and executes it as one
+:meth:`QuerySession.submit <repro.serving.session.QuerySession.submit>`
+call.
+
+**Bit-parity.** Coalesced responses are bit-identical to per-request
+execution because the engine's default rng contract gives *every query
+its own* fresh fixed-seed generator under ``seed=None`` — batch
+composition is invisible to any query's scores. The coalescer therefore
+refuses a session whose options pin a shared ``seed`` (that contract is
+sequential; batching arbitrary concurrent arrivals under it would make
+responses depend on who else happened to be in the window). Requests
+with different per-request ``k``/``scorer`` coalesce in the same window
+and are executed as one sub-batch per ``(k, scorer)`` group (the
+batched pipeline takes scalar ``k``/``scorer``).
+
+**Window semantics.** A flush happens when the window fills
+(``max_batch`` requests), when the oldest pending request has waited
+``max_wait_ms``, or at shutdown (close drains every pending request —
+nothing is abandoned). With the default ``max_wait_ms=0`` the window is
+purely *adaptive*: an idle coalescer executes a lone request immediately
+on the caller's thread (no batching latency at low load), and batches
+form naturally only while an execution is already in flight — arrivals
+queue behind it and flush together the moment the flusher frees up.
+A positive ``max_wait_ms`` instead holds the window open to let
+companions accumulate, trading per-request latency for larger batches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.index.engine import QueryResult
+from repro.serving.session import QuerySession
+
+__all__ = ["QueryCoalescer"]
+
+
+class _Pending:
+    """One caller-visible request parked in the window."""
+
+    __slots__ = (
+        "sketch", "k", "scorer", "exclude_id",
+        "arrived", "done", "result", "error",
+    )
+
+    def __init__(self, sketch, k, scorer, exclude_id) -> None:
+        self.sketch = sketch
+        self.k = k
+        self.scorer = scorer
+        self.exclude_id = exclude_id
+        self.arrived = time.perf_counter()
+        self.done = threading.Event()
+        self.result: QueryResult | None = None
+        self.error: BaseException | None = None
+
+
+class QueryCoalescer:
+    """Collect concurrent queries into one batched execution.
+
+    Args:
+        session: the warm :class:`QuerySession` that executes windows.
+            Its options must leave ``seed=None`` (see module docs).
+        max_batch: flush as soon as this many requests are pending.
+        max_wait_ms: flush once the oldest pending request has waited
+            this long. ``0`` (default) never waits — idle requests
+            execute immediately and batches form only under load.
+    """
+
+    def __init__(
+        self,
+        session: QuerySession,
+        *,
+        max_batch: int = 16,
+        max_wait_ms: float = 0.0,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be non-negative, got {max_wait_ms}"
+            )
+        if session.options.seed is not None:
+            raise ValueError(
+                "coalescing requires options.seed=None: a pinned seed "
+                "makes responses depend on window composition, breaking "
+                "parity with per-request execution"
+            )
+        self.session = session
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self._cond = threading.Condition()
+        self._pending: list[_Pending] = []
+        self._busy = False  # an execution (fast-path or flush) in flight
+        self._closed = False
+        #: Counters (read under no lock — monotonic, telemetry only).
+        self.stats = {
+            "submitted": 0,
+            "fast_path": 0,      # lone idle requests run on caller thread
+            "batches": 0,        # flusher executions (any size)
+            "coalesced": 0,      # requests that shared a window with others
+            "largest_batch": 0,
+        }
+        self._flusher = threading.Thread(
+            target=self._run, name="query-coalescer", daemon=True
+        )
+        self._flusher.start()
+
+    # -- caller side ---------------------------------------------------------
+
+    def submit(
+        self,
+        sketch,
+        *,
+        k: int | None = None,
+        scorer: str | None = None,
+        exclude_id: str | None = None,
+    ) -> QueryResult:
+        """Evaluate one query, blocking until its window executes.
+
+        ``k``/``scorer`` default to the session's options; other knobs
+        (depth, backend, resilience policy) are session-wide by design —
+        they describe the warm index, not one request.
+        """
+        options = self.session.options
+        request = _Pending(
+            sketch,
+            options.k if k is None else k,
+            options.scorer if scorer is None else scorer,
+            exclude_id,
+        )
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("coalescer is closed")
+            self.stats["submitted"] += 1
+            fast = (
+                self.max_wait_ms == 0
+                and not self._busy
+                and not self._pending
+            )
+            if fast:
+                self._busy = True
+                self.stats["fast_path"] += 1
+            else:
+                self._pending.append(request)
+                self._cond.notify_all()
+        if not fast:
+            request.done.wait()
+            if request.error is not None:
+                raise request.error
+            return request.result
+        # Fast path: the coalescer is idle and no window is configured —
+        # execute on the caller's thread, exactly like a direct call.
+        try:
+            self._execute([request])
+        finally:
+            with self._cond:
+                self._busy = False
+                self._cond.notify_all()
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    # -- flusher side --------------------------------------------------------
+
+    def _window_ready(self) -> bool:
+        if not self._pending:
+            return False
+        if self._closed or len(self._pending) >= self.max_batch:
+            return True
+        waited_ms = (
+            time.perf_counter() - self._pending[0].arrived
+        ) * 1000.0
+        return waited_ms >= self.max_wait_ms
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not (self._window_ready() and not self._busy):
+                    if self._closed and not self._pending and not self._busy:
+                        return
+                    if self._pending and not self._busy:
+                        # Window still filling: sleep only its remainder.
+                        waited = (
+                            time.perf_counter() - self._pending[0].arrived
+                        )
+                        timeout = max(
+                            0.0, self.max_wait_ms / 1000.0 - waited
+                        )
+                        self._cond.wait(timeout)
+                    else:
+                        self._cond.wait()
+                batch = self._pending[: self.max_batch]
+                del self._pending[: self.max_batch]
+                self._busy = True
+            try:
+                self.stats["batches"] += 1
+                if len(batch) > 1:
+                    self.stats["coalesced"] += len(batch)
+                self.stats["largest_batch"] = max(
+                    self.stats["largest_batch"], len(batch)
+                )
+                self._execute(batch)
+            finally:
+                with self._cond:
+                    self._busy = False
+                    self._cond.notify_all()
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        """Run one window as one sub-batch per ``(k, scorer)`` group."""
+        groups: dict[tuple[int, str], list[_Pending]] = {}
+        for request in batch:
+            groups.setdefault((request.k, request.scorer), []).append(request)
+        for (k, scorer), requests in groups.items():
+            try:
+                results = self.session.submit(
+                    [r.sketch for r in requests],
+                    exclude_ids=[r.exclude_id for r in requests],
+                    options=self.session.options.merged(k=k, scorer=scorer),
+                )
+            except BaseException as exc:  # noqa: BLE001 — handed to callers
+                for request in requests:
+                    request.error = exc
+                    request.done.set()
+                continue
+            for request, result in zip(requests, results):
+                request.result = result
+                request.done.set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain every pending request, then stop the flusher (idempotent).
+
+        Requests already in the window when close is called still
+        execute and their callers get real results; only *new* submits
+        are refused.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._flusher.join()
+
+    def __enter__(self) -> "QueryCoalescer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

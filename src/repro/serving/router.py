@@ -57,12 +57,12 @@ to the monolithic engine.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import numpy as np
 
 from repro.core.sketch import CorrelationSketch
 from repro.index.engine import (
-    RETRIEVAL_BACKENDS,
     CandidatePage,
     QueryResult,
     QueryExecutor,
@@ -71,14 +71,22 @@ from repro.index.engine import (
     retrieve_candidates_batch,
 )
 from repro.index.inverted import merge_hits
+from repro.index.options import (
+    ON_SHARD_ERROR_POLICIES,
+    QueryOptions,
+    validate_resilience,
+)
 from repro.ranking.ranker import RankedCandidate, rank_candidates
-from repro.ranking.scoring import RNG_MODES, candidate_scores_batch
+from repro.ranking.scoring import candidate_scores_batch
 from repro.serving.faults import maybe_fire
 from repro.serving.shards import ShardedCatalog
 from repro.serving.workers import ShardWorkerPool
 
-#: Shard-failure policies ``query``/``query_batch`` accept.
-ON_SHARD_ERROR_POLICIES = ("raise", "partial")
+__all__ = [
+    "ON_SHARD_ERROR_POLICIES",  # re-exported from repro.index.options
+    "ShardRouter",
+    "merge_shard_hits",
+]
 
 
 def merge_shard_hits(
@@ -136,30 +144,102 @@ class ShardRouter:
         lsh_rows: int | None = None,
         workers: int | None = None,
     ) -> None:
-        if retrieval_depth <= 0:
-            raise ValueError(
-                f"retrieval_depth must be positive, got {retrieval_depth}"
-            )
-        if rng_mode not in RNG_MODES:
-            raise ValueError(
-                f"unknown rng_mode {rng_mode!r}; expected one of {RNG_MODES}"
-            )
-        if retrieval_backend not in RETRIEVAL_BACKENDS:
-            raise ValueError(
-                f"unknown retrieval_backend {retrieval_backend!r}; "
-                f"expected one of {RETRIEVAL_BACKENDS}"
-            )
-        for name, value in (("lsh_bands", lsh_bands), ("lsh_rows", lsh_rows)):
-            if value is not None and value <= 0:
-                raise ValueError(f"{name} must be positive, got {value}")
+        # Validation lives in QueryOptions — one record, one set of
+        # error messages, shared with the monolithic engine and the
+        # session/service layers above.
         self.catalog = catalog
-        self.retrieval_depth = retrieval_depth
-        self.min_overlap = min_overlap
-        self.rng_mode = rng_mode
-        self.retrieval_backend = retrieval_backend
-        self.lsh_bands = lsh_bands
-        self.lsh_rows = lsh_rows
+        self._options = QueryOptions(
+            depth=retrieval_depth,
+            min_overlap=min_overlap,
+            rng_mode=rng_mode,
+            retrieval_backend=retrieval_backend,
+            lsh_bands=lsh_bands,
+            lsh_rows=lsh_rows,
+        )
         self._pool = ShardWorkerPool(workers)
+
+    @classmethod
+    def from_options(
+        cls,
+        catalog: ShardedCatalog,
+        options: QueryOptions,
+        *,
+        workers: int | None = None,
+    ) -> "ShardRouter":
+        """Build a router from one :class:`QueryOptions` record.
+
+        Per-call fields (``k``/``scorer``/``seed``/``deadline_ms``/
+        ``on_shard_error``) stay on the record for the caller's
+        ``query``/``submit`` calls; ``vectorized`` is ignored — the
+        router is columnar by construction.
+        """
+        return cls(
+            catalog,
+            retrieval_depth=options.depth,
+            min_overlap=options.min_overlap,
+            rng_mode=options.rng_mode,
+            retrieval_backend=options.retrieval_backend,
+            lsh_bands=options.lsh_bands,
+            lsh_rows=options.lsh_rows,
+            workers=workers,
+        )
+
+    @property
+    def options(self) -> QueryOptions:
+        """The router's tuning state as one frozen record."""
+        return self._options
+
+    def _replace_options(self, **changes) -> None:
+        # replace() re-runs __post_init__, keeping ctor validation.
+        self._options = replace(self._options, **changes)
+
+    @property
+    def retrieval_depth(self) -> int:
+        return self._options.depth
+
+    @retrieval_depth.setter
+    def retrieval_depth(self, value: int) -> None:
+        self._replace_options(depth=value)
+
+    @property
+    def min_overlap(self) -> int:
+        return self._options.min_overlap
+
+    @min_overlap.setter
+    def min_overlap(self, value: int) -> None:
+        self._replace_options(min_overlap=value)
+
+    @property
+    def rng_mode(self) -> str:
+        return self._options.rng_mode
+
+    @rng_mode.setter
+    def rng_mode(self, value: str) -> None:
+        self._replace_options(rng_mode=value)
+
+    @property
+    def retrieval_backend(self) -> str:
+        return self._options.retrieval_backend
+
+    @retrieval_backend.setter
+    def retrieval_backend(self, value: str) -> None:
+        self._replace_options(retrieval_backend=value)
+
+    @property
+    def lsh_bands(self) -> int | None:
+        return self._options.lsh_bands
+
+    @lsh_bands.setter
+    def lsh_bands(self, value: int | None) -> None:
+        self._replace_options(lsh_bands=value)
+
+    @property
+    def lsh_rows(self) -> int | None:
+        return self._options.lsh_rows
+
+    @lsh_rows.setter
+    def lsh_rows(self, value: int | None) -> None:
+        self._replace_options(lsh_rows=value)
 
     @property
     def workers(self) -> int | None:
@@ -464,19 +544,9 @@ class ShardRouter:
             for ranked, considered in ranked_per_query
         ]
 
-    @staticmethod
-    def _validate_resilience(
-        deadline_ms: float | None, on_shard_error: str
-    ) -> None:
-        if deadline_ms is not None and deadline_ms <= 0:
-            raise ValueError(
-                f"deadline_ms must be positive, got {deadline_ms}"
-            )
-        if on_shard_error not in ON_SHARD_ERROR_POLICIES:
-            raise ValueError(
-                f"unknown on_shard_error {on_shard_error!r}; expected one "
-                f"of {ON_SHARD_ERROR_POLICIES}"
-            )
+    # Delegates to the shared rule so per-call validation cannot drift
+    # from QueryOptions construction.
+    _validate_resilience = staticmethod(validate_resilience)
 
     # -- public query surface ------------------------------------------------
 

@@ -1,0 +1,261 @@
+"""Long-lived HTTP query service over a warm :class:`QuerySession`.
+
+Everything below the wire is the library's existing query stack — the
+service adds *residency*: the catalog loads once, the indexes stay warm,
+and concurrent clients share one process through the coalescing front
+door (:mod:`repro.serving.coalescer`). Stdlib only
+(``http.server.ThreadingHTTPServer``); no new dependencies.
+
+Endpoints (JSON in, JSON out; NaN encodes as ``null`` on the wire):
+
+* ``POST /query`` — body ``{"keys": [...], "values": [...]}`` plus
+  optional ``"k"``, ``"scorer"``, ``"exclude_id"``, ``"name"``. The
+  column pair is sketched against the catalog's configuration and
+  answered through the coalescer; the response body is exactly
+  ``QueryResult.to_dict()`` — bit-identical to calling the underlying
+  engine/router directly with the same options, including the
+  ``shards_probed``/``shards_failed``/``degraded`` resilience fields.
+* ``POST /estimate`` — body ``{"left": {"keys", "values"}, "right":
+  {"keys", "values"}}`` plus optional ``"estimator"``; one-off
+  after-join correlation estimate between two client-supplied columns.
+* ``GET /catalog/info`` — catalog summary + the session's options.
+* ``GET /healthz`` — liveness plus coalescer telemetry.
+
+**Shutdown.** :meth:`QueryService.stop` (or SIGTERM/SIGINT under
+:meth:`QueryService.run`) drains gracefully: the listener stops
+accepting, in-flight handler threads run to completion
+(``daemon_threads = False`` so ``server_close`` joins them), and the
+coalescer executes every request already in its window before closing —
+no accepted request is ever dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serving.coalescer import QueryCoalescer
+from repro.serving.session import QuerySession
+
+__all__ = ["QueryService"]
+
+
+class _Server(ThreadingHTTPServer):
+    # Join in-flight handler threads on server_close so stop() is a
+    # real drain, not an abandonment (ThreadingHTTPServer defaults to
+    # daemon threads, which server_close would not wait for).
+    daemon_threads = False
+    #: Installed by QueryService before the listener starts.
+    service: "QueryService"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Keep the access log out of stderr — the service is often run
+    # under a test harness or a benchmark that parses its output.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(
+                200,
+                {"status": "ok", "coalescer": dict(service.coalescer.stats)},
+            )
+        elif self.path == "/catalog/info":
+            self._reply(200, service.session.catalog_info())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+        service = self.server.service
+        if self.path not in ("/query", "/estimate"):
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            payload = self._read_json()
+            if self.path == "/query":
+                self._reply(200, service.handle_query(payload))
+            else:
+                self._reply(200, service.handle_estimate(payload))
+        except (ValueError, KeyError, TypeError) as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - one service, many clients
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+def _columns(payload: dict, *path: str) -> tuple[list, list]:
+    """Extract a ``{"keys": [...], "values": [...]}`` pair, with errors
+    that name the missing field (and where it was expected)."""
+    where = "/".join(path) + "." if path else ""
+    for field in ("keys", "values"):
+        if field not in payload:
+            raise ValueError(f"missing required field {where}{field!r}")
+    keys, values = payload["keys"], payload["values"]
+    if not isinstance(keys, list) or not isinstance(values, list):
+        raise ValueError(f"{where}keys/{where}values must be JSON arrays")
+    if len(keys) != len(values):
+        raise ValueError(
+            f"{where}keys has {len(keys)} entries but {where}values has "
+            f"{len(values)}"
+        )
+    if not keys:
+        raise ValueError(f"{where}keys/{where}values must be non-empty")
+    return keys, values
+
+
+class QueryService:
+    """The HTTP front end: one session, one coalescer, one listener.
+
+    Args:
+        session: the warm :class:`QuerySession` to serve.
+        host / port: bind address; ``port=0`` picks a free port
+            (read it back from :attr:`address` — the test/bench idiom).
+        max_batch / max_wait_ms: the coalescing window
+            (see :class:`~repro.serving.coalescer.QueryCoalescer`).
+    """
+
+    def __init__(
+        self,
+        session: QuerySession,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 16,
+        max_wait_ms: float = 0.0,
+    ) -> None:
+        self.session = session
+        self.coalescer = QueryCoalescer(
+            session, max_batch=max_batch, max_wait_ms=max_wait_ms
+        )
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.service = self
+        self._thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+        self._stop_requested_event = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — authoritative when ``port=0``."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- request handling (shared by HTTP and in-process callers) ------------
+
+    def handle_query(self, payload: dict) -> dict:
+        keys, values = _columns(payload)
+        sketch = self.session.query_sketch(
+            keys, values, name=payload.get("name")
+        )
+        result = self.coalescer.submit(
+            sketch,
+            k=payload.get("k"),
+            scorer=payload.get("scorer"),
+            exclude_id=payload.get("exclude_id"),
+        )
+        return result.to_dict()
+
+    def handle_estimate(self, payload: dict) -> dict:
+        for side in ("left", "right"):
+            if side not in payload or not isinstance(payload[side], dict):
+                raise ValueError(
+                    f"missing required object field {side!r} "
+                    "({'keys': [...], 'values': [...]})"
+                )
+        left_keys, left_values = _columns(payload["left"], "left")
+        right_keys, right_values = _columns(payload["right"], "right")
+        return self.session.estimate(
+            left_keys,
+            left_values,
+            right_keys,
+            right_values,
+            estimator=payload.get("estimator", "pearson"),
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "QueryService":
+        """Serve on a background thread; returns immediately."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self.session.warm()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="query-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain (idempotent): stop accepting, finish in-flight
+        handlers, flush the coalescer window, release the session."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+        self._httpd.server_close()  # joins in-flight handler threads
+        self.coalescer.close()      # drains the pending window
+        self.session.close()
+
+    def wait_for_shutdown(self, *, install_signals: bool = True) -> None:
+        """Block until SIGTERM/SIGINT (or :meth:`request_stop`), then
+        drain.
+
+        The listener runs on a background thread while the calling
+        thread waits on an event the signal handlers set, so a handler
+        never calls ``shutdown()`` from the thread running
+        ``serve_forever`` (that self-join deadlocks).
+        """
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(
+                    signum, lambda *_: self._stop_requested_event.set()
+                )
+        try:
+            self._stop_requested_event.wait()
+        finally:
+            self.stop()
+
+    def request_stop(self) -> None:
+        """Unblock :meth:`wait_for_shutdown` (signal-handler equivalent,
+        callable from any thread)."""
+        self._stop_requested_event.set()
+
+    def run(self, *, install_signals: bool = True) -> None:
+        """Serve until SIGTERM/SIGINT, then drain — the CLI entry point."""
+        self.start()
+        self.wait_for_shutdown(install_signals=install_signals)
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,357 @@
+"""One uniform seam over every query entry point.
+
+Historically each layer that answers top-k join-correlation queries —
+the monolithic :class:`~repro.index.engine.JoinCorrelationEngine`, the
+scatter-gather :class:`~repro.serving.router.ShardRouter`, the forked
+:class:`~repro.serving.workers.QueryWorkerPool` — exposed its own
+``query``/``query_batch`` with ~8 hand-threaded positional/keyword
+arguments, and every caller (CLI, examples, benchmarks, the HTTP
+service) re-spelled them. :class:`QuerySession` replaces that with one
+object that owns
+
+* a **warm backend** — engine, router, or worker pool, built once and
+  reused across requests (the whole point of a long-lived service);
+* one frozen :class:`~repro.index.options.QueryOptions` record naming
+  every knob exactly once; and
+* a uniform ``submit(queries) -> list[QueryResult]`` surface whose
+  results carry JSON-serializable ``to_dict()``/``from_dict()``.
+
+The session adapts to what its backend can do (detected from the
+``query_batch`` signature, not an isinstance ladder, so any compatible
+object works): a monolithic engine has no ``deadline_ms``/
+``on_shard_error`` surface, and the forked worker pool's rng contract is
+inherently sequential, so a caller-pinned ``seed`` cannot be honored
+there. Asking for a capability the backend lacks raises immediately
+instead of silently dropping the knob.
+
+Results are bit-identical to calling the backend's ``query_batch``
+directly with the same options — the session adds no execution layer,
+only construction, capability routing and serialization. With the
+default ``seed=None``, every query gets the backend's own fresh
+fixed-seed generator, which also makes results independent of how
+queries are grouped into ``submit`` calls — the property the request
+coalescer (:mod:`repro.serving.coalescer`) is built on.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.estimation import estimate as estimate_pair
+from repro.core.sketch import CorrelationSketch
+from repro.index.engine import JoinCorrelationEngine, QueryResult
+from repro.index.options import QueryOptions
+from repro.ranking.scoring import json_float
+
+__all__ = ["QuerySession"]
+
+
+class QuerySession:
+    """A warm query backend plus one :class:`QueryOptions` record.
+
+    Args:
+        backend: anything with the engine-shaped ``query_batch`` —
+            a :class:`~repro.index.engine.JoinCorrelationEngine`, a
+            :class:`~repro.serving.router.ShardRouter`, or a
+            :class:`~repro.serving.workers.QueryWorkerPool`.
+        options: per-call defaults (``k``/``scorer``/``seed``/
+            ``deadline_ms``/``on_shard_error``). Engine-level fields
+            (depth, backend, rng mode, ...) are read back from the
+            backend itself when it exposes an ``options`` record, so the
+            session always reports the configuration that actually
+            serves — build backends with :meth:`for_catalog` /
+            :meth:`for_sharded` to set those fields from the same
+            record.
+    """
+
+    def __init__(self, backend, options: QueryOptions | None = None) -> None:
+        self.backend = backend
+        if options is None:
+            options = QueryOptions()
+        backend_options = self._backend_options(backend)
+        if backend_options is not None:
+            # The backend's construction is the truth for engine-level
+            # fields; the caller's record contributes the per-call ones.
+            options = backend_options.merged(
+                k=options.k,
+                scorer=options.scorer,
+                seed=options.seed,
+                deadline_ms=options.deadline_ms,
+                on_shard_error=options.on_shard_error,
+            )
+        self._options = options
+        params = inspect.signature(backend.query_batch).parameters
+        #: The forked worker pool has no ``rng`` parameter — a shared
+        #: caller generator is an inherently sequential contract.
+        self._supports_rng = "rng" in params
+        #: The monolithic engine has no shard fan-out to budget.
+        self._supports_resilience = "deadline_ms" in params
+
+    @staticmethod
+    def _backend_options(backend) -> QueryOptions | None:
+        options = getattr(backend, "options", None)
+        if options is None:
+            # A QueryWorkerPool fronts a router; read through it.
+            options = getattr(
+                getattr(backend, "router", None), "options", None
+            )
+        return options
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def for_catalog(
+        cls, catalog, options: QueryOptions | None = None
+    ) -> "QuerySession":
+        """A session over a monolithic catalog (in-process engine)."""
+        if options is None:
+            options = QueryOptions()
+        return cls(
+            JoinCorrelationEngine.from_options(catalog, options), options
+        )
+
+    @classmethod
+    def for_sharded(
+        cls,
+        catalog,
+        options: QueryOptions | None = None,
+        *,
+        workers: int | None = None,
+        query_workers: int | None = None,
+    ) -> "QuerySession":
+        """A session over a sharded catalog (scatter-gather router).
+
+        Args:
+            workers: thread fan-out for the per-shard scatter.
+            query_workers: when set (> 1), wrap the router in a forked
+                :class:`~repro.serving.workers.QueryWorkerPool` for
+                query-level parallelism across cores. A pinned
+                ``options.seed`` is rejected on such a session at
+                submit time (the pool's rng contract is sequential).
+        """
+        from repro.serving.router import ShardRouter
+        from repro.serving.workers import QueryWorkerPool
+
+        if options is None:
+            options = QueryOptions()
+        backend = ShardRouter.from_options(catalog, options, workers=workers)
+        if query_workers is not None and query_workers > 1:
+            backend = QueryWorkerPool(backend, workers=query_workers)
+        return cls(backend, options)
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        options: QueryOptions | None = None,
+        *,
+        workers: int | None = None,
+        query_workers: int | None = None,
+    ) -> "QuerySession":
+        """Open a catalog from disk and wrap it in a session.
+
+        A directory is a sharded-manifest catalog (served scatter-
+        gather); a file is a monolithic snapshot (JSON/npz/arena).
+        """
+        from repro.serving.shards import ShardedCatalog
+
+        path = Path(path)
+        if path.is_dir():
+            return cls.for_sharded(
+                ShardedCatalog.load(path),
+                options,
+                workers=workers,
+                query_workers=query_workers,
+            )
+        from repro.index.catalog import SketchCatalog
+
+        return cls.for_catalog(SketchCatalog.load(path), options)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def options(self) -> QueryOptions:
+        return self._options
+
+    @property
+    def catalog(self):
+        catalog = getattr(self.backend, "catalog", None)
+        if catalog is None:
+            catalog = getattr(self.backend, "router").catalog
+        return catalog
+
+    def catalog_info(self) -> dict:
+        """A JSON-safe summary of what this session serves."""
+        catalog = self.catalog
+        return {
+            "sketches": len(catalog),
+            "sketch_size": catalog.sketch_size,
+            "aggregate": catalog.aggregate,
+            "scheme": {
+                "bits": catalog.hasher.bits,
+                "seed": catalog.hasher.seed,
+            },
+            "shards": getattr(catalog, "n_shards", 1),
+            "backend": type(self.backend).__name__,
+            "options": self._options.to_dict(),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def warm(self) -> None:
+        """Materialize lazily-loaded backend state now (idempotent)."""
+        warm = getattr(self.backend, "warm", None)
+        if warm is not None:
+            warm()
+
+    def close(self) -> None:
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- query surface -------------------------------------------------------
+
+    def query_sketch(
+        self, keys, values, name: str | None = None
+    ) -> CorrelationSketch:
+        """Sketch one ⟨key, value⟩ column pair against the catalog's
+        configuration (size, aggregate, hashing scheme), ready to submit."""
+        catalog = self.catalog
+        sketch = CorrelationSketch(
+            catalog.sketch_size,
+            aggregate=catalog.aggregate,
+            hasher=catalog.hasher,
+            name=name,
+        )
+        sketch.update_array(
+            np.asarray(keys), np.asarray(values, dtype=float)
+        )
+        return sketch
+
+    def submit(
+        self,
+        queries,
+        *,
+        exclude_ids: list[str | None] | None = None,
+        true_correlations: list[dict[str, float] | None] | None = None,
+        options: QueryOptions | None = None,
+    ) -> list[QueryResult]:
+        """Evaluate the queries under the session's options.
+
+        Args:
+            queries: :class:`CorrelationSketch` query sketches.
+            exclude_ids: per-query catalog id to exclude (a query pair
+                that is itself indexed must not match itself).
+            true_correlations: per-query ground-truth dicts, for
+                evaluation runs.
+            options: a per-call override of the session's record
+                (engine-level fields must match the warm backend — use
+                a new session to change those).
+        """
+        opts = self._options if options is None else options
+        queries = list(queries)
+        n = len(queries)
+        if exclude_ids is None:
+            exclude_ids = [None] * n
+        if true_correlations is None:
+            true_correlations = [None] * n
+        if len(exclude_ids) != n or len(true_correlations) != n:
+            raise ValueError(
+                f"{n} queries but {len(exclude_ids)} exclude ids and "
+                f"{len(true_correlations)} truth dicts"
+            )
+        if n == 0:
+            return []
+        kwargs: dict = {}
+        if opts.seed is not None:
+            if not self._supports_rng:
+                raise ValueError(
+                    "options.seed pins one shared rng consumed in query "
+                    "order — an inherently sequential contract the "
+                    f"{type(self.backend).__name__} backend does not "
+                    "support; leave seed=None for the per-query "
+                    "fixed-seed default"
+                )
+            kwargs["rng"] = np.random.default_rng(opts.seed)
+        if opts.deadline_ms is not None or opts.on_shard_error != "raise":
+            if not self._supports_resilience:
+                raise ValueError(
+                    "deadline_ms/on_shard_error bound the shard "
+                    "fan-out; the monolithic "
+                    f"{type(self.backend).__name__} backend has none"
+                )
+            if opts.deadline_ms is not None:
+                kwargs["deadline_ms"] = opts.deadline_ms
+            if opts.on_shard_error != "raise":
+                kwargs["on_shard_error"] = opts.on_shard_error
+        return self.backend.query_batch(
+            queries,
+            k=opts.k,
+            scorer=opts.scorer,
+            exclude_ids=exclude_ids,
+            true_correlations=true_correlations,
+            **kwargs,
+        )
+
+    def submit_one(
+        self,
+        query: CorrelationSketch,
+        *,
+        exclude_id: str | None = None,
+        true_correlations: dict[str, float] | None = None,
+        options: QueryOptions | None = None,
+    ) -> QueryResult:
+        """:meth:`submit` for a single query (batch of one — results are
+        bit-identical either way under the default ``seed=None``)."""
+        return self.submit(
+            [query],
+            exclude_ids=[exclude_id],
+            true_correlations=[true_correlations],
+            options=options,
+        )[0]
+
+    def estimate(
+        self,
+        left_keys,
+        left_values,
+        right_keys,
+        right_values,
+        *,
+        estimator: str = "pearson",
+    ) -> dict:
+        """One-off after-join correlation estimate between two in-memory
+        column pairs, sketched under the catalog's configuration.
+
+        Returns a strict-JSON dict (NaN encodes as ``null``) — the body
+        the HTTP service's ``/estimate`` endpoint answers with.
+        """
+        left = self.query_sketch(left_keys, left_values, name="left")
+        right = self.query_sketch(right_keys, right_values, name="right")
+        result = estimate_pair(left, right, estimator=estimator)
+        return {
+            "correlation": json_float(result.correlation),
+            "estimator": result.estimator,
+            "sample_size": result.sample_size,
+            "fisher_se": json_float(result.fisher_se),
+            "hoeffding": {
+                "low": json_float(result.hoeffding.low),
+                "high": json_float(result.hoeffding.high),
+            },
+            "hfd": {
+                "low": json_float(result.hfd.low),
+                "high": json_float(result.hfd.high),
+            },
+            "key_overlap": result.key_overlap,
+            "containment_est": json_float(result.containment_est),
+            "join_size_est": json_float(result.join_size_est),
+            "range_bounds_valid": result.range_bounds_valid,
+        }

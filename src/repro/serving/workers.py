@@ -238,10 +238,11 @@ def _init_query_worker(router) -> None:
 
 def _run_query_chunk(task):
     """Worker-side entry: evaluate one contiguous query slice."""
-    chunk_index, sketches, k, scorer, exclude_ids, extra = task
+    chunk_index, sketches, k, scorer, exclude_ids, truths, extra = task
     maybe_fire("worker_chunk", chunk=chunk_index)
     results = _WORKER_ROUTER.query_batch(
-        sketches, k=k, scorer=scorer, exclude_ids=exclude_ids, **extra
+        sketches, k=k, scorer=scorer, exclude_ids=exclude_ids,
+        true_correlations=truths, **extra
     )
     return chunk_index, results
 
@@ -357,15 +358,19 @@ class QueryWorkerPool:
         scorer: str = "rp_cih",
         *,
         exclude_ids: list[str | None] | None = None,
+        true_correlations: list[dict[str, float] | None] | None = None,
         deadline_ms: float | None = None,
         on_shard_error: str = "raise",
     ):
         """Evaluate the batch, partitioned across the worker processes.
 
-        ``deadline_ms`` / ``on_shard_error`` forward to the router's
-        shard fan-out (each worker applies them to its own chunk); the
-        defaults are never forwarded, so any monolithic engine with a
-        plain ``query_batch`` still works as the pool's router.
+        ``true_correlations`` (per-query ground-truth dicts, for
+        evaluation runs) is chunked alongside the sketches and forwarded
+        to each worker's ``query_batch``. ``deadline_ms`` /
+        ``on_shard_error`` forward to the router's shard fan-out (each
+        worker applies them to its own chunk); the defaults are never
+        forwarded, so any monolithic engine with a plain ``query_batch``
+        still works as the pool's router.
         """
         query_sketches = list(query_sketches)
         if exclude_ids is None:
@@ -374,6 +379,13 @@ class QueryWorkerPool:
             raise ValueError(
                 f"{len(query_sketches)} query sketches but "
                 f"{len(exclude_ids)} exclude ids"
+            )
+        if true_correlations is None:
+            true_correlations = [None] * len(query_sketches)
+        if len(true_correlations) != len(query_sketches):
+            raise ValueError(
+                f"{len(query_sketches)} query sketches but "
+                f"{len(true_correlations)} truth dicts"
             )
         extra: dict = {}
         if deadline_ms is not None:
@@ -384,7 +396,7 @@ class QueryWorkerPool:
         if pool is None or len(query_sketches) <= 1:
             return self.router.query_batch(
                 query_sketches, k=k, scorer=scorer, exclude_ids=exclude_ids,
-                **extra,
+                true_correlations=true_correlations, **extra,
             )
         n_chunks = min(self.workers, len(query_sketches))
         bounds = [
@@ -397,6 +409,7 @@ class QueryWorkerPool:
                 k,
                 scorer,
                 exclude_ids[bounds[i] : bounds[i + 1]],
+                true_correlations[bounds[i] : bounds[i + 1]],
                 extra,
             )
             for i in range(n_chunks)
@@ -410,7 +423,7 @@ class QueryWorkerPool:
                 for index, task in sorted(pending.items()):
                     completed[index] = self.router.query_batch(
                         task[1], k=k, scorer=scorer, exclude_ids=task[4],
-                        **extra,
+                        true_correlations=task[5], **extra,
                     )
                 pending.clear()
                 break

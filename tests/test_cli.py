@@ -889,3 +889,73 @@ def test_query_batch_partial_flags_each_degraded(portal, tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert out.count("degraded   : 2/3 shard(s) answered, 1 dropped") == 3
+
+
+# -- serve --------------------------------------------------------------------
+
+
+def _subparser(name):
+    import argparse
+
+    from repro.cli import build_parser
+
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices[name]
+    raise AssertionError("no subparsers found")
+
+
+def test_query_and_serve_share_one_tuning_surface():
+    """The query-tuning flags are built by one helper for both verbs —
+    this pins that neither subparser can drift (names, defaults,
+    choices, types) without the other noticing."""
+    shared = [
+        "-k", "--scorer", "--depth", "--retrieval", "--bands", "--rows",
+        "--min-overlap", "--seed", "--no-vectorized-query", "--rng-mode",
+        "--deadline-ms", "--on-shard-error",
+    ]
+
+    def tuning_actions(parser):
+        actions = {}
+        for action in parser._actions:
+            for option in action.option_strings:
+                if option in shared:
+                    actions[option] = action
+        return actions
+
+    query_actions = tuning_actions(_subparser("query"))
+    serve_actions = tuning_actions(_subparser("serve"))
+    assert set(query_actions) == set(shared)
+    assert set(serve_actions) == set(shared)
+    for option in shared:
+        q, s = query_actions[option], serve_actions[option]
+        assert q.option_strings == s.option_strings
+        assert q.default == s.default, option
+        assert q.choices == s.choices, option
+        assert q.type == s.type, option
+        assert q.help == s.help, option
+
+
+@pytest.mark.parametrize(
+    ("extra", "message"),
+    [
+        ([], "provide a catalog file or --catalog-dir"),
+        (["catalog.json", "--catalog-dir", "dir"], "not both"),
+        (["catalog.json", "--workers", "2"], "needs --catalog-dir"),
+        (["catalog.json", "--deadline-ms", "50"], "need --catalog-dir"),
+        (["catalog.json", "--on-shard-error", "partial"], "need --catalog-dir"),
+        (["--catalog-dir", "dir", "--no-vectorized-query"], "columnar-only"),
+        (["catalog.json", "--seed", "7"], "window composition"),
+    ],
+)
+def test_serve_argument_validation(extra, message):
+    with pytest.raises(SystemExit, match=message):
+        main(["serve", *extra])
+
+
+def test_serve_help_lists_window_flags(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--help"])
+    out = capsys.readouterr().out
+    for flag in ("--host", "--port", "--max-batch", "--max-wait-ms"):
+        assert flag in out

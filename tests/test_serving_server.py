@@ -1,0 +1,351 @@
+"""HTTP query service: wire responses bit-identical to direct calls.
+
+The server is a thin residency layer — these tests pin that thinness:
+a ``POST /query`` body equals ``QueryResult.to_dict()`` from a direct
+backend call with the same options (all scorers, both rng modes, both
+retrieval backends), degraded shard accounting passes through to the
+wire untouched, malformed requests get 400s with named fields, and the
+``repro-sketch serve`` process drains cleanly on SIGTERM.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import CorrelationSketch
+from repro.hashing import KeyHasher
+from repro.index.catalog import SketchCatalog
+from repro.index.options import QueryOptions
+from repro.ranking.scoring import RNG_MODES, SCORER_NAMES
+from repro.serving import (
+    QueryService,
+    QuerySession,
+    ShardedCatalog,
+)
+from repro.serving.faults import injected
+
+N_SKETCHES = 24
+SKETCH_SIZE = 64
+ROWS = 160
+UNIVERSE = 900
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(31)
+    hasher = KeyHasher()
+    pairs = []
+    columns = {}
+    for i in range(N_SKETCHES):
+        keys = rng.choice(UNIVERSE, ROWS, replace=False)
+        values = rng.standard_normal(ROWS)
+        name = f"pair{i:02d}"
+        columns[name] = (keys, values)
+        pairs.append(
+            (
+                name,
+                CorrelationSketch.from_columns(
+                    keys, values, SKETCH_SIZE, hasher=hasher, name=name
+                ),
+            )
+        )
+    mono = SketchCatalog(sketch_size=SKETCH_SIZE, hasher=hasher)
+    mono.add_sketches(pairs)
+    sharded = ShardedCatalog(2, sketch_size=SKETCH_SIZE, hasher=hasher)
+    sharded.add_sketches(pairs)
+    query_keys = rng.choice(UNIVERSE, 240, replace=False)
+    query_values = rng.standard_normal(240)
+    return mono, sharded, columns, (query_keys, query_values)
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post_error(url, body: bytes):
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30):
+            raise AssertionError("expected an HTTP error")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _strip_timing(payload: dict) -> dict:
+    return {k: v for k, v in payload.items() if not k.endswith("_seconds")}
+
+
+# -- /query parity ------------------------------------------------------------
+
+
+class TestQueryParity:
+    @pytest.mark.parametrize("rng_mode", RNG_MODES)
+    @pytest.mark.parametrize("backend", ["inverted", "lsh"])
+    def test_http_equals_direct(self, corpus, rng_mode, backend):
+        """The response body for every scorer is bit-identical (timing
+        aside) to QueryResult.to_dict() from a direct backend call."""
+        mono, _, _, (keys, values) = corpus
+        options = QueryOptions(
+            k=6,
+            rng_mode=rng_mode,
+            retrieval_backend=backend,
+            lsh_bands=32 if backend == "lsh" else None,
+            lsh_rows=1 if backend == "lsh" else None,
+        )
+        reference = QuerySession.for_catalog(mono, options)
+        with QueryService(
+            QuerySession.for_catalog(mono, options)
+        ) as service:
+            for scorer in SCORER_NAMES:
+                status, body = _post(
+                    service.url + "/query",
+                    {
+                        "keys": keys.tolist(),
+                        "values": values.tolist(),
+                        "scorer": scorer,
+                    },
+                )
+                assert status == 200
+                expected = reference.submit_one(
+                    reference.query_sketch(keys, values),
+                    options=options.merged(scorer=scorer),
+                )
+                assert _strip_timing(body) == _strip_timing(
+                    expected.to_dict()
+                )
+
+    def test_sharded_service(self, corpus):
+        _, sharded, _, (keys, values) = corpus
+        options = QueryOptions(k=5)
+        with QueryService(
+            QuerySession.for_sharded(sharded, options)
+        ) as service:
+            status, body = _post(
+                service.url + "/query",
+                {"keys": keys.tolist(), "values": values.tolist()},
+            )
+        assert status == 200
+        assert body["shards_probed"] == 2
+        assert body["shards_failed"] == 0
+        assert body["degraded"] is False
+        with QuerySession.for_sharded(sharded, options) as reference:
+            expected = reference.submit_one(
+                reference.query_sketch(keys, values)
+            )
+        assert _strip_timing(body) == _strip_timing(expected.to_dict())
+
+    def test_exclude_id_and_k(self, corpus):
+        mono, _, columns, _ = corpus
+        keys, values = columns["pair03"]
+        with QueryService(QuerySession.for_catalog(mono)) as service:
+            _, with_self = _post(
+                service.url + "/query",
+                {"keys": keys.tolist(), "values": values.tolist(), "k": 3},
+            )
+            _, without_self = _post(
+                service.url + "/query",
+                {
+                    "keys": keys.tolist(),
+                    "values": values.tolist(),
+                    "k": 3,
+                    "exclude_id": "pair03",
+                },
+            )
+        assert with_self["ranked"][0]["candidate_id"] == "pair03"
+        assert len(with_self["ranked"]) == 3
+        assert all(
+            entry["candidate_id"] != "pair03"
+            for entry in without_self["ranked"]
+        )
+
+    def test_degraded_accounting_reaches_the_wire(self, corpus):
+        """A shard failure under on_shard_error=partial surfaces in the
+        response exactly as the router reports it — the server adds no
+        interpretation layer over to_dict()."""
+        _, sharded, _, (keys, values) = corpus
+        options = QueryOptions(k=5, on_shard_error="partial")
+        with QueryService(
+            QuerySession.for_sharded(sharded, options)
+        ) as service:
+            with injected({"shard_probe": {"shard": 0, "kind": "exception"}}):
+                status, body = _post(
+                    service.url + "/query",
+                    {"keys": keys.tolist(), "values": values.tolist()},
+                )
+        assert status == 200
+        assert body["shards_probed"] == 2
+        assert body["shards_failed"] == 1
+        assert body["degraded"] is True
+        assert body["ranked"]  # partial answer, not an empty one
+
+
+# -- other endpoints ----------------------------------------------------------
+
+
+class TestEndpoints:
+    def test_estimate(self, corpus):
+        mono, _, _, (keys, values) = corpus
+        with QueryService(QuerySession.for_catalog(mono)) as service:
+            status, body = _post(
+                service.url + "/estimate",
+                {
+                    "left": {"keys": keys.tolist(), "values": values.tolist()},
+                    "right": {
+                        "keys": keys.tolist(),
+                        "values": values.tolist(),
+                    },
+                },
+            )
+        assert status == 200
+        assert body["correlation"] == pytest.approx(1.0)
+        assert body["estimator"] == "pearson"
+        assert body["sample_size"] > 0
+
+    def test_healthz_and_catalog_info(self, corpus):
+        mono, _, _, (keys, values) = corpus
+        session = QuerySession.for_catalog(mono, QueryOptions(k=7))
+        with QueryService(session) as service:
+            _post(
+                service.url + "/query",
+                {"keys": keys.tolist(), "values": values.tolist()},
+            )
+            status, health = _get(service.url + "/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["coalescer"]["submitted"] == 1
+            status, info = _get(service.url + "/catalog/info")
+        assert status == 200
+        assert info == session.catalog_info()
+
+    def test_bad_requests_get_400(self, corpus):
+        mono, _, _, (keys, values) = corpus
+        with QueryService(QuerySession.for_catalog(mono)) as service:
+            url = service.url + "/query"
+            code, body = _post_error(url, b"{not json")
+            assert code == 400 and "not valid JSON" in body["error"]
+            code, body = _post_error(url, b"[1, 2]")
+            assert code == 400 and "JSON object" in body["error"]
+            code, body = _post_error(url, json.dumps({"keys": [1]}).encode())
+            assert code == 400 and "'values'" in body["error"]
+            code, body = _post_error(
+                url, json.dumps({"keys": [1, 2], "values": [1.0]}).encode()
+            )
+            assert code == 400 and "2 entries" in body["error"]
+            code, body = _post_error(
+                url, json.dumps({"keys": [], "values": []}).encode()
+            )
+            assert code == 400 and "non-empty" in body["error"]
+            code, body = _post_error(
+                url,
+                json.dumps(
+                    {
+                        "keys": keys.tolist(),
+                        "values": values.tolist(),
+                        "scorer": "bogus",
+                    }
+                ).encode(),
+            )
+            assert code == 400 and "unknown scorer" in body["error"]
+            code, body = _post_error(
+                service.url + "/estimate",
+                json.dumps({"left": {"keys": [1], "values": [1.0]}}).encode(),
+            )
+            assert code == 400 and "'right'" in body["error"]
+
+    def test_unknown_paths_get_404(self, corpus):
+        mono, _, _, _ = corpus
+        with QueryService(QuerySession.for_catalog(mono)) as service:
+            try:
+                urllib.request.urlopen(service.url + "/nope", timeout=30)
+                raise AssertionError("expected 404")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+            code, body = _post_error(service.url + "/nope", b"{}")
+            assert code == 404
+
+    def test_stop_is_idempotent_and_frees_the_port(self, corpus):
+        mono, _, _, _ = corpus
+        service = QueryService(QuerySession.for_catalog(mono))
+        service.start()
+        host, port = service.address
+        service.stop()
+        service.stop()
+        # The port is released: a new service can bind it immediately.
+        rebound = QueryService(
+            QuerySession.for_catalog(mono), host=host, port=port
+        )
+        rebound.start()
+        rebound.stop()
+
+
+# -- CLI integration ----------------------------------------------------------
+
+
+class TestServeCli:
+    def test_serve_lifecycle(self, corpus, tmp_path):
+        """`repro-sketch serve`: start, answer a query over HTTP, drain
+        on SIGTERM, exit 0."""
+        mono, _, _, (keys, values) = corpus
+        catalog_path = tmp_path / "catalog.npz"
+        mono.save(catalog_path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                str(catalog_path), "--port", "0", "-k", "4",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd="/root/repo",
+        )
+        try:
+            url = None
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if not line:
+                    break
+                if line.startswith("listening"):
+                    url = line.split(":", 1)[1].strip()
+                    break
+            assert url is not None, process.stderr.read()
+            status, body = _post(
+                url + "/query",
+                {"keys": keys.tolist(), "values": values.tolist()},
+            )
+            assert status == 200
+            assert len(body["ranked"]) == 4
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+            assert process.returncode == 0, stderr
+            assert "drained" in stdout
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
