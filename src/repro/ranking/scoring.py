@@ -101,10 +101,9 @@ class CandidateScores:
         """Strict-JSON representation (inverse of :meth:`from_dict`).
 
         Floats survive bit-for-bit (JSON carries ``repr``, which
-        round-trips every finite float exactly); NaN — which strict JSON
-        cannot express — is encoded as ``null``. Infinities (a legal
-        ``hfd_ci_length`` on degenerate samples) pass through unchanged:
-        Python's encoder/decoder pair handles them natively.
+        round-trips every finite float exactly); NaN and the infinities
+        (a legal ``hfd_ci_length`` on degenerate samples) — which strict
+        JSON cannot express — use the :func:`json_float` encodings.
         """
         return {
             "r_pearson": json_float(self.r_pearson),
@@ -131,14 +130,34 @@ class CandidateScores:
         )
 
 
-def json_float(value: float) -> float | None:
-    """NaN → ``None``; every other float unchanged (strict-JSON safe)."""
-    return None if math.isnan(value) else float(value)
+def json_float(value: float) -> float | str | None:
+    """Strict-JSON float encoding: finite floats unchanged.
+
+    Strict JSON has no token for the IEEE specials, and Python's default
+    encoder would emit the non-standard ``NaN``/``Infinity`` literals
+    that non-Python clients reject — so NaN encodes as ``None`` and the
+    infinities as the string sentinels ``"Infinity"``/``"-Infinity"``
+    (:func:`unjson_float` restores all three).
+    """
+    value = float(value)
+    if math.isnan(value):
+        return None
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
 
 
-def unjson_float(value: float | None) -> float:
-    """Inverse of :func:`json_float`: ``None`` → NaN."""
-    return math.nan if value is None else float(value)
+def unjson_float(value: float | str | None) -> float:
+    """Inverse of :func:`json_float`: decode the NaN/infinity encodings."""
+    if value is None:
+        return math.nan
+    if isinstance(value, str):
+        if value == "Infinity":
+            return math.inf
+        if value == "-Infinity":
+            return -math.inf
+        raise ValueError(f"not a JSON float encoding: {value!r}")
+    return float(value)
 
 
 def _abs_or_zero(r: float) -> float:

@@ -100,7 +100,9 @@ class QueryCoalescer:
         self._pending: list[_Pending] = []
         self._busy = False  # an execution (fast-path or flush) in flight
         self._closed = False
-        #: Counters (read under no lock — monotonic, telemetry only).
+        #: Counters — every write holds ``_cond`` so concurrent
+        #: read-modify-writes cannot drop increments; telemetry readers
+        #: (``/healthz``) read lock-free, which is safe for int values.
         self.stats = {
             "submitted": 0,
             "fast_path": 0,      # lone idle requests run on caller thread
@@ -130,12 +132,25 @@ class QueryCoalescer:
         they describe the warm index, not one request.
         """
         options = self.session.options
-        request = _Pending(
-            sketch,
-            options.k if k is None else k,
-            options.scorer if scorer is None else scorer,
-            exclude_id,
-        )
+        k = options.k if k is None else k
+        scorer = options.scorer if scorer is None else scorer
+        # Validate per-request knobs on the caller's thread, before the
+        # request can enter a shared window: a bad value (wrong type,
+        # unknown scorer, unhashable JSON like k=[5]) must fail only
+        # this call, never reach the flusher or a window-mate.
+        if not isinstance(k, int) or isinstance(k, bool):
+            raise TypeError(f"k must be an integer, got {type(k).__name__}")
+        if not isinstance(scorer, str):
+            raise TypeError(
+                f"scorer must be a string, got {type(scorer).__name__}"
+            )
+        if exclude_id is not None and not isinstance(exclude_id, str):
+            raise TypeError(
+                f"exclude_id must be a string or None, got "
+                f"{type(exclude_id).__name__}"
+            )
+        options.merged(k=k, scorer=scorer)  # value validation (k>0, names)
+        request = _Pending(sketch, k, scorer, exclude_id)
         with self._cond:
             if self._closed:
                 raise RuntimeError("coalescer is closed")
@@ -200,14 +215,24 @@ class QueryCoalescer:
                 batch = self._pending[: self.max_batch]
                 del self._pending[: self.max_batch]
                 self._busy = True
-            try:
                 self.stats["batches"] += 1
                 if len(batch) > 1:
                     self.stats["coalesced"] += len(batch)
                 self.stats["largest_batch"] = max(
                     self.stats["largest_batch"], len(batch)
                 )
+            try:
                 self._execute(batch)
+            except BaseException as exc:  # noqa: BLE001 — see below
+                # _execute hands per-group failures to their callers; an
+                # exception escaping it is a coalescer bug. Fail the
+                # batch (callers are blocked on done.wait()) but keep
+                # the flusher alive — killing it would hang every
+                # later request and deadlock close()'s drain.
+                for request in batch:
+                    if not request.done.is_set():
+                        request.error = exc
+                        request.done.set()
             finally:
                 with self._cond:
                     self._busy = False
@@ -217,7 +242,12 @@ class QueryCoalescer:
         """Run one window as one sub-batch per ``(k, scorer)`` group."""
         groups: dict[tuple[int, str], list[_Pending]] = {}
         for request in batch:
-            groups.setdefault((request.k, request.scorer), []).append(request)
+            try:
+                key = (request.k, request.scorer)
+                groups.setdefault(key, []).append(request)
+            except Exception as exc:  # unhashable k/scorer that slipped
+                request.error = exc   # past submit's validation: fail
+                request.done.set()    # this request, keep its window-mates
         for (k, scorer), requests in groups.items():
             try:
                 results = self.session.submit(

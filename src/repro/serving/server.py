@@ -6,7 +6,9 @@ and concurrent clients share one process through the coalescing front
 door (:mod:`repro.serving.coalescer`). Stdlib only
 (``http.server.ThreadingHTTPServer``); no new dependencies.
 
-Endpoints (JSON in, JSON out; NaN encodes as ``null`` on the wire):
+Endpoints (JSON in, strict JSON out — NaN encodes as ``null`` and the
+infinities as ``"Infinity"``/``"-Infinity"`` string sentinels, never as
+the non-standard bare literals):
 
 * ``POST /query`` — body ``{"keys": [...], "values": [...]}`` plus
   optional ``"k"``, ``"scorer"``, ``"exclude_id"``, ``"name"``. The
@@ -47,6 +49,11 @@ class _Server(ThreadingHTTPServer):
     # real drain, not an abandonment (ThreadingHTTPServer defaults to
     # daemon threads, which server_close would not wait for).
     daemon_threads = False
+    # socketserver's default listen backlog of 5 drops/resets connects
+    # when a burst of concurrent clients outruns the accept loop — the
+    # exact regime the coalescing window exists for. 128 rides the
+    # common somaxconn floor.
+    request_queue_size = 128
     #: Installed by QueryService before the listener starts.
     service: "QueryService"
 
@@ -58,7 +65,17 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+        try:
+            # allow_nan=False enforces the strict-JSON wire contract:
+            # non-finite floats must already be encoded (json_float) —
+            # the default encoder would emit NaN/Infinity literals that
+            # non-Python clients cannot parse.
+            body = json.dumps(payload, allow_nan=False).encode()
+        except ValueError:
+            status = 500
+            body = json.dumps(
+                {"error": "internal error: non-finite float in response"}
+            ).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

@@ -62,10 +62,26 @@ class QuerySession:
             (depth, backend, rng mode, ...) are read back from the
             backend itself when it exposes an ``options`` record, so the
             session always reports the configuration that actually
-            serves — build backends with :meth:`for_catalog` /
+            serves; explicitly setting one of them to a value the warm
+            backend disagrees with raises (a session cannot re-tune a
+            built backend) — build backends with :meth:`for_catalog` /
             :meth:`for_sharded` to set those fields from the same
             record.
     """
+
+    #: Fields fixed at backend construction — everything submit cannot
+    #: vary per call. A caller record that explicitly disagrees with the
+    #: warm backend on one of these is a misconfiguration, not an
+    #: override (the session adds no execution layer that could honor it).
+    _ENGINE_LEVEL_FIELDS = (
+        "depth",
+        "min_overlap",
+        "vectorized",
+        "rng_mode",
+        "retrieval_backend",
+        "lsh_bands",
+        "lsh_rows",
+    )
 
     def __init__(self, backend, options: QueryOptions | None = None) -> None:
         self.backend = backend
@@ -75,6 +91,26 @@ class QuerySession:
         if backend_options is not None:
             # The backend's construction is the truth for engine-level
             # fields; the caller's record contributes the per-call ones.
+            # A default-valued caller field just means "unspecified" and
+            # adopts the backend's, but an explicitly divergent value
+            # cannot be served by this warm backend — silently answering
+            # with the backend's configuration would mask the mistake.
+            defaults = QueryOptions()
+            conflicts = [
+                f"{name}={getattr(options, name)!r} (backend has "
+                f"{getattr(backend_options, name)!r})"
+                for name in self._ENGINE_LEVEL_FIELDS
+                if getattr(options, name) != getattr(backend_options, name)
+                and getattr(options, name) != getattr(defaults, name)
+            ]
+            if conflicts:
+                raise ValueError(
+                    "options disagree with the warm backend on engine-"
+                    f"level field(s): {', '.join(conflicts)}; these are "
+                    "fixed at backend construction — build the backend "
+                    "from the same record (for_catalog/for_sharded/"
+                    "open) or drop the override"
+                )
             options = backend_options.merged(
                 k=options.k,
                 scorer=options.scorer,
@@ -331,8 +367,10 @@ class QuerySession:
         """One-off after-join correlation estimate between two in-memory
         column pairs, sketched under the catalog's configuration.
 
-        Returns a strict-JSON dict (NaN encodes as ``null``) — the body
-        the HTTP service's ``/estimate`` endpoint answers with.
+        Returns a strict-JSON dict (NaN encodes as ``null``, infinities
+        as the :func:`~repro.ranking.scoring.json_float` string
+        sentinels) — the body the HTTP service's ``/estimate`` endpoint
+        answers with.
         """
         left = self.query_sketch(left_keys, left_values, name="left")
         right = self.query_sketch(right_keys, right_values, name="right")

@@ -12,8 +12,10 @@ from repro.ranking.scoring import (
     candidate_scores,
     cib_factor,
     cih_factors,
+    json_float,
     score_candidates,
     sez_factor,
+    unjson_float,
 )
 
 
@@ -161,3 +163,43 @@ class TestCandidateScores:
         large = candidate_scores(_sample(n=500, seed=1))
         assert large.sez_factor > small.sez_factor
         assert large.hfd_ci_length < small.hfd_ci_length
+
+
+class TestJsonFloat:
+    """The strict-JSON float encoding the whole wire format rides on:
+    no value json_float produces may need Python's non-standard
+    NaN/Infinity literals, and unjson_float must invert it exactly."""
+
+    def test_finite_pass_through(self):
+        for value in (0.0, -0.0, 1.5, -2.75e300, 5e-324):
+            assert json_float(value) == value
+            assert unjson_float(json_float(value)) == value
+
+    def test_nan_encodes_as_none(self):
+        assert json_float(math.nan) is None
+        assert math.isnan(unjson_float(None))
+
+    def test_infinities_encode_as_sentinels(self):
+        assert json_float(math.inf) == "Infinity"
+        assert json_float(-math.inf) == "-Infinity"
+        assert unjson_float("Infinity") == math.inf
+        assert unjson_float("-Infinity") == -math.inf
+
+    def test_every_encoding_is_strict_json(self):
+        import json
+
+        for value in (math.nan, math.inf, -math.inf, 1.25):
+            json.dumps(json_float(value), allow_nan=False)
+
+    def test_unjson_rejects_garbage_strings(self):
+        with pytest.raises(ValueError, match="not a JSON float"):
+            unjson_float("banana")
+
+    def test_stats_with_infinite_ci_round_trip(self):
+        stats = _stats(hfd_len=math.inf)
+        import json
+
+        payload = json.loads(
+            json.dumps(stats.to_dict(), allow_nan=False)
+        )
+        assert CandidateScores.from_dict(payload) == stats

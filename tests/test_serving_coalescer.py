@@ -301,6 +301,65 @@ class TestCoalescedParity:
         assert _wire(outcome["good"]) == _wire(session.submit_one(queries[1]))
 
 
+# -- flusher survival ---------------------------------------------------------
+
+
+class TestFlusherSurvival:
+    """A bad request (or a coalescer bug) must fail *that* caller; the
+    shared flusher thread must keep serving and close() must drain."""
+
+    def test_unhashable_k_fails_fast_without_killing_the_flusher(
+        self, corpus
+    ):
+        mono, _, queries = corpus
+        session = QuerySession.for_catalog(mono)
+        with QueryCoalescer(
+            session, max_batch=8, max_wait_ms=10.0
+        ) as coalescer:
+            # JSON-shaped garbage (`{"k": [5]}`): rejected on the
+            # caller's thread, never enqueued into a shared window.
+            with pytest.raises(TypeError, match="k must be an integer"):
+                coalescer.submit(queries[0], k=[5])
+            with pytest.raises(TypeError, match="scorer must be a string"):
+                coalescer.submit(queries[0], scorer={"rp": 1})
+            # The coalescer still works — for this caller and others.
+            result = coalescer.submit(queries[1])
+            assert _wire(result) == _wire(session.submit_one(queries[1]))
+        # close() returned: the flusher drained and exited.
+
+    def test_non_string_exclude_id_rejected(self, corpus):
+        mono, _, queries = corpus
+        session = QuerySession.for_catalog(mono)
+        with QueryCoalescer(session) as coalescer:
+            with pytest.raises(TypeError, match="exclude_id"):
+                coalescer.submit(queries[0], exclude_id=123)
+
+    def test_flusher_survives_unexpected_execute_failure(self, corpus):
+        """Even an exception escaping _execute itself (a coalescer bug,
+        past all per-request handling) fails the batch's callers instead
+        of silently killing the flusher and hanging every later request."""
+        mono, _, queries = corpus
+        session = QuerySession.for_catalog(mono)
+        coalescer = QueryCoalescer(session, max_batch=8, max_wait_ms=10.0)
+        real_execute = coalescer._execute
+
+        def broken(batch):
+            raise RuntimeError("injected coalescer bug")
+
+        coalescer._execute = broken
+        try:
+            with pytest.raises(RuntimeError, match="injected"):
+                # max_wait_ms > 0 forces the flusher path.
+                coalescer.submit(queries[0])
+        finally:
+            coalescer._execute = real_execute
+        # The flusher survived: later requests are still served, and
+        # close() still drains rather than deadlocking.
+        result = coalescer.submit(queries[1])
+        assert _wire(result) == _wire(session.submit_one(queries[1]))
+        coalescer.close()
+
+
 # -- concurrency stress -------------------------------------------------------
 
 

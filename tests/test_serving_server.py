@@ -301,6 +301,111 @@ class TestEndpoints:
         rebound.stop()
 
 
+# -- robustness ---------------------------------------------------------------
+
+
+class TestRobustness:
+    def test_unhashable_k_gets_400_and_service_keeps_serving(self, corpus):
+        """`{"k": [5]}` must fail only that request. Before validation
+        moved to the caller's thread, the unhashable k reached the
+        coalescer's window grouping and killed the flusher thread —
+        hanging every later request and deadlocking stop()'s drain."""
+        mono, _, _, (keys, values) = corpus
+        with QueryService(QuerySession.for_catalog(mono)) as service:
+            url = service.url + "/query"
+            code, body = _post_error(
+                url,
+                json.dumps(
+                    {"keys": keys.tolist(), "values": values.tolist(),
+                     "k": [5]}
+                ).encode(),
+            )
+            assert code == 400
+            code, body = _post_error(
+                url,
+                json.dumps(
+                    {"keys": keys.tolist(), "values": values.tolist(),
+                     "scorer": ["rp"]}
+                ).encode(),
+            )
+            assert code == 400
+            # The flusher survived: real queries still answer, and the
+            # context-manager exit below still drains cleanly.
+            status, body = _post(
+                url, {"keys": keys.tolist(), "values": values.tolist()}
+            )
+            assert status == 200 and body["ranked"]
+            status, health = _get(service.url + "/healthz")
+            assert status == 200 and health["status"] == "ok"
+
+    def test_infinite_floats_reach_the_wire_as_strict_json(self, corpus):
+        """A result carrying ±inf (legal hfd_ci_length on degenerate
+        samples) must serialize as the json_float string sentinels,
+        never as Python's bare Infinity literal that strict parsers
+        reject."""
+        from repro.index.engine import QueryResult
+        from repro.ranking.ranker import RankedCandidate
+        from repro.ranking.scoring import CandidateScores
+
+        mono, _, _, _ = corpus
+        degenerate = QueryResult(
+            ranked=[
+                RankedCandidate(
+                    candidate_id="pair00",
+                    score=0.5,
+                    stats=CandidateScores(
+                        r_pearson=0.5,
+                        r_bootstrap=float("nan"),
+                        sample_size=2,
+                        sez_factor=0.0,
+                        cib_factor=0.0,
+                        hfd_ci_length=float("inf"),
+                        containment_est=1.0,
+                        containment_true=float("-inf"),
+                    ),
+                    true_correlation=float("nan"),
+                )
+            ],
+            candidates_considered=1,
+            retrieval_seconds=0.0,
+            rerank_seconds=0.0,
+        )
+        with QueryService(QuerySession.for_catalog(mono)) as service:
+            service.handle_query = lambda payload: degenerate.to_dict()
+            request = urllib.request.Request(
+                service.url + "/query", data=b"{}",
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                raw = response.read()
+
+        def reject(literal):
+            raise AssertionError(
+                f"non-standard JSON literal {literal!r} on the wire"
+            )
+
+        body = json.loads(raw, parse_constant=reject)
+        stats = body["ranked"][0]["stats"]
+        assert stats["hfd_ci_length"] == "Infinity"
+        assert stats["containment_true"] == "-Infinity"
+        assert stats["r_bootstrap"] is None
+        assert QueryResult.from_dict(body).to_dict() == degenerate.to_dict()
+
+    def test_unsanitized_nonfinite_float_gets_500_not_invalid_json(
+        self, corpus
+    ):
+        """Defense in depth: if a non-finite float ever escapes the
+        json_float seam, the reply is a parseable 500, not a body the
+        client cannot decode."""
+        mono, _, _, _ = corpus
+        with QueryService(QuerySession.for_catalog(mono)) as service:
+            service.handle_query = lambda payload: {"leak": float("inf")}
+            code, body = _post_error(service.url + "/query", b"{}")
+        assert code == 500
+        assert "non-finite" in body["error"]
+
+
 # -- CLI integration ----------------------------------------------------------
 
 

@@ -160,6 +160,21 @@ class TestOptionsRouting:
         assert session.options.depth == 33
         assert session.options.k == 3
 
+    def test_explicit_engine_level_conflict_raises(self, corpus):
+        """An explicitly divergent engine-level field is a
+        misconfiguration the session cannot serve — silently answering
+        with the backend's value would mask it."""
+        mono, _, _ = corpus
+        engine = JoinCorrelationEngine(mono, retrieval_depth=100)
+        with pytest.raises(ValueError, match="engine-level"):
+            QuerySession(engine, QueryOptions(depth=50))
+        with pytest.raises(ValueError, match="retrieval_backend"):
+            QuerySession(engine, QueryOptions(retrieval_backend="lsh"))
+        # Per-call fields are the caller's to set — no conflict.
+        session = QuerySession(engine, QueryOptions(k=3, scorer="rp"))
+        assert session.options.k == 3
+        assert session.options.depth == 100
+
     def test_seed_matches_explicit_rng(self, corpus):
         mono, _, queries = corpus
         session = QuerySession.for_catalog(
@@ -328,10 +343,12 @@ class TestQueryResultWireFormat:
     @settings(max_examples=100, deadline=None)
     def test_round_trip_through_json(self, result):
         """to_dict -> json -> from_dict is the identity, bit for bit —
-        including NaN (as null), infinities, and the resilience fields.
+        including NaN (as null), infinities (as string sentinels), and
+        the resilience fields. allow_nan=False pins the wire to strict
+        JSON: no value may need Python's non-standard literals.
         (Compared through to_dict, where NaN is null — dataclass ``==``
         is NaN-blind by IEEE rules.)"""
-        payload = json.loads(json.dumps(result.to_dict()))
+        payload = json.loads(json.dumps(result.to_dict(), allow_nan=False))
         rebuilt = QueryResult.from_dict(payload)
         assert rebuilt.to_dict() == result.to_dict()
         assert len(rebuilt.ranked) == len(result.ranked)
