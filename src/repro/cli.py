@@ -422,6 +422,56 @@ def _print_degraded(result) -> None:
         )
 
 
+def _print_profile(results) -> None:
+    """Per-phase table from the results' trace spans.
+
+    Shared batch-wide spans (retrieval/score stacked across the whole
+    window) carry identical ``(name, start, duration)`` in every
+    query's trace and are counted once; per-query spans sum. Falls back
+    to the legacy two-line retrieval/re-rank split when no trace was
+    recorded (a backend that predates tracing).
+    """
+    totals: dict[str, float] = {}
+    seen_shared: set[tuple] = set()
+    for result in results:
+        block = getattr(result, "trace", None)
+        if not block:
+            continue
+        for span in block["spans"]:
+            if "parent" in span:
+                continue
+            if span.get("meta", {}).get("shared"):
+                key = (
+                    span["name"], span["start_ms"], span["duration_ms"]
+                )
+                if key in seen_shared:
+                    continue
+                seen_shared.add(key)
+            totals[span["name"]] = (
+                totals.get(span["name"], 0.0) + span["duration_ms"]
+            )
+    if not totals:
+        retrieval_ms = sum(r.retrieval_seconds for r in results) * 1000
+        rerank_ms = sum(r.rerank_seconds for r in results) * 1000
+        wall = max(retrieval_ms + rerank_ms, 1e-9)
+        print(
+            f"profile    : retrieval  {retrieval_ms:8.2f} ms "
+            f"({100 * retrieval_ms / wall:5.1f}%)"
+        )
+        print(
+            f"             re-rank    {rerank_ms:8.2f} ms "
+            f"({100 * rerank_ms / wall:5.1f}%)"
+        )
+        return
+    wall = max(sum(totals.values()), 1e-9)
+    label = "profile    :"
+    for name, ms in totals.items():
+        print(
+            f"{label} {name:<10} {ms:8.2f} ms ({100 * ms / wall:5.1f}%)"
+        )
+        label = "            "
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     if args.catalog_dir is not None and args.catalog is not None:
         # `query --catalog-dir DIR some.csv` parses the CSV into the
@@ -480,7 +530,9 @@ def cmd_query(args: argparse.Namespace) -> int:
     sketch = _build_query_sketch(table, pair, catalog)
 
     result = _run_resilient(
-        lambda: session.submit_one(sketch, exclude_id=pair.pair_id),
+        lambda: session.submit_one(
+            sketch, exclude_id=pair.pair_id, trace=args.profile
+        ),
         args,
     )
 
@@ -494,15 +546,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     )
     _print_degraded(result)
     if args.profile:
-        total = max(result.total_seconds, 1e-12)
-        print(
-            f"profile    : retrieval {result.retrieval_seconds * 1000:8.2f} ms "
-            f"({100 * result.retrieval_seconds / total:5.1f}%)"
-        )
-        print(
-            f"             re-rank   {result.rerank_seconds * 1000:8.2f} ms "
-            f"({100 * result.rerank_seconds / total:5.1f}%)"
-        )
+        _print_profile([result])
     print()
     if not result.ranked:
         print("no joinable candidates found")
@@ -538,7 +582,9 @@ def _run_query_batch(
 
     t0 = time.perf_counter()
     results = _run_resilient(
-        lambda: session.submit(sketches, exclude_ids=pair_ids),
+        lambda: session.submit(
+            sketches, exclude_ids=pair_ids, trace=args.profile
+        ),
         args,
     )
     elapsed = time.perf_counter() - t0
@@ -552,18 +598,10 @@ def _run_query_batch(
         f"({elapsed * 1000 / len(sketches):.2f} ms/query)"
     )
     if args.profile and results:
-        # Batch phase timings are per-query shares of the stacked passes.
-        retrieval_ms = sum(r.retrieval_seconds for r in results) * 1000
-        rerank_ms = sum(r.rerank_seconds for r in results) * 1000
-        total = max(retrieval_ms + rerank_ms, 1e-9)
-        print(
-            f"profile    : retrieval {retrieval_ms:8.2f} ms "
-            f"({100 * retrieval_ms / total:5.1f}%)"
-        )
-        print(
-            f"             re-rank   {rerank_ms:8.2f} ms "
-            f"({100 * rerank_ms / total:5.1f}%)"
-        )
+        # Phase timings come from the per-query trace spans: shared
+        # batch passes counted once, per-query slices summed — not the
+        # old equal-share split of the aggregate timing fields.
+        _print_profile(results)
     for pair_id, result in zip(pair_ids, results):
         print()
         print(
@@ -617,6 +655,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "coalesced responses depend on window composition; the "
             "service always uses the per-query fixed-seed default"
         )
+    if args.slow_query_log is not None and args.slow_query_ms is None:
+        raise SystemExit(
+            "error: --slow-query-log names a sink for the slow-query "
+            "log; enable it with --slow-query-ms"
+        )
     from repro.serving import QueryService
 
     options = _options_from_args(args)
@@ -629,6 +672,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log,
     )
     source = args.catalog_dir if args.catalog_dir is not None else args.catalog
     print(f"serving    : {source} ({len(catalog)} sketches, {executor_label})")
@@ -638,11 +683,126 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"window     : max_batch={args.max_batch} "
         f"max_wait_ms={args.max_wait_ms:g}"
     )
+    if args.slow_query_ms is not None:
+        sink = args.slow_query_log or "stderr"
+        print(
+            f"slow log   : queries over {args.slow_query_ms:g} ms "
+            f"-> {sink}"
+        )
     service.start()
     host, port = service.address
     print(f"listening  : http://{host}:{port}", flush=True)
+    print(f"metrics    : http://{host}:{port}/metrics", flush=True)
     service.wait_for_shutdown()
     print("drained    : all accepted requests served", flush=True)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro-sketch stats URL``: one-shot operational summary of a
+    running service, rendered from ``/healthz`` and ``/metrics``."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.obs import parse_prometheus_text, quantiles_from_buckets
+
+    base = args.url.rstrip("/")
+    if "://" not in base:
+        base = "http://" + base
+
+    def fetch(path: str) -> str:
+        try:
+            with urllib.request.urlopen(
+                base + path, timeout=args.timeout
+            ) as resp:
+                return resp.read().decode()
+        except (urllib.error.URLError, OSError) as exc:
+            raise _fail(f"cannot fetch {base}{path}: {exc}") from exc
+
+    try:
+        health = json.loads(fetch("/healthz"))
+    except json.JSONDecodeError as exc:
+        raise _fail(f"/healthz returned invalid JSON: {exc}") from exc
+    try:
+        families = parse_prometheus_text(fetch("/metrics"))
+    except ValueError as exc:
+        raise _fail(f"/metrics is not valid Prometheus text: {exc}") from exc
+
+    coalescer = health.get("coalescer", {})
+    shards = health.get("shards", {})
+    workers = health.get("workers", {})
+    print(f"service    : {base}")
+    print(
+        f"status     : {health.get('status', '?')} "
+        f"(version {health.get('version', '?')}, "
+        f"up {health.get('uptime_seconds', 0.0):g} s)"
+    )
+    print(
+        f"coalescer  : {coalescer.get('submitted', 0)} submitted, "
+        f"{coalescer.get('batches', 0)} batches, "
+        f"{coalescer.get('coalesced', 0)} coalesced "
+        f"(largest window {coalescer.get('largest_batch', 0)})"
+    )
+    print(
+        f"shards     : {shards.get('count', '?')} "
+        f"({shards.get('errors', 0)} probe/assemble errors)"
+    )
+    if workers.get("count"):
+        fallback = (
+            ", sequential fallback"
+            if workers.get("sequential_fallback")
+            else ""
+        )
+        print(
+            f"workers    : {workers['count']} "
+            f"({workers.get('respawns', 0)} respawns{fallback})"
+        )
+
+    def served(family: str) -> float:
+        return sum(
+            value
+            for suffix, _, value in families.get(family, {}).get(
+                "samples", []
+            )
+            if suffix == ""
+        )
+
+    print(f"queries    : {served('repro_queries_total'):g} served")
+    latency = families.get("repro_query_seconds")
+    if latency is not None:
+        count = sum(
+            v
+            for suffix, _, v in latency["samples"]
+            if suffix == "_count"
+        )
+        if count:
+            qs = quantiles_from_buckets(latency)
+            rendered = "  ".join(
+                f"p{int(q * 100)} {value * 1000.0:.2f} ms"
+                for q, value in sorted(qs.items())
+            )
+            print(f"latency    : {rendered} (from bucket counts)")
+    phases = families.get("repro_phase_seconds")
+    if phases is not None:
+        by_phase: dict[str, tuple[float, float]] = {}
+        for suffix, labels, value in phases["samples"]:
+            phase = labels.get("phase")
+            if phase is None:
+                continue
+            total, count = by_phase.get(phase, (0.0, 0.0))
+            if suffix == "_sum":
+                total += value
+            elif suffix == "_count":
+                count += value
+            by_phase[phase] = (total, count)
+        for phase, (total, count) in by_phase.items():
+            if count:
+                print(
+                    f"phase      : {phase:<12} "
+                    f"{total * 1000.0 / count:8.2f} ms/query mean "
+                    f"({int(count)} samples)"
+                )
     return 0
 
 
@@ -1127,7 +1287,44 @@ def build_parser() -> argparse.ArgumentParser:
         "request has waited this long. Default 0: idle requests execute "
         "immediately and batches form only under load",
     )
+    p_serve.add_argument(
+        "--slow-query-ms",
+        type=_non_negative_float,
+        default=None,
+        help="log queries whose server-side wall time breaches this "
+        "threshold as single-line JSON records with the per-phase "
+        "breakdown (default: disabled)",
+    )
+    p_serve.add_argument(
+        "--slow-query-log",
+        default=None,
+        metavar="PATH",
+        help="append slow-query records to this file instead of stderr "
+        "(needs --slow-query-ms)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="operational summary of a running service",
+        description="Fetch /healthz and /metrics from a running "
+        "`repro-sketch serve` instance and print a one-shot summary: "
+        "liveness, coalescer window behaviour, shard errors, query "
+        "latency quantiles and per-phase means reconstructed from the "
+        "Prometheus histogram buckets.",
+    )
+    p_stats.add_argument(
+        "url",
+        help="service base URL (e.g. http://127.0.0.1:8765; the scheme "
+        "may be omitted)",
+    )
+    p_stats.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=5.0,
+        help="per-request timeout in seconds (default 5)",
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     p_est = sub.add_parser("estimate", help="estimate one after-join correlation")
     p_est.add_argument("left_csv")

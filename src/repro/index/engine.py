@@ -121,6 +121,14 @@ class QueryResult:
             one shard's candidates are missing (``shards_failed > 0``).
             Callers that must not act on partial answers check this one
             flag.
+        trace: optional per-query phase trace
+            (:meth:`repro.obs.trace.Trace.to_dict` — ``trace_id`` plus
+            named spans), recorded only when the caller requested
+            tracing. Unlike ``retrieval_seconds``/``rerank_seconds`` —
+            which on batched paths are *per-query shares* of the batch
+            phases — the trace carries each query's genuinely per-query
+            timings (assemble/merge spans) alongside the shared batch
+            phases (marked ``meta.shared``).
     """
 
     ranked: list[RankedCandidate]
@@ -130,6 +138,7 @@ class QueryResult:
     shards_probed: int = 1
     shards_failed: int = 0
     degraded: bool = False
+    trace: dict | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -146,7 +155,7 @@ class QueryResult:
         (JSON carries ``repr``); NaN is encoded as ``null`` and restored
         by :meth:`from_dict`.
         """
-        return {
+        payload = {
             "ranked": [entry.to_dict() for entry in self.ranked],
             "candidates_considered": self.candidates_considered,
             "retrieval_seconds": self.retrieval_seconds,
@@ -155,6 +164,11 @@ class QueryResult:
             "shards_failed": self.shards_failed,
             "degraded": self.degraded,
         }
+        if self.trace is not None:
+            # Present only when tracing was requested, so untraced
+            # responses stay byte-identical to pre-observability wire.
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "QueryResult":
@@ -170,6 +184,7 @@ class QueryResult:
             shards_probed=int(payload["shards_probed"]),
             shards_failed=int(payload["shards_failed"]),
             degraded=bool(payload["degraded"]),
+            trace=payload.get("trace"),
         )
 
 
@@ -803,6 +818,7 @@ class QueryExecutor:
         exclude_id: str | None,
         true_correlations: dict[str, float] | None,
         rng: np.random.Generator,
+        trace=None,
     ) -> QueryResult:
         raise NotImplementedError
 
@@ -857,6 +873,7 @@ class ScalarQueryExecutor(QueryExecutor):
         exclude_id: str | None,
         true_correlations: dict[str, float] | None,
         rng: np.random.Generator,
+        trace=None,
     ) -> QueryResult:
         engine = self.engine
         t0 = time.perf_counter()
@@ -898,6 +915,7 @@ class ScalarQueryExecutor(QueryExecutor):
 
         if needs_bootstrap and not per_candidate_bootstrap:
             stats = _apply_batched_bootstrap(samples, stats, rng)
+        ts = time.perf_counter() if trace is not None else 0.0
 
         ranked = rank_candidates(
             ids, stats, scorer,
@@ -906,11 +924,19 @@ class ScalarQueryExecutor(QueryExecutor):
         )[:k]
         t2 = time.perf_counter()
 
+        if trace is not None:
+            # The scalar path interleaves join+score per candidate, so
+            # its phases are retrieval / score (join+stats+bootstrap) /
+            # merge (ranking) — no separate assemble pass exists.
+            trace.add("retrieval", t0, t1, candidates=len(hits))
+            trace.add("score", t1, ts)
+            trace.add("merge", ts, t2)
         return QueryResult(
             ranked=ranked,
             candidates_considered=len(hits),
             retrieval_seconds=t1 - t0,
             rerank_seconds=t2 - t1,
+            trace=None if trace is None else trace.to_dict(),
         )
 
 
@@ -932,6 +958,7 @@ class ColumnarQueryExecutor(QueryExecutor):
         exclude_id: str | None,
         true_correlations: dict[str, float] | None,
         rng: np.random.Generator,
+        trace=None,
     ) -> QueryResult:
         engine = self.engine
         t0 = time.perf_counter()
@@ -952,6 +979,7 @@ class ColumnarQueryExecutor(QueryExecutor):
 
         page = CandidatePage.assemble(engine.catalog, query_cols, hits)
         containments = page.containments(query_sketch.distinct_keys())
+        ta = time.perf_counter() if trace is not None else 0.0
         stats = candidate_scores_batch(
             page.samples,
             containment_ests=containments,
@@ -959,6 +987,7 @@ class ColumnarQueryExecutor(QueryExecutor):
             with_bootstrap=needs_bootstrap,
             rng_mode=engine.rng_mode,
         )
+        ts = time.perf_counter() if trace is not None else 0.0
 
         ranked = rank_candidates(
             page.ids, stats, scorer,
@@ -967,11 +996,17 @@ class ColumnarQueryExecutor(QueryExecutor):
         )[:k]
         t2 = time.perf_counter()
 
+        if trace is not None:
+            trace.add("retrieval", t0, t1, candidates=len(hits))
+            trace.add("assemble", t1, ta)
+            trace.add("score", ta, ts)
+            trace.add("merge", ts, t2)
         return QueryResult(
             ranked=ranked,
             candidates_considered=len(hits),
             retrieval_seconds=t1 - t0,
             rerank_seconds=t2 - t1,
+            trace=None if trace is None else trace.to_dict(),
         )
 
     def execute_batch(
@@ -983,6 +1018,7 @@ class ColumnarQueryExecutor(QueryExecutor):
         exclude_ids: list[str | None],
         true_correlations: list[dict[str, float] | None],
         rng: np.random.Generator | None,
+        traces: list | None = None,
     ) -> list[QueryResult]:
         """Evaluate many queries through one amortized columnar pipeline.
 
@@ -1003,14 +1039,25 @@ class ColumnarQueryExecutor(QueryExecutor):
           consuming) work stays per query, in order, preserving the rng
           stream of a plain loop.
 
-        Phase timings in the returned results are per-query shares of
-        the batch phases (the probe is one pass; it has no per-query
-        wall time).
+        ``retrieval_seconds``/``rerank_seconds`` in the returned
+        results are **documented aggregates**: equal per-query shares
+        of the batch phases (the stacked probe and shared scoring pass
+        have no per-query wall time to attribute). Callers that need
+        genuinely per-query phase cost pass ``traces`` (one
+        :class:`repro.obs.trace.Trace` or None per query): the batch
+        phases land as shared spans (``meta.shared=True`` with the
+        batch size), while the assemble and merge phases — the work
+        that actually runs query by query — are timed per query.
         """
         engine = self.engine
         n_queries = len(query_sketches)
         if n_queries == 0:
             return []
+        if traces is not None and len(traces) != n_queries:
+            raise ValueError(
+                f"{n_queries} query sketches but {len(traces)} traces"
+            )
+        tracing = traces is not None
         t0 = time.perf_counter()
         query_cols = [sketch.columnar() for sketch in query_sketches]
         hits_per_query = retrieve_candidates_batch(
@@ -1024,6 +1071,13 @@ class ColumnarQueryExecutor(QueryExecutor):
             lsh_rows=engine.lsh_rows,
         )
         t1 = time.perf_counter()
+        if tracing:
+            for tr in traces:
+                if tr is not None:
+                    tr.add(
+                        "retrieval", t0, t1,
+                        shared=True, batch_size=n_queries,
+                    )
 
         needs_bootstrap = scorer == "rb_cib"
 
@@ -1031,22 +1085,40 @@ class ColumnarQueryExecutor(QueryExecutor):
         spans: list[tuple[int, int]] = []
         all_samples: list[JoinedSample] = []
         all_containments: list[float] = []
-        for sketch, cols, hits in zip(query_sketches, query_cols, hits_per_query):
+        for q, (sketch, cols, hits) in enumerate(
+            zip(query_sketches, query_cols, hits_per_query)
+        ):
+            a0 = time.perf_counter() if tracing else 0.0
             start = len(all_samples)
             page = CandidatePage.assemble(engine.catalog, cols, hits)
             all_samples.extend(page.samples)
             all_containments.extend(page.containments(sketch.distinct_keys()))
             ids_per_query.append(page.ids)
             spans.append((start, len(all_samples)))
+            if tracing and traces[q] is not None:
+                traces[q].add(
+                    "assemble", a0, time.perf_counter(),
+                    candidates=len(hits),
+                )
 
+        s0 = time.perf_counter() if tracing else 0.0
         base_stats = candidate_scores_batch(
             all_samples,
             containment_ests=all_containments,
             with_bootstrap=False,
         )
+        if tracing:
+            s1 = time.perf_counter()
+            for tr in traces:
+                if tr is not None:
+                    tr.add(
+                        "score", s0, s1,
+                        shared=True, batch_size=n_queries,
+                    )
 
         ranked_per_query: list[tuple[list[RankedCandidate], int]] = []
         for q in range(n_queries):
+            m0 = time.perf_counter() if tracing else 0.0
             start, end = spans[q]
             samples = all_samples[start:end]
             stats = base_stats[start:end]
@@ -1067,6 +1139,10 @@ class ColumnarQueryExecutor(QueryExecutor):
                 rng=query_rng,
             )[:k]
             ranked_per_query.append((ranked, len(hits_per_query[q])))
+            if tracing and traces[q] is not None:
+                # Per-query by construction: bootstrap + ranking consume
+                # this query's rng and only its candidates.
+                traces[q].add("merge", m0, time.perf_counter())
         t2 = time.perf_counter()
 
         retrieval_share = (t1 - t0) / n_queries
@@ -1077,8 +1153,13 @@ class ColumnarQueryExecutor(QueryExecutor):
                 candidates_considered=considered,
                 retrieval_seconds=retrieval_share,
                 rerank_seconds=rerank_share,
+                trace=(
+                    traces[q].to_dict()
+                    if tracing and traces[q] is not None
+                    else None
+                ),
             )
-            for ranked, considered in ranked_per_query
+            for q, (ranked, considered) in enumerate(ranked_per_query)
         ]
 
 
@@ -1251,6 +1332,7 @@ class JoinCorrelationEngine:
         exclude_id: str | None = None,
         true_correlations: dict[str, float] | None = None,
         rng: np.random.Generator | None = None,
+        trace=None,
     ) -> QueryResult:
         """Evaluate one top-``k`` join-correlation query.
 
@@ -1266,6 +1348,11 @@ class JoinCorrelationEngine:
             rng: generator for stochastic scorers (``random``) and the
                 bootstrap; defaults to a fixed-seed generator so identical
                 queries return identical rankings.
+            trace: optional :class:`repro.obs.trace.Trace` to record the
+                query's phase spans into (carried out via
+                ``QueryResult.trace``). Tracing reads only the wall
+                clock — never the rng — so results are bit-identical
+                with or without it.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -1279,6 +1366,7 @@ class JoinCorrelationEngine:
             exclude_id=exclude_id,
             true_correlations=true_correlations,
             rng=rng,
+            trace=trace,
         )
 
     def _check_scheme(self, query_sketch: CorrelationSketch) -> None:
@@ -1301,6 +1389,7 @@ class JoinCorrelationEngine:
         exclude_ids: list[str | None] | None = None,
         true_correlations: list[dict[str, float] | None] | None = None,
         rng: np.random.Generator | None = None,
+        traces: list | None = None,
     ) -> list[QueryResult]:
         """Evaluate many top-``k`` queries through one batched pipeline.
 
@@ -1320,9 +1409,11 @@ class JoinCorrelationEngine:
         both rng modes and both retrieval backends. When ``rng`` is
         None, each query gets the same fresh fixed-seed generator
         :meth:`query` would create; a caller-supplied generator is
-        consumed in query order, exactly like the loop. (Phase timings
-        are per-query shares of the batch phases, the one field a loop
-        cannot reproduce.)
+        consumed in query order, exactly like the loop.
+        (``retrieval_seconds``/``rerank_seconds`` are per-query
+        *shares* of the batch phases — documented aggregates, the one
+        field a loop cannot reproduce; per-query phase cost comes from
+        ``traces``.)
 
         Args:
             query_sketches: the query sketches, one per query.
@@ -1332,6 +1423,9 @@ class JoinCorrelationEngine:
                 (parallel to ``query_sketches``; None entries allowed).
             true_correlations: optional per-query ground-truth dicts.
             rng: generator for stochastic scorers and the bootstrap.
+            traces: optional per-query :class:`repro.obs.trace.Trace`
+                recorders (parallel to ``query_sketches``; None entries
+                allowed) — see :meth:`query`.
         """
         query_sketches = list(query_sketches)
         if k <= 0:
@@ -1346,6 +1440,10 @@ class JoinCorrelationEngine:
                 f"{n_queries} query sketches but {len(exclude_ids)} exclude "
                 f"ids and {len(true_correlations)} truth dicts"
             )
+        if traces is not None and len(traces) != n_queries:
+            raise ValueError(
+                f"{n_queries} query sketches but {len(traces)} traces"
+            )
         for sketch in query_sketches:
             self._check_scheme(sketch)
         if not self.vectorized:
@@ -1354,9 +1452,10 @@ class JoinCorrelationEngine:
                 self.query(
                     sketch, k=k, scorer=scorer,
                     exclude_id=exclude, true_correlations=truths, rng=rng,
+                    trace=None if traces is None else traces[i],
                 )
-                for sketch, exclude, truths in zip(
-                    query_sketches, exclude_ids, true_correlations
+                for i, (sketch, exclude, truths) in enumerate(
+                    zip(query_sketches, exclude_ids, true_correlations)
                 )
             ]
         return self.executor.execute_batch(
@@ -1366,6 +1465,7 @@ class JoinCorrelationEngine:
             exclude_ids=exclude_ids,
             true_correlations=true_correlations,
             rng=rng,
+            traces=traces,
         )
 
     def query_table(

@@ -1,0 +1,250 @@
+"""Prometheus text exposition: render a registry, parse a scrape.
+
+The renderer produces the text format scraped at ``GET /metrics``
+(``text/plain; version=0.0.4``): ``# HELP`` / ``# TYPE`` comments, then
+one sample per line. Histograms render cumulative ``_bucket`` samples
+with ``le`` labels — sparse (only buckets whose cumulative count
+changes, plus ``+Inf``), which is valid exposition and keeps 91-bucket
+latency families readable — followed by ``_sum`` and ``_count``.
+
+The parser is the consumer-side inverse, used by the
+``repro-sketch stats`` CLI verb and by CI's live-scrape validation. It
+is strict where it matters (malformed sample lines and non-numeric
+values raise ``ValueError``) and returns enough structure to rebuild
+quantiles from cumulative buckets (:func:`quantiles_from_buckets`).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import MetricsRegistry, sample_name
+
+__all__ = [
+    "parse_prometheus_text",
+    "quantiles_from_buckets",
+    "render_prometheus",
+]
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _sample_line(name: str, labels: tuple, value: float) -> str:
+    if labels:
+        inner = ",".join(
+            f'{k}="{_escape_label(v)}"' for k, v in labels
+        )
+        return f"{name}{{{inner}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family of ``registry`` as Prometheus text."""
+    dump = registry.dump()
+    lines: list[str] = []
+    for name in sorted(dump["families"]):
+        kind, help_text = dump["families"][name]
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "counter":
+            store = dump["counters"]
+        elif kind == "gauge":
+            store = dump["gauges"]
+        else:
+            store = dump["histograms"]
+        series = sorted(
+            (key, value) for key, value in store.items() if key[0] == name
+        )
+        if kind in ("counter", "gauge"):
+            for (_, labels), value in series:
+                lines.append(_sample_line(name, labels, value))
+            continue
+        for (_, labels), data in series:
+            cumulative = 0
+            bounds = data["bounds"]
+            counts = data["counts"]
+            for i, bound in enumerate(bounds):
+                if counts[i] == 0:
+                    continue
+                cumulative += counts[i]
+                le = (("le", _format_value(bound)),)
+                lines.append(
+                    _sample_line(name + "_bucket", labels + le, cumulative)
+                )
+            lines.append(
+                _sample_line(
+                    name + "_bucket",
+                    labels + (("le", "+Inf"),),
+                    data["count"],
+                )
+            )
+            lines.append(_sample_line(name + "_sum", labels, data["sum"]))
+            lines.append(
+                _sample_line(name + "_count", labels, data["count"])
+            )
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
+    r"(?:\{(.*)\})?"                     # optional label block
+    r"\s+(\S+)"                          # value
+    r"(?:\s+(-?\d+))?$"                  # optional timestamp (ignored)
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    return float(token)  # ValueError propagates: malformed exposition
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse exposition text into families.
+
+    Returns ``{family: {"type": str | None, "help": str | None,
+    "samples": [(sample_suffix, labels_dict, value), ...]}}`` where
+    histogram ``_bucket``/``_sum``/``_count`` samples are grouped under
+    their family name with the suffix recorded (empty for plain
+    samples). Raises ``ValueError`` on a malformed sample line.
+    """
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3].strip()
+            elif len(parts) >= 4 and parts[1] == "HELP":
+                helps[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(
+                f"malformed exposition sample on line {lineno}: {raw!r}"
+            )
+        name, label_block, value_token = match.group(1, 2, 3)
+        labels = {
+            key: value.replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\\\\", "\\")
+            for key, value in _LABEL_RE.findall(label_block or "")
+        }
+        try:
+            value = _parse_value(value_token)
+        except ValueError:
+            raise ValueError(
+                f"non-numeric sample value on line {lineno}: {raw!r}"
+            ) from None
+        samples.append((name, labels, value))
+
+    families: dict[str, dict] = {}
+
+    def family_of(name: str) -> tuple[str, str]:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                return base, suffix
+        return name, ""
+
+    for name in set(types) | set(helps):
+        families[name] = {
+            "type": types.get(name),
+            "help": helps.get(name),
+            "samples": [],
+        }
+    for name, labels, value in samples:
+        base, suffix = family_of(name)
+        entry = families.setdefault(
+            base,
+            {"type": types.get(base), "help": helps.get(base), "samples": []},
+        )
+        entry["samples"].append((suffix, labels, value))
+    return families
+
+
+def quantiles_from_buckets(
+    family: dict, qs: tuple[float, ...] = (0.50, 0.95, 0.99), **labels: str
+) -> dict[float, float]:
+    """Estimate quantiles from a parsed histogram family's cumulative
+    ``_bucket`` samples (optionally restricted to a label subset).
+
+    Mirrors :meth:`repro.obs.metrics._Histogram.quantile`: NumPy rank
+    convention, geometric-midpoint representative — so a consumer of
+    ``/metrics`` reconstructs the same p50/p95/p99 the service itself
+    reports in :meth:`MetricsRegistry.snapshot`.
+    """
+    buckets: list[tuple[float, float]] = []
+    for suffix, sample_labels, value in family["samples"]:
+        if suffix != "_bucket":
+            continue
+        if any(sample_labels.get(k) != v for k, v in labels.items()):
+            continue
+        buckets.append((_parse_value(sample_labels["le"]), value))
+    buckets.sort()
+    if not buckets:
+        return {q: math.nan for q in qs}
+    count = buckets[-1][1]
+    out: dict[float, float] = {}
+    for q in qs:
+        if count <= 0:
+            out[q] = math.nan
+            continue
+        rank = q * (count - 1)
+        target = math.floor(rank)
+        previous_bound = None
+        previous_cumulative = 0.0
+        chosen = buckets[-1][0]
+        for bound, cumulative in buckets:
+            if cumulative > target and cumulative > previous_cumulative:
+                if not math.isfinite(bound):
+                    chosen = (
+                        previous_bound if previous_bound is not None else 0.0
+                    )
+                elif previous_bound is None or previous_bound <= 0:
+                    chosen = bound
+                else:
+                    chosen = math.sqrt(previous_bound * bound)
+                break
+            previous_cumulative = cumulative
+            if math.isfinite(bound):
+                previous_bound = bound
+        out[q] = chosen
+    return out
+
+
+def registry_sample_name(name: str, labels: dict) -> str:
+    """Public spelling of the registry's sample naming (for callers
+    that correlate parsed samples with :meth:`MetricsRegistry.snapshot`
+    keys)."""
+    return sample_name(name, tuple(sorted(labels.items())))

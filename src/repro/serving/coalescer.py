@@ -38,6 +38,7 @@ import threading
 import time
 
 from repro.index.engine import QueryResult
+from repro.obs import BATCH_SIZE_BUCKETS, get_registry
 from repro.serving.session import QuerySession
 
 __all__ = ["QueryCoalescer"]
@@ -47,16 +48,21 @@ class _Pending:
     """One caller-visible request parked in the window."""
 
     __slots__ = (
-        "sketch", "k", "scorer", "exclude_id",
+        "sketch", "k", "scorer", "exclude_id", "trace",
         "arrived", "done", "result", "error",
     )
 
-    def __init__(self, sketch, k, scorer, exclude_id) -> None:
+    def __init__(
+        self, sketch, k, scorer, exclude_id, trace, arrived=None
+    ) -> None:
         self.sketch = sketch
         self.k = k
         self.scorer = scorer
         self.exclude_id = exclude_id
-        self.arrived = time.perf_counter()
+        self.trace = trace
+        self.arrived = (
+            time.perf_counter() if arrived is None else arrived
+        )
         self.done = threading.Event()
         self.result: QueryResult | None = None
         self.error: BaseException | None = None
@@ -124,12 +130,20 @@ class QueryCoalescer:
         k: int | None = None,
         scorer: str | None = None,
         exclude_id: str | None = None,
+        trace: bool = False,
+        arrived: float | None = None,
     ) -> QueryResult:
         """Evaluate one query, blocking until its window executes.
 
         ``k``/``scorer`` default to the session's options; other knobs
         (depth, backend, resilience policy) are session-wide by design —
-        they describe the warm index, not one request.
+        they describe the warm index, not one request. ``trace`` asks
+        for the result's phase-span block; traced and untraced requests
+        execute in separate sub-batches (the flag is part of the group
+        key) but scores are bit-identical regardless. ``arrived`` lets
+        a caller backdate the request's arrival to when it finished its
+        own pre-work (the HTTP service stamps post-sketching), so the
+        traced ``queue_wait`` covers admission overhead too.
         """
         options = self.session.options
         k = options.k if k is None else k
@@ -150,7 +164,9 @@ class QueryCoalescer:
                 f"{type(exclude_id).__name__}"
             )
         options.merged(k=k, scorer=scorer)  # value validation (k>0, names)
-        request = _Pending(sketch, k, scorer, exclude_id)
+        request = _Pending(
+            sketch, k, scorer, exclude_id, bool(trace), arrived
+        )
         with self._cond:
             if self._closed:
                 raise RuntimeError("coalescer is closed")
@@ -239,21 +255,32 @@ class QueryCoalescer:
                     self._cond.notify_all()
 
     def _execute(self, batch: list[_Pending]) -> None:
-        """Run one window as one sub-batch per ``(k, scorer)`` group."""
-        groups: dict[tuple[int, str], list[_Pending]] = {}
+        """Run one window as one sub-batch per ``(k, scorer, trace)``
+        group."""
+        get_registry().observe(
+            "repro_coalescer_batch_size",
+            len(batch),
+            buckets=BATCH_SIZE_BUCKETS,
+            help="Requests executed together per coalescer window",
+        )
+        groups: dict[tuple[int, str, bool], list[_Pending]] = {}
         for request in batch:
             try:
-                key = (request.k, request.scorer)
+                key = (request.k, request.scorer, request.trace)
                 groups.setdefault(key, []).append(request)
             except Exception as exc:  # unhashable k/scorer that slipped
                 request.error = exc   # past submit's validation: fail
                 request.done.set()    # this request, keep its window-mates
-        for (k, scorer), requests in groups.items():
+        for (k, scorer, trace), requests in groups.items():
             try:
                 results = self.session.submit(
                     [r.sketch for r in requests],
                     exclude_ids=[r.exclude_id for r in requests],
                     options=self.session.options.merged(k=k, scorer=scorer),
+                    trace=trace,
+                    arrivals=(
+                        [r.arrived for r in requests] if trace else None
+                    ),
                 )
             except BaseException as exc:  # noqa: BLE001 — handed to callers
                 for request in requests:
@@ -263,6 +290,17 @@ class QueryCoalescer:
             for request, result in zip(requests, results):
                 request.result = result
                 request.done.set()
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """A consistent copy of :attr:`stats`, taken under the lock.
+
+        The lock-free :attr:`stats` reads are safe per-counter but can
+        tear *across* counters (e.g. ``submitted`` bumped while
+        ``batches`` is not yet); versioned payloads like ``/healthz``
+        snapshot instead.
+        """
+        with self._cond:
+            return dict(self.stats)
 
     # -- lifecycle -----------------------------------------------------------
 

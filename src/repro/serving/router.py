@@ -76,11 +76,12 @@ from repro.index.options import (
     QueryOptions,
     validate_resilience,
 )
+from repro.obs import get_registry
 from repro.ranking.ranker import RankedCandidate, rank_candidates
 from repro.ranking.scoring import candidate_scores_batch
 from repro.serving.faults import maybe_fire
 from repro.serving.shards import ShardedCatalog
-from repro.serving.workers import ShardWorkerPool
+from repro.serving.workers import DeadlineExceeded, ShardWorkerPool
 
 __all__ = [
     "ON_SHARD_ERROR_POLICIES",  # re-exported from repro.index.options
@@ -285,32 +286,41 @@ class ShardRouter:
         *,
         deadline_at: float | None = None,
         partial: bool = False,
-    ) -> tuple[list[list[tuple[str, int]]], set[int]]:
+        timings: list | None = None,
+    ) -> tuple[list[list[tuple[str, int]]], set[int], dict]:
         """Probe every shard for every query; merge per query.
 
-        Returns ``(hits_per_query, failed_shards)``. Without a deadline
-        and under the ``"raise"`` policy this is the plain fan-out —
-        any failure propagates and ``failed_shards`` is empty;
-        otherwise probes run supervised, and shards that raised or
-        missed the deadline are excluded from the merge (``partial``)
-        or re-raised lowest-index-first.
+        Returns ``(hits_per_query, failed_shards, errors_by_shard)``.
+        Without a deadline and under the ``"raise"`` policy this is the
+        plain fan-out — any failure propagates and ``failed_shards`` is
+        empty; otherwise probes run supervised, and shards that raised
+        or missed the deadline are excluded from the merge
+        (``partial``) or re-raised lowest-index-first. With ``timings``
+        (a pre-sized per-shard list) each probe records its
+        ``(start, end)`` wall clock — the source of per-shard trace
+        spans; a shard whose probe was cancelled leaves None.
         """
 
         def probe(index: int) -> list[list[tuple[str, int]]]:
-            maybe_fire("shard_probe", shard=index)
-            return retrieve_candidates_batch(
-                self.catalog.shard(index),
-                query_cols,
-                depth=self.retrieval_depth,
-                min_overlap=self.min_overlap,
-                excludes=exclude_ids,
-                backend=self.retrieval_backend,
-                lsh_bands=self.lsh_bands,
-                lsh_rows=self.lsh_rows,
-            )
+            start = time.perf_counter() if timings is not None else 0.0
+            try:
+                maybe_fire("shard_probe", shard=index)
+                return retrieve_candidates_batch(
+                    self.catalog.shard(index),
+                    query_cols,
+                    depth=self.retrieval_depth,
+                    min_overlap=self.min_overlap,
+                    excludes=exclude_ids,
+                    backend=self.retrieval_backend,
+                    lsh_bands=self.lsh_bands,
+                    lsh_rows=self.lsh_rows,
+                )
+            finally:
+                if timings is not None:
+                    timings[index] = (start, time.perf_counter())
 
         n_shards = self.catalog.n_shards
-        per_shard, failed = self._supervised_fanout(
+        per_shard, failed, errors = self._supervised_fanout(
             probe, n_shards, deadline_at=deadline_at, partial=partial
         )
         survivors = [s for s in range(n_shards) if s not in failed]
@@ -320,7 +330,7 @@ class ShardRouter:
                 self.retrieval_depth,
             )
             for q in range(len(query_cols))
-        ], failed
+        ], failed, errors
 
     def _supervised_fanout(
         self,
@@ -329,17 +339,19 @@ class ShardRouter:
         *,
         deadline_at: float | None,
         partial: bool,
-    ) -> tuple[list, set[int]]:
+    ) -> tuple[list, set[int], dict]:
         """Run one shard fan-out under the failure policy.
 
         The fault-free default (no deadline, ``"raise"``) takes the
         exact pre-resilience code path — ``pool.map`` — so the parity
         suites exercise byte-for-byte the same execution; the
         supervised path only engages when a caller opts into deadlines
-        or partial results.
+        or partial results. Returns ``(results, failed_shards,
+        errors_by_shard)``; every supervised shard failure also bumps
+        the per-shard ``repro_shard_errors_total`` counter.
         """
         if deadline_at is None and not partial:
-            return self._pool.map(fn, range(n_shards)), set()
+            return self._pool.map(fn, range(n_shards)), set(), {}
         remaining = (
             None
             if deadline_at is None
@@ -349,9 +361,19 @@ class ShardRouter:
             fn, range(n_shards), deadline_s=remaining
         )
         failed = {s for s, error in enumerate(errors) if error is not None}
+        if failed:
+            registry = get_registry()
+            for s in sorted(failed):
+                registry.inc(
+                    "repro_shard_errors_total",
+                    help="Shard probes/assemblies that failed or timed out",
+                    shard=str(s),
+                )
         if failed and not partial:
             raise errors[min(failed)]
-        return results, failed
+        return results, failed, {
+            s: errors[s] for s in failed
+        }
 
     def _scatter_assemble(
         self,
@@ -360,8 +382,9 @@ class ShardRouter:
         *,
         deadline_at: float | None = None,
         partial: bool = False,
+        timings: list | None = None,
     ) -> tuple[
-        list[CandidatePage], list[list[tuple[str, int]]], set[int]
+        list[CandidatePage], list[list[tuple[str, int]]], set[int], dict
     ]:
         """Assemble every query's candidate page, shard-locally.
 
@@ -393,12 +416,17 @@ class ShardRouter:
                 shard_tasks[owner].append((q, positions, subset))
 
         def assemble(index: int):
-            maybe_fire("shard_assemble", shard=index)
-            shard = self.catalog.shard(index)
-            return [
-                (q, positions, CandidatePage.assemble(shard, query_cols[q], subset))
-                for q, positions, subset in shard_tasks[index]
-            ]
+            start = time.perf_counter() if timings is not None else 0.0
+            try:
+                maybe_fire("shard_assemble", shard=index)
+                shard = self.catalog.shard(index)
+                return [
+                    (q, positions, CandidatePage.assemble(shard, query_cols[q], subset))
+                    for q, positions, subset in shard_tasks[index]
+                ]
+            finally:
+                if timings is not None:
+                    timings[index] = (start, time.perf_counter())
 
         pages = [
             CandidatePage(
@@ -409,7 +437,7 @@ class ShardRouter:
             )
             for hits in hits_per_query
         ]
-        shard_results, failed = self._supervised_fanout(
+        shard_results, failed, errors = self._supervised_fanout(
             assemble, n_shards, deadline_at=deadline_at, partial=partial
         )
         for shard_result in shard_results:
@@ -441,7 +469,7 @@ class ShardRouter:
                         )
                     )
                 hits_per_query, pages = filtered_hits, filtered_pages
-        return pages, hits_per_query, failed
+        return pages, hits_per_query, failed, errors
 
     # -- gather / scoring ----------------------------------------------------
 
@@ -456,6 +484,7 @@ class ShardRouter:
         *,
         deadline_ms: float | None = None,
         on_shard_error: str = "raise",
+        traces: list | None = None,
     ) -> list[QueryResult]:
         """The shared scatter-gather pipeline (single query = batch of 1).
 
@@ -464,19 +493,41 @@ class ShardRouter:
         statement for statement — one global scoring pass, then
         per-query bootstrap and ranking consuming each query's rng in
         order — so results inherit that method's parity contract with
-        looped single-catalog queries.
+        looped single-catalog queries (including the timing caveat:
+        ``retrieval_seconds``/``rerank_seconds`` are equal per-query
+        shares of the batch phases — documented aggregates; per-query
+        phase cost lives in the ``traces`` spans).
+
+        With ``traces``, the scatter phases land in every query's trace
+        as shared spans with per-shard children (``shard_probe`` /
+        ``shard_assemble``, each carrying its shard index, wall time
+        and ok/error/timeout status — failed shards included), and the
+        merge phase is timed per query.
         """
         n_queries = len(query_sketches)
         if n_queries == 0:
             return []
+        if traces is not None and len(traces) != n_queries:
+            raise ValueError(
+                f"{n_queries} query sketches but {len(traces)} traces"
+            )
+        tracing = traces is not None
+        n_shards = self.catalog.n_shards
         t0 = time.perf_counter()
         deadline_at = (
             None if deadline_ms is None else t0 + deadline_ms / 1000.0
         )
         partial = on_shard_error == "partial"
         query_cols = [sketch.columnar() for sketch in query_sketches]
-        hits_per_query, retrieve_failed = self._scatter_retrieve(
-            query_cols, exclude_ids, deadline_at=deadline_at, partial=partial
+        probe_timings: list | None = [None] * n_shards if tracing else None
+        hits_per_query, retrieve_failed, retrieve_errors = (
+            self._scatter_retrieve(
+                query_cols,
+                exclude_ids,
+                deadline_at=deadline_at,
+                partial=partial,
+                timings=probe_timings,
+            )
         )
         t1 = time.perf_counter()
 
@@ -486,12 +537,30 @@ class ShardRouter:
         # bounded work over already-retrieved candidates), so a blown
         # deadline yields a degraded answer, never an empty late one;
         # assembly failures still drop their shard under ``partial``.
-        pages, hits_per_query, assemble_failed = self._scatter_assemble(
-            query_cols,
-            hits_per_query,
-            partial=partial,
+        assemble_timings: list | None = (
+            [None] * n_shards if tracing else None
         )
+        pages, hits_per_query, assemble_failed, assemble_errors = (
+            self._scatter_assemble(
+                query_cols,
+                hits_per_query,
+                partial=partial,
+                timings=assemble_timings,
+            )
+        )
+        ta = time.perf_counter() if tracing else 0.0
         failed_shards = retrieve_failed | assemble_failed
+        if tracing:
+            self._record_scatter_spans(
+                traces, "retrieval", t0, t1, "shard_probe",
+                probe_timings, retrieve_failed, retrieve_errors,
+                batch_size=n_queries,
+            )
+            self._record_scatter_spans(
+                traces, "assemble", t1, ta, "shard_assemble",
+                assemble_timings, assemble_failed, assemble_errors,
+                batch_size=n_queries,
+            )
         spans: list[tuple[int, int]] = []
         all_samples = []
         all_containments: list[float] = []
@@ -506,10 +575,19 @@ class ShardRouter:
             containment_ests=all_containments,
             with_bootstrap=False,
         )
+        ts = time.perf_counter() if tracing else 0.0
+        if tracing:
+            for tr in traces:
+                if tr is not None:
+                    tr.add(
+                        "score", ta, ts,
+                        shared=True, batch_size=n_queries,
+                    )
 
         needs_bootstrap = scorer == "rb_cib"
         ranked_per_query: list[tuple[list[RankedCandidate], int]] = []
         for q in range(n_queries):
+            m0 = time.perf_counter() if tracing else 0.0
             start, end = spans[q]
             samples = all_samples[start:end]
             stats = base_stats[start:end]
@@ -527,6 +605,8 @@ class ShardRouter:
                 rng=query_rng,
             )[:k]
             ranked_per_query.append((ranked, len(hits_per_query[q])))
+            if tracing and traces[q] is not None:
+                traces[q].add("merge", m0, time.perf_counter())
         t2 = time.perf_counter()
 
         retrieval_share = (t1 - t0) / n_queries
@@ -540,9 +620,68 @@ class ShardRouter:
                 shards_probed=self.catalog.n_shards,
                 shards_failed=len(failed_shards),
                 degraded=bool(failed_shards),
+                trace=(
+                    traces[q].to_dict()
+                    if tracing and traces[q] is not None
+                    else None
+                ),
             )
-            for ranked, considered in ranked_per_query
+            for q, (ranked, considered) in enumerate(ranked_per_query)
         ]
+
+    @staticmethod
+    def _record_scatter_spans(
+        traces,
+        phase: str,
+        start: float,
+        end: float,
+        child_name: str,
+        timings: list | None,
+        failed: set[int],
+        errors: dict,
+        *,
+        batch_size: int,
+    ) -> None:
+        """Add one shared scatter-phase span plus per-shard children to
+        every query's trace (the scatter serves the whole batch, so the
+        phase genuinely belongs to each query).
+
+        Child status is ``"ok"``, ``"timeout"``
+        (:class:`~repro.serving.workers.DeadlineExceeded`) or
+        ``"error"``; a shard whose task never ran (cancelled after an
+        earlier failure) has no wall time to report and appears as a
+        zero-length child at the phase end, so failed shards are always
+        visible in the trace.
+        """
+        children: list[tuple[float, float, dict]] = []
+        for shard, timing in enumerate(timings or ()):
+            meta: dict = {"shard": shard}
+            if shard in failed:
+                error = errors.get(shard)
+                meta["status"] = (
+                    "timeout"
+                    if isinstance(error, DeadlineExceeded)
+                    else "error"
+                )
+                if error is not None:
+                    meta["error"] = type(error).__name__
+            else:
+                meta["status"] = "ok"
+            child_start, child_end = timing if timing else (end, end)
+            children.append((child_start, child_end, meta))
+        for tr in traces:
+            if tr is None:
+                continue
+            tr.add(
+                phase, start, end,
+                shared=True, batch_size=batch_size,
+                shards_failed=len(failed),
+            )
+            for child_start, child_end, meta in children:
+                tr.add(
+                    child_name, child_start, child_end,
+                    parent=phase, **meta,
+                )
 
     # Delegates to the shared rule so per-call validation cannot drift
     # from QueryOptions construction.
@@ -561,6 +700,7 @@ class ShardRouter:
         rng: np.random.Generator | None = None,
         deadline_ms: float | None = None,
         on_shard_error: str = "raise",
+        trace=None,
     ) -> QueryResult:
         """Evaluate one top-``k`` query across all shards.
 
@@ -577,6 +717,11 @@ class ShardRouter:
             on_shard_error: ``"raise"`` (default) propagates the
                 lowest-index shard failure; ``"partial"`` serves the
                 surviving shards and flags the result ``degraded``.
+            trace: optional :class:`repro.obs.trace.Trace` recording
+                the scatter-gather phases with per-shard child spans
+                (see :meth:`JoinCorrelationEngine.query
+                <repro.index.engine.JoinCorrelationEngine.query>` —
+                tracing never touches the rng).
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -585,6 +730,7 @@ class ShardRouter:
         return self._execute(
             [query_sketch], k, scorer, [exclude_id], [true_correlations], rng,
             deadline_ms=deadline_ms, on_shard_error=on_shard_error,
+            traces=None if trace is None else [trace],
         )[0]
 
     def query_batch(
@@ -598,6 +744,7 @@ class ShardRouter:
         rng: np.random.Generator | None = None,
         deadline_ms: float | None = None,
         on_shard_error: str = "raise",
+        traces: list | None = None,
     ) -> list[QueryResult]:
         """Evaluate many queries with one scatter-gather round per phase.
 
@@ -632,4 +779,5 @@ class ShardRouter:
         return self._execute(
             query_sketches, k, scorer, exclude_ids, true_correlations, rng,
             deadline_ms=deadline_ms, on_shard_error=on_shard_error,
+            traces=traces,
         )

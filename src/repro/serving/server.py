@@ -21,7 +21,21 @@ the non-standard bare literals):
   {"keys", "values"}}`` plus optional ``"estimator"``; one-off
   after-join correlation estimate between two client-supplied columns.
 * ``GET /catalog/info`` — catalog summary + the session's options.
-* ``GET /healthz`` — liveness plus coalescer telemetry.
+* ``GET /healthz`` — versioned liveness payload: ``status``,
+  ``version``, ``uptime_seconds``, coalescer counters (snapshotted
+  under the stats lock — no torn cross-counter reads), shard and
+  worker summaries.
+* ``GET /metrics`` — Prometheus text exposition of the process
+  :class:`~repro.obs.MetricsRegistry`: request counts, per-phase
+  latency histograms, coalescer batch sizes, per-shard error counters.
+
+**Observability.** The service owns a real registry for its lifetime
+(installed process-globally on :meth:`QueryService.start`, restored to
+the no-op default on :meth:`~QueryService.stop`) and always executes
+queries traced — phase spans feed the histograms and the threshold-gated
+slow-query log either way, but the ``trace`` block is stripped from the
+response unless the client opted in with ``"trace": true``, keeping
+untraced responses byte-identical to a service without instrumentation.
 
 **Shutdown.** :meth:`QueryService.stop` (or SIGTERM/SIGINT under
 :meth:`QueryService.run`) drains gracefully: the listener stops
@@ -36,12 +50,27 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 
+from repro.obs import (
+    BATCH_SIZE_BUCKETS,
+    MetricsRegistry,
+    SlowQueryLog,
+    render_prometheus,
+    set_registry,
+)
 from repro.serving.coalescer import QueryCoalescer
 from repro.serving.session import QuerySession
 
 __all__ = ["QueryService"]
+
+#: Served paths; anything else is labelled "other" in the HTTP request
+#: counter so a client probing random URLs cannot mint unbounded series.
+_KNOWN_PATHS = frozenset(
+    {"/query", "/estimate", "/catalog/info", "/healthz", "/metrics"}
+)
 
 
 class _Server(ThreadingHTTPServer):
@@ -64,6 +93,16 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass
 
+    def _track(self, status: int) -> None:
+        self.server.service.registry.inc(
+            "repro_http_requests_total",
+            help="HTTP requests served, by endpoint and status",
+            endpoint=(
+                self.path if self.path in _KNOWN_PATHS else "other"
+            ),
+            status=str(status),
+        )
+
     def _reply(self, status: int, payload: dict) -> None:
         try:
             # allow_nan=False enforces the strict-JSON wire contract:
@@ -76,8 +115,20 @@ class _Handler(BaseHTTPRequestHandler):
             body = json.dumps(
                 {"error": "internal error: non-finite float in response"}
             ).encode()
+        self._track(status)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(
+        self, status: int, text: str, content_type: str
+    ) -> None:
+        body = text.encode()
+        self._track(status)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -96,9 +147,12 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
         service = self.server.service
         if self.path == "/healthz":
-            self._reply(
+            self._reply(200, service.health_payload())
+        elif self.path == "/metrics":
+            self._reply_text(
                 200,
-                {"status": "ok", "coalescer": dict(service.coalescer.stats)},
+                render_prometheus(service.registry),
+                "text/plain; version=0.0.4; charset=utf-8",
             )
         elif self.path == "/catalog/info":
             self._reply(200, service.session.catalog_info())
@@ -151,6 +205,14 @@ class QueryService:
             (read it back from :attr:`address` — the test/bench idiom).
         max_batch / max_wait_ms: the coalescing window
             (see :class:`~repro.serving.coalescer.QueryCoalescer`).
+        registry: the metrics registry to serve on ``/metrics``; by
+            default the service builds its own.
+        slow_query_ms: queries whose server-side wall time breaches
+            this threshold are written to the slow-query log as
+            single-line JSON records. ``None`` (default) disables it.
+        slow_query_log: slow-query sink — a file path to append to, or
+            ``None`` for stderr. Ignored unless ``slow_query_ms`` is
+            set.
     """
 
     def __init__(
@@ -161,14 +223,24 @@ class QueryService:
         port: int = 0,
         max_batch: int = 16,
         max_wait_ms: float = 0.0,
+        registry: MetricsRegistry | None = None,
+        slow_query_ms: float | None = None,
+        slow_query_log: str | Path | None = None,
     ) -> None:
         self.session = session
+        self.registry = MetricsRegistry() if registry is None else registry
+        self.slow_log = (
+            None
+            if slow_query_ms is None
+            else SlowQueryLog(slow_query_ms, sink=slow_query_log)
+        )
         self.coalescer = QueryCoalescer(
             session, max_batch=max_batch, max_wait_ms=max_wait_ms
         )
         self._httpd = _Server((host, port), _Handler)
         self._httpd.service = self
         self._thread: threading.Thread | None = None
+        self._started_monotonic: float | None = None
         self._stopped = threading.Event()
         self._stop_requested_event = threading.Event()
 
@@ -186,16 +258,139 @@ class QueryService:
 
     def handle_query(self, payload: dict) -> dict:
         keys, values = _columns(payload)
+        want_trace = bool(payload.get("trace", False))
+        start = time.perf_counter()
         sketch = self.session.query_sketch(
             keys, values, name=payload.get("name")
         )
+        sketched = time.perf_counter()
+        sketch_ms = (sketched - start) * 1000.0
+        # Always trace: the phase histograms and the slow-query log need
+        # the spans whether or not the client asked to see them. Passing
+        # ``arrived`` backdates the request to the post-sketch instant
+        # so queue_wait also covers the coalescer's admission work.
         result = self.coalescer.submit(
             sketch,
             k=payload.get("k"),
             scorer=payload.get("scorer"),
             exclude_id=payload.get("exclude_id"),
+            trace=True,
+            arrived=sketched,
         )
-        return result.to_dict()
+        encode_start = time.perf_counter()
+        body = result.to_dict()
+        end = time.perf_counter()
+        trace = body.get("trace")
+        if trace is not None:
+            encode_ms = (end - encode_start) * 1000.0
+            spans = trace["spans"]
+            # Sketching happens before the request even enters the
+            # window, so its span sits before the earliest recorded
+            # start (queue_wait's negative start when coalesced).
+            first = min(
+                (s["start_ms"] for s in spans if "parent" not in s),
+                default=0.0,
+            )
+            spans.insert(
+                0,
+                {
+                    "name": "sketch",
+                    "start_ms": first - sketch_ms,
+                    "duration_ms": sketch_ms,
+                },
+            )
+            # Everything after the last execution phase and before the
+            # encode is hand-off: result finalization in the session
+            # plus waking this handler from the coalescer. Measured as
+            # the wall time the other spans leave unaccounted.
+            anchor = max(
+                (
+                    s["start_ms"] + s["duration_ms"]
+                    for s in spans
+                    if "parent" not in s
+                ),
+                default=0.0,
+            )
+            span_of = {s["name"]: s for s in spans if "parent" not in s}
+            deliver_ms = max(
+                0.0,
+                (encode_start - start) * 1000.0
+                - sketch_ms
+                - span_of.get("queue_wait", {"duration_ms": 0.0})[
+                    "duration_ms"
+                ]
+                - anchor,
+            )
+            spans.append(
+                {
+                    "name": "deliver",
+                    "start_ms": anchor,
+                    "duration_ms": deliver_ms,
+                }
+            )
+            spans.append(
+                {
+                    "name": "wire_encode",
+                    "start_ms": anchor + deliver_ms,
+                    "duration_ms": encode_ms,
+                }
+            )
+            for name, value in (
+                ("sketch", sketch_ms),
+                ("deliver", deliver_ms),
+                ("wire_encode", encode_ms),
+            ):
+                self.registry.observe(
+                    "repro_phase_seconds",
+                    value / 1000.0,
+                    help="Per-query time in each top-level query phase",
+                    phase=name,
+                )
+            if self.slow_log is not None:
+                self.slow_log.maybe_record(
+                    total_ms=(end - start) * 1000.0, trace=trace
+                )
+            if not want_trace:
+                del body["trace"]
+        return body
+
+    def health_payload(self) -> dict:
+        """The versioned ``/healthz`` body (counters snapshotted under
+        their locks — no torn cross-counter reads)."""
+        # Deferred: repro/__init__ imports this module, so the package
+        # attribute is not bound yet at our import time.
+        from repro import __version__
+
+        backend = self.session.backend
+        uptime = (
+            0.0
+            if self._started_monotonic is None
+            else time.monotonic() - self._started_monotonic
+        )
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": round(uptime, 3),
+            "coalescer": self.coalescer.stats_snapshot(),
+            "shards": {
+                "count": getattr(self.session.catalog, "n_shards", 1),
+                "errors": int(
+                    sum(
+                        value
+                        for _, value in self.registry.counter_samples(
+                            "repro_shard_errors_total"
+                        )
+                    )
+                ),
+            },
+            "workers": {
+                "count": getattr(backend, "workers", None) or 0,
+                "respawns": int(getattr(backend, "respawns", 0)),
+                "sequential_fallback": bool(
+                    getattr(backend, "sequential_fallback", False)
+                ),
+            },
+        }
 
     def handle_estimate(self, payload: dict) -> dict:
         for side in ("left", "right"):
@@ -220,6 +415,42 @@ class QueryService:
         """Serve on a background thread; returns immediately."""
         if self._thread is not None:
             raise RuntimeError("service already started")
+        set_registry(self.registry)
+        # Declare the core families up front so a scrape of a fresh
+        # service already shows the full schema.
+        self.registry.declare(
+            "repro_http_requests_total",
+            "counter",
+            help="HTTP requests served, by endpoint and status",
+        )
+        self.registry.declare(
+            "repro_queries_total",
+            "counter",
+            help="Queries served through QuerySession.submit",
+        )
+        self.registry.declare(
+            "repro_query_seconds",
+            "histogram",
+            help="End-to-end per-query latency (queue wait + equal "
+            "share of batch execution)",
+        )
+        self.registry.declare(
+            "repro_phase_seconds",
+            "histogram",
+            help="Per-query time in each top-level query phase",
+        )
+        self.registry.declare(
+            "repro_coalescer_batch_size",
+            "histogram",
+            help="Requests executed together per coalescer window",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self.registry.declare(
+            "repro_shard_errors_total",
+            "counter",
+            help="Shard probe/assemble failures, by shard",
+        )
+        self._started_monotonic = time.monotonic()
         self.session.warm()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -241,6 +472,7 @@ class QueryService:
         self._httpd.server_close()  # joins in-flight handler threads
         self.coalescer.close()      # drains the pending window
         self.session.close()
+        set_registry(None)          # restore the process no-op default
 
     def wait_for_shutdown(self, *, install_signals: bool = True) -> None:
         """Block until SIGTERM/SIGINT (or :meth:`request_stop`), then

@@ -36,6 +36,8 @@ coalescer (:mod:`repro.serving.coalescer`) is built on.
 from __future__ import annotations
 
 import inspect
+import time
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -44,6 +46,7 @@ from repro.core.estimation import estimate as estimate_pair
 from repro.core.sketch import CorrelationSketch
 from repro.index.engine import JoinCorrelationEngine, QueryResult
 from repro.index.options import QueryOptions
+from repro.obs import Trace, get_registry
 from repro.ranking.scoring import json_float
 
 __all__ = ["QuerySession"]
@@ -125,6 +128,10 @@ class QuerySession:
         self._supports_rng = "rng" in params
         #: The monolithic engine has no shard fan-out to budget.
         self._supports_resilience = "deadline_ms" in params
+        #: Backends grown in this repo thread per-query Trace recorders
+        #: through their phases; a foreign backend without the
+        #: parameter still traces, as one umbrella span timed here.
+        self._supports_traces = "traces" in params
 
     @staticmethod
     def _backend_options(backend) -> QueryOptions | None:
@@ -280,6 +287,8 @@ class QuerySession:
         exclude_ids: list[str | None] | None = None,
         true_correlations: list[dict[str, float] | None] | None = None,
         options: QueryOptions | None = None,
+        trace: bool = False,
+        arrivals: list[float] | None = None,
     ) -> list[QueryResult]:
         """Evaluate the queries under the session's options.
 
@@ -292,6 +301,14 @@ class QuerySession:
             options: a per-call override of the session's record
                 (engine-level fields must match the warm backend — use
                 a new session to change those).
+            trace: record per-query phase spans; each result carries
+                its ``trace`` block and per-phase latencies land in the
+                process metrics registry. Results are bit-identical
+                either way — tracing only reads the monotonic clock.
+            arrivals: per-query ``perf_counter`` timestamps of when
+                each request arrived upstream (the coalescer's window);
+                the time from arrival to execution start is rendered as
+                a ``queue_wait`` span preceding the execution phases.
         """
         opts = self._options if options is None else options
         queries = list(queries)
@@ -329,7 +346,17 @@ class QuerySession:
                 kwargs["deadline_ms"] = opts.deadline_ms
             if opts.on_shard_error != "raise":
                 kwargs["on_shard_error"] = opts.on_shard_error
-        return self.backend.query_batch(
+        traces: list[Trace] | None = None
+        if trace:
+            # One shared origin: shared batch spans then carry identical
+            # (start_ms, duration_ms) in every query's trace, which is
+            # what lets aggregators count them once.
+            origin = time.perf_counter()
+            traces = [Trace(origin=origin) for _ in range(n)]
+            if self._supports_traces:
+                kwargs["traces"] = traces
+        start = time.perf_counter()
+        results = self.backend.query_batch(
             queries,
             k=opts.k,
             scorer=opts.scorer,
@@ -337,6 +364,96 @@ class QuerySession:
             true_correlations=true_correlations,
             **kwargs,
         )
+        if traces is None:
+            return results
+        return self._finish_traces(
+            results, traces, start, time.perf_counter(), arrivals
+        )
+
+    def _finish_traces(
+        self,
+        results: list[QueryResult],
+        traces: list[Trace],
+        start: float,
+        end: float,
+        arrivals: list[float] | None,
+    ) -> list[QueryResult]:
+        """Attach trace blocks, queue_wait spans, and registry samples.
+
+        Backends that accept ``traces`` attached their own blocks to the
+        results; a foreign backend gets one shared umbrella ``execute``
+        span timed around the whole batch call instead.
+        """
+        n = len(results)
+        registry = get_registry()
+        total_s = end - start
+        if not self._supports_traces:
+            for t in traces:
+                t.add(
+                    "execute", start, end, shared=True, batch_size=n
+                )
+        finished: list[QueryResult] = []
+        metered = registry.enabled
+        query_samples: list[tuple[float, dict]] = []
+        phase_samples: list[tuple[float, dict]] = []
+        for q, result in enumerate(results):
+            block = result.trace
+            if block is None:
+                block = traces[q].to_dict()
+            wait = (
+                0.0
+                if arrivals is None
+                else max(0.0, traces[q].origin - arrivals[q])
+            )
+            if wait > 0.0:
+                wait_ms = wait * 1000.0
+                # The wait predates the trace origin (span times are
+                # relative to first execution), hence the negative
+                # start; "window" is the coalesced batch width.
+                block["spans"].insert(
+                    0,
+                    {
+                        "name": "queue_wait",
+                        "start_ms": -wait_ms,
+                        "duration_ms": wait_ms,
+                        "meta": {"window": n},
+                    },
+                )
+            # ``replace`` re-runs the frozen dataclass __init__; skip it
+            # when the backend already attached this very block (the
+            # queue_wait insert above mutates it in place).
+            finished.append(
+                result
+                if result.trace is block
+                else replace(result, trace=block)
+            )
+            if metered:
+                query_samples.append((wait + total_s / n, {}))
+                phase_samples.extend(
+                    (span["duration_ms"] / 1000.0, {"phase": span["name"]})
+                    for span in block["spans"]
+                    if "parent" not in span
+                )
+        if metered:
+            # Batched: three lock round-trips for the whole window, not
+            # six per query — the overhead benchmark holds this <2% p50.
+            registry.inc(
+                "repro_queries_total",
+                float(n),
+                help="Queries served through QuerySession.submit",
+            )
+            registry.observe_many(
+                "repro_query_seconds",
+                query_samples,
+                help="End-to-end per-query latency (queue wait + "
+                "equal share of batch execution)",
+            )
+            registry.observe_many(
+                "repro_phase_seconds",
+                phase_samples,
+                help="Per-query time in each top-level query phase",
+            )
+        return finished
 
     def submit_one(
         self,
@@ -345,6 +462,7 @@ class QuerySession:
         exclude_id: str | None = None,
         true_correlations: dict[str, float] | None = None,
         options: QueryOptions | None = None,
+        trace: bool = False,
     ) -> QueryResult:
         """:meth:`submit` for a single query (batch of one — results are
         bit-identical either way under the default ``seed=None``)."""
@@ -353,6 +471,7 @@ class QuerySession:
             exclude_ids=[exclude_id],
             true_correlations=[true_correlations],
             options=options,
+            trace=trace,
         )[0]
 
     def estimate(

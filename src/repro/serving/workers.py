@@ -53,6 +53,7 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import get_registry
 from repro.serving.faults import maybe_fire
 
 _T = TypeVar("_T")
@@ -237,12 +238,24 @@ def _init_query_worker(router) -> None:
 
 
 def _run_query_chunk(task):
-    """Worker-side entry: evaluate one contiguous query slice."""
-    chunk_index, sketches, k, scorer, exclude_ids, truths, extra = task
+    """Worker-side entry: evaluate one contiguous query slice.
+
+    ``traces`` (when the chunk carries them) are plain
+    :class:`repro.obs.trace.Trace` recorders pickled into the worker;
+    their spans come back *inside* the chunk's ``QueryResult.trace``
+    dicts — ``perf_counter`` is the system-wide monotonic clock, so
+    worker-side spans share the parent's timeline.
+    """
+    chunk_index, sketches, k, scorer, exclude_ids, truths, traces, extra = task
     maybe_fire("worker_chunk", chunk=chunk_index)
+    kwargs = dict(extra)
+    if traces is not None:
+        # Forwarded only when requested, so a plain monolithic engine
+        # (no ``traces`` parameter) still works as the pool's router.
+        kwargs["traces"] = traces
     results = _WORKER_ROUTER.query_batch(
         sketches, k=k, scorer=scorer, exclude_ids=exclude_ids,
-        true_correlations=truths, **extra
+        true_correlations=truths, **kwargs
     )
     return chunk_index, results
 
@@ -361,16 +374,21 @@ class QueryWorkerPool:
         true_correlations: list[dict[str, float] | None] | None = None,
         deadline_ms: float | None = None,
         on_shard_error: str = "raise",
+        traces: list | None = None,
     ):
         """Evaluate the batch, partitioned across the worker processes.
 
         ``true_correlations`` (per-query ground-truth dicts, for
-        evaluation runs) is chunked alongside the sketches and forwarded
-        to each worker's ``query_batch``. ``deadline_ms`` /
+        evaluation runs) and ``traces`` (per-query
+        :class:`repro.obs.trace.Trace` recorders) are chunked alongside
+        the sketches and forwarded to each worker's ``query_batch`` —
+        trace spans recorded in a worker come back serialized inside
+        that chunk's ``QueryResult.trace`` dicts. ``deadline_ms`` /
         ``on_shard_error`` forward to the router's shard fan-out (each
-        worker applies them to its own chunk); the defaults are never
-        forwarded, so any monolithic engine with a plain ``query_batch``
-        still works as the pool's router.
+        worker applies them to its own chunk); the defaults — and an
+        absent ``traces`` — are never forwarded, so any monolithic
+        engine with a plain ``query_batch`` still works as the pool's
+        router.
         """
         query_sketches = list(query_sketches)
         if exclude_ids is None:
@@ -387,6 +405,11 @@ class QueryWorkerPool:
                 f"{len(query_sketches)} query sketches but "
                 f"{len(true_correlations)} truth dicts"
             )
+        if traces is not None and len(traces) != len(query_sketches):
+            raise ValueError(
+                f"{len(query_sketches)} query sketches but "
+                f"{len(traces)} traces"
+            )
         extra: dict = {}
         if deadline_ms is not None:
             extra["deadline_ms"] = deadline_ms
@@ -394,9 +417,12 @@ class QueryWorkerPool:
             extra["on_shard_error"] = on_shard_error
         pool = self._ensure_pool()
         if pool is None or len(query_sketches) <= 1:
+            kwargs = dict(extra)
+            if traces is not None:
+                kwargs["traces"] = traces
             return self.router.query_batch(
                 query_sketches, k=k, scorer=scorer, exclude_ids=exclude_ids,
-                true_correlations=true_correlations, **extra,
+                true_correlations=true_correlations, **kwargs,
             )
         n_chunks = min(self.workers, len(query_sketches))
         bounds = [
@@ -410,6 +436,11 @@ class QueryWorkerPool:
                 scorer,
                 exclude_ids[bounds[i] : bounds[i + 1]],
                 true_correlations[bounds[i] : bounds[i + 1]],
+                (
+                    None
+                    if traces is None
+                    else traces[bounds[i] : bounds[i + 1]]
+                ),
                 extra,
             )
             for i in range(n_chunks)
@@ -421,9 +452,12 @@ class QueryWorkerPool:
                 # Sequential fallback engaged mid-batch: drain the
                 # chunks the workers never answered, in index order.
                 for index, task in sorted(pending.items()):
+                    kwargs = dict(extra)
+                    if task[6] is not None:
+                        kwargs["traces"] = task[6]
                     completed[index] = self.router.query_batch(
                         task[1], k=k, scorer=scorer, exclude_ids=task[4],
-                        true_correlations=task[5], **extra,
+                        true_correlations=task[5], **kwargs,
                     )
                 pending.clear()
                 break
@@ -464,9 +498,17 @@ class QueryWorkerPool:
                 self._consecutive_failures = 0
             self._consecutive_failures += 1
             self.respawns += 1
+            get_registry().inc(
+                "repro_worker_respawns_total",
+                help="Forked query-worker pools respawned after a crash",
+            )
             self._discard_broken_pool()
             if self._consecutive_failures >= self.MAX_RESPAWN_FAILURES:
                 self.sequential_fallback = True
+                get_registry().set_gauge(
+                    "repro_worker_sequential_fallback", 1.0,
+                    help="1 once supervision fell back to the sequential path",
+                )
                 continue
             self._backoff()
         return [

@@ -200,6 +200,8 @@ def test_query_against_binary_catalog_matches_json(portal, tmp_path, capsys):
 
 
 def test_query_profile_prints_phase_split(portal, tmp_path, capsys):
+    """--profile renders the per-phase trace table, one line per
+    top-level span of the query's trace."""
     catalog = _index(portal, tmp_path)
     capsys.readouterr()
     rc = main(
@@ -209,7 +211,9 @@ def test_query_profile_prints_phase_split(portal, tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "profile    : retrieval" in out
-    assert "re-rank" in out
+    for phase in ("assemble", "score", "merge"):
+        assert phase in out, f"missing phase line {phase!r}:\n{out}"
+    assert "ms (" in out  # each line carries duration and share
 
 
 def test_query_rng_mode_flag(portal, tmp_path, capsys):
@@ -284,6 +288,8 @@ def test_queries_dir_rejects_pair_selection_flags(portal, tmp_path):
 
 
 def test_queries_dir_profile_prints_phase_split(portal, tmp_path, capsys):
+    """Batch --profile aggregates trace spans: shared batch passes
+    counted once, per-query slices summed."""
     catalog = _index(portal, tmp_path)
     capsys.readouterr()
     rc = main(["query", str(catalog), "--queries-dir", str(portal),
@@ -291,7 +297,8 @@ def test_queries_dir_profile_prints_phase_split(portal, tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "profile    : retrieval" in out
-    assert "re-rank" in out
+    for phase in ("assemble", "score", "merge"):
+        assert phase in out, f"missing phase line {phase!r}:\n{out}"
 
 
 def test_index_lsh_flag_ships_warm_snapshot(portal, tmp_path, capsys):
